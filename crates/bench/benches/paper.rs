@@ -1,0 +1,136 @@
+//! Criterion benches: one representative configuration per experiment of
+//! §VII, for regression tracking. The full regeneration lives in the
+//! `repro` binary; these benches pin the relative TO/PO costs on fixed
+//! instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qbf_core::solver::{Solver, SolverConfig};
+use qbf_core::Qbf;
+use qbf_gen::{fixed, fpv, ncf, rand_qbf, FixedParams, FpvParams, NcfParams, RandParams};
+use qbf_models::{diameter_qbf, DiameterForm};
+use qbf_prenex::{miniscope, prenex, Strategy};
+
+fn solve(qbf: &Qbf, config: &SolverConfig) -> Option<bool> {
+    Solver::new(qbf, config.clone().with_node_limit(5_000_000))
+        .solve()
+        .value()
+}
+
+/// Table I rows 1–4 / Fig. 3: an NCF instance, PO vs the four strategies.
+fn bench_ncf(c: &mut Criterion) {
+    let params = NcfParams {
+        dep: 4,
+        var: 3,
+        cls_ratio: 2,
+        lpc: 3,
+    };
+    let po = ncf(&params, 7);
+    let mut group = c.benchmark_group("ncf");
+    group.bench_function("po", |b| {
+        b.iter(|| solve(&po, &SolverConfig::partial_order()))
+    });
+    for strategy in Strategy::ALL {
+        let to = prenex(&po, strategy);
+        group.bench_with_input(
+            BenchmarkId::new("to", strategy.to_string()),
+            &to,
+            |b, to| b.iter(|| solve(to, &SolverConfig::total_order())),
+        );
+    }
+    group.finish();
+}
+
+/// Table I row 5 / Fig. 4: an FPV instance.
+fn bench_fpv(c: &mut Criterion) {
+    let params = FpvParams {
+        config_vars: 4,
+        branches: 3,
+        branch_depth: 2,
+        block_vars: 3,
+        clauses_per_branch: 12,
+        lpc: 4,
+    };
+    let po = fpv(&params, 3);
+    let to = prenex(&po, Strategy::ExistsUpForallUp);
+    let mut group = c.benchmark_group("fpv");
+    group.bench_function("po", |b| {
+        b.iter(|| solve(&po, &SolverConfig::partial_order()))
+    });
+    group.bench_function("to", |b| {
+        b.iter(|| solve(&to, &SolverConfig::total_order()))
+    });
+    group.finish();
+}
+
+/// Table I row 6 / Figs. 5–6: a diameter probe of counter<3>.
+fn bench_dia(c: &mut Criterion) {
+    let model = qbf_models::counter(3);
+    let tree = diameter_qbf(&model, 5, DiameterForm::Tree);
+    let flat = diameter_qbf(&model, 5, DiameterForm::Prenex);
+    let mut group = c.benchmark_group("dia_counter3_phi5");
+    group.bench_function("po_tree", |b| {
+        b.iter(|| solve(&tree.qbf, &SolverConfig::partial_order()))
+    });
+    group.bench_function("to_prenex", |b| {
+        b.iter(|| solve(&flat.qbf, &SolverConfig::total_order()))
+    });
+    group.finish();
+}
+
+/// Table I rows 7–8 / Fig. 7: miniscoped PROB and FIXED instances.
+fn bench_miniscoped(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qbfeval");
+    let flat = fixed(
+        &FixedParams {
+            groups: 3,
+            depth: 3,
+            block_vars: 2,
+            clauses_per_group: 10,
+            lpc: 3,
+        },
+        5,
+    )
+    .prenex;
+    let mini = miniscope(&flat).expect("prenex input").qbf;
+    group.bench_function("fixed_to", |b| {
+        b.iter(|| solve(&flat, &SolverConfig::total_order()))
+    });
+    group.bench_function("fixed_po_miniscoped", |b| {
+        b.iter(|| solve(&mini, &SolverConfig::partial_order()))
+    });
+    let prob = rand_qbf(&RandParams::three_block(5, 4, 5, 35, 3), 2);
+    group.bench_function("prob_to", |b| {
+        b.iter(|| solve(&prob, &SolverConfig::total_order()))
+    });
+    group.finish();
+}
+
+/// Preprocessing costs: the four prenexing strategies and miniscoping.
+fn bench_transforms(c: &mut Criterion) {
+    let params = NcfParams {
+        dep: 6,
+        var: 4,
+        cls_ratio: 3,
+        lpc: 4,
+    };
+    let q = ncf(&params, 1);
+    let mut group = c.benchmark_group("transforms");
+    for strategy in Strategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("prenex", strategy.to_string()),
+            &strategy,
+            |b, &s| b.iter(|| prenex(&q, s)),
+        );
+    }
+    let flat = prenex(&q, Strategy::ExistsUpForallUp);
+    group.bench_function("miniscope", |b| b.iter(|| miniscope(&flat)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ncf, bench_fpv, bench_dia, bench_miniscoped, bench_transforms
+}
+criterion_main!(benches);

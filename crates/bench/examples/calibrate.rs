@@ -1,0 +1,29 @@
+use qbf_bench::runner::run;
+use qbf_bench::suites::{po_config, to_config};
+use qbf_gen::*;
+use qbf_prenex::{miniscope, po_to_ratio};
+
+fn main() {
+    for (e1,a1,e2) in [(12u32,9u32,12u32), (16,10,16)] {
+        for mult in [2u32, 3, 4, 5] {
+            let m = mult * (e1 + e2);
+            let p = RandParams::three_block(e1, a1, e2, m, 5).with_locality(3, 10);
+            let mut line = format!("({e1},{a1},{e2}) m={m}:");
+            let mut pass = 0;
+            for seed in 0..4u64 {
+                let q = rand_qbf(&p, seed);
+                let Ok(mini) = miniscope(&q) else { continue };
+                let r = po_to_ratio(&mini.qbf, &q);
+                if r <= 20.0 { line += " [filt]"; continue; }
+                pass += 1;
+                let a = run(&q, &to_config(500_000));
+                let b = run(&mini.qbf, &po_config(500_000));
+                line += &format!(" [{}|to {:.1}ms {}a|po {:.1}ms {}a]",
+                    a.value.map(|v| if v {"T"} else {"F"}).unwrap_or("?"),
+                    a.time.as_secs_f64()*1e3, a.assignments,
+                    b.time.as_secs_f64()*1e3, b.assignments);
+            }
+            println!("{line}  pass={pass}");
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! `repro` — regenerates the tables and figures of the paper.
+//!
+//! ```text
+//! repro [--scale small|paper] [--out DIR] <command>
+//!
+//! commands:
+//!   fig2              search tree of Q-DLL on the running example (Fig. 2)
+//!   table1            all rows of Table I
+//!   fig3              NCF medians: QUBE(TO)* vs QUBE(PO)
+//!   fig4              FPV scatter
+//!   fig5              DIA scatter
+//!   fig6              counter/semaphore scaling curves
+//!   fig7              PROB + FIXED scatter (after miniscoping)
+//!   instances         dump the suite instances as .qtree/.qdimacs files
+//!   ablate-score      PO heuristic: tree score vs level score
+//!   ablate-learning   learning on/off on DIA (PO)
+//!   ablate-miniscope  single-clause-scope elimination effect
+//!   all               everything above
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use qbf_bench::experiments::{
+    self, dia_suite_result, fig2, fixed_result, fpv_result, ncf_result, prob_result,
+    render_curves, render_medians, SuiteResult,
+};
+use qbf_bench::runner::{ascii_scatter, pairs_to_csv, TableRow};
+use qbf_bench::suites::Scale;
+
+struct Args {
+    scale: Scale,
+    out: PathBuf,
+    command: String,
+}
+
+fn parse_args() -> Args {
+    let mut scale = Scale::Small;
+    let mut out = PathBuf::from("target/repro");
+    let mut command = String::from("all");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "paper" => Scale::Paper,
+                    "small" => Scale::Small,
+                    other => {
+                        eprintln!("unknown scale `{other}`, using small");
+                        Scale::Small
+                    }
+                };
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| "target/repro".into()));
+            }
+            "--help" | "-h" => {
+                println!("repro [--scale small|paper] [--out DIR] <command>");
+                println!("commands: fig2 table1 fig3 fig4 fig5 fig6 fig7 instances");
+                println!("          ablate-score ablate-learning ablate-miniscope all");
+                println!("env: QBF_REPRO_SEEDS=N overrides instances per setting");
+                std::process::exit(0);
+            }
+            cmd => command = cmd.to_string(),
+        }
+    }
+    Args {
+        scale,
+        out,
+        command,
+    }
+}
+
+fn save(out: &PathBuf, name: &str, content: &str) {
+    fs::create_dir_all(out).expect("create output dir");
+    let path = out.join(name);
+    fs::write(&path, content).expect("write output file");
+    println!("[saved {}]", path.display());
+}
+
+fn print_table_rows(name: &str, rows: &[(String, TableRow)]) {
+    println!("--- {name} ---");
+    println!("{:40} {}", "strategy", TableRow::header());
+    for (label, row) in rows {
+        println!("{label:40} {}", row.render());
+    }
+    println!();
+}
+
+fn suite_outputs(out: &PathBuf, result: &SuiteResult, stem: &str) {
+    print_table_rows(&result.name, &result.rows);
+    save(out, &format!("{stem}.csv"), &pairs_to_csv(&result.pairs));
+    if !result.medians.is_empty() {
+        save(out, &format!("{stem}_medians.txt"), &render_medians(result));
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = args.scale;
+    let out = &args.out;
+    let run_all = args.command == "all";
+    let is = |c: &str| run_all || args.command == c;
+    let only = |c: &str| !run_all && args.command == c;
+
+    if is("fig2") {
+        let text = fig2();
+        println!("{text}");
+        save(out, "fig2.txt", &text);
+    }
+    let mut ncf: Option<SuiteResult> = None;
+    if is("table1") || is("fig3") {
+        println!("running NCF suite (4 strategies × instances)…");
+        ncf = Some(ncf_result(scale));
+    }
+    if is("table1") {
+        let ncf_res = ncf.as_ref().expect("computed above");
+        suite_outputs(out, ncf_res, "table1_ncf");
+        println!("running FPV suite…");
+        let fpv = fpv_result(scale);
+        suite_outputs(out, &fpv, "table1_fpv");
+        save(out, "fig4.csv", &pairs_to_csv(&fpv.pairs));
+        println!("Fig. 4 scatter (FPV):\n{}", ascii_scatter(&fpv.pairs, 60, 20));
+        println!("running DIA suite…");
+        let (dia, curves) = dia_suite_result(scale);
+        suite_outputs(out, &dia, "table1_dia");
+        save(out, "fig5.csv", &pairs_to_csv(&dia.pairs));
+        println!("Fig. 5 scatter (DIA):\n{}", ascii_scatter(&dia.pairs, 60, 20));
+        save(out, "fig6.txt", &render_curves(&curves));
+        println!("running PROB suite…");
+        let prob = prob_result(scale);
+        suite_outputs(out, &prob, "table1_prob");
+        println!("running FIXED suite…");
+        let fixed = fixed_result(scale);
+        suite_outputs(out, &fixed, "table1_fixed");
+        let mut fig7 = prob.pairs.clone();
+        fig7.extend(fixed.pairs.iter().cloned());
+        save(out, "fig7.csv", &pairs_to_csv(&fig7));
+        println!(
+            "Fig. 7 scatter (PROB+FIXED):\n{}",
+            ascii_scatter(&fig7, 60, 20)
+        );
+    }
+    if is("fig3") {
+        let ncf_res = ncf.get_or_insert_with(|| ncf_result(scale));
+        let text = render_medians(ncf_res);
+        println!("Fig. 3 medians (PO vs best-of-4-strategies TO*):\n{text}");
+        save(out, "fig3_medians.txt", &text);
+        save(out, "fig3.csv", &pairs_to_csv(&ncf_res.pairs));
+    }
+    if only("fig4") {
+        let fpv = fpv_result(scale);
+        save(out, "fig4.csv", &pairs_to_csv(&fpv.pairs));
+        println!("{}", ascii_scatter(&fpv.pairs, 60, 20));
+        print_table_rows("FPV", &fpv.rows);
+    }
+    if only("fig5") {
+        let (dia, _) = dia_suite_result(scale);
+        save(out, "fig5.csv", &pairs_to_csv(&dia.pairs));
+        println!("{}", ascii_scatter(&dia.pairs, 60, 20));
+        print_table_rows("DIA", &dia.rows);
+    }
+    if only("fig6") {
+        let (_, curves) = dia_suite_result(scale);
+        let text = render_curves(&curves);
+        println!("{text}");
+        save(out, "fig6.txt", &text);
+    }
+    if only("fig7") {
+        let prob = prob_result(scale);
+        let fixed = fixed_result(scale);
+        let mut pairs = prob.pairs.clone();
+        pairs.extend(fixed.pairs.iter().cloned());
+        save(out, "fig7.csv", &pairs_to_csv(&pairs));
+        println!("{}", ascii_scatter(&pairs, 60, 20));
+        print_table_rows("PROB", &prob.rows);
+        print_table_rows("FIXED", &fixed.rows);
+    }
+    if args.command == "instances" {
+        use qbf_core::io::{qdimacs, qtree};
+        let dir = out.join("instances");
+        fs::create_dir_all(&dir).expect("create instance dir");
+        let mut count = 0usize;
+        for (suite, instances) in [
+            ("ncf", qbf_bench::suites::ncf_suite(scale)),
+            ("fpv", qbf_bench::suites::fpv_suite(scale)),
+            ("prob", qbf_bench::suites::prob_suite(scale)),
+            ("fixed", qbf_bench::suites::fixed_suite(scale)),
+        ] {
+            for (i, inst) in instances.iter().enumerate() {
+                let base = dir.join(format!("{suite}_{i:03}"));
+                fs::write(base.with_extension("qtree"), qtree::write(&inst.po))
+                    .expect("write qtree");
+                if let Some((_, to)) = inst.to.first() {
+                    fs::write(base.with_extension("qdimacs"), qdimacs::write(to))
+                        .expect("write qdimacs");
+                }
+                count += 1;
+            }
+        }
+        println!("wrote {count} instance pairs under {}", dir.display());
+    }
+    if is("ablate-score") {
+        println!("ablation: PO heuristic tree score vs plain level score on NCF…");
+        let rows = experiments::ablate_score(scale);
+        print_table_rows("ablate-score", &rows);
+    }
+    if is("ablate-learning") {
+        println!("ablation: learning on/off for PO on DIA probes…");
+        let rows = experiments::ablate_learning(scale);
+        print_table_rows("ablate-learning", &rows);
+    }
+    if is("ablate-miniscope") {
+        let text = experiments::ablate_miniscope(scale);
+        println!("{text}");
+    }
+    println!("done (scale {scale:?}).");
+}

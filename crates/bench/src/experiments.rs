@@ -1,0 +1,428 @@
+//! The experiment drivers: one function per table/figure of §VII.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use qbf_core::recursive::{self, RecursiveConfig};
+use qbf_core::solver::SolverConfig;
+use qbf_models::{compute_diameter, explore, DiameterForm, SymbolicModel};
+use qbf_prenex::Strategy;
+
+use crate::runner::{run, Measurement, Pair, TableRow};
+use crate::suites::{self, Scale, SuiteInstance};
+
+/// Result of a Table-I style suite run: one row per strategy, plus the
+/// per-instance pairs (against the listed strategy, or the virtual best
+/// solver for Fig. 3).
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Suite name (NCF, FPV, …).
+    pub name: String,
+    /// Rows: (strategy label, Table I row).
+    pub rows: Vec<(String, TableRow)>,
+    /// Per-instance (TO, PO) measurement pairs, TO = first strategy.
+    pub pairs: Vec<Pair>,
+    /// Fig. 3 data: per parameter setting, (median PO ms, median best-TO
+    /// ms) — only populated when several strategies are run.
+    pub medians: Vec<(String, f64, f64)>,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs[xs.len() / 2]
+}
+
+/// Runs a suite of paired instances: PO once, TO once per strategy.
+pub fn run_suite(name: &str, instances: &[SuiteInstance], budget: u64, tie: Duration) -> SuiteResult {
+    let po_cfg = suites::po_config(budget);
+    let to_cfg = suites::to_config(budget);
+    let strategies: Vec<Strategy> = instances
+        .first()
+        .map(|i| i.to.iter().map(|(s, _)| *s).collect())
+        .unwrap_or_default();
+    let mut rows: Vec<(String, TableRow)> =
+        strategies.iter().map(|s| (s.to_string(), TableRow::default())).collect();
+    let mut pairs = Vec::new();
+    // group -> (po times, best-to times)
+    let mut group_data: BTreeMap<String, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+
+    for inst in instances {
+        let po = run(&inst.po, &po_cfg);
+        let mut to_runs: Vec<Measurement> = Vec::new();
+        for ((_, to_qbf), (_, row)) in inst.to.iter().zip(rows.iter_mut()) {
+            let to = run(to_qbf, &to_cfg);
+            // sanity: decided values must agree
+            if let (Some(a), Some(b)) = (to.value, po.value) {
+                assert_eq!(a, b, "TO/PO disagree on {}", inst.label);
+            }
+            row.add(&to, &po, tie);
+            to_runs.push(to);
+        }
+        // Virtual best TO (QUBE(TO)* of Fig. 3): minimum time, timeouts
+        // counted as the budget.
+        let budget_time = to_runs
+            .iter()
+            .map(|m| m.time)
+            .max()
+            .unwrap_or_default()
+            .max(tie * 200);
+        let best_ms = to_runs
+            .iter()
+            .map(|m| {
+                if m.is_timeout() {
+                    budget_time.as_secs_f64() * 1e3
+                } else {
+                    m.time.as_secs_f64() * 1e3
+                }
+            })
+            .fold(f64::INFINITY, f64::min);
+        let po_ms = if po.is_timeout() {
+            budget_time.as_secs_f64() * 1e3
+        } else {
+            po.time.as_secs_f64() * 1e3
+        };
+        let entry = group_data.entry(inst.group.clone()).or_default();
+        entry.0.push(po_ms);
+        entry.1.push(best_ms);
+        pairs.push(Pair {
+            label: inst.label.clone(),
+            to: to_runs.into_iter().next().expect("at least one strategy"),
+            po,
+        });
+    }
+
+    let medians = group_data
+        .into_iter()
+        .map(|(g, (po, to))| (g, median(po), median(to)))
+        .collect();
+    SuiteResult {
+        name: name.to_string(),
+        rows,
+        pairs,
+        medians,
+    }
+}
+
+/// Fig. 2: the search tree of the recursive Q-DLL on the paper's running
+/// example (1).
+pub fn fig2() -> String {
+    let qbf = qbf_core::samples::paper_example();
+    let cfg = RecursiveConfig {
+        trace: true,
+        pure_literals: false,
+        ..RecursiveConfig::default()
+    };
+    let out = recursive::solve(&qbf, &cfg);
+    let mut s = String::new();
+    s.push_str(&format!("QBF (1): {qbf}\n"));
+    s.push_str(&format!(
+        "value: {:?}  (the paper's Fig. 2 refutes it)\n\n",
+        out.value
+    ));
+    s.push_str(&out.trace.expect("tracing enabled").render());
+    s
+}
+
+/// One Fig. 6 data point: a model probed at increasing lengths.
+#[derive(Debug, Clone)]
+pub struct ScalingCurve {
+    /// Model name.
+    pub model: String,
+    /// BFS ground-truth diameter (if computed).
+    pub true_diameter: Option<u32>,
+    /// Per-n probe costs: (n, TO ms, PO ms, to timeout, po timeout).
+    pub points: Vec<(u32, f64, f64, bool, bool)>,
+    /// Diameter found by each solver within the budget.
+    pub to_diameter: Option<u32>,
+    /// Diameter found by the PO solver.
+    pub po_diameter: Option<u32>,
+}
+
+/// Runs the DIA experiment for one model: probes φ0, φ1, … with both
+/// solvers (Fig. 5 pairs, Fig. 6 curves).
+pub fn dia_curve(model: &SymbolicModel, budget: u64, max_n: u32, with_bfs: bool) -> ScalingCurve {
+    let po_run = compute_diameter(
+        model,
+        DiameterForm::Tree,
+        &suites::po_config(budget),
+        max_n,
+    );
+    let to_run = compute_diameter(
+        model,
+        DiameterForm::Prenex,
+        &suites::to_config(budget),
+        max_n,
+    );
+    let true_diameter = if with_bfs && model.bits() <= 16 {
+        explore(model).map(|e| e.eccentricity)
+    } else {
+        None
+    };
+    if let (Some(a), Some(b)) = (po_run.diameter, to_run.diameter) {
+        assert_eq!(a, b, "TO/PO diameters disagree on {}", model.name());
+    }
+    if let (Some(d), Some(t)) = (po_run.diameter, true_diameter) {
+        assert_eq!(d, t, "QBF diameter disagrees with BFS on {}", model.name());
+    }
+    let mut points = Vec::new();
+    let n_points = po_run.probes.len().max(to_run.probes.len());
+    for i in 0..n_points {
+        let po = po_run.probes.get(i);
+        let to = to_run.probes.get(i);
+        let n = po.map(|p| p.n).or(to.map(|p| p.n)).expect("some probe");
+        points.push((
+            n,
+            to.map(|p| p.time.as_secs_f64() * 1e3).unwrap_or(f64::NAN),
+            po.map(|p| p.time.as_secs_f64() * 1e3).unwrap_or(f64::NAN),
+            to.map(|p| p.outcome.value().is_none()).unwrap_or(true),
+            po.map(|p| p.outcome.value().is_none()).unwrap_or(true),
+        ));
+    }
+    ScalingCurve {
+        model: model.name().to_string(),
+        true_diameter,
+        points,
+        to_diameter: to_run.diameter,
+        po_diameter: po_run.diameter,
+    }
+}
+
+/// The DIA suite as Table I row + Fig. 5 pairs: each (model, n) probe is
+/// one instance.
+pub fn dia_suite_result(scale: Scale) -> (SuiteResult, Vec<ScalingCurve>) {
+    let budget = scale.dia_budget();
+    let max_n = match scale {
+        Scale::Small => 10,
+        Scale::Paper => 40,
+    };
+    let mut rows = vec![(Strategy::ExistsUpForallUp.to_string(), TableRow::default())];
+    let mut pairs = Vec::new();
+    let mut curves = Vec::new();
+    for model in suites::dia_models(scale) {
+        let curve = dia_curve(&model, budget, max_n, scale == Scale::Small);
+        for &(n, to_ms, po_ms, to_t, po_t) in &curve.points {
+            let mk = |ms: f64, t: bool| Measurement {
+                value: if t { None } else { Some(true) },
+                assignments: 0,
+                time: Duration::from_secs_f64((ms / 1e3).max(0.0)),
+            };
+            let to = mk(to_ms, to_t);
+            let po = mk(po_ms, po_t);
+            rows[0].1.add(&to, &po, scale.tie());
+            pairs.push(Pair {
+                label: format!("{}@n{}", curve.model, n),
+                to,
+                po,
+            });
+        }
+        curves.push(curve);
+    }
+    (
+        SuiteResult {
+            name: "DIA".to_string(),
+            rows,
+            pairs,
+            medians: Vec::new(),
+        },
+        curves,
+    )
+}
+
+/// Renders Fig. 6-style curves as text.
+pub fn render_curves(curves: &[ScalingCurve]) -> String {
+    let mut out = String::new();
+    for c in curves {
+        out.push_str(&format!(
+            "{}  (true d = {:?}, PO found {:?}, TO found {:?})\n",
+            c.model, c.true_diameter, c.po_diameter, c.to_diameter
+        ));
+        out.push_str("   n |      TO ms |      PO ms\n");
+        for &(n, to_ms, po_ms, to_t, po_t) in &c.points {
+            let fmt = |ms: f64, t: bool| {
+                if t {
+                    "   timeout".to_string()
+                } else {
+                    format!("{ms:>10.2}")
+                }
+            };
+            out.push_str(&format!(
+                "{n:>4} | {} | {}\n",
+                fmt(to_ms, to_t),
+                fmt(po_ms, po_t)
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Fig. 3 median table.
+pub fn render_medians(result: &SuiteResult) -> String {
+    let mut out = String::new();
+    out.push_str("parameter setting | median PO ms | median best-TO ms | winner\n");
+    for (g, po, to) in &result.medians {
+        let winner = if po < to { "PO" } else if to < po { "TO*" } else { "=" };
+        out.push_str(&format!("{g} | {po:.2} | {to:.2} | {winner}\n"));
+    }
+    out
+}
+
+/// Runs the NCF experiment (Table I rows 1–4 + Fig. 3 data).
+pub fn ncf_result(scale: Scale) -> SuiteResult {
+    run_suite("NCF", &suites::ncf_suite(scale), scale.budget(), scale.tie())
+}
+
+/// Runs the FPV experiment (Table I row 5 + Fig. 4 data).
+pub fn fpv_result(scale: Scale) -> SuiteResult {
+    run_suite("FPV", &suites::fpv_suite(scale), scale.budget(), scale.tie())
+}
+
+/// Runs the PROB experiment (Table I row 7 + Fig. 7 data).
+pub fn prob_result(scale: Scale) -> SuiteResult {
+    run_suite("PROB", &suites::prob_suite(scale), scale.budget(), scale.tie())
+}
+
+/// Runs the FIXED experiment (Table I row 8 + Fig. 7 data).
+pub fn fixed_result(scale: Scale) -> SuiteResult {
+    run_suite("FIXED", &suites::fixed_suite(scale), scale.budget(), scale.tie())
+}
+
+/// Ablation: the PO heuristic with and without the §VI tree score
+/// (replaced by plain VSIDS ranking on the non-prenex input).
+pub fn ablate_score(scale: Scale) -> Vec<(String, TableRow)> {
+    use qbf_core::solver::HeuristicKind;
+    let instances = suites::ncf_suite(scale);
+    let budget = scale.budget();
+    let tree_cfg = SolverConfig::partial_order().with_node_limit(budget);
+    let flat_cfg = SolverConfig::partial_order()
+        .with_node_limit(budget)
+        .with_heuristic(HeuristicKind::VsidsLevel);
+    let mut row = TableRow::default();
+    for inst in &instances {
+        let tree = run(&inst.po, &tree_cfg);
+        let flat = run(&inst.po, &flat_cfg);
+        // columns read: "flat slower / flat faster" than tree score
+        row.add(&flat, &tree, scale.tie());
+    }
+    vec![("level-score vs tree-score on non-prenex".to_string(), row)]
+}
+
+/// Ablation: learning on vs off for the PO solver on the DIA suite
+/// (isolates the §V learning effect).
+pub fn ablate_learning(scale: Scale) -> Vec<(String, TableRow)> {
+    let budget = scale.dia_budget();
+    let with = suites::po_config(budget);
+    let without = SolverConfig {
+        learning: false,
+        ..suites::po_config(budget)
+    };
+    let max_n = 8;
+    let mut row = TableRow::default();
+    for model in suites::dia_models(scale) {
+        for n in 0..=max_n {
+            let inst = qbf_models::diameter_qbf(&model, n, DiameterForm::Tree);
+            let a = run(&inst.qbf, &without);
+            let b = run(&inst.qbf, &with);
+            row.add(&a, &b, scale.tie());
+            if a.value == Some(false) || b.value == Some(false) {
+                break;
+            }
+        }
+    }
+    vec![("no-learning vs learning (PO, DIA)".to_string(), row)]
+}
+
+/// Ablation: miniscoping with vs without single-clause-scope elimination —
+/// measured as the PO/TO structure ratio achieved on FIXED instances.
+pub fn ablate_miniscope(scale: Scale) -> String {
+    let suite = suites::fixed_suite(scale);
+    let mut out = String::from("instances passing the 20% structure filter with full miniscoping: ");
+    out.push_str(&format!("{}\n", suite.len()));
+    out.push_str(
+        "(the elimination rule removes single-clause scopes; disabling it\n\
+         keeps those variables in the tree — compare eliminated_vars)\n",
+    );
+    let params = qbf_gen::FixedParams {
+        groups: 3,
+        depth: 3,
+        block_vars: 2,
+        clauses_per_group: 10,
+        lpc: 3,
+    };
+    let mut eliminated = 0usize;
+    for seed in 0..8 {
+        let inst = qbf_gen::fixed(&params, seed);
+        if let Ok(m) = qbf_prenex::miniscope(&inst.prenex) {
+            eliminated += m.eliminated_vars;
+        }
+    }
+    out.push_str(&format!(
+        "variables eliminated across 8 seeds: {eliminated}\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_renders_refutation() {
+        let s = fig2();
+        assert!(s.contains("value: Some(false)"));
+        assert!(s.contains("(branch)"));
+    }
+
+    #[test]
+    fn median_is_robust() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert!(median(vec![]).is_nan());
+    }
+
+    #[test]
+    fn dia_curve_small_counter() {
+        let c = dia_curve(&qbf_models::counter(2), 1_000_000, 10, true);
+        assert_eq!(c.true_diameter, Some(3));
+        assert_eq!(c.po_diameter, Some(3));
+        assert_eq!(c.to_diameter, Some(3));
+        assert_eq!(c.points.len(), 4);
+        let rendered = render_curves(&[c]);
+        assert!(rendered.contains("counter<2>"));
+    }
+
+    #[test]
+    fn tiny_suite_run() {
+        // A micro NCF suite to exercise run_suite end to end.
+        let params = qbf_gen::NcfParams {
+            dep: 3,
+            var: 1,
+            cls_ratio: 2,
+            lpc: 2,
+        };
+        let instances: Vec<SuiteInstance> = (0..3u64)
+            .map(|seed| {
+                let po = qbf_gen::ncf(&params, seed);
+                let to = Strategy::ALL
+                    .iter()
+                    .map(|&s| (s, qbf_prenex::prenex(&po, s)))
+                    .collect();
+                SuiteInstance {
+                    label: format!("t#{seed}"),
+                    group: "t".to_string(),
+                    po,
+                    to,
+                }
+            })
+            .collect();
+        let result = run_suite("micro", &instances, 100_000, Duration::from_millis(5));
+        assert_eq!(result.rows.len(), 4);
+        assert_eq!(result.pairs.len(), 3);
+        assert_eq!(result.medians.len(), 1);
+        assert_eq!(result.rows[0].1.total(), 3);
+        let rendered = render_medians(&result);
+        assert!(rendered.contains("median"));
+    }
+}

@@ -1,0 +1,16 @@
+//! # qbf-bench
+//!
+//! The benchmark harness regenerating the tables and figures of
+//! *“Quantifier structure in search based procedures for QBFs”* (§VII):
+//! Table I and Figures 2–7, plus the ablations called out in `DESIGN.md`.
+//!
+//! Run `cargo run --release -p qbf-bench --bin repro -- all` for the full
+//! small-scale regeneration, or individual subcommands (`table1`, `fig2` …
+//! `fig7`, `ablate-score`, `ablate-learning`, `ablate-miniscope`).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod runner;
+pub mod suites;

@@ -1,0 +1,258 @@
+//! Measurement machinery: solve instances under a budget and compare
+//! QUBE(TO)-style vs QUBE(PO)-style runs the way Table I does.
+
+use std::time::{Duration, Instant};
+
+use qbf_core::solver::{Solver, SolverConfig};
+use qbf_core::Qbf;
+
+/// One measured solver run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `Some(value)` if decided within the budget.
+    pub value: Option<bool>,
+    /// Deterministic cost: decisions + propagations + pure fixings.
+    pub assignments: u64,
+    /// Wall-clock time.
+    pub time: Duration,
+}
+
+impl Measurement {
+    /// Whether the run exhausted its budget ("timeout" in the paper's
+    /// tables).
+    pub fn is_timeout(&self) -> bool {
+        self.value.is_none()
+    }
+}
+
+/// Solves one instance under the given configuration, measuring wall time.
+pub fn run(qbf: &Qbf, config: &SolverConfig) -> Measurement {
+    let start = Instant::now();
+    let outcome = Solver::new(qbf, config.clone()).solve();
+    Measurement {
+        value: outcome.value(),
+        assignments: outcome.stats.assignments(),
+        time: start.elapsed(),
+    }
+}
+
+/// The Table I columns for one suite row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableRow {
+    /// `>`: TO slower than PO by more than the tie window.
+    pub to_slower: usize,
+    /// `<`: TO faster than PO by more than the tie window.
+    pub to_faster: usize,
+    /// `=±1s`: within the tie window (including both-timeout).
+    pub ties: usize,
+    /// `⊣`: TO times out, PO does not.
+    pub to_only_timeout: usize,
+    /// `⊢`: PO times out, TO does not.
+    pub po_only_timeout: usize,
+    /// `⊣⊢`: both time out.
+    pub both_timeout: usize,
+    /// `>10×`: both solved, TO at least an order of magnitude slower.
+    pub to_slower_10x: usize,
+    /// `10×<`: both solved, TO at least an order of magnitude faster.
+    pub to_faster_10x: usize,
+}
+
+impl TableRow {
+    /// Total number of compared instances. The `>`, `<` and tie columns
+    /// partition the suite (timeout columns are sub-counts, as in the
+    /// paper's Table I where 746 + 7 + 5247 = 6000 on the first row).
+    pub fn total(&self) -> usize {
+        self.to_slower + self.to_faster + self.ties
+    }
+
+    /// Accumulates one instance comparison, mirroring the column
+    /// definitions of Table I. `tie` is the paper's 1 s window (scaled).
+    pub fn add(&mut self, to: &Measurement, po: &Measurement, tie: Duration) {
+        match (to.is_timeout(), po.is_timeout()) {
+            (true, true) => {
+                self.both_timeout += 1;
+                self.ties += 1;
+            }
+            (true, false) => {
+                self.to_only_timeout += 1;
+                self.to_slower += 1;
+            }
+            (false, true) => {
+                self.po_only_timeout += 1;
+                self.to_faster += 1;
+            }
+            (false, false) => {
+                let (t, p) = (to.time, po.time);
+                if t > p + tie {
+                    self.to_slower += 1;
+                } else if p > t + tie {
+                    self.to_faster += 1;
+                } else {
+                    self.ties += 1;
+                }
+                let (ts, ps) = (t.as_secs_f64().max(1e-6), p.as_secs_f64().max(1e-6));
+                if ts >= 10.0 * ps {
+                    self.to_slower_10x += 1;
+                } else if ps >= 10.0 * ts {
+                    self.to_faster_10x += 1;
+                }
+            }
+        }
+    }
+
+    /// Renders the row in the paper's column order:
+    /// `> < =±tie ⊣ ⊢ ⊣⊢ >10× 10×<`.
+    pub fn render(&self) -> String {
+        format!(
+            "{:>6} {:>6} {:>7} {:>5} {:>5} {:>5} {:>6} {:>6}",
+            self.to_slower,
+            self.to_faster,
+            self.ties,
+            self.to_only_timeout,
+            self.po_only_timeout,
+            self.both_timeout,
+            self.to_slower_10x,
+            self.to_faster_10x
+        )
+    }
+
+    /// Column header matching [`TableRow::render`].
+    pub fn header() -> &'static str {
+        "     >      <   =±tie    -|    |-  -||-   >10x   10x<"
+    }
+}
+
+/// A paired (TO, PO) result for one instance, used by the scatter plots.
+#[derive(Debug, Clone)]
+pub struct Pair {
+    /// Instance label.
+    pub label: String,
+    /// The prenex/total-order run.
+    pub to: Measurement,
+    /// The non-prenex/partial-order run.
+    pub po: Measurement,
+}
+
+/// Renders pairs as a CSV with times in milliseconds (timeouts as the
+/// budget marker `-1`).
+pub fn pairs_to_csv(pairs: &[Pair]) -> String {
+    let mut out = String::from("instance,to_ms,po_ms,to_assignments,po_assignments,to_timeout,po_timeout\n");
+    for p in pairs {
+        out.push_str(&format!(
+            "{},{:.3},{:.3},{},{},{},{}\n",
+            p.label,
+            p.to.time.as_secs_f64() * 1e3,
+            p.po.time.as_secs_f64() * 1e3,
+            p.to.assignments,
+            p.po.assignments,
+            p.to.is_timeout(),
+            p.po.is_timeout()
+        ));
+    }
+    out
+}
+
+/// A coarse ASCII log-log scatter of TO time (y) vs PO time (x), in the
+/// layout of Figs. 3–5/7 (points above the diagonal favour PO).
+pub fn ascii_scatter(pairs: &[Pair], width: usize, height: usize) -> String {
+    if pairs.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let log = |d: &Measurement| (d.time.as_secs_f64().max(1e-6)).log10();
+    let xs: Vec<f64> = pairs.iter().map(|p| log(&p.po)).collect();
+    let ys: Vec<f64> = pairs.iter().map(|p| log(&p.to)).collect();
+    let min = xs
+        .iter()
+        .chain(&ys)
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let max = xs
+        .iter()
+        .chain(&ys)
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    // diagonal
+    for i in 0..width.min(height * 2) {
+        let r = height - 1 - (i * height / width).min(height - 1);
+        grid[r][i] = '.';
+    }
+    for (x, y) in xs.iter().zip(&ys) {
+        let c = (((x - min) / span) * (width - 1) as f64).round() as usize;
+        let r = height - 1 - (((y - min) / span) * (height - 1) as f64).round() as usize;
+        grid[r][c.min(width - 1)] = 'o';
+    }
+    let mut out = String::new();
+    out.push_str("TO time (log) ^   [points above diagonal favour PO]\n");
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', width));
+    out.push_str("> PO time (log)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(ms: u64, timeout: bool) -> Measurement {
+        Measurement {
+            value: if timeout { None } else { Some(true) },
+            assignments: 10,
+            time: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn row_classification() {
+        let mut row = TableRow::default();
+        let tie = Duration::from_millis(100);
+        row.add(&m(500, false), &m(10, false), tie); // TO slower, >10x
+        row.add(&m(10, false), &m(500, false), tie); // TO faster, 10x<
+        row.add(&m(50, false), &m(20, false), tie); // tie
+        row.add(&m(0, true), &m(20, false), tie); // TO timeout
+        row.add(&m(20, false), &m(0, true), tie); // PO timeout
+        row.add(&m(0, true), &m(0, true), tie); // both
+        assert_eq!(row.to_slower, 2);
+        assert_eq!(row.to_faster, 2);
+        assert_eq!(row.ties, 2);
+        assert_eq!(row.to_only_timeout, 1);
+        assert_eq!(row.po_only_timeout, 1);
+        assert_eq!(row.both_timeout, 1);
+        assert_eq!(row.to_slower_10x, 1);
+        assert_eq!(row.to_faster_10x, 1);
+        assert_eq!(row.total(), 6);
+        assert_eq!(
+            row.render().split_whitespace().count(),
+            TableRow::header().split_whitespace().count()
+        );
+    }
+
+    #[test]
+    fn run_measures() {
+        let q = qbf_core::samples::paper_example();
+        let meas = run(&q, &qbf_core::solver::SolverConfig::partial_order());
+        assert_eq!(meas.value, Some(false));
+        assert!(!meas.is_timeout());
+        assert!(meas.assignments > 0);
+    }
+
+    #[test]
+    fn csv_and_scatter_render() {
+        let pairs = vec![Pair {
+            label: "a".into(),
+            to: m(100, false),
+            po: m(10, false),
+        }];
+        let csv = pairs_to_csv(&pairs);
+        assert!(csv.lines().count() == 2);
+        assert!(csv.contains("a,100"));
+        let plot = ascii_scatter(&pairs, 40, 10);
+        assert!(plot.contains('o'));
+    }
+}

@@ -1,0 +1,172 @@
+//! `qbfsolve` — command-line front end to the search solvers.
+//!
+//! ```text
+//! qbfsolve [options] [FILE]
+//!
+//!   FILE               QDIMACS (`p cnf`) or non-prenex qtree (`p qtree`)
+//!                      document; stdin when omitted or `-`.
+//!   --to               QUBE(TO) configuration (prefix-level heuristic)
+//!   --po               QUBE(PO) configuration (tree heuristic; default)
+//!   --basic            plain backtracking, no learning
+//!   --recursive        the recursive Q-DLL of Fig. 1 instead of the QDPLL
+//!   --preprocess       run the value-preserving preprocessor first
+//!   --no-pure          disable monotone literal fixing
+//!   --no-learning      disable good/nogood learning
+//!   --budget N         abort after N assignments
+//!   --stats            print search statistics to stderr
+//! ```
+//!
+//! Prints `s cnf 1` / `s cnf 0` (true/false) like QBF evaluation solvers and
+//! exits with 10 (true), 20 (false) or 1 (budget exhausted / error).
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use qbf_core::recursive::{self, RecursiveConfig};
+use qbf_core::solver::{Solver, SolverConfig};
+use qbf_core::{io, Qbf};
+
+struct Options {
+    file: Option<String>,
+    config: SolverConfig,
+    use_recursive: bool,
+    preprocess: bool,
+    stats: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qbfsolve [--to|--po|--basic|--recursive] [--preprocess] \
+         [--no-pure] [--no-learning] [--budget N] [--stats] [FILE]"
+    );
+    std::process::exit(1);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        file: None,
+        config: SolverConfig::partial_order(),
+        use_recursive: false,
+        preprocess: false,
+        stats: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--to" => opts.config = SolverConfig::total_order(),
+            "--po" => opts.config = SolverConfig::partial_order(),
+            "--basic" => opts.config = SolverConfig::basic(),
+            "--recursive" => opts.use_recursive = true,
+            "--no-pure" => opts.config.pure_literals = false,
+            "--no-learning" => opts.config.learning = false,
+            "--budget" => {
+                let n = args.next().and_then(|v| v.parse().ok());
+                match n {
+                    Some(n) => opts.config.node_limit = Some(n),
+                    None => usage(),
+                }
+            }
+            "--preprocess" => opts.preprocess = true,
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => usage(),
+            "-" => opts.file = None,
+            f if !f.starts_with('-') => opts.file = Some(f.to_string()),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn read_input(file: &Option<String>) -> std::io::Result<String> {
+    match file {
+        Some(path) => std::fs::read_to_string(path),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf)?;
+            Ok(buf)
+        }
+    }
+}
+
+fn parse_qbf(text: &str) -> Result<Qbf, String> {
+    let keyword = text
+        .lines()
+        .map(str::trim)
+        .find(|l| l.starts_with("p "))
+        .unwrap_or("");
+    if keyword.starts_with("p qtree") {
+        io::qtree::parse(text).map_err(|e| e.to_string())
+    } else {
+        io::qdimacs::parse(text).map_err(|e| e.to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let text = match read_input(&opts.file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read input: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut qbf = match parse_qbf(&text) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: parse failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if opts.preprocess {
+        let (simplified, report) = qbf_core::preprocess::preprocess(&qbf);
+        eprintln!(
+            "c preprocess: {} units, {} pures, {} reduced literals, {} subsumed{}",
+            report.units,
+            report.pures,
+            report.reduced_literals,
+            report.subsumed,
+            match report.decided {
+                Some(v) => format!(", decided: {v}"),
+                None => String::new(),
+            }
+        );
+        qbf = simplified;
+    }
+    for line in qbf_core::stats::InstanceStats::of(&qbf).to_string().lines() {
+        eprintln!("c {line}");
+    }
+
+    let value = if opts.use_recursive {
+        let cfg = RecursiveConfig {
+            node_limit: opts.config.node_limit,
+            ..RecursiveConfig::default()
+        };
+        let out = recursive::solve(&qbf, &cfg);
+        if opts.stats {
+            eprintln!("c stats: {:?}", out.stats);
+        }
+        out.value
+    } else {
+        let out = Solver::new(&qbf, opts.config.clone()).solve();
+        if opts.stats {
+            eprintln!("c stats: {:?}", out.stats);
+        }
+        out.value()
+    };
+
+    match value {
+        Some(true) => {
+            println!("s cnf 1");
+            ExitCode::from(10)
+        }
+        Some(false) => {
+            println!("s cnf 0");
+            ExitCode::from(20)
+        }
+        None => {
+            println!("s cnf -1");
+            eprintln!("c budget exhausted");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Clauses: finite disjunctions of literals over pairwise distinct variables.
+//!
+//! Following §II of the paper, a clause never contains two literals over the
+//! same variable: duplicate literals are merged and opposite literals are
+//! rejected as an error ([`ClauseError::Tautology`]). The empty clause is
+//! permitted (it is the canonical contradictory clause).
+
+use std::fmt;
+
+use crate::var::{Lit, Var};
+
+/// A clause: a set of literals with pairwise distinct variables, stored
+/// sorted by variable index.
+///
+/// # Examples
+///
+/// ```
+/// use qbf_core::{Clause, Lit};
+/// let c = Clause::new([Lit::from_dimacs(2), Lit::from_dimacs(-1)])?;
+/// assert_eq!(c.len(), 2);
+/// assert!(c.contains(Lit::from_dimacs(-1)));
+/// # Ok::<(), qbf_core::ClauseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// Error produced when building a [`Clause`] from raw literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClauseError {
+    /// The literal set contained both `l` and `¬l` for the reported variable.
+    Tautology(Var),
+}
+
+impl fmt::Display for ClauseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClauseError::Tautology(v) => {
+                write!(f, "clause contains both polarities of variable {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClauseError {}
+
+impl Clause {
+    /// Builds a clause from literals, deduplicating repeated literals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClauseError::Tautology`] if both polarities of some variable
+    /// occur: the paper's clause syntax requires `|l_i| ≠ |l_j|`.
+    pub fn new<I: IntoIterator<Item = Lit>>(lits: I) -> Result<Self, ClauseError> {
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort_unstable_by_key(|l| (l.var(), l.is_positive()));
+        lits.dedup();
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return Err(ClauseError::Tautology(w[0].var()));
+            }
+        }
+        Ok(Clause { lits })
+    }
+
+    /// The empty (contradictory) clause.
+    pub fn empty() -> Self {
+        Clause::default()
+    }
+
+    /// Number of literals in the clause.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Whether the clause is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// The literals, sorted by variable index.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Iterates over the literals.
+    pub fn iter(&self) -> std::slice::Iter<'_, Lit> {
+        self.lits.iter()
+    }
+
+    /// Whether the clause contains the given literal.
+    pub fn contains(&self, lit: Lit) -> bool {
+        self.lits
+            .binary_search_by_key(&(lit.var(), lit.is_positive()), |l| {
+                (l.var(), l.is_positive())
+            })
+            .is_ok()
+    }
+
+    /// Whether the clause contains either polarity of the given variable.
+    pub fn contains_var(&self, var: Var) -> bool {
+        self.lits
+            .binary_search_by_key(&var, |l| l.var())
+            .is_ok()
+    }
+
+    /// The clause obtained by removing the given literal, if present.
+    pub fn without(&self, lit: Lit) -> Clause {
+        Clause {
+            lits: self.lits.iter().copied().filter(|&l| l != lit).collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Clause {
+    type Item = &'a Lit;
+    type IntoIter = std::slice::Iter<'a, Lit>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.iter()
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn builds_sorted_and_deduped() {
+        let c = Clause::new([lit(3), lit(-1), lit(3)]).unwrap();
+        assert_eq!(c.lits(), &[lit(-1), lit(3)]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn rejects_tautology() {
+        let err = Clause::new([lit(2), lit(-2)]).unwrap_err();
+        assert_eq!(err, ClauseError::Tautology(Var::new(1)));
+        assert!(err.to_string().contains("both polarities"));
+    }
+
+    #[test]
+    fn empty_clause() {
+        let c = Clause::empty();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.to_string(), "{}");
+        assert_eq!(c, Clause::new([]).unwrap());
+    }
+
+    #[test]
+    fn contains_queries() {
+        let c = Clause::new([lit(1), lit(-2), lit(4)]).unwrap();
+        assert!(c.contains(lit(1)));
+        assert!(!c.contains(lit(-1)));
+        assert!(c.contains(lit(-2)));
+        assert!(c.contains_var(Var::new(3)));
+        assert!(!c.contains_var(Var::new(2)));
+    }
+
+    #[test]
+    fn without_removes_only_that_literal() {
+        let c = Clause::new([lit(1), lit(-2)]).unwrap();
+        let d = c.without(lit(-2));
+        assert_eq!(d, Clause::new([lit(1)]).unwrap());
+        // removing an absent literal is a no-op
+        assert_eq!(c.without(lit(2)), c);
+    }
+
+    #[test]
+    fn display() {
+        let c = Clause::new([lit(1), lit(-3)]).unwrap();
+        assert_eq!(c.to_string(), "{1, -3}");
+    }
+}

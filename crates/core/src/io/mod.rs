@@ -1,0 +1,40 @@
+//! Reading and writing QBFs.
+//!
+//! Two text formats are supported:
+//!
+//! * [`qdimacs`] — the standard prenex QDIMACS format used by QBF
+//!   evaluations;
+//! * [`qtree`] — a small non-prenex extension of QDIMACS where the prefix
+//!   line carries the quantifier forest as s-expressions, e.g.
+//!   `t (e 1 (a 2 (e 3 4)) (a 5 (e 6 7)))`.
+
+pub mod qdimacs;
+pub mod qtree;
+
+use std::fmt;
+
+/// Error produced while parsing either format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQbfError {
+    /// 1-based line number where the problem was detected.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseQbfError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseQbfError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseQbfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseQbfError {}

@@ -1,0 +1,210 @@
+//! The matrix of a QBF: a set of clauses in conjunctive normal form.
+
+use std::fmt;
+
+use crate::clause::Clause;
+use crate::var::{Lit, Var};
+
+/// A CNF matrix: the conjunction of a set of clauses (§II).
+///
+/// # Examples
+///
+/// ```
+/// use qbf_core::{Clause, Lit, Matrix};
+/// let mut m = Matrix::new(2);
+/// m.push(Clause::new([Lit::from_dimacs(1), Lit::from_dimacs(-2)])?);
+/// assert_eq!(m.len(), 1);
+/// assert!(!m.has_empty_clause());
+/// # Ok::<(), qbf_core::ClauseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Matrix {
+    clauses: Vec<Clause>,
+    num_vars: usize,
+}
+
+impl Matrix {
+    /// An empty matrix over the variable universe `0..num_vars`.
+    ///
+    /// Note that per the QBF semantics an *empty matrix* is true.
+    pub fn new(num_vars: usize) -> Self {
+        Matrix {
+            clauses: Vec::new(),
+            num_vars,
+        }
+    }
+
+    /// Builds a matrix from clauses.
+    pub fn from_clauses(num_vars: usize, clauses: impl IntoIterator<Item = Clause>) -> Self {
+        Matrix {
+            clauses: clauses.into_iter().collect(),
+            num_vars,
+        }
+    }
+
+    /// Adds a clause.
+    pub fn push(&mut self, clause: Clause) {
+        self.clauses.push(clause);
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the matrix has no clauses (a true matrix).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// The variable universe size.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Iterates over the clauses.
+    pub fn iter(&self) -> std::slice::Iter<'_, Clause> {
+        self.clauses.iter()
+    }
+
+    /// Whether the matrix contains the empty clause (a false matrix).
+    pub fn has_empty_clause(&self) -> bool {
+        self.clauses.iter().any(Clause::is_empty)
+    }
+
+    /// Whether any clause mentions the given variable.
+    pub fn mentions(&self, var: Var) -> bool {
+        self.clauses.iter().any(|c| c.contains_var(var))
+    }
+
+    /// The set of variables occurring in some clause, as a membership mask
+    /// indexed by variable.
+    pub fn occurring_vars(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.num_vars];
+        for c in &self.clauses {
+            for l in c {
+                seen[l.var().index()] = true;
+            }
+        }
+        seen
+    }
+
+    /// The matrix of `ϕ_l` (§II): clauses containing `l` are removed and
+    /// `¬l` is removed from the remaining clauses.
+    pub fn assign(&self, lit: Lit) -> Matrix {
+        let mut out = Matrix::new(self.num_vars);
+        for c in &self.clauses {
+            if c.contains(lit) {
+                continue;
+            }
+            out.push(c.without(!lit));
+        }
+        out
+    }
+
+    /// Evaluates the matrix under a total assignment (`assignment[v]` is the
+    /// value of variable `v`). Used by the model-checking oracle tests.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var().index()] == l.is_positive())
+        })
+    }
+}
+
+impl FromIterator<Clause> for Matrix {
+    /// Collects clauses into a matrix, inferring the universe size from the
+    /// largest variable mentioned.
+    fn from_iter<I: IntoIterator<Item = Clause>>(iter: I) -> Self {
+        let clauses: Vec<Clause> = iter.into_iter().collect();
+        let num_vars = clauses
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|l| l.var().index() + 1)
+            .max()
+            .unwrap_or(0);
+        Matrix { clauses, num_vars }
+    }
+}
+
+impl Extend<Clause> for Matrix {
+    fn extend<I: IntoIterator<Item = Clause>>(&mut self, iter: I) {
+        self.clauses.extend(iter);
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clause(lits: &[i64]) -> Clause {
+        Clause::new(lits.iter().map(|&d| Lit::from_dimacs(d))).unwrap()
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Matrix::new(3);
+        assert!(m.is_empty());
+        assert!(!m.has_empty_clause());
+        assert_eq!(m.num_vars(), 3);
+    }
+
+    #[test]
+    fn assign_removes_satisfied_and_shrinks_others() {
+        let m = Matrix::from_clauses(3, [clause(&[1, 2]), clause(&[-1, 3]), clause(&[2, 3])]);
+        let m1 = m.assign(Lit::from_dimacs(1));
+        assert_eq!(m1.len(), 2);
+        assert_eq!(m1.clauses()[0], clause(&[3]));
+        assert_eq!(m1.clauses()[1], clause(&[2, 3]));
+        let m2 = m.assign(Lit::from_dimacs(-1));
+        assert_eq!(m2.len(), 2);
+        assert_eq!(m2.clauses()[0], clause(&[2]));
+    }
+
+    #[test]
+    fn assign_can_produce_empty_clause() {
+        let m = Matrix::from_clauses(1, [clause(&[1])]);
+        let m0 = m.assign(Lit::from_dimacs(-1));
+        assert!(m0.has_empty_clause());
+    }
+
+    #[test]
+    fn eval_total_assignment() {
+        let m = Matrix::from_clauses(2, [clause(&[1, 2]), clause(&[-1, 2])]);
+        assert!(m.eval(&[true, true]));
+        assert!(m.eval(&[false, true]));
+        assert!(!m.eval(&[true, false]));
+    }
+
+    #[test]
+    fn from_iterator_infers_universe() {
+        let m: Matrix = [clause(&[1, -5])].into_iter().collect();
+        assert_eq!(m.num_vars(), 5);
+        assert!(m.mentions(Var::new(4)));
+        assert!(!m.mentions(Var::new(2)));
+    }
+
+    #[test]
+    fn occurring_vars_mask() {
+        let m = Matrix::from_clauses(4, [clause(&[1, -3])]);
+        assert_eq!(m.occurring_vars(), vec![true, false, true, false]);
+    }
+}

@@ -1,0 +1,304 @@
+//! Value-preserving preprocessing of QBFs.
+//!
+//! Applies, to fixpoint, the simplifications that are sound on arbitrary
+//! (non-prenex) QBFs:
+//!
+//! * **universal reduction** of every clause (Lemma 3): a universal literal
+//!   whose scope contains no existential literal of the clause is dropped;
+//! * **unit assignment** (Lemma 5): a clause reduced to a single
+//!   existential literal forces it;
+//! * **contradictory clause detection** (Lemma 4): a clause left without
+//!   existential literals makes the formula false;
+//! * **monotone (pure) literal fixing** (§III);
+//! * **subsumption**: a clause that is a superset of another is dropped
+//!   (propositionally sound, hence QBF-sound for CNF matrices).
+//!
+//! The result is a simplified [`Qbf`] with the same value, plus a
+//! [`Report`] of what fired. Useful in front of either solver and as an
+//! ingredient of the §VII-D pipeline.
+
+use crate::clause::Clause;
+use crate::matrix::Matrix;
+use crate::qbf::Qbf;
+use crate::var::{Lit, Var};
+
+/// What the preprocessor did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Literals assigned as units.
+    pub units: usize,
+    /// Literals assigned as monotone.
+    pub pures: usize,
+    /// Universal literals removed by reduction.
+    pub reduced_literals: usize,
+    /// Clauses removed by subsumption.
+    pub subsumed: usize,
+    /// Whether the formula was decided outright.
+    pub decided: Option<bool>,
+}
+
+/// Preprocesses a QBF; the returned formula has the same value.
+///
+/// When the formula is decided outright, the returned QBF is the canonical
+/// true (empty matrix) or false (single empty clause) formula over the same
+/// universe and [`Report::decided`] is set.
+///
+/// # Examples
+///
+/// ```
+/// use qbf_core::{preprocess, samples};
+/// let (simplified, report) = preprocess::preprocess(&samples::unsat_instance());
+/// assert_eq!(report.decided, Some(false));
+/// assert!(simplified.matrix().has_empty_clause());
+/// ```
+pub fn preprocess(qbf: &Qbf) -> (Qbf, Report) {
+    let mut report = Report::default();
+    let mut current = qbf.clone();
+    loop {
+        // 1. Universal reduction on every clause.
+        let reduced = universal_reduce_matrix(&current, &mut report);
+        current = Qbf::new(current.prefix().clone(), reduced)
+            .expect("reduction only removes literals");
+
+        // 2. Contradictory clause ⇒ false.
+        if current
+            .matrix()
+            .iter()
+            .any(|c| c.iter().all(|l| current.prefix().is_universal(l.var())))
+        {
+            report.decided = Some(false);
+            let falsum = Qbf::new(
+                crate::prefix::Prefix::empty(qbf.num_vars()),
+                Matrix::from_clauses(qbf.num_vars(), [Clause::empty()]),
+            )
+            .expect("canonical false");
+            return (falsum, report);
+        }
+        // Empty matrix ⇒ true.
+        if current.matrix().is_empty() {
+            report.decided = Some(true);
+            let verum = Qbf::new(
+                crate::prefix::Prefix::empty(qbf.num_vars()),
+                Matrix::new(qbf.num_vars()),
+            )
+            .expect("canonical true");
+            return (verum, report);
+        }
+
+        // 3. One unit, if any (restriction invalidates indices, so apply
+        //    singly and loop).
+        if let Some(u) = find_unit(&current) {
+            report.units += 1;
+            current = current.assign(u);
+            continue;
+        }
+
+        // 4. One monotone literal, if any.
+        if let Some(m) = find_pure(&current) {
+            report.pures += 1;
+            current = current.assign(m);
+            continue;
+        }
+
+        // 5. Subsumption (once per outer round; restarts the loop when it
+        //    fires since shorter matrices can enable new monotone fixes).
+        let before = current.matrix().len();
+        let sub = subsume(current.matrix());
+        if sub.len() != before {
+            report.subsumed += before - sub.len();
+            current = Qbf::new(current.prefix().clone(), sub)
+                .expect("subsumption only removes clauses");
+            continue;
+        }
+        return (current, report);
+    }
+}
+
+/// Lemma 3 applied to every clause of the matrix.
+fn universal_reduce_matrix(qbf: &Qbf, report: &mut Report) -> Matrix {
+    let prefix = qbf.prefix();
+    let mut out = Matrix::new(qbf.num_vars());
+    for c in qbf.matrix().iter() {
+        let existentials: Vec<Var> = c
+            .iter()
+            .map(|l| l.var())
+            .filter(|&v| prefix.is_existential(v))
+            .collect();
+        let kept: Vec<Lit> = c
+            .iter()
+            .copied()
+            .filter(|&l| {
+                prefix.is_existential(l.var())
+                    || existentials.iter().any(|&e| prefix.precedes(l.var(), e))
+            })
+            .collect();
+        report.reduced_literals += c.len() - kept.len();
+        out.push(Clause::new(kept).expect("subset of a valid clause"));
+    }
+    out
+}
+
+/// Lemma 5 unit: the clause logic mirrors `recursive::find_unit`.
+fn find_unit(qbf: &Qbf) -> Option<Lit> {
+    let prefix = qbf.prefix();
+    for c in qbf.matrix().iter() {
+        let mut existentials = c.iter().filter(|l| prefix.is_existential(l.var()));
+        let (Some(&e), None) = (existentials.next(), existentials.next()) else {
+            continue;
+        };
+        if c.iter()
+            .filter(|l| l.var() != e.var())
+            .all(|l| !prefix.precedes(l.var(), e.var()))
+        {
+            return Some(e);
+        }
+    }
+    None
+}
+
+/// §III monotone literal.
+fn find_pure(qbf: &Qbf) -> Option<Lit> {
+    let n = qbf.num_vars();
+    let mut pos = vec![false; n];
+    let mut neg = vec![false; n];
+    for c in qbf.matrix().iter() {
+        for l in c {
+            if l.is_positive() {
+                pos[l.var().index()] = true;
+            } else {
+                neg[l.var().index()] = true;
+            }
+        }
+    }
+    for i in 0..n {
+        let v = Var::new(i);
+        match (qbf.prefix().quant(v), pos[i], neg[i]) {
+            (None, _, _) | (_, false, false) => {}
+            (Some(crate::var::Quantifier::Forall), true, false) => return Some(v.negative()),
+            (Some(crate::var::Quantifier::Forall), false, true) => return Some(v.positive()),
+            (Some(crate::var::Quantifier::Exists), true, false) => return Some(v.positive()),
+            (Some(crate::var::Quantifier::Exists), false, true) => return Some(v.negative()),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Removes clauses subsumed by (⊇ of) another clause.
+fn subsume(matrix: &Matrix) -> Matrix {
+    let mut clauses: Vec<&Clause> = matrix.clauses().iter().collect();
+    // Sort by length: a subsuming clause is never longer.
+    clauses.sort_by_key(|c| c.len());
+    let mut kept: Vec<Clause> = Vec::new();
+    'outer: for c in clauses {
+        for k in &kept {
+            if k.iter().all(|l| c.contains(*l)) {
+                continue 'outer;
+            }
+        }
+        kept.push(c.clone());
+    }
+    Matrix::from_clauses(matrix.num_vars(), kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+    use crate::semantics;
+    use crate::var::Quantifier::*;
+    use crate::{Prefix, PrefixBuilder};
+
+
+    fn clause(lits: &[i64]) -> Clause {
+        Clause::new(lits.iter().map(|&d| Lit::from_dimacs(d))).unwrap()
+    }
+
+    #[test]
+    fn decides_trivial_instances() {
+        let (q, r) = preprocess(&samples::unsat_instance());
+        assert_eq!(r.decided, Some(false));
+        assert!(!semantics::eval(&q));
+        let (q, r) = preprocess(&samples::sat_instance());
+        assert_eq!(r.decided, Some(true));
+        assert!(semantics::eval(&q));
+        assert!(r.units + r.pures > 0);
+    }
+
+    #[test]
+    fn universal_reduction_respects_partial_order() {
+        // Non-prenex: ∃x (∀y ϕ) with clause (x ∨ y') where y' is in a
+        // *sibling* subtree: y' is reducible (x not in its scope).
+        let mut b = PrefixBuilder::new(3);
+        let root = b.add_root(Exists, [Var::new(0)]).unwrap();
+        b.add_child(root, Forall, [Var::new(1)]).unwrap();
+        b.add_child(root, Forall, [Var::new(2)]).unwrap();
+        let p = b.finish().unwrap();
+        // clause (¬x ∨ y2): y2 does not precede x → reduced to (¬x);
+        // second clause keeps x relevant both ways.
+        let m = Matrix::from_clauses(3, [clause(&[-1, 3]), clause(&[1, 2])]);
+        let q = Qbf::new(p, m).unwrap();
+        let mut r = Report::default();
+        let reduced = universal_reduce_matrix(&q, &mut r);
+        assert_eq!(r.reduced_literals, 2); // y2 from c1, y1 from c2
+        assert_eq!(reduced.clauses()[0], clause(&[-1]));
+    }
+
+    #[test]
+    fn prenex_blocks_reduction_where_scope_applies() {
+        // ∀y ∃x (x ∨ y): y ≺ x so y is NOT reducible.
+        let p = Prefix::prenex(2, [(Forall, vec![Var::new(0)]), (Exists, vec![Var::new(1)])])
+            .unwrap();
+        let m = Matrix::from_clauses(2, [clause(&[1, 2]), clause(&[-1, -2])]);
+        let q = Qbf::new(p, m).unwrap();
+        let mut r = Report::default();
+        let reduced = universal_reduce_matrix(&q, &mut r);
+        assert_eq!(r.reduced_literals, 0);
+        assert_eq!(reduced.len(), 2);
+    }
+
+    #[test]
+    fn subsumption_drops_supersets() {
+        let m = Matrix::from_clauses(
+            3,
+            [clause(&[1]), clause(&[1, 2]), clause(&[1, 2, 3]), clause(&[2, 3])],
+        );
+        let out = subsume(&m);
+        assert_eq!(out.len(), 2);
+        assert!(out.clauses().contains(&clause(&[1])));
+        assert!(out.clauses().contains(&clause(&[2, 3])));
+    }
+
+    #[test]
+    fn preprocessing_preserves_value_on_samples() {
+        for q in [
+            samples::paper_example(),
+            samples::forall_exists_xor(),
+            samples::exists_forall_xor(),
+            samples::two_independent_games(),
+        ] {
+            let (out, _) = preprocess(&q);
+            assert_eq!(semantics::eval(&out), semantics::eval(&q), "{q}");
+        }
+    }
+
+    #[test]
+    fn preprocessing_preserves_value_on_random_qbfs() {
+        for round in 0..80u64 {
+            let q = crate::samples::random_qbf(0x51ed_c0de ^ round, 6, 9);
+            let (out, report) = preprocess(&q);
+            assert_eq!(
+                semantics::eval(&out),
+                semantics::eval(&q),
+                "round {round}: {q} → {out} ({report:?})"
+            );
+            // idempotence
+            let (again, r2) = preprocess(&out);
+            assert_eq!(semantics::eval(&again), semantics::eval(&out));
+            if report.decided.is_none() {
+                assert_eq!(r2.units + r2.pures + r2.subsumed, 0, "not a fixpoint");
+            }
+        }
+    }
+
+}

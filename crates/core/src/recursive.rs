@@ -1,0 +1,495 @@
+//! The recursive Q-DLL procedure of Fig. 1, extended to arbitrary
+//! (non-prenex) QBFs per §IV of the paper.
+//!
+//! This is the *reference* solver: small, functional (each call restricts a
+//! fresh [`Qbf`]), and implementing exactly the rules whose soundness the
+//! paper proves:
+//!
+//! * **contradictory clause** (Lemma 4): a clause without existential
+//!   literals makes the QBF false;
+//! * **unit literal** (Lemma 5): an existential literal `l` is unit if some
+//!   clause contains `l` plus only universal literals `l_i` with
+//!   `|l_i| ⊀ |l|`;
+//! * **pure (monotone) literal fixing** (§III), optional;
+//! * branching on a *top* literal, combining branches with `or`/`and`.
+//!
+//! It can record the explored search tree, which reproduces Fig. 2 of the
+//! paper on the running example.
+
+use crate::qbf::Qbf;
+use crate::var::{Lit, Var};
+
+/// How a literal was assigned along a trace edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignKind {
+    /// Chosen at line 4 of Fig. 1.
+    Branch,
+    /// Propagated at line 3 of Fig. 1 (Lemma 5).
+    Unit,
+    /// Fixed as a monotone literal (§III).
+    Pure,
+}
+
+/// Configuration of the recursive Q-DLL solver.
+#[derive(Debug, Clone)]
+pub struct RecursiveConfig {
+    /// Enable unit propagation (line 3 of Fig. 1). Default `true`.
+    pub unit_propagation: bool,
+    /// Enable pure-literal fixing (§III). Default `true`.
+    pub pure_literals: bool,
+    /// Abort after this many visited nodes (`None` = unlimited).
+    pub node_limit: Option<u64>,
+    /// Record the explored search tree (expensive; for small formulas).
+    pub trace: bool,
+}
+
+impl Default for RecursiveConfig {
+    fn default() -> Self {
+        RecursiveConfig {
+            unit_propagation: true,
+            pure_literals: true,
+            node_limit: None,
+            trace: false,
+        }
+    }
+}
+
+/// Counters describing a run of the recursive solver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecursiveStats {
+    /// Nodes of the search tree visited (recursive calls).
+    pub nodes: u64,
+    /// Literals assigned as branches.
+    pub branches: u64,
+    /// Literals assigned as units.
+    pub units: u64,
+    /// Literals assigned as pure.
+    pub pures: u64,
+}
+
+/// A node of a recorded search tree.
+#[derive(Debug, Clone)]
+pub struct TraceNode {
+    /// Node number in order of exploration (1-based, as in Fig. 2).
+    pub id: u64,
+    /// Parent node number (`None` for the root).
+    pub parent: Option<u64>,
+    /// The literal assigned on the edge from the parent, and how.
+    pub via: Option<(Lit, AssignKind)>,
+    /// Rendering of the node's matrix.
+    pub matrix: String,
+    /// The value of the subtree, once known.
+    pub value: Option<bool>,
+}
+
+/// The recorded search tree of a traced run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Nodes in order of exploration.
+    pub nodes: Vec<TraceNode>,
+}
+
+impl Trace {
+    /// Renders the tree as indented text, one node per line, in the style of
+    /// Fig. 2 of the paper.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        // children lists
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        let mut roots = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            match n.parent {
+                None => roots.push(i),
+                Some(p) => children[(p - 1) as usize].push(i),
+            }
+        }
+        fn rec(
+            trace: &Trace,
+            children: &[Vec<usize>],
+            i: usize,
+            depth: usize,
+            out: &mut String,
+        ) {
+            let n = &trace.nodes[i];
+            let indent = "  ".repeat(depth);
+            let via = match n.via {
+                None => String::new(),
+                Some((l, AssignKind::Branch)) => format!("--{l} (branch)--> "),
+                Some((l, AssignKind::Unit)) => format!("--{l} (unit)--> "),
+                Some((l, AssignKind::Pure)) => format!("--{l} (pure)--> "),
+            };
+            let value = match n.value {
+                Some(true) => " = TRUE",
+                Some(false) => " = FALSE",
+                None => "",
+            };
+            out.push_str(&format!("{indent}{via}{}: {}{}\n", n.id, n.matrix, value));
+            for &c in &children[i] {
+                rec(trace, children, c, depth + 1, out);
+            }
+        }
+        for r in roots {
+            rec(self, &children, r, 0, &mut out);
+        }
+        out
+    }
+}
+
+/// Result of a recursive Q-DLL run.
+#[derive(Debug, Clone)]
+pub struct RecursiveOutcome {
+    /// `Some(value)` if decided, `None` if the node limit was hit.
+    pub value: Option<bool>,
+    /// Search counters.
+    pub stats: RecursiveStats,
+    /// The recorded tree, if tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+/// Runs the recursive Q-DLL of Fig. 1 (extended per §IV) on a QBF.
+///
+/// # Examples
+///
+/// ```
+/// use qbf_core::{recursive, samples};
+/// let out = recursive::solve(&samples::paper_example(), &recursive::RecursiveConfig::default());
+/// assert_eq!(out.value, Some(false));
+/// ```
+pub fn solve(qbf: &Qbf, config: &RecursiveConfig) -> RecursiveOutcome {
+    let mut ctx = Ctx {
+        config: config.clone(),
+        stats: RecursiveStats::default(),
+        trace: if config.trace { Some(Trace::default()) } else { None },
+        aborted: false,
+    };
+    let value = ctx.qdll(qbf, None, None);
+    RecursiveOutcome {
+        value: if ctx.aborted { None } else { Some(value) },
+        stats: ctx.stats,
+        trace: ctx.trace,
+    }
+}
+
+struct Ctx {
+    config: RecursiveConfig,
+    stats: RecursiveStats,
+    trace: Option<Trace>,
+    aborted: bool,
+}
+
+impl Ctx {
+    fn qdll(&mut self, qbf: &Qbf, parent: Option<u64>, via: Option<(Lit, AssignKind)>) -> bool {
+        self.stats.nodes += 1;
+        if let Some(limit) = self.config.node_limit {
+            if self.stats.nodes > limit {
+                self.aborted = true;
+                return false;
+            }
+        }
+        let id = self.stats.nodes;
+        if let Some(trace) = &mut self.trace {
+            trace.nodes.push(TraceNode {
+                id,
+                parent,
+                via,
+                matrix: qbf.matrix().to_string(),
+                value: None,
+            });
+        }
+        let value = self.qdll_inner(qbf, id);
+        if let Some(trace) = &mut self.trace {
+            if let Some(node) = trace.nodes.iter_mut().find(|n| n.id == id) {
+                node.value = Some(value);
+            }
+        }
+        value
+    }
+
+    fn qdll_inner(&mut self, qbf: &Qbf, id: u64) -> bool {
+        // Line 1 of Fig. 1 generalized by Lemma 4: a clause without
+        // existential literals is contradictory.
+        if has_contradictory_clause(qbf) {
+            return false;
+        }
+        // Line 2.
+        if qbf.matrix().is_empty() {
+            return true;
+        }
+        // Line 3 (Lemma 5).
+        if self.config.unit_propagation {
+            if let Some(l) = find_unit(qbf) {
+                self.stats.units += 1;
+                return self.qdll(&qbf.assign(l), Some(id), Some((l, AssignKind::Unit)));
+            }
+        }
+        // Monotone literal fixing (§III).
+        if self.config.pure_literals {
+            if let Some(l) = find_pure(qbf) {
+                self.stats.pures += 1;
+                return self.qdll(&qbf.assign(l), Some(id), Some((l, AssignKind::Pure)));
+            }
+        }
+        // Lines 4–6: branch on a top literal.
+        let z = pick_top(qbf);
+        self.stats.branches += 1;
+        let existential = qbf.prefix().is_existential(z);
+        // Deterministic phase: negative branch first (as the Fig. 2 trace
+        // of the paper happens to do on x0).
+        let first = z.negative();
+        let second = z.positive();
+        let r1 = self.qdll(&qbf.assign(first), Some(id), Some((first, AssignKind::Branch)));
+        if self.aborted {
+            return false;
+        }
+        if existential {
+            if r1 {
+                return true;
+            }
+            self.stats.branches += 1;
+            self.qdll(&qbf.assign(second), Some(id), Some((second, AssignKind::Branch)))
+        } else {
+            if !r1 {
+                return false;
+            }
+            self.stats.branches += 1;
+            self.qdll(&qbf.assign(second), Some(id), Some((second, AssignKind::Branch)))
+        }
+    }
+}
+
+/// Lemma 4 test: some clause contains no existential literal. Free matrix
+/// variables never occur here because `Qbf` construction closes them.
+fn has_contradictory_clause(qbf: &Qbf) -> bool {
+    qbf.matrix()
+        .iter()
+        .any(|c| c.iter().all(|l| qbf.prefix().is_universal(l.var())))
+}
+
+/// Lemma 5 (generalized unit): existential `l` with a clause
+/// `{l, l1, …, lm}` where every `l_i` is universal and `|l_i| ⊀ |l|`.
+fn find_unit(qbf: &Qbf) -> Option<Lit> {
+    let prefix = qbf.prefix();
+    for c in qbf.matrix().iter() {
+        let mut existentials = c.iter().filter(|l| prefix.is_existential(l.var()));
+        let (Some(&e), None) = (existentials.next(), existentials.next()) else {
+            continue;
+        };
+        if c.iter()
+            .filter(|l| l.var() != e.var())
+            .all(|l| !prefix.precedes(l.var(), e.var()))
+        {
+            return Some(e);
+        }
+    }
+    None
+}
+
+/// Monotone literal (§III): existential `l` with `¬l` absent from the
+/// matrix, or universal `l` with `l` absent from the matrix (assigning `l`
+/// removes `¬l` occurrences, the adversary's best move).
+fn find_pure(qbf: &Qbf) -> Option<Lit> {
+    let n = qbf.num_vars();
+    let mut pos = vec![false; n];
+    let mut neg = vec![false; n];
+    for c in qbf.matrix().iter() {
+        for l in c {
+            if l.is_positive() {
+                pos[l.var().index()] = true;
+            } else {
+                neg[l.var().index()] = true;
+            }
+        }
+    }
+    for i in 0..n {
+        let v = Var::new(i);
+        if qbf.prefix().is_universal(v) {
+            if pos[i] && !neg[i] {
+                return Some(v.negative());
+            }
+            if neg[i] && !pos[i] {
+                return Some(v.positive());
+            }
+        } else if qbf.prefix().quant(v).is_some() {
+            if pos[i] && !neg[i] {
+                return Some(v.positive());
+            }
+            if neg[i] && !pos[i] {
+                return Some(v.negative());
+            }
+        }
+    }
+    None
+}
+
+/// Picks the smallest-index top variable *occurring in the matrix* (vacuous
+/// top variables would make both branches identical).
+fn pick_top(qbf: &Qbf) -> Var {
+    let occurs = qbf.matrix().occurring_vars();
+    let mut tops: Vec<Var> = qbf
+        .prefix()
+        .top_vars()
+        .into_iter()
+        .filter(|v| occurs[v.index()])
+        .collect();
+    if tops.is_empty() {
+        // All top variables are vacuous; drop them and retry on the pruned
+        // formula's tops. Falling back to any occurring bound var is safe
+        // only if it is top, so prune instead.
+        let pruned = qbf.prune_vacuous();
+        tops = pruned
+            .prefix()
+            .top_vars()
+            .into_iter()
+            .filter(|v| occurs[v.index()])
+            .collect();
+    }
+    *tops.iter().min().expect("non-trivial QBF has a top variable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+    use crate::semantics;
+
+    fn solve_default(qbf: &Qbf) -> Option<bool> {
+        solve(qbf, &RecursiveConfig::default()).value
+    }
+
+    #[test]
+    fn agrees_on_samples() {
+        assert_eq!(solve_default(&samples::paper_example()), Some(false));
+        assert_eq!(solve_default(&samples::forall_exists_xor()), Some(true));
+        assert_eq!(solve_default(&samples::exists_forall_xor()), Some(false));
+        assert_eq!(solve_default(&samples::two_independent_games()), Some(true));
+        assert_eq!(solve_default(&samples::sat_instance()), Some(true));
+        assert_eq!(solve_default(&samples::unsat_instance()), Some(false));
+    }
+
+    #[test]
+    fn all_rule_combinations_agree_with_semantics() {
+        let qbfs = [
+            samples::paper_example(),
+            samples::forall_exists_xor(),
+            samples::exists_forall_xor(),
+            samples::two_independent_games(),
+            samples::sat_instance(),
+            samples::unsat_instance(),
+        ];
+        for q in &qbfs {
+            let expected = semantics::eval(q);
+            for unit in [false, true] {
+                for pure in [false, true] {
+                    let cfg = RecursiveConfig {
+                        unit_propagation: unit,
+                        pure_literals: pure,
+                        ..RecursiveConfig::default()
+                    };
+                    assert_eq!(
+                        solve(q, &cfg).value,
+                        Some(expected),
+                        "mismatch on {q} with unit={unit} pure={pure}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_limit_aborts() {
+        let cfg = RecursiveConfig {
+            node_limit: Some(1),
+            ..RecursiveConfig::default()
+        };
+        let out = solve(&samples::paper_example(), &cfg);
+        assert_eq!(out.value, None);
+    }
+
+    #[test]
+    fn trace_records_tree() {
+        let cfg = RecursiveConfig {
+            trace: true,
+            // Pure-literal fixing would shortcut the y-branches; Fig. 2 does
+            // not apply it (see the paper's footnote 5).
+            pure_literals: false,
+            ..RecursiveConfig::default()
+        };
+        let out = solve(&samples::paper_example(), &cfg);
+        assert_eq!(out.value, Some(false));
+        let trace = out.trace.expect("tracing enabled");
+        assert_eq!(trace.nodes[0].id, 1);
+        assert!(trace.nodes.len() >= 5);
+        assert_eq!(trace.nodes[0].value, Some(false));
+        let rendered = trace.render();
+        assert!(rendered.contains("= FALSE"));
+    }
+
+    #[test]
+    fn unit_rule_respects_partial_order() {
+        // ∀y ∃x (x ∨ y): x is NOT unit (y ≺ x), the clause needs branching
+        // on y first. Whereas in ∃x ∀y (x ∨ y) the clause makes x unit.
+        use crate::{Clause, Lit, Matrix, Prefix, Qbf, Quantifier::*, Var};
+        let clause = Clause::new([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap();
+        let inner = Qbf::new(
+            Prefix::prenex(2, [(Forall, vec![Var::new(1)]), (Exists, vec![Var::new(0)])]).unwrap(),
+            Matrix::from_clauses(2, [clause.clone()]),
+        )
+        .unwrap();
+        assert_eq!(find_unit(&inner), None);
+        let outer = Qbf::new(
+            Prefix::prenex(2, [(Exists, vec![Var::new(0)]), (Forall, vec![Var::new(1)])]).unwrap(),
+            Matrix::from_clauses(2, [clause]),
+        )
+        .unwrap();
+        assert_eq!(find_unit(&outer), Some(Lit::from_dimacs(1)));
+    }
+
+    #[test]
+    fn sibling_scope_clauses_are_rejected() {
+        // A clause mixing variables of disjoint sibling scopes corresponds
+        // to no actual formula (§II well-formedness) and is rejected at
+        // construction — the generalized unit rule therefore only ever has
+        // to consider inner/chain universals on *input* clauses; the
+        // truly-incomparable case arises for learned constraints only
+        // (§V), which the iterative solver handles internally.
+        use crate::{Clause, Lit, Matrix, PrefixBuilder, Qbf, QbfError, Quantifier::*, Var};
+        let mut b = PrefixBuilder::new(3);
+        let root = b.add_root(Forall, [Var::new(1)]).unwrap();
+        b.add_child(root, Exists, [Var::new(2)]).unwrap();
+        b.add_root(Exists, [Var::new(0)]).unwrap();
+        let prefix = b.finish().unwrap();
+        let m = Matrix::from_clauses(
+            3,
+            [Clause::new([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap()],
+        );
+        assert_eq!(Qbf::new(prefix, m), Err(QbfError::IncompatibleScopes(0)));
+    }
+
+    #[test]
+    fn pure_literal_polarity() {
+        use crate::{Clause, Lit, Matrix, Prefix, Qbf, Quantifier::*, Var};
+        // ∀y ∃x (y ∨ x): y occurs only positively; the universal pure rule
+        // assigns y FALSE (the adversary keeps the clause alive), i.e. the
+        // literal ¬y. x occurs only positively; the existential rule
+        // assigns x TRUE.
+        let p = Prefix::prenex(2, [(Forall, vec![Var::new(0)]), (Exists, vec![Var::new(1)])])
+            .unwrap();
+        let m = Matrix::from_clauses(
+            2,
+            [Clause::new([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap()],
+        );
+        let q = Qbf::new(p, m).unwrap();
+        let pure = find_pure(&q).unwrap();
+        assert_eq!(pure, Lit::from_dimacs(-1));
+        // After fixing y=false the clause survives as (x); x becomes pure.
+        let q2 = q.assign(pure);
+        assert_eq!(find_pure(&q2), Some(Lit::from_dimacs(2)));
+    }
+
+    #[test]
+    fn stats_counters() {
+        let out = solve(&samples::unsat_instance(), &RecursiveConfig::default());
+        assert!(out.stats.nodes >= 1);
+        assert!(out.stats.units >= 1); // (x1) is unit immediately
+    }
+}

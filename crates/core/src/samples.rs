@@ -1,0 +1,196 @@
+//! Small ready-made QBFs used throughout documentation and tests.
+
+use crate::clause::Clause;
+use crate::matrix::Matrix;
+use crate::prefix::{Prefix, PrefixBuilder};
+use crate::qbf::Qbf;
+use crate::var::{Lit, Quantifier::*, Var};
+
+fn clause(lits: &[i64]) -> Clause {
+    Clause::new(lits.iter().map(|&d| Lit::from_dimacs(d)))
+        .expect("sample clauses are well-formed")
+}
+
+/// The paper's running example, QBF (1) of §II:
+///
+/// ```text
+/// ∃x0 ( ∀y1 ∃x1 x2 ((¬x0 ∨ x1 ∨ x2) ∧ (y1 ∨ ¬x1 ∨ x2) ∧ (x1 ∨ ¬x2) ∧ (¬x0 ∨ ¬x1 ∨ ¬x2))
+///     ∧ ∀y2 ∃x3 x4 (( x0 ∨ x3 ∨ x4) ∧ (y2 ∨ ¬x3 ∨ x4) ∧ (x3 ∨ ¬x4) ∧ ( x0 ∨ ¬x3 ∨ ¬x4)) )
+/// ```
+///
+/// with the variable numbering `x0=1, y1=2, x1=3, x2=4, y2=5, x3=6, x4=7`
+/// (DIMACS 1-based). Its prefix (3) is
+/// `x0 ≺ y1 ≺ x1,x2` and `x0 ≺ y2 ≺ x3,x4`; its matrix is (4).
+///
+/// The negation overlines of the published matrix do not survive text
+/// extraction, so the polarities are reconstructed to satisfy the
+/// properties the paper states about the example: the QBF is **false**
+/// (Fig. 2 shows its refutation tree — under `x0` the first subgame's four
+/// clauses cover all sign patterns of `x1,x2` once `y1` is false, and
+/// symmetrically for `¬x0`), and `y1`, `y2` occur with a single polarity
+/// (footnote 5 points out they are monotone).
+///
+/// # Examples
+///
+/// ```
+/// let q = qbf_core::samples::paper_example();
+/// assert!(!qbf_core::semantics::eval(&q)); // the search tree of Fig. 2 refutes it
+/// ```
+pub fn paper_example() -> Qbf {
+    let v: Vec<Var> = (0..7).map(Var::new).collect();
+    let mut b = PrefixBuilder::new(7);
+    let root = b.add_root(Exists, [v[0]]).expect("fresh builder");
+    let y1 = b.add_child(root, Forall, [v[1]]).expect("fresh builder");
+    b.add_child(y1, Exists, [v[2], v[3]]).expect("fresh builder");
+    let y2 = b.add_child(root, Forall, [v[4]]).expect("fresh builder");
+    b.add_child(y2, Exists, [v[5], v[6]]).expect("fresh builder");
+    let prefix = b.finish().expect("canonicalization of a valid forest");
+
+    // Matrix (4), polarities reconstructed (see the doc comment):
+    // {¬x0,x1,x2}, {y1,¬x1,x2}, {x1,¬x2}, {¬x0,¬x1,¬x2},
+    // { x0,x3,x4}, {y2,¬x3,x4}, {x3,¬x4}, { x0,¬x3,¬x4}
+    let matrix = Matrix::from_clauses(
+        7,
+        [
+            clause(&[-1, 3, 4]),
+            clause(&[2, -3, 4]),
+            clause(&[3, -4]),
+            clause(&[-1, -3, -4]),
+            clause(&[1, 6, 7]),
+            clause(&[5, -6, 7]),
+            clause(&[6, -7]),
+            clause(&[1, -6, -7]),
+        ],
+    );
+    Qbf::new(prefix, matrix).expect("sample is well-formed")
+}
+
+/// `∀y ∃x ((y ∨ x) ∧ (¬y ∨ ¬x))` — true (x := ¬y). Variables `y=1, x=2`.
+pub fn forall_exists_xor() -> Qbf {
+    let prefix = Prefix::prenex(2, [(Forall, vec![Var::new(0)]), (Exists, vec![Var::new(1)])])
+        .expect("two fresh blocks");
+    let matrix = Matrix::from_clauses(2, [clause(&[1, 2]), clause(&[-1, -2])]);
+    Qbf::new(prefix, matrix).expect("sample is well-formed")
+}
+
+/// `∃x ∀y ((x ∨ y) ∧ (¬x ∨ ¬y))` — false (no constant x works for both y).
+pub fn exists_forall_xor() -> Qbf {
+    let prefix = Prefix::prenex(2, [(Exists, vec![Var::new(0)]), (Forall, vec![Var::new(1)])])
+        .expect("two fresh blocks");
+    let matrix = Matrix::from_clauses(2, [clause(&[1, 2]), clause(&[-1, -2])]);
+    Qbf::new(prefix, matrix).expect("sample is well-formed")
+}
+
+/// A true non-prenex QBF with two independent subtrees:
+/// `∃x1 (∀y1 (x1 ∨ ¬y1 ∨ e1)∧(e1∨¬e1-part…))` kept simple:
+///
+/// `(∀y1 ∃a (y1 ∨ a) ∧ (¬y1 ∨ ¬a)) ∧ (∀y2 ∃b (y2 ∨ b) ∧ (¬y2 ∨ ¬b))`
+///
+/// Variables `y1=1, a=2, y2=3, b=4`. True: each conjunct is the xor sample.
+pub fn two_independent_games() -> Qbf {
+    let mut builder = PrefixBuilder::new(4);
+    let r1 = builder.add_root(Forall, [Var::new(0)]).expect("fresh");
+    builder.add_child(r1, Exists, [Var::new(1)]).expect("fresh");
+    let r2 = builder.add_root(Forall, [Var::new(2)]).expect("fresh");
+    builder.add_child(r2, Exists, [Var::new(3)]).expect("fresh");
+    let prefix = builder.finish().expect("valid forest");
+    let matrix = Matrix::from_clauses(
+        4,
+        [
+            clause(&[1, 2]),
+            clause(&[-1, -2]),
+            clause(&[3, 4]),
+            clause(&[-3, -4]),
+        ],
+    );
+    Qbf::new(prefix, matrix).expect("sample is well-formed")
+}
+
+/// A purely existential (SAT) instance: `(x1 ∨ x2) ∧ (¬x1 ∨ x2) ∧ (¬x2 ∨ x3)`
+/// — satisfiable.
+pub fn sat_instance() -> Qbf {
+    let prefix = Prefix::prenex(
+        3,
+        [(Exists, vec![Var::new(0), Var::new(1), Var::new(2)])],
+    )
+    .expect("single block");
+    let matrix = Matrix::from_clauses(3, [clause(&[1, 2]), clause(&[-1, 2]), clause(&[-2, 3])]);
+    Qbf::new(prefix, matrix).expect("sample is well-formed")
+}
+
+/// An unsatisfiable purely existential instance:
+/// `(x1) ∧ (¬x1 ∨ x2) ∧ (¬x2)`.
+pub fn unsat_instance() -> Qbf {
+    let prefix = Prefix::prenex(2, [(Exists, vec![Var::new(0), Var::new(1)])])
+        .expect("single block");
+    let matrix = Matrix::from_clauses(2, [clause(&[1]), clause(&[-1, 2]), clause(&[-2])]);
+    Qbf::new(prefix, matrix).expect("sample is well-formed")
+}
+
+/// A deterministic pseudo-random **well-formed** QBF for differential
+/// testing: a random quantifier forest whose clauses each draw their
+/// variables from a single root path (the §II well-formedness condition —
+/// a clause of an actual formula lies inside some scope containing all its
+/// variables).
+///
+/// # Examples
+///
+/// ```
+/// let a = qbf_core::samples::random_qbf(7, 6, 9);
+/// let b = qbf_core::samples::random_qbf(7, 6, 9);
+/// assert_eq!(a, b); // deterministic per seed
+/// ```
+pub fn random_qbf(seed: u64, num_vars: usize, num_clauses: usize) -> Qbf {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+
+    // Random forest: each variable starts a root or attaches below a
+    // previously placed variable's block. Track each block's path.
+    let mut builder = PrefixBuilder::new(num_vars);
+    let mut blocks: Vec<crate::prefix::BlockId> = Vec::new();
+    // paths[i] = variables visible at block i (root path, inclusive)
+    let mut paths: Vec<Vec<Var>> = Vec::new();
+    for i in 0..num_vars {
+        let v = Var::new(i);
+        let quant = if next() % 2 == 0 { Exists } else { Forall };
+        if blocks.is_empty() || next() % 4 == 0 {
+            blocks.push(builder.add_root(quant, [v]).expect("fresh variable"));
+            paths.push(vec![v]);
+        } else {
+            let p = (next() % blocks.len() as u64) as usize;
+            blocks.push(
+                builder
+                    .add_child(blocks[p], quant, [v])
+                    .expect("fresh variable"),
+            );
+            let mut path = paths[p].clone();
+            path.push(v);
+            paths.push(path);
+        }
+    }
+    let prefix = builder.finish().expect("valid forest");
+
+    let mut clauses = Vec::new();
+    let mut guard = 0;
+    while clauses.len() < num_clauses && guard < 20 * num_clauses {
+        guard += 1;
+        let path = &paths[(next() % paths.len() as u64) as usize];
+        let len = 1 + (next() % 3) as usize;
+        let lits: Vec<Lit> = (0..len)
+            .map(|_| {
+                let v = path[(next() % path.len() as u64) as usize];
+                v.lit(next() % 2 == 0)
+            })
+            .collect();
+        if let Ok(c) = Clause::new(lits) {
+            clauses.push(c);
+        }
+    }
+    Qbf::new(prefix, Matrix::from_clauses(num_vars, clauses))
+        .expect("path-drawn clauses are scope-compatible")
+}

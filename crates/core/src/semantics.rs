@@ -1,0 +1,155 @@
+//! The naive recursive semantics of QBFs (§II).
+//!
+//! This module is the *ground-truth oracle* of the workspace: it evaluates a
+//! QBF by direct structural recursion on the definition of §II, with no
+//! simplification rules beyond the two base cases. It is exponential and
+//! meant for small formulas (tests, cross-validation of the solvers).
+
+use crate::qbf::Qbf;
+use crate::var::Var;
+
+/// Evaluates a QBF by the recursive definition of §II:
+///
+/// * an empty matrix is true;
+/// * a matrix containing the empty clause is false;
+/// * otherwise pick a *top* variable `z` and combine `ϕ_z` and `ϕ_¬z` with
+///   `or` (existential) or `and` (universal).
+///
+/// Free matrix variables are treated as outermost existentials (§II point
+/// 2). The choice of top variable does not affect the value (see the
+/// property tests); this implementation always picks the smallest-index one.
+///
+/// # Examples
+///
+/// ```
+/// use qbf_core::{samples, semantics};
+/// assert!(semantics::eval(&samples::forall_exists_xor()));
+/// assert!(!semantics::eval(&samples::exists_forall_xor()));
+/// ```
+pub fn eval(qbf: &Qbf) -> bool {
+    eval_counting(qbf).0
+}
+
+/// Like [`eval`] but also returns the number of recursive calls, a
+/// deterministic size measure of the naive search tree.
+pub fn eval_counting(qbf: &Qbf) -> (bool, u64) {
+    let mut nodes = 0;
+    let value = eval_rec(&qbf.prune_vacuous(), &mut nodes);
+    (value, nodes)
+}
+
+fn eval_rec(qbf: &Qbf, nodes: &mut u64) -> bool {
+    *nodes += 1;
+    if qbf.matrix().has_empty_clause() {
+        return false;
+    }
+    if qbf.matrix().is_empty() {
+        return true;
+    }
+    let z = pick_top(qbf);
+    let pos = qbf.assign(z.positive()).prune_vacuous();
+    let neg = qbf.assign(z.negative()).prune_vacuous();
+    if qbf.prefix().is_universal(z) {
+        eval_rec(&pos, nodes) && eval_rec(&neg, nodes)
+    } else {
+        eval_rec(&pos, nodes) || eval_rec(&neg, nodes)
+    }
+}
+
+/// Picks the smallest-index variable that is *top* (§II): a bound variable
+/// of prefix level 1, or — if the prefix binds nothing — any free variable
+/// occurring in the matrix (free variables are outermost existentials).
+fn pick_top(qbf: &Qbf) -> Var {
+    let tops = qbf.prefix().top_vars();
+    if let Some(&v) = tops.iter().min() {
+        return v;
+    }
+    // Prefix is empty but the matrix is not: all remaining variables are
+    // free, hence existential and top.
+    qbf.matrix()
+        .occurring_vars()
+        .iter()
+        .position(|&b| b)
+        .map(Var::new)
+        .expect("non-empty matrix without empty clause mentions a variable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::Clause;
+    use crate::matrix::Matrix;
+    use crate::prefix::Prefix;
+    use crate::qbf::Qbf;
+    use crate::samples;
+    use crate::var::{Lit, Quantifier::*};
+
+    fn clause(lits: &[i64]) -> Clause {
+        Clause::new(lits.iter().map(|&d| Lit::from_dimacs(d))).unwrap()
+    }
+
+    #[test]
+    fn base_cases() {
+        let empty = Qbf::new(Prefix::empty(0), Matrix::new(0)).unwrap();
+        assert!(eval(&empty));
+        let falsum = Qbf::new(
+            Prefix::empty(0),
+            Matrix::from_clauses(0, [Clause::empty()]),
+        )
+        .unwrap();
+        assert!(!eval(&falsum));
+    }
+
+    #[test]
+    fn xor_samples() {
+        assert!(eval(&samples::forall_exists_xor()));
+        assert!(!eval(&samples::exists_forall_xor()));
+    }
+
+    #[test]
+    fn sat_samples() {
+        assert!(eval(&samples::sat_instance()));
+        assert!(!eval(&samples::unsat_instance()));
+    }
+
+    #[test]
+    fn paper_example_is_false() {
+        // Fig. 2 shows a refutation tree for QBF (1).
+        assert!(!eval(&samples::paper_example()));
+    }
+
+    #[test]
+    fn two_independent_games_true() {
+        assert!(eval(&samples::two_independent_games()));
+    }
+
+    #[test]
+    fn free_variables_are_existential() {
+        // x free: (x) is satisfiable by x := true.
+        let q = Qbf::new_closing_free(Prefix::empty(1), Matrix::from_clauses(1, [clause(&[1])]))
+            .unwrap();
+        assert!(eval(&q));
+        // (x) ∧ (¬x) is not.
+        let q = Qbf::new_closing_free(
+            Prefix::empty(1),
+            Matrix::from_clauses(1, [clause(&[1]), clause(&[-1])]),
+        )
+        .unwrap();
+        assert!(!eval(&q));
+    }
+
+    #[test]
+    fn universal_var_alone_is_false_when_forced() {
+        // ∀y (y) is false.
+        let p = Prefix::prenex(1, [(Forall, vec![crate::var::Var::new(0)])]).unwrap();
+        let m = Matrix::from_clauses(1, [clause(&[1])]);
+        assert!(!eval(&Qbf::new(p, m).unwrap()));
+    }
+
+    #[test]
+    fn counting_reports_nodes() {
+        let (value, nodes) = eval_counting(&samples::exists_forall_xor());
+        assert!(!value);
+        assert!(nodes >= 3);
+    }
+}

@@ -1,0 +1,191 @@
+//! The constraint database: original clauses, learned clauses (nogoods) and
+//! learned cubes (goods), with per-literal occurrence lists and
+//! satisfied/falsified literal counters maintained incrementally.
+
+use crate::var::Lit;
+
+/// Reference to a constraint in the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CRef(pub(crate) u32);
+
+impl CRef {
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Whether a constraint is a clause (disjunction, conjoined with the
+/// matrix) or a cube (conjunction, disjoined with the matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    Clause,
+    Cube,
+}
+
+#[derive(Debug)]
+pub(crate) struct Constraint {
+    pub(crate) lits: Vec<Lit>,
+    pub(crate) kind: Kind,
+    pub(crate) learned: bool,
+    pub(crate) deleted: bool,
+    /// Number of literals currently assigned *true*.
+    pub(crate) true_count: u32,
+    /// Number of literals currently assigned *false*.
+    pub(crate) false_count: u32,
+    /// Bump-and-decay activity for database reduction.
+    pub(crate) activity: f64,
+}
+
+impl Constraint {
+    pub(crate) fn len(&self) -> usize {
+        self.lits.len()
+    }
+}
+
+/// Constraint arena plus occurrence lists.
+#[derive(Debug, Default)]
+pub(crate) struct Db {
+    pub(crate) constraints: Vec<Constraint>,
+    /// For each literal code: clauses containing that literal.
+    pub(crate) occ_clause: Vec<Vec<CRef>>,
+    /// For each literal code: cubes containing that literal.
+    pub(crate) occ_cube: Vec<Vec<CRef>>,
+    /// Number of *original* clauses currently without a true literal; when
+    /// it reaches zero the matrix is satisfied (empty under restriction).
+    pub(crate) unsat_originals: usize,
+    pub(crate) num_original: usize,
+    pub(crate) num_learned_clauses: usize,
+    pub(crate) num_learned_cubes: usize,
+}
+
+impl Db {
+    pub(crate) fn new(num_vars: usize) -> Self {
+        Db {
+            constraints: Vec::new(),
+            occ_clause: vec![Vec::new(); 2 * num_vars],
+            occ_cube: vec![Vec::new(); 2 * num_vars],
+            unsat_originals: 0,
+            num_original: 0,
+            num_learned_clauses: 0,
+            num_learned_cubes: 0,
+        }
+    }
+
+    pub(crate) fn constraint(&self, c: CRef) -> &Constraint {
+        &self.constraints[c.index()]
+    }
+
+    /// Adds a constraint; counts must be initialized by the caller
+    /// according to the current assignment (0 for the initial, empty one).
+    pub(crate) fn add(
+        &mut self,
+        lits: Vec<Lit>,
+        kind: Kind,
+        learned: bool,
+        true_count: u32,
+        false_count: u32,
+    ) -> CRef {
+        let cref = CRef(self.constraints.len() as u32);
+        for &l in &lits {
+            match kind {
+                Kind::Clause => self.occ_clause[l.code()].push(cref),
+                Kind::Cube => self.occ_cube[l.code()].push(cref),
+            }
+        }
+        if kind == Kind::Clause && !learned && true_count == 0 {
+            self.unsat_originals += 1;
+        }
+        if !learned {
+            self.num_original += 1;
+        } else {
+            match kind {
+                Kind::Clause => self.num_learned_clauses += 1,
+                Kind::Cube => self.num_learned_cubes += 1,
+            }
+        }
+        self.constraints.push(Constraint {
+            lits,
+            kind,
+            learned,
+            deleted: false,
+            true_count,
+            false_count,
+            activity: 1.0,
+        });
+        cref
+    }
+
+    /// Marks a learned constraint deleted (its occurrence entries are
+    /// skipped lazily and purged in [`Db::purge_occurrences`]).
+    pub(crate) fn delete(&mut self, c: CRef) {
+        let k = {
+            let con = &mut self.constraints[c.index()];
+            debug_assert!(con.learned, "only learned constraints are deleted");
+            con.deleted = true;
+            con.kind
+        };
+        match k {
+            Kind::Clause => self.num_learned_clauses -= 1,
+            Kind::Cube => self.num_learned_cubes -= 1,
+        }
+    }
+
+    /// Drops occurrence entries of deleted constraints.
+    pub(crate) fn purge_occurrences(&mut self) {
+        let constraints = &self.constraints;
+        for list in self.occ_clause.iter_mut().chain(self.occ_cube.iter_mut()) {
+            list.retain(|c| !constraints[c.index()].deleted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut db = Db::new(3);
+        let c = db.add(vec![lit(1), lit(-2)], Kind::Clause, false, 0, 0);
+        assert_eq!(db.unsat_originals, 1);
+        assert_eq!(db.num_original, 1);
+        assert_eq!(db.occ_clause[lit(1).code()], vec![c]);
+        assert_eq!(db.occ_clause[lit(-2).code()], vec![c]);
+        assert!(db.occ_cube[lit(1).code()].is_empty());
+        assert_eq!(db.constraint(c).len(), 2);
+    }
+
+    #[test]
+    fn learned_clause_does_not_count_unsat() {
+        let mut db = Db::new(2);
+        db.add(vec![lit(1)], Kind::Clause, true, 0, 0);
+        assert_eq!(db.unsat_originals, 0);
+        assert_eq!(db.num_learned_clauses, 1);
+    }
+
+    #[test]
+    fn cubes_use_cube_occurrences() {
+        let mut db = Db::new(2);
+        let k = db.add(vec![lit(1), lit(2)], Kind::Cube, true, 0, 0);
+        assert_eq!(db.occ_cube[lit(1).code()], vec![k]);
+        assert!(db.occ_clause[lit(1).code()].is_empty());
+        assert_eq!(db.num_learned_cubes, 1);
+    }
+
+    #[test]
+    fn delete_and_purge() {
+        let mut db = Db::new(2);
+        let a = db.add(vec![lit(1)], Kind::Clause, true, 0, 0);
+        let b = db.add(vec![lit(1)], Kind::Clause, true, 0, 0);
+        db.delete(a);
+        assert_eq!(db.num_learned_clauses, 1);
+        assert_eq!(db.occ_clause[lit(1).code()].len(), 2);
+        db.purge_occurrences();
+        assert_eq!(db.occ_clause[lit(1).code()], vec![b]);
+    }
+}

@@ -1,0 +1,1452 @@
+//! The search engine: trail, propagation, conflict/solution analysis and
+//! backjumping.
+//!
+//! # Soundness architecture
+//!
+//! Every learned **clause** is obtained from real clauses (original or
+//! previously learned) by Q-resolution steps plus universal reductions that
+//! are legal w.r.t. the partial order `≺` (Lemma 3); every learned **cube**
+//! is obtained from an implicant of the matrix (model generation) by term
+//! resolutions and legal existential reductions. A resolution step that
+//! would produce a tautological resolvent — or would pull in a literal that
+//! is currently satisfied (falsified for cubes) — is *skipped*: the pivot
+//! literal simply stays in the learned constraint, which remains derivable
+//! and hence sound, merely weaker.
+//!
+//! Backjumping (popping a decision level without flipping its decision) is
+//! performed only when the learned constraint *witnesses* that the level was
+//! irrelevant; in every other situation the engine falls back to the
+//! chronological Q-DLL step (flip the most recent unflipped existential
+//! decision on conflicts, universal decision on solutions), so the search is
+//! structurally a DFS and always terminates.
+
+use crate::prefix::{BlockId, Prefix};
+use crate::qbf::Qbf;
+use crate::var::{Lit, Var};
+
+use super::db::{CRef, Db, Kind};
+use super::heuristic::Brancher;
+use super::{Outcome, SolverConfig, Stats};
+
+/// Why a variable is assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    Decision,
+    Constraint(CRef),
+    Pure,
+}
+
+/// A decision-stack frame (one per decision level).
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    lit: Lit,
+    /// Whether this decision is the second branch of its variable.
+    flipped: bool,
+    /// For flipped decisions: the constraint that refuted the first branch
+    /// (clause for existential flips, cube for universal flips), usable as
+    /// a resolution partner when the second branch fails too.
+    pseudo_reason: Option<CRef>,
+    trail_start: usize,
+}
+
+#[derive(Debug)]
+enum Event {
+    Conflict(CRef),
+    /// A learned cube became true / existential-only under the assignment.
+    CubeSolution(CRef),
+}
+
+/// The iterative QUBE-style solver. See the [module docs](crate::solver).
+#[derive(Debug)]
+pub struct Solver<'a> {
+    qbf: &'a Qbf,
+    config: SolverConfig,
+    db: Db,
+    brancher: Brancher,
+
+    value: Vec<Option<bool>>,
+    level: Vec<u32>,
+    reason: Vec<Reason>,
+    /// Trail index at which each variable was assigned (stale when
+    /// unassigned; only consulted for assigned variables).
+    trail_pos: Vec<u32>,
+    trail: Vec<Lit>,
+    qhead: usize,
+    frames: Vec<Frame>,
+
+    /// Unassigned-variable count per prefix block (availability tracking).
+    block_unassigned: Vec<u32>,
+    /// Per literal: number of *unsatisfied original* clauses containing it
+    /// (monotone-literal detection).
+    active_occ: Vec<u32>,
+    pure_candidates: Vec<Var>,
+
+    stats: Stats,
+    conflicts_since_decay: u64,
+}
+
+impl<'a> Solver<'a> {
+    /// Prepares a solver for the given QBF.
+    pub fn new(qbf: &'a Qbf, config: SolverConfig) -> Self {
+        let n = qbf.num_vars();
+        let mut db = Db::new(n);
+        let mut active_occ = vec![0u32; 2 * n];
+        let mut counts = vec![0.0f64; 2 * n];
+        for c in qbf.matrix().iter() {
+            db.add(c.lits().to_vec(), Kind::Clause, false, 0, 0);
+            for &l in c.lits() {
+                active_occ[l.code()] += 1;
+                counts[l.code()] += 1.0;
+            }
+        }
+        let prefix = qbf.prefix();
+        let block_unassigned = prefix
+            .blocks()
+            .map(|b| prefix.block_vars(b).len() as u32)
+            .collect();
+        let brancher = Brancher::new(config.heuristic, prefix, &counts);
+        Solver {
+            qbf,
+            config,
+            db,
+            brancher,
+            value: vec![None; n],
+            level: vec![0; n],
+            reason: vec![Reason::Decision; n],
+            trail_pos: vec![0; n],
+            trail: Vec::with_capacity(n),
+            qhead: 0,
+            frames: Vec::new(),
+            block_unassigned,
+            active_occ,
+            pure_candidates: Vec::new(),
+            stats: Stats::default(),
+            conflicts_since_decay: 0,
+        }
+    }
+
+    fn prefix(&self) -> &Prefix {
+        self.qbf.prefix()
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.value[l.var().index()].map(|v| v == l.is_positive())
+    }
+
+    #[inline]
+    fn is_true(&self, l: Lit) -> bool {
+        self.lit_value(l) == Some(true)
+    }
+
+    #[inline]
+    fn is_false(&self, l: Lit) -> bool {
+        self.lit_value(l) == Some(false)
+    }
+
+    #[inline]
+    fn current_level(&self) -> u32 {
+        self.frames.len() as u32
+    }
+
+    fn is_existential(&self, v: Var) -> bool {
+        self.prefix().is_existential(v)
+    }
+
+    /// Runs the search to completion or budget exhaustion.
+    pub fn solve(mut self) -> Outcome {
+        // Initial scan: Lemma 4 / Lemma 5 on the input matrix.
+        for i in 0..self.db.constraints.len() {
+            if let Some(Event::Conflict(_)) = self.examine_clause(CRef(i as u32)) {
+                return Outcome::new(Some(false), self.stats);
+            }
+        }
+        if self.config.pure_literals {
+            self.seed_pure_candidates();
+        }
+        loop {
+            if self.budget_exhausted() {
+                return Outcome::new(None, self.stats);
+            }
+            let event = self.propagate_and_fix();
+            match event {
+                Some(Event::Conflict(c)) => {
+                    self.stats.conflicts += 1;
+                    self.tick_decay();
+                    if let Some(v) = self.handle_conflict(c) {
+                        return Outcome::new(Some(v), self.stats);
+                    }
+                }
+                Some(Event::CubeSolution(k)) => {
+                    self.stats.solutions += 1;
+                    self.tick_decay();
+                    let init = self.db.constraint(k).lits.clone();
+                    if let Some(v) = self.handle_solution(init) {
+                        return Outcome::new(Some(v), self.stats);
+                    }
+                }
+                None => {
+                    if self.db.unsat_originals == 0 {
+                        self.stats.solutions += 1;
+                        self.tick_decay();
+                        let init = self.matrix_implicant();
+                        if let Some(v) = self.handle_solution(init) {
+                            return Outcome::new(Some(v), self.stats);
+                        }
+                    } else if !self.decide() {
+                        // No candidate although clauses remain unsatisfied:
+                        // cannot happen (a falsified clause would have
+                        // conflicted), but fail safe.
+                        debug_assert!(false, "no decision candidates but matrix unsatisfied");
+                        return Outcome::new(None, self.stats);
+                    }
+                }
+            }
+            self.maybe_reduce_db();
+        }
+    }
+
+    fn budget_exhausted(&self) -> bool {
+        if let Some(limit) = self.config.node_limit {
+            if self.stats.assignments() > limit {
+                return true;
+            }
+        }
+        if let Some(limit) = self.config.conflict_limit {
+            if self.stats.conflicts + self.stats.solutions > limit {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn tick_decay(&mut self) {
+        self.conflicts_since_decay += 1;
+        if self.conflicts_since_decay >= self.config.decay_interval {
+            self.conflicts_since_decay = 0;
+            self.brancher.decay();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Assignment and backtracking
+    // ------------------------------------------------------------------
+
+    fn assign(&mut self, lit: Lit, reason: Reason) {
+        let v = lit.var();
+        debug_assert!(self.value[v.index()].is_none(), "assigning assigned var");
+        self.value[v.index()] = Some(lit.is_positive());
+        self.level[v.index()] = self.current_level();
+        self.reason[v.index()] = reason;
+        self.trail_pos[v.index()] = self.trail.len() as u32;
+        if let Some(b) = self.prefix().block_of(v) {
+            self.block_unassigned[b.index()] -= 1;
+        }
+        self.trail.push(lit);
+    }
+
+    /// Pops the topmost decision level.
+    fn backtrack_one(&mut self) {
+        let frame = self.frames.pop().expect("backtrack with empty stack");
+        while self.trail.len() > frame.trail_start {
+            let pos = self.trail.len() - 1;
+            let l = self.trail.pop().expect("trail_start within trail");
+            // Counter updates happen when `propagate` processes a literal;
+            // literals past `qhead` (assigned after a conflict/solution was
+            // detected) never got theirs, so there is nothing to reverse.
+            let processed = pos < self.qhead;
+            self.unassign(l, processed);
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn unassign(&mut self, l: Lit, processed: bool) {
+        let v = l.var();
+        self.value[v.index()] = None;
+        if let Some(b) = self.prefix().block_of(v) {
+            self.block_unassigned[b.index()] += 1;
+        }
+        // A variable that is monotone *right now* becomes fixable again the
+        // moment it is unassigned; the transition-triggered queue alone
+        // would miss it (its candidate entry may have been consumed while
+        // it was assigned).
+        if self.config.pure_literals
+            && (self.active_occ[v.positive().code()] == 0
+                || self.active_occ[v.negative().code()] == 0)
+        {
+            self.pure_candidates.push(v);
+        }
+        if !processed {
+            return;
+        }
+        // Reverse the counter updates of `propagate` for literal l.
+        for i in 0..self.db.occ_clause[l.code()].len() {
+            let c = self.db.occ_clause[l.code()][i];
+            let con = &mut self.db.constraints[c.index()];
+            if con.deleted {
+                continue;
+            }
+            con.true_count -= 1;
+            if con.true_count == 0 && !con.learned {
+                self.db.unsat_originals += 1;
+                if self.config.pure_literals {
+                    let lits = con.lits.clone();
+                    for m in lits {
+                        self.active_occ[m.code()] += 1;
+                    }
+                }
+            }
+        }
+        for i in 0..self.db.occ_clause[(!l).code()].len() {
+            let c = self.db.occ_clause[(!l).code()][i];
+            let con = &mut self.db.constraints[c.index()];
+            if !con.deleted {
+                con.false_count -= 1;
+            }
+        }
+        for i in 0..self.db.occ_cube[l.code()].len() {
+            let c = self.db.occ_cube[l.code()][i];
+            let con = &mut self.db.constraints[c.index()];
+            if !con.deleted {
+                con.true_count -= 1;
+            }
+        }
+        for i in 0..self.db.occ_cube[(!l).code()].len() {
+            let c = self.db.occ_cube[(!l).code()][i];
+            let con = &mut self.db.constraints[c.index()];
+            if !con.deleted {
+                con.false_count -= 1;
+            }
+        }
+    }
+
+    fn push_decision(&mut self, lit: Lit, flipped: bool, pseudo_reason: Option<CRef>) {
+        self.frames.push(Frame {
+            lit,
+            flipped,
+            pseudo_reason,
+            trail_start: self.trail.len(),
+        });
+        self.stats.decisions += 1;
+        self.assign(lit, Reason::Decision);
+    }
+
+    // ------------------------------------------------------------------
+    // Propagation
+    // ------------------------------------------------------------------
+
+    /// Propagates to fixpoint, interleaving monotone-literal fixing.
+    fn propagate_and_fix(&mut self) -> Option<Event> {
+        loop {
+            if let Some(ev) = self.propagate() {
+                return Some(ev);
+            }
+            if !self.config.pure_literals || !self.fix_one_pure() {
+                return None;
+            }
+        }
+    }
+
+    fn propagate(&mut self) -> Option<Event> {
+        while self.qhead < self.trail.len() {
+            let l = self.trail[self.qhead];
+            self.qhead += 1;
+            // Backtracking reverses counter updates per fully-processed
+            // trail literal, so even when a conflict/solution shows up
+            // mid-literal we must finish all four counter loops for `l`
+            // before returning the event.
+            let mut event: Option<Event> = None;
+            // Clauses satisfied by l.
+            for i in 0..self.db.occ_clause[l.code()].len() {
+                let c = self.db.occ_clause[l.code()][i];
+                let con = &mut self.db.constraints[c.index()];
+                if con.deleted {
+                    continue;
+                }
+                con.true_count += 1;
+                if con.true_count == 1 && !con.learned {
+                    self.db.unsat_originals -= 1;
+                    if self.config.pure_literals {
+                        let lits = con.lits.clone();
+                        for m in lits {
+                            self.active_occ[m.code()] -= 1;
+                            if self.active_occ[m.code()] == 0 {
+                                self.pure_candidates.push(m.var());
+                            }
+                        }
+                    }
+                }
+            }
+            // Clauses where l's negation occurs: may become unit/conflicting.
+            for i in 0..self.db.occ_clause[(!l).code()].len() {
+                let c = self.db.occ_clause[(!l).code()][i];
+                {
+                    let con = &mut self.db.constraints[c.index()];
+                    if con.deleted {
+                        continue;
+                    }
+                    con.false_count += 1;
+                    if con.true_count > 0 {
+                        continue;
+                    }
+                }
+                if event.is_none() {
+                    event = self.examine_clause(c);
+                }
+            }
+            // Cubes where l occurs: may become true/unit.
+            for i in 0..self.db.occ_cube[l.code()].len() {
+                let c = self.db.occ_cube[l.code()][i];
+                {
+                    let con = &mut self.db.constraints[c.index()];
+                    if con.deleted {
+                        continue;
+                    }
+                    con.true_count += 1;
+                    if con.false_count > 0 {
+                        continue;
+                    }
+                }
+                if event.is_none() {
+                    event = self.examine_cube(c);
+                }
+            }
+            // Cubes where l's negation occurs: disabled.
+            for i in 0..self.db.occ_cube[(!l).code()].len() {
+                let c = self.db.occ_cube[(!l).code()][i];
+                let con = &mut self.db.constraints[c.index()];
+                if !con.deleted {
+                    con.false_count += 1;
+                }
+            }
+            if event.is_some() {
+                return event;
+            }
+        }
+        None
+    }
+
+    /// Checks a clause that is not (yet) known satisfied: Lemma 4 conflict
+    /// or Lemma 5 unit.
+    fn examine_clause(&mut self, c: CRef) -> Option<Event> {
+        let mut unit: Option<Lit> = None;
+        let mut existentials = 0u32;
+        // First pass: find unassigned existential literals; a true literal
+        // (possibly still pending on the trail) means the clause is
+        // satisfied.
+        for i in 0..self.db.constraint(c).len() {
+            let m = self.db.constraint(c).lits[i];
+            if self.is_true(m) {
+                return None;
+            }
+            if self.lit_value(m).is_some() {
+                continue;
+            }
+            if self.is_existential(m.var()) {
+                existentials += 1;
+                if existentials > 1 {
+                    return None;
+                }
+                unit = Some(m);
+            }
+        }
+        match unit {
+            None => Some(Event::Conflict(c)),
+            Some(e) => {
+                // Generalized Lemma 5: unassigned universal literals must
+                // not precede e.
+                for i in 0..self.db.constraint(c).len() {
+                    let m = self.db.constraint(c).lits[i];
+                    if m == e || self.lit_value(m).is_some() {
+                        continue;
+                    }
+                    if self.prefix().precedes(m.var(), e.var()) {
+                        return None;
+                    }
+                }
+                self.stats.propagations += 1;
+                self.assign(e, Reason::Constraint(c));
+                None
+            }
+        }
+    }
+
+    /// Checks a cube that is not (yet) known disabled: solution trigger or
+    /// dual unit.
+    fn examine_cube(&mut self, c: CRef) -> Option<Event> {
+        let mut unit: Option<Lit> = None;
+        let mut universals = 0u32;
+        for i in 0..self.db.constraint(c).len() {
+            let m = self.db.constraint(c).lits[i];
+            if self.is_false(m) {
+                return None;
+            }
+            if self.lit_value(m).is_some() {
+                continue;
+            }
+            if !self.is_existential(m.var()) {
+                universals += 1;
+                if universals > 1 {
+                    return None;
+                }
+                unit = Some(m);
+            }
+        }
+        match unit {
+            // A cube whose unassigned literals are all existential is a
+            // validated good: the formula is true under the assignment.
+            None => Some(Event::CubeSolution(c)),
+            Some(u) => {
+                for i in 0..self.db.constraint(c).len() {
+                    let m = self.db.constraint(c).lits[i];
+                    if m == u || self.lit_value(m).is_some() {
+                        continue;
+                    }
+                    if self.prefix().precedes(m.var(), u.var()) {
+                        return None;
+                    }
+                }
+                // The ∀-player must falsify the cube: assign ¬u.
+                self.stats.propagations += 1;
+                self.assign(!u, Reason::Constraint(c));
+                None
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Monotone literals
+    // ------------------------------------------------------------------
+
+    fn seed_pure_candidates(&mut self) {
+        for i in 0..self.qbf.num_vars() {
+            let v = Var::new(i);
+            if self.active_occ[v.positive().code()] == 0
+                || self.active_occ[v.negative().code()] == 0
+            {
+                self.pure_candidates.push(v);
+            }
+        }
+    }
+
+    /// Fixes at most one verified monotone literal; returns whether one was
+    /// fixed (caller re-propagates).
+    fn fix_one_pure(&mut self) -> bool {
+        while let Some(v) = self.pure_candidates.pop() {
+            if self.value[v.index()].is_some() {
+                continue;
+            }
+            let Some(q) = self.prefix().quant(v) else {
+                continue;
+            };
+            let pos_active = self.active_occ[v.positive().code()];
+            let neg_active = self.active_occ[v.negative().code()];
+            if pos_active != 0 && neg_active != 0 {
+                continue; // stale candidate
+            }
+            let lit = if q.is_exists() {
+                // assign l with ¬l absent: satisfy remaining occurrences
+                if neg_active == 0 {
+                    v.positive()
+                } else {
+                    v.negative()
+                }
+            } else {
+                // assign l with l absent: shrink remaining occurrences
+                if pos_active == 0 {
+                    v.positive()
+                } else {
+                    v.negative()
+                }
+            };
+            self.stats.pures += 1;
+            self.assign(lit, Reason::Pure);
+            return true;
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Decisions
+    // ------------------------------------------------------------------
+
+    /// Collects available unassigned variables: every `≺`-predecessor (i.e.
+    /// every variable in a strict ancestor block) is assigned.
+    fn candidates(&self) -> Vec<Var> {
+        let prefix = self.prefix();
+        let mut cands = Vec::new();
+        let mut stack: Vec<BlockId> = prefix.roots().to_vec();
+        while let Some(b) = stack.pop() {
+            let unassigned = self.block_unassigned[b.index()];
+            if unassigned > 0 {
+                for &v in prefix.block_vars(b) {
+                    if self.value[v.index()].is_none() {
+                        cands.push(v);
+                    }
+                }
+                // children unavailable until this block is complete
+                continue;
+            }
+            stack.extend(prefix.block_children(b).iter().copied());
+        }
+        cands
+    }
+
+    /// Picks and assigns a branching literal; `false` if none is available.
+    fn decide(&mut self) -> bool {
+        let cands = self.candidates();
+        match self.brancher.pick(self.qbf.prefix(), &cands) {
+            None => false,
+            Some(lit) => {
+                self.push_decision(lit, false, None);
+                true
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Conflict analysis (nogood learning)
+    // ------------------------------------------------------------------
+
+    /// Handles a conflict; `Some(value)` ends the search.
+    fn handle_conflict(&mut self, conflict: CRef) -> Option<bool> {
+        if !self.config.learning {
+            return self.chrono_conflict();
+        }
+        let mut lits = self.db.constraint(conflict).lits.clone();
+        self.resolve_existentials(&mut lits);
+        self.universal_reduce(&mut lits);
+        if lits.is_empty() {
+            return Some(false);
+        }
+        let cref = self.learn(lits.clone(), Kind::Clause);
+        self.unwind_conflict(lits, cref)
+    }
+
+    /// Resolves away every existential literal that has a clause reason,
+    /// latest-assigned first, skipping steps that would produce a
+    /// tautological or satisfied resolvent.
+    fn resolve_existentials(&mut self, lits: &mut Vec<Lit>) {
+        let mut skipped: Vec<Var> = Vec::new();
+        loop {
+            // Pick the resolvable pivot assigned latest on the trail.
+            let mut pivot: Option<(usize, Lit, CRef)> = None;
+            for &m in lits.iter() {
+                let v = m.var();
+                if !self.is_false(m) || !self.is_existential(v) || skipped.contains(&v) {
+                    continue;
+                }
+                let Reason::Constraint(r) = self.reason[v.index()] else {
+                    continue;
+                };
+                if self.db.constraint(r).kind != Kind::Clause {
+                    continue;
+                }
+                let pos = self.trail_pos[v.index()] as usize;
+                if pivot.is_none_or(|(p, _, _)| pos > p) {
+                    pivot = Some((pos, m, r));
+                }
+            }
+            let Some((_, m, r)) = pivot else { break };
+            // Check the reason's side literals.
+            let reason_lits = self.db.constraint(r).lits.clone();
+            let mut ok = true;
+            for &x in &reason_lits {
+                if x == !m {
+                    continue;
+                }
+                if self.is_true(x) || lits.contains(&!x) {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                skipped.push(m.var());
+                continue;
+            }
+            lits.retain(|&y| y != m);
+            for &x in &reason_lits {
+                if x != !m && !lits.contains(&x) {
+                    lits.push(x);
+                }
+            }
+        }
+    }
+
+    /// Lemma 3: removes universal literals not preceding any existential
+    /// literal of the clause.
+    fn universal_reduce(&self, lits: &mut Vec<Lit>) {
+        let existentials: Vec<Var> = lits
+            .iter()
+            .map(|l| l.var())
+            .filter(|&v| self.is_existential(v))
+            .collect();
+        lits.retain(|&u| {
+            self.is_existential(u.var())
+                || existentials
+                    .iter()
+                    .any(|&e| self.prefix().precedes(u.var(), e))
+        });
+    }
+
+    /// Dual of Lemma 3 for cubes: removes existential literals not
+    /// preceding any universal literal of the cube.
+    fn existential_reduce(&self, lits: &mut Vec<Lit>) {
+        let universals: Vec<Var> = lits
+            .iter()
+            .map(|l| l.var())
+            .filter(|&v| !self.is_existential(v))
+            .collect();
+        lits.retain(|&e| {
+            !self.is_existential(e.var())
+                || universals
+                    .iter()
+                    .any(|&u| self.prefix().precedes(e.var(), u))
+        });
+    }
+
+    fn learn(&mut self, lits: Vec<Lit>, kind: Kind) -> CRef {
+        // Counts reflect only *processed* assignments (trail prefix up to
+        // qhead): the unprocessed suffix never received counter updates and
+        // is guaranteed to be popped by the following unwind.
+        let mut t = 0;
+        let mut f = 0;
+        for &l in &lits {
+            if self.value[l.var().index()].is_none()
+                || self.trail_pos[l.var().index()] as usize >= self.qhead
+            {
+                continue;
+            }
+            match self.lit_value(l) {
+                Some(true) => t += 1,
+                Some(false) => f += 1,
+                None => {}
+            }
+        }
+        self.brancher.on_learn(&lits);
+        match kind {
+            Kind::Clause => self.stats.learned_clauses += 1,
+            Kind::Cube => self.stats.learned_cubes += 1,
+        }
+        let cref = self.db.add(lits, kind, true, t, f);
+        self.db.constraints[cref.index()].activity = self.stats.conflicts as f64;
+        cref
+    }
+
+    /// Unwinds the decision stack guided by a learned (falsified) clause.
+    fn unwind_conflict(&mut self, mut lits: Vec<Lit>, mut cref: CRef) -> Option<bool> {
+        let mut dirty = false;
+        loop {
+            if self.frames.is_empty() {
+                return Some(false);
+            }
+            let k = self.current_level();
+            let frame = *self.frames.last().expect("non-empty stack");
+            let d = frame.lit;
+            let at_k: Vec<Lit> = lits
+                .iter()
+                .copied()
+                .filter(|&m| self.lit_value(m).is_some() && self.level[m.var().index()] == k)
+                .collect();
+            if at_k.is_empty() {
+                // The conflict does not depend on level k at all.
+                self.stats.backjumps += 1;
+                self.backtrack_one();
+                continue;
+            }
+            if at_k.len() == 1 && at_k[0] == !d {
+                if self.is_existential(d.var()) {
+                    if !frame.flipped {
+                        if dirty {
+                            cref = self.learn(lits.clone(), Kind::Clause);
+                        }
+                        self.backtrack_one();
+                        if self.constraint_unit_for(&lits, !d) {
+                            self.stats.propagations += 1;
+                            self.assign(!d, Reason::Constraint(cref));
+                        } else {
+                            self.push_decision(!d, true, Some(cref));
+                        }
+                        return None;
+                    }
+                    // Both branches of d failed: combine with the clause
+                    // that refuted the first branch, if resolution is legal.
+                    if let Some(pr) = frame.pseudo_reason {
+                        if let Some(mut combined) = self.try_resolve_clause(&lits, pr, d) {
+                            self.universal_reduce(&mut combined);
+                            if combined.is_empty() {
+                                return Some(false);
+                            }
+                            lits = combined;
+                            dirty = true;
+                            self.stats.backjumps += 1;
+                            self.backtrack_one();
+                            continue;
+                        }
+                    }
+                    return self.chrono_conflict();
+                }
+                // Universal decision: a false branch falsifies the node.
+                // Keep unwinding with the clause only if ¬d reduces out.
+                let rest: Vec<Lit> = lits.iter().copied().filter(|&m| m != !d).collect();
+                let reducible = !rest
+                    .iter()
+                    .any(|&e| self.is_existential(e.var()) && self.prefix().precedes(d.var(), e.var()));
+                if reducible {
+                    lits = rest;
+                    if lits.is_empty() {
+                        return Some(false);
+                    }
+                    dirty = true;
+                    self.stats.backjumps += 1;
+                    self.backtrack_one();
+                    continue;
+                }
+                return self.chrono_conflict();
+            }
+            // Other level-k literals block backjumping past this level.
+            return self.chrono_conflict();
+        }
+    }
+
+    /// Q-resolution of `lits` with constraint `pr` on existential pivot
+    /// `d`; `None` if the step would be tautological or pull in a satisfied
+    /// literal.
+    fn try_resolve_clause(&self, lits: &[Lit], pr: CRef, d: Lit) -> Option<Vec<Lit>> {
+        // `lits` falsifies the flipped branch (it contains ¬d where d is the
+        // flipped decision literal); `pr` refuted the first branch, so it
+        // contains d itself.
+        let reason = &self.db.constraint(pr).lits;
+        if !reason.contains(&d) {
+            return None;
+        }
+        let mut out: Vec<Lit> = lits.iter().copied().filter(|&m| m != d && m != !d).collect();
+        for &x in reason {
+            if x == !d || x == d {
+                continue;
+            }
+            if self.is_true(x) || out.contains(&!x) {
+                return None;
+            }
+            if !out.contains(&x) {
+                out.push(x);
+            }
+        }
+        Some(out)
+    }
+
+    /// Whether the clause would imply `target` right now: every other
+    /// literal false, except unassigned universals that do not precede it.
+    fn constraint_unit_for(&self, lits: &[Lit], target: Lit) -> bool {
+        for &m in lits {
+            if m == target {
+                continue;
+            }
+            match self.lit_value(m) {
+                Some(false) => {}
+                Some(true) => return false,
+                None => {
+                    if self.is_existential(m.var())
+                        || self.prefix().precedes(m.var(), target.var())
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Chronological fallback on conflicts: flip the most recent unflipped
+    /// existential decision (universal nodes are false as soon as one
+    /// branch is).
+    fn chrono_conflict(&mut self) -> Option<bool> {
+        self.stats.chrono_backtracks += 1;
+        loop {
+            let Some(frame) = self.frames.last().copied() else {
+                return Some(false);
+            };
+            if self.is_existential(frame.lit.var()) && !frame.flipped {
+                let d = frame.lit;
+                self.backtrack_one();
+                self.push_decision(!d, true, None);
+                return None;
+            }
+            self.backtrack_one();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Solution analysis (good learning)
+    // ------------------------------------------------------------------
+
+    /// Builds an implicant of the original matrix from the current
+    /// assignment (model generation): one true literal per clause,
+    /// preferring inner existential literals so that existential reduction
+    /// shrinks the good (cf. the §VII-C discussion of PO goods).
+    fn matrix_implicant(&self) -> Vec<Lit> {
+        let mut chosen: Vec<Lit> = Vec::new();
+        for i in 0..self.db.num_original {
+            let con = &self.db.constraints[i];
+            debug_assert!(!con.learned);
+            if con.lits.iter().any(|&l| chosen.contains(&l)) {
+                continue;
+            }
+            let best = con
+                .lits
+                .iter()
+                .copied()
+                .filter(|&l| self.is_true(l))
+                .max_by_key(|&l| {
+                    // Existential literals first (inner ones reduce away
+                    // entirely); among universal literals prefer the
+                    // earliest-assigned so the learned good enables deep
+                    // backjumps.
+                    if self.is_existential(l.var()) {
+                        (1, self.prefix().level(l.var()).unwrap_or(u32::MAX) as i64)
+                    } else {
+                        (0, -(self.trail_pos[l.var().index()] as i64))
+                    }
+                })
+                .expect("solution trigger requires every original clause satisfied");
+            chosen.push(best);
+        }
+        chosen
+    }
+
+    /// Handles a solution trigger; `Some(value)` ends the search.
+    fn handle_solution(&mut self, mut lits: Vec<Lit>) -> Option<bool> {
+        self.stats.solution_depth_sum += self.trail.len() as u64;
+        if !self.config.learning {
+            return self.chrono_solution();
+        }
+        self.resolve_universals(&mut lits);
+        self.existential_reduce(&mut lits);
+        if lits.is_empty() {
+            return Some(true);
+        }
+        self.stats.cube_size_sum += lits.len() as u64;
+        if std::env::var_os("QBF_DEBUG").is_some() && self.stats.solutions < 12 {
+            let levels: Vec<(String, u32)> = lits
+                .iter()
+                .map(|&m| (m.to_string(), if self.lit_value(m).is_some() { self.level[m.var().index()] } else { 9999 }))
+                .collect();
+            let decs: Vec<String> = self.frames.iter().map(|f| format!("{}{}", f.lit, if self.is_existential(f.lit.var()) {"e"} else {"a"})).collect();
+            eprintln!("SOLUTION depth={} level={} cube={:?} decisions={:?}", self.trail.len(), self.current_level(), levels, decs);
+        }
+        let cref = self.learn(lits.clone(), Kind::Cube);
+        self.unwind_solution(lits, cref)
+    }
+
+    /// Dual of [`Solver::resolve_existentials`]: resolves away universal
+    /// literals with cube reasons.
+    fn resolve_universals(&mut self, lits: &mut Vec<Lit>) {
+        let mut skipped: Vec<Var> = Vec::new();
+        loop {
+            let mut pivot: Option<(usize, Lit, CRef)> = None;
+            for &m in lits.iter() {
+                let v = m.var();
+                if !self.is_true(m) || self.is_existential(v) || skipped.contains(&v) {
+                    continue;
+                }
+                let Reason::Constraint(r) = self.reason[v.index()] else {
+                    continue;
+                };
+                if self.db.constraint(r).kind != Kind::Cube {
+                    continue;
+                }
+                let pos = self.trail_pos[v.index()] as usize;
+                if pivot.is_none_or(|(p, _, _)| pos > p) {
+                    pivot = Some((pos, m, r));
+                }
+            }
+            let Some((_, m, r)) = pivot else { break };
+            let reason_lits = self.db.constraint(r).lits.clone();
+            let mut ok = true;
+            for &x in &reason_lits {
+                if x == !m {
+                    continue;
+                }
+                if self.is_false(x) || lits.contains(&!x) {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                skipped.push(m.var());
+                continue;
+            }
+            lits.retain(|&y| y != m);
+            for &x in &reason_lits {
+                if x != !m && !lits.contains(&x) {
+                    lits.push(x);
+                }
+            }
+        }
+    }
+
+    /// Unwinds the decision stack guided by a learned (satisfied) cube.
+    fn unwind_solution(&mut self, mut lits: Vec<Lit>, mut cref: CRef) -> Option<bool> {
+        let mut dirty = false;
+        loop {
+            if self.frames.is_empty() {
+                return Some(true);
+            }
+            let k = self.current_level();
+            let frame = *self.frames.last().expect("non-empty stack");
+            let d = frame.lit;
+            let at_k: Vec<Lit> = lits
+                .iter()
+                .copied()
+                .filter(|&m| self.lit_value(m).is_some() && self.level[m.var().index()] == k)
+                .collect();
+            if at_k.is_empty() {
+                self.stats.backjumps += 1;
+                self.backtrack_one();
+                continue;
+            }
+            if at_k.len() == 1 && at_k[0] == d {
+                if !self.is_existential(d.var()) {
+                    if !frame.flipped {
+                        if dirty {
+                            cref = self.learn(lits.clone(), Kind::Cube);
+                        }
+                        self.backtrack_one();
+                        if self.cube_unit_for(&lits, d) {
+                            self.stats.propagations += 1;
+                            self.assign(!d, Reason::Constraint(cref));
+                        } else {
+                            self.push_decision(!d, true, Some(cref));
+                        }
+                        return None;
+                    }
+                    if let Some(pr) = frame.pseudo_reason {
+                        if let Some(mut combined) = self.try_resolve_cube(&lits, pr, d) {
+                            self.existential_reduce(&mut combined);
+                            if combined.is_empty() {
+                                return Some(true);
+                            }
+                            lits = combined;
+                            dirty = true;
+                            self.stats.backjumps += 1;
+                            self.backtrack_one();
+                            continue;
+                        }
+                    }
+                    return self.chrono_solution();
+                }
+                // Existential decision: a true branch satisfies the node.
+                // Keep unwinding only if d existentially reduces out.
+                let rest: Vec<Lit> = lits.iter().copied().filter(|&m| m != d).collect();
+                let reducible = !rest
+                    .iter()
+                    .any(|&u| !self.is_existential(u.var()) && self.prefix().precedes(d.var(), u.var()));
+                if reducible {
+                    lits = rest;
+                    if lits.is_empty() {
+                        return Some(true);
+                    }
+                    dirty = true;
+                    self.stats.backjumps += 1;
+                    self.backtrack_one();
+                    continue;
+                }
+                return self.chrono_solution();
+            }
+            return self.chrono_solution();
+        }
+    }
+
+    /// Term resolution of `lits` with cube `pr` on universal pivot `d`.
+    fn try_resolve_cube(&self, lits: &[Lit], pr: CRef, d: Lit) -> Option<Vec<Lit>> {
+        let reason = &self.db.constraint(pr).lits;
+        if !reason.contains(&!d) {
+            return None;
+        }
+        let mut out: Vec<Lit> = lits.iter().copied().filter(|&m| m != d && m != !d).collect();
+        for &x in reason {
+            if x == !d || x == d {
+                continue;
+            }
+            if self.is_false(x) || out.contains(&!x) {
+                return None;
+            }
+            if !out.contains(&x) {
+                out.push(x);
+            }
+        }
+        Some(out)
+    }
+
+    /// Whether the cube would force `¬target` right now (dual unit).
+    fn cube_unit_for(&self, lits: &[Lit], target: Lit) -> bool {
+        for &m in lits {
+            if m == target {
+                continue;
+            }
+            match self.lit_value(m) {
+                Some(true) => {}
+                Some(false) => return false,
+                None => {
+                    if !self.is_existential(m.var())
+                        || self.prefix().precedes(m.var(), target.var())
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Chronological fallback on solutions: flip the most recent unflipped
+    /// universal decision (existential nodes are true as soon as one branch
+    /// is).
+    fn chrono_solution(&mut self) -> Option<bool> {
+        self.stats.chrono_backtracks += 1;
+        loop {
+            let Some(frame) = self.frames.last().copied() else {
+                return Some(true);
+            };
+            if !self.is_existential(frame.lit.var()) && !frame.flipped {
+                let d = frame.lit;
+                self.backtrack_one();
+                self.push_decision(!d, true, None);
+                return None;
+            }
+            self.backtrack_one();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Database reduction
+    // ------------------------------------------------------------------
+
+    fn maybe_reduce_db(&mut self) {
+        let learned = self.db.num_learned_clauses + self.db.num_learned_cubes;
+        if learned <= self.config.max_learned {
+            return;
+        }
+        // Locked constraints: trail reasons and frame pseudo-reasons.
+        let mut locked = vec![false; self.db.constraints.len()];
+        for &l in &self.trail {
+            if let Reason::Constraint(c) = self.reason[l.var().index()] {
+                locked[c.index()] = true;
+            }
+        }
+        for f in &self.frames {
+            if let Some(c) = f.pseudo_reason {
+                locked[c.index()] = true;
+            }
+        }
+        // Forget the least recently created half of the learned constraints.
+        let mut candidates: Vec<CRef> = (self.db.num_original..self.db.constraints.len())
+            .map(|i| CRef(i as u32))
+            .filter(|c| {
+                let con = self.db.constraint(*c);
+                con.learned && !con.deleted && !locked[c.index()]
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            self.db
+                .constraint(*a)
+                .activity
+                .partial_cmp(&self.db.constraint(*b).activity)
+                .expect("activities are finite")
+        });
+        let drop_count = candidates.len() / 2;
+        for &c in candidates.iter().take(drop_count) {
+            let lits = self.db.constraint(c).lits.clone();
+            self.brancher.on_forget(&lits);
+            self.db.delete(c);
+            self.stats.forgotten += 1;
+        }
+        self.db.purge_occurrences();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{HeuristicKind, SolverConfig};
+    use super::*;
+    use crate::samples;
+    use crate::semantics;
+
+    fn solve_with(qbf: &Qbf, config: SolverConfig) -> Option<bool> {
+        Solver::new(qbf, config).solve().value()
+    }
+
+    fn all_configs() -> Vec<SolverConfig> {
+        let mut configs = Vec::new();
+        for heuristic in [
+            HeuristicKind::Naive,
+            HeuristicKind::VsidsLevel,
+            HeuristicKind::VsidsTree,
+            HeuristicKind::Random(12345),
+        ] {
+            for learning in [false, true] {
+                for pure_literals in [false, true] {
+                    configs.push(SolverConfig {
+                        heuristic,
+                        learning,
+                        pure_literals,
+                        ..SolverConfig::default()
+                    });
+                }
+            }
+        }
+        configs
+    }
+
+    #[test]
+    fn samples_all_configs() {
+        let qbfs = [
+            samples::paper_example(),
+            samples::forall_exists_xor(),
+            samples::exists_forall_xor(),
+            samples::two_independent_games(),
+            samples::sat_instance(),
+            samples::unsat_instance(),
+        ];
+        for q in &qbfs {
+            let expected = semantics::eval(q);
+            for config in all_configs() {
+                let got = solve_with(q, config.clone());
+                assert_eq!(
+                    got,
+                    Some(expected),
+                    "mismatch on {q} with {config:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_limit_reports_timeout() {
+        let config = SolverConfig::partial_order().with_node_limit(0);
+        let out = Solver::new(&samples::paper_example(), config).solve();
+        assert!(out.is_timeout());
+        assert_eq!(out.value(), None);
+    }
+
+    #[test]
+    fn trivially_true_and_false() {
+        use crate::{Clause, Matrix, Prefix, Qbf};
+        let t = Qbf::new(Prefix::empty(0), Matrix::new(0)).unwrap();
+        assert_eq!(solve_with(&t, SolverConfig::partial_order()), Some(true));
+        let f = Qbf::new(Prefix::empty(0), Matrix::from_clauses(0, [Clause::empty()])).unwrap();
+        assert_eq!(solve_with(&f, SolverConfig::partial_order()), Some(false));
+    }
+
+    #[test]
+    fn contradictory_input_clause_detected() {
+        // ∀y (y) is immediately false by Lemma 4.
+        use crate::{Clause, Lit, Matrix, Prefix, Qbf, Quantifier};
+        let p = Prefix::prenex(1, [(Quantifier::Forall, vec![Var::new(0)])]).unwrap();
+        let m = Matrix::from_clauses(1, [Clause::new([Lit::from_dimacs(1)]).unwrap()]);
+        let q = Qbf::new(p, m).unwrap();
+        assert_eq!(solve_with(&q, SolverConfig::partial_order()), Some(false));
+    }
+
+    /// Pseudo-random well-formed non-prenex QBFs for differential testing.
+    fn random_qbf(seed: u64, num_vars: usize, num_clauses: usize) -> Qbf {
+        crate::samples::random_qbf(seed, num_vars, num_clauses)
+    }
+
+    #[test]
+    fn differential_small_random_qbfs() {
+        for seed in 0..120u64 {
+            let q = random_qbf(seed, 4 + (seed % 4) as usize, 5 + (seed % 6) as usize);
+            let expected = semantics::eval(&q);
+            for config in all_configs() {
+                let got = solve_with(&q, config.clone());
+                assert_eq!(
+                    got,
+                    Some(expected),
+                    "seed {seed}: mismatch on {q} with {config:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn differential_medium_random_qbfs_default_configs() {
+        for seed in 0..40u64 {
+            let q = random_qbf(1000 + seed, 10, 18);
+            let expected = semantics::eval(&q);
+            for config in [
+                SolverConfig::partial_order(),
+                SolverConfig::total_order(),
+                SolverConfig::basic(),
+            ] {
+                assert_eq!(
+                    solve_with(&q, config.clone()),
+                    Some(expected),
+                    "seed {seed}: mismatch with {config:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let out = Solver::new(&samples::paper_example(), SolverConfig::partial_order()).solve();
+        assert_eq!(out.value(), Some(false));
+        assert!(out.stats.assignments() > 0);
+        assert!(out.stats.conflicts > 0);
+    }
+
+    #[test]
+    fn db_reduction_preserves_correctness() {
+        // A tiny learned-constraint cap forces the forgetting path (delete
+        // + occurrence purge) to run constantly; results must not change.
+        for seed in 0..40u64 {
+            let q = random_qbf(500 + seed, 8, 14);
+            let expected = semantics::eval(&q);
+            let config = SolverConfig {
+                max_learned: 3,
+                ..SolverConfig::partial_order()
+            };
+            assert_eq!(
+                solve_with(&q, config),
+                Some(expected),
+                "seed {seed} with aggressive forgetting"
+            );
+        }
+    }
+
+    #[test]
+    fn aggressive_decay_preserves_correctness() {
+        for seed in 0..30u64 {
+            let q = random_qbf(700 + seed, 8, 14);
+            let expected = semantics::eval(&q);
+            let config = SolverConfig {
+                decay_interval: 1,
+                ..SolverConfig::total_order()
+            };
+            assert_eq!(solve_with(&q, config), Some(expected), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn conflict_limit_reports_timeout() {
+        let config = SolverConfig {
+            conflict_limit: Some(0),
+            ..SolverConfig::partial_order()
+        };
+        let out = Solver::new(&samples::paper_example(), config).solve();
+        assert!(out.is_timeout());
+    }
+
+    #[test]
+    fn all_universal_matrix_is_false() {
+        // ∀y1 y2 (y1 ∨ y2): contradictory by Lemma 4 without any search.
+        use crate::{Clause, Lit, Matrix, Prefix, Qbf, Quantifier};
+        let p = Prefix::prenex(2, [(Quantifier::Forall, vec![Var::new(0), Var::new(1)])])
+            .unwrap();
+        let m = Matrix::from_clauses(
+            2,
+            [Clause::new([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap()],
+        );
+        let q = Qbf::new(p, m).unwrap();
+        let out = Solver::new(&q, SolverConfig::partial_order()).solve();
+        assert_eq!(out.value(), Some(false));
+        assert_eq!(out.stats.decisions, 0);
+    }
+
+    #[test]
+    fn vacuous_bound_vars_are_handled() {
+        // Bound variables that never occur in the matrix must not confuse
+        // the availability machinery or the solution trigger.
+        use crate::{Clause, Lit, Matrix, Prefix, Qbf, Quantifier};
+        let p = Prefix::prenex(
+            4,
+            [
+                (Quantifier::Exists, vec![Var::new(0), Var::new(2)]),
+                (Quantifier::Forall, vec![Var::new(3)]),
+                (Quantifier::Exists, vec![Var::new(1)]),
+            ],
+        )
+        .unwrap();
+        let m = Matrix::from_clauses(
+            4,
+            [Clause::new([Lit::from_dimacs(1), Lit::from_dimacs(2)]).unwrap()],
+        );
+        let q = Qbf::new(p, m).unwrap();
+        for config in [SolverConfig::partial_order(), SolverConfig::basic()] {
+            assert_eq!(
+                Solver::new(&q, config).solve().value(),
+                Some(true),
+                "vacuous vars"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_alternation_chain() {
+        // ∃x1 ∀y1 ∃x2 ∀y2 … with xor-chain clauses: true (each x mirrors
+        // the previous y), and solvable without pathological behaviour.
+        use crate::{Clause, Matrix, Prefix, Qbf, Quantifier};
+        let n = 12; // x0 y0 x1 y1 …
+        let blocks: Vec<(Quantifier, Vec<Var>)> = (0..n)
+            .map(|i| {
+                let q = if i % 2 == 0 {
+                    Quantifier::Exists
+                } else {
+                    Quantifier::Forall
+                };
+                (q, vec![Var::new(i)])
+            })
+            .collect();
+        let p = Prefix::prenex(n, blocks).unwrap();
+        // clauses: x_{i+1} == y_i  (x at index 2i+2, y at 2i+1)
+        let mut clauses = Vec::new();
+        for i in (1..n - 1).step_by(2) {
+            let y = Var::new(i);
+            let x = Var::new(i + 1);
+            clauses.push(Clause::new([y.negative(), x.positive()]).unwrap());
+            clauses.push(Clause::new([y.positive(), x.negative()]).unwrap());
+        }
+        let q = Qbf::new(p, Matrix::from_clauses(n, clauses)).unwrap();
+        let out = Solver::new(&q, SolverConfig::partial_order()).solve();
+        assert_eq!(out.value(), Some(true));
+    }
+
+    #[test]
+    fn learning_solves_with_fewer_or_equal_nodes_on_average() {
+        // Not a strict theorem, but across a batch of random instances the
+        // learning configuration should not explore wildly more nodes.
+        let mut learned_total = 0u64;
+        let mut basic_total = 0u64;
+        for seed in 0..20u64 {
+            let q = random_qbf(999 + seed, 9, 16);
+            let with = Solver::new(
+                &q,
+                SolverConfig {
+                    heuristic: HeuristicKind::Naive,
+                    learning: true,
+                    pure_literals: false,
+                    ..SolverConfig::default()
+                },
+            )
+            .solve();
+            let without = Solver::new(
+                &q,
+                SolverConfig {
+                    heuristic: HeuristicKind::Naive,
+                    learning: false,
+                    pure_literals: false,
+                    ..SolverConfig::default()
+                },
+            )
+            .solve();
+            assert_eq!(with.value(), without.value());
+            learned_total += with.stats.assignments();
+            basic_total += without.stats.assignments();
+        }
+        assert!(
+            learned_total <= basic_total * 3,
+            "learning exploded: {learned_total} vs {basic_total}"
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Branching heuristics (§VI of the paper).
+//!
+//! All heuristics only *rank* candidates; the engine guarantees that every
+//! candidate is *available* (all `≺`-predecessors assigned), so any ranking
+//! is sound.
+
+use crate::prefix::Prefix;
+use crate::var::{Lit, Var};
+
+/// Selects the branching heuristic of the [`crate::solver::Solver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeuristicKind {
+    /// Deterministic: smallest available variable, negative phase first.
+    Naive,
+    /// QUBE(TO): literals ranked by (prefix level, VSIDS-like score, id).
+    /// On a prenex input the level ordering reproduces the total-order
+    /// priority queue of §VI.
+    VsidsLevel,
+    /// QUBE(PO): the tree-structured score of §VI — a literal's score is
+    /// its counter plus the maximum score of the literals one level deeper
+    /// *in its scope*, so outer literals always outrank their descendants
+    /// while SAT instances degenerate to plain VSIDS.
+    VsidsTree,
+    /// Uniform random candidate and phase (differential testing).
+    Random(u64),
+}
+
+/// Heuristic state: per-literal scores plus (for the tree variant) cached
+/// per-block subtree maxima.
+#[derive(Debug)]
+pub(crate) struct Brancher {
+    kind: HeuristicKind,
+    /// VSIDS-like score per literal code.
+    score: Vec<f64>,
+    /// Per-block maximum literal score over the whole subtree (tree mode).
+    subtree_max: Vec<f64>,
+    /// Whether scores changed since the last subtree refresh.
+    dirty: bool,
+    rng: u64,
+}
+
+impl Brancher {
+    pub(crate) fn new(kind: HeuristicKind, prefix: &Prefix, initial_counts: &[f64]) -> Self {
+        let rng = match kind {
+            HeuristicKind::Random(seed) => seed | 1,
+            _ => 0x9e3779b97f4a7c15,
+        };
+        Brancher {
+            kind,
+            score: initial_counts.to_vec(),
+            subtree_max: vec![0.0; prefix.num_blocks()],
+            dirty: true,
+            rng,
+        }
+    }
+
+    /// Bumps the literals of a freshly learned constraint (the paper
+    /// increments the occurrence counters when a constraint is added).
+    pub(crate) fn on_learn(&mut self, lits: &[Lit]) {
+        for &l in lits {
+            self.score[l.code()] += 1.0;
+        }
+        self.dirty = true;
+    }
+
+    /// Decrements scores when a learned constraint is forgotten.
+    pub(crate) fn on_forget(&mut self, lits: &[Lit]) {
+        for &l in lits {
+            self.score[l.code()] = (self.score[l.code()] - 1.0).max(0.0);
+        }
+        self.dirty = true;
+    }
+
+    /// Periodic decay: the paper halves the old score when the priority
+    /// queue is rearranged.
+    pub(crate) fn decay(&mut self) {
+        for s in &mut self.score {
+            *s /= 2.0;
+        }
+        self.dirty = true;
+    }
+
+    fn next_random(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Recomputes the per-block subtree maxima (tree mode). `O(blocks +
+    /// vars)`, but only runs when scores changed since the last refresh.
+    fn refresh_subtree_max(&mut self, prefix: &Prefix) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        // Post-order over the forest.
+        let order: Vec<_> = prefix.blocks_dfs().collect();
+        for &b in order.iter().rev() {
+            let mut m = 0.0f64;
+            for &c in prefix.block_children(b) {
+                m = m.max(self.subtree_max[c.index()]);
+            }
+            // literal score within this block = counter + max of children
+            let mut block_max = 0.0f64;
+            for &v in prefix.block_vars(b) {
+                let s = self.score[v.positive().code()].max(self.score[v.negative().code()]) + m;
+                block_max = block_max.max(s);
+            }
+            self.subtree_max[b.index()] = block_max;
+        }
+    }
+
+    /// Picks a branching literal among the candidate variables (all
+    /// available and unassigned). Returns `None` iff `candidates` is empty.
+    pub(crate) fn pick(&mut self, prefix: &Prefix, candidates: &[Var]) -> Option<Lit> {
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.kind {
+            HeuristicKind::Naive => {
+                let v = *candidates.iter().min().expect("non-empty");
+                Some(v.negative())
+            }
+            HeuristicKind::Random(_) => {
+                let i = (self.next_random() % candidates.len() as u64) as usize;
+                let v = candidates[i];
+                Some(v.lit(self.next_random() & 1 == 1))
+            }
+            HeuristicKind::VsidsLevel => {
+                let best = candidates
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        let (la, lb) = (prefix.level(a).unwrap_or(0), prefix.level(b).unwrap_or(0));
+                        la.cmp(&lb)
+                            .then_with(|| {
+                                self.var_score(b)
+                                    .partial_cmp(&self.var_score(a))
+                                    .expect("scores are finite")
+                            })
+                            .then_with(|| a.cmp(&b))
+                    })
+                    .expect("non-empty");
+                Some(self.phase(best))
+            }
+            HeuristicKind::VsidsTree => {
+                self.refresh_subtree_max(prefix);
+                let best = candidates
+                    .iter()
+                    .copied()
+                    .max_by(|&a, &b| {
+                        self.tree_score(prefix, a)
+                            .partial_cmp(&self.tree_score(prefix, b))
+                            .expect("scores are finite")
+                            .then_with(|| b.cmp(&a))
+                    })
+                    .expect("non-empty");
+                Some(self.phase(best))
+            }
+        }
+    }
+
+    fn var_score(&self, v: Var) -> f64 {
+        self.score[v.positive().code()].max(self.score[v.negative().code()])
+    }
+
+    /// §VI: counter of the literal plus the maximum score one prefix level
+    /// deeper in its scope (the cached child-subtree maxima).
+    fn tree_score(&self, prefix: &Prefix, v: Var) -> f64 {
+        let mut child_max = 0.0f64;
+        if let Some(b) = prefix.block_of(v) {
+            for &c in prefix.block_children(b) {
+                child_max = child_max.max(self.subtree_max[c.index()]);
+            }
+        }
+        self.var_score(v) + child_max
+    }
+
+    /// Phase selection: the polarity with the higher score (ties positive).
+    fn phase(&self, v: Var) -> Lit {
+        if self.score[v.negative().code()] > self.score[v.positive().code()] {
+            v.negative()
+        } else {
+            v.positive()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::Quantifier::*;
+
+    fn v(i: usize) -> Var {
+        Var::new(i)
+    }
+
+    fn paper_prefix() -> Prefix {
+        use crate::prefix::PrefixBuilder;
+        let mut b = PrefixBuilder::new(7);
+        let root = b.add_root(Exists, [v(0)]).unwrap();
+        let y1 = b.add_child(root, Forall, [v(1)]).unwrap();
+        b.add_child(y1, Exists, [v(2), v(3)]).unwrap();
+        let y2 = b.add_child(root, Forall, [v(4)]).unwrap();
+        b.add_child(y2, Exists, [v(5), v(6)]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn naive_picks_smallest_negative() {
+        let p = paper_prefix();
+        let mut h = Brancher::new(HeuristicKind::Naive, &p, &[0.0; 14]);
+        assert_eq!(h.pick(&p, &[v(3), v(1)]), Some(v(1).negative()));
+        assert_eq!(h.pick(&p, &[]), None);
+    }
+
+    #[test]
+    fn tree_score_dominates_ancestors() {
+        // §VI property 1: if |l| ≺ |l'| then score(l) ≥ score(l') (strictly
+        // greater with positive counters), so ancestors are picked first.
+        let p = paper_prefix();
+        let mut counts = vec![1.0; 14];
+        // make an inner literal very active
+        counts[v(2).positive().code()] = 10.0;
+        let mut h = Brancher::new(HeuristicKind::VsidsTree, &p, &counts);
+        h.refresh_subtree_max(&p);
+        assert!(h.tree_score(&p, v(0)) > h.tree_score(&p, v(2)));
+        assert!(h.tree_score(&p, v(1)) > h.tree_score(&p, v(2)));
+        // and the x0 score sees the hot subtree through y1
+        assert!(h.tree_score(&p, v(0)) >= 11.0);
+    }
+
+    #[test]
+    fn tree_mode_reduces_to_vsids_on_sat() {
+        // §VI property 2: with a single ∃ block (a SAT instance), the tree
+        // score equals the plain counter.
+        let p = Prefix::prenex(3, [(Exists, vec![v(0), v(1), v(2)])]).unwrap();
+        let mut counts = vec![0.0; 6];
+        counts[v(1).positive().code()] = 5.0;
+        let mut h = Brancher::new(HeuristicKind::VsidsTree, &p, &counts);
+        assert_eq!(h.pick(&p, &[v(0), v(1), v(2)]), Some(v(1).positive()));
+    }
+
+    #[test]
+    fn level_mode_prefers_outer_levels() {
+        let p = paper_prefix();
+        let mut counts = vec![0.0; 14];
+        counts[v(2).positive().code()] = 100.0;
+        let mut h = Brancher::new(HeuristicKind::VsidsLevel, &p, &counts);
+        // despite the huge inner score, the outer candidate wins on level
+        assert_eq!(h.pick(&p, &[v(0), v(2)]), Some(v(0).positive()));
+    }
+
+    #[test]
+    fn phase_follows_scores() {
+        let p = Prefix::prenex(1, [(Exists, vec![v(0)])]).unwrap();
+        let mut counts = vec![0.0; 2];
+        counts[v(0).negative().code()] = 3.0;
+        let mut h = Brancher::new(HeuristicKind::VsidsLevel, &p, &counts);
+        assert_eq!(h.pick(&p, &[v(0)]), Some(v(0).negative()));
+    }
+
+    #[test]
+    fn learn_and_decay_update_scores() {
+        let p = Prefix::prenex(1, [(Exists, vec![v(0)])]).unwrap();
+        let mut h = Brancher::new(HeuristicKind::VsidsLevel, &p, &[0.0; 2]);
+        h.on_learn(&[v(0).positive()]);
+        assert_eq!(h.var_score(v(0)), 1.0);
+        h.decay();
+        assert_eq!(h.var_score(v(0)), 0.5);
+        h.on_forget(&[v(0).positive()]);
+        assert_eq!(h.var_score(v(0)), 0.0);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let p = paper_prefix();
+        let cands = [v(0)];
+        let a = Brancher::new(HeuristicKind::Random(7), &p, &[0.0; 14])
+            .pick(&p, &cands)
+            .unwrap();
+        let b = Brancher::new(HeuristicKind::Random(7), &p, &[0.0; 14])
+            .pick(&p, &cands)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

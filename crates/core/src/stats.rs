@@ -1,0 +1,173 @@
+//! Instance statistics: the structural metrics the paper's experimental
+//! sections report about their benchmark families.
+
+use std::fmt;
+
+use crate::qbf::Qbf;
+
+/// Structural metrics of a QBF instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Total variable universe.
+    pub num_vars: usize,
+    /// Bound existential variables.
+    pub existentials: usize,
+    /// Bound universal variables.
+    pub universals: usize,
+    /// Number of clauses.
+    pub clauses: usize,
+    /// Total literal occurrences.
+    pub literals: usize,
+    /// Minimum / mean / maximum clause width.
+    pub clause_width: (usize, f64, usize),
+    /// Prefix level (number of alternations along the deepest chain).
+    pub prefix_level: u32,
+    /// Number of blocks in the quantifier forest.
+    pub blocks: usize,
+    /// Number of roots (independent subtrees).
+    pub roots: usize,
+    /// Whether the prefix is prenex.
+    pub prenex: bool,
+    /// Fraction (%) of (existential, universal) pairs left `≺`-unordered —
+    /// 100 means fully independent, 0 means totally ordered. This is the
+    /// structure a prenexing step would destroy (cf. footnote 9's PO/TO).
+    pub free_pair_percent: f64,
+}
+
+impl InstanceStats {
+    /// Computes the metrics of a QBF.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qbf_core::{samples, stats::InstanceStats};
+    /// let s = InstanceStats::of(&samples::paper_example());
+    /// assert_eq!(s.num_vars, 7);
+    /// assert_eq!(s.universals, 2);
+    /// assert_eq!(s.prefix_level, 3);
+    /// assert!(!s.prenex);
+    /// assert!(s.free_pair_percent > 0.0); // y1 vs x3/x4 etc. are free
+    /// ```
+    pub fn of(qbf: &Qbf) -> Self {
+        let prefix = qbf.prefix();
+        let mut existentials = 0;
+        let mut universals = 0;
+        for v in prefix.bound_vars() {
+            if prefix.is_universal(v) {
+                universals += 1;
+            } else {
+                existentials += 1;
+            }
+        }
+        let widths: Vec<usize> = qbf.matrix().iter().map(|c| c.len()).collect();
+        let literals: usize = widths.iter().sum();
+        let clause_width = if widths.is_empty() {
+            (0, 0.0, 0)
+        } else {
+            (
+                *widths.iter().min().expect("non-empty"),
+                literals as f64 / widths.len() as f64,
+                *widths.iter().max().expect("non-empty"),
+            )
+        };
+        // free (existential, universal) pairs
+        let e_vars: Vec<_> = prefix
+            .bound_vars()
+            .filter(|&v| prefix.is_existential(v))
+            .collect();
+        let a_vars: Vec<_> = prefix
+            .bound_vars()
+            .filter(|&v| prefix.is_universal(v))
+            .collect();
+        let total_pairs = e_vars.len() * a_vars.len();
+        let mut free = 0usize;
+        for &x in &e_vars {
+            for &y in &a_vars {
+                if !prefix.precedes(x, y) && !prefix.precedes(y, x) {
+                    free += 1;
+                }
+            }
+        }
+        InstanceStats {
+            num_vars: qbf.num_vars(),
+            existentials,
+            universals,
+            clauses: qbf.matrix().len(),
+            literals,
+            clause_width,
+            prefix_level: prefix.prefix_level(),
+            blocks: prefix.num_blocks(),
+            roots: prefix.roots().len(),
+            prenex: qbf.is_prenex(),
+            free_pair_percent: if total_pairs == 0 {
+                0.0
+            } else {
+                100.0 * free as f64 / total_pairs as f64
+            },
+        }
+    }
+}
+
+impl fmt::Display for InstanceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} vars ({}∃ / {}∀), {} clauses, {} literals",
+            self.num_vars, self.existentials, self.universals, self.clauses, self.literals
+        )?;
+        writeln!(
+            f,
+            "clause width min/mean/max: {}/{:.1}/{}",
+            self.clause_width.0, self.clause_width.1, self.clause_width.2
+        )?;
+        write!(
+            f,
+            "prefix: level {}, {} blocks, {} roots, {}; free ∃/∀ pairs: {:.1}%",
+            self.prefix_level,
+            self.blocks,
+            self.roots,
+            if self.prenex { "prenex" } else { "non-prenex" },
+            self.free_pair_percent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+
+    #[test]
+    fn paper_example_metrics() {
+        let s = InstanceStats::of(&samples::paper_example());
+        assert_eq!(s.existentials, 5);
+        assert_eq!(s.universals, 2);
+        assert_eq!(s.clauses, 8);
+        assert_eq!(s.clause_width.0, 2);
+        assert_eq!(s.clause_width.2, 3);
+        assert_eq!(s.blocks, 5);
+        assert_eq!(s.roots, 1);
+        // y1 is ordered against x0,x1,x2 but free against x3,x4 (and
+        // symmetrically y2): 4 free of 10 pairs.
+        assert!((s.free_pair_percent - 40.0).abs() < 1e-9);
+        let text = s.to_string();
+        assert!(text.contains("non-prenex"));
+        assert!(text.contains("40.0%"));
+    }
+
+    #[test]
+    fn prenex_has_no_free_pairs() {
+        let s = InstanceStats::of(&samples::exists_forall_xor());
+        assert!(s.prenex);
+        assert_eq!(s.free_pair_percent, 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        use crate::{Matrix, Prefix, Qbf};
+        let q = Qbf::new(Prefix::empty(0), Matrix::new(0)).unwrap();
+        let s = InstanceStats::of(&q);
+        assert_eq!(s.clauses, 0);
+        assert_eq!(s.clause_width, (0, 0.0, 0));
+    }
+}

@@ -1,0 +1,265 @@
+//! Variables, literals and quantifiers.
+//!
+//! A [`Var`] is a dense index into the tables of a formula (0-based
+//! internally, displayed 1-based like DIMACS). A [`Lit`] packs a variable and
+//! a sign into a single `u32`, so that literal-indexed tables can be addressed
+//! with [`Lit::code`].
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense 0-based index.
+///
+/// # Examples
+///
+/// ```
+/// use qbf_core::Var;
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "4"); // displayed 1-based, DIMACS style
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its 0-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit the packed literal representation
+    /// (`index >= u32::MAX / 2`).
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        assert!(index < (u32::MAX / 2) as usize, "variable index too large");
+        Var(index as u32)
+    }
+
+    /// The 0-based index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// The literal of this variable with the given sign.
+    #[inline]
+    pub fn lit(self, positive: bool) -> Lit {
+        Lit::new(self, positive)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0 + 1)
+    }
+}
+
+/// A literal: a variable together with a sign.
+///
+/// Internally packed as `var << 1 | sign` so that literals index arrays
+/// densely via [`Lit::code`]. The negation operator is overloaded:
+///
+/// ```
+/// use qbf_core::{Var, Lit};
+/// let l = Var::new(0).positive();
+/// assert_eq!(!l, Var::new(0).negative());
+/// assert_eq!(!!l, l);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable and a sign (`true` = positive).
+    #[inline]
+    pub fn new(var: Var, positive: bool) -> Self {
+        Lit(var.0 << 1 | positive as u32)
+    }
+
+    /// Creates a literal from a DIMACS-style non-zero integer
+    /// (`1` is the positive literal of the first variable, `-1` its negation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code == 0`.
+    pub fn from_dimacs(code: i64) -> Self {
+        assert!(code != 0, "DIMACS literal must be non-zero");
+        let var = Var::new(code.unsigned_abs() as usize - 1);
+        Lit::new(var, code > 0)
+    }
+
+    /// This literal as a DIMACS-style signed integer.
+    pub fn to_dimacs(self) -> i64 {
+        let v = self.var().index() as i64 + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// The variable `|l|` occurring in this literal.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this literal is the positive literal of its variable.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether this literal is the negative literal of its variable.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// A dense code suitable for indexing literal tables
+    /// (`2 * var + sign`).
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from its [`Lit::code`].
+    #[inline]
+    pub fn from_code(code: usize) -> Self {
+        Lit(code as u32)
+    }
+
+    /// The truth value this literal asserts for its variable.
+    #[inline]
+    pub fn phase(self) -> bool {
+        self.is_positive()
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dimacs())
+    }
+}
+
+/// The two kinds of quantifier binding a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Quantifier {
+    /// The existential quantifier `∃`.
+    Exists,
+    /// The universal quantifier `∀`.
+    Forall,
+}
+
+impl Quantifier {
+    /// The dual quantifier (`∃` ↔ `∀`).
+    #[inline]
+    pub fn dual(self) -> Self {
+        match self {
+            Quantifier::Exists => Quantifier::Forall,
+            Quantifier::Forall => Quantifier::Exists,
+        }
+    }
+
+    /// Whether this is the existential quantifier.
+    #[inline]
+    pub fn is_exists(self) -> bool {
+        matches!(self, Quantifier::Exists)
+    }
+
+    /// Whether this is the universal quantifier.
+    #[inline]
+    pub fn is_forall(self) -> bool {
+        matches!(self, Quantifier::Forall)
+    }
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quantifier::Exists => write!(f, "e"),
+            Quantifier::Forall => write!(f, "a"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_roundtrip() {
+        let v = Var::new(41);
+        assert_eq!(v.index(), 41);
+        assert_eq!(v.positive().var(), v);
+        assert_eq!(v.negative().var(), v);
+    }
+
+    #[test]
+    fn lit_packing() {
+        let v = Var::new(7);
+        let p = v.positive();
+        let n = v.negative();
+        assert!(p.is_positive());
+        assert!(n.is_negative());
+        assert_eq!(p.code(), 15);
+        assert_eq!(n.code(), 14);
+        assert_eq!(Lit::from_code(p.code()), p);
+    }
+
+    #[test]
+    fn lit_negation_is_involutive() {
+        let l = Var::new(3).positive();
+        assert_eq!(!l, Var::new(3).negative());
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+    }
+
+    #[test]
+    fn dimacs_conversion() {
+        assert_eq!(Lit::from_dimacs(5).to_dimacs(), 5);
+        assert_eq!(Lit::from_dimacs(-5).to_dimacs(), -5);
+        assert_eq!(Lit::from_dimacs(1).var(), Var::new(0));
+        assert_eq!(Lit::from_dimacs(-1), !Lit::from_dimacs(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimacs_zero_rejected() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn quantifier_dual() {
+        assert_eq!(Quantifier::Exists.dual(), Quantifier::Forall);
+        assert_eq!(Quantifier::Forall.dual(), Quantifier::Exists);
+        assert!(Quantifier::Exists.is_exists());
+        assert!(Quantifier::Forall.is_forall());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Var::new(0).to_string(), "1");
+        assert_eq!(Var::new(0).positive().to_string(), "1");
+        assert_eq!(Var::new(0).negative().to_string(), "-1");
+        assert_eq!(Quantifier::Exists.to_string(), "e");
+        assert_eq!(Quantifier::Forall.to_string(), "a");
+    }
+}

@@ -1,0 +1,317 @@
+//! Boolean formula ASTs with hash-consing-free structural sharing.
+//!
+//! [`Formula`] values are cheap to clone (an `Rc` handle) and the smart
+//! constructors perform light simplification: constant folding, flattening
+//! of nested conjunctions/disjunctions, double-negation elimination and
+//! unit unwrapping. This is the non-CNF substrate the paper's applications
+//! produce (circuit initial conditions `I(s)` and transition relations
+//! `T(s, s′)` of §VII-C) before clausification.
+
+use std::fmt;
+use std::rc::Rc;
+
+use qbf_core::Var;
+
+/// A node of a formula DAG. Obtain nodes through the [`Formula`]
+/// constructors, which simplify on the fly.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Node {
+    /// A boolean constant.
+    Const(bool),
+    /// A propositional variable.
+    Var(Var),
+    /// Negation.
+    Not(Formula),
+    /// N-ary conjunction (never empty, never nested `And` directly).
+    And(Vec<Formula>),
+    /// N-ary disjunction (never empty, never nested `Or` directly).
+    Or(Vec<Formula>),
+    /// Bi-implication.
+    Iff(Formula, Formula),
+}
+
+/// A shared boolean formula.
+///
+/// # Examples
+///
+/// ```
+/// use qbf_formula::Formula;
+/// use qbf_core::Var;
+/// let x = Formula::var(Var::new(0));
+/// let y = Formula::var(Var::new(1));
+/// let f = x.clone().and(y.clone().not());
+/// assert!(f.eval(&[true, false]));
+/// assert!(!f.eval(&[true, true]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Formula(Rc<Node>);
+
+impl Formula {
+    fn wrap(node: Node) -> Self {
+        Formula(Rc::new(node))
+    }
+
+    /// The underlying node.
+    pub fn node(&self) -> &Node {
+        &self.0
+    }
+
+    /// A stable pointer identity for memoization during clausification.
+    pub(crate) fn id(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+
+    /// The constant `true` or `false`.
+    pub fn constant(value: bool) -> Self {
+        Formula::wrap(Node::Const(value))
+    }
+
+    /// A variable.
+    pub fn var(v: Var) -> Self {
+        Formula::wrap(Node::Var(v))
+    }
+
+    /// A literal: the variable or its negation.
+    pub fn lit(v: Var, positive: bool) -> Self {
+        let f = Formula::var(v);
+        if positive {
+            f
+        } else {
+            f.not()
+        }
+    }
+
+    /// Whether this formula is the given constant.
+    pub fn is_const(&self, value: bool) -> bool {
+        matches!(self.node(), Node::Const(b) if *b == value)
+    }
+
+    /// Negation, with double-negation and constant elimination.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        match self.node() {
+            Node::Const(b) => Formula::constant(!b),
+            Node::Not(inner) => inner.clone(),
+            _ => Formula::wrap(Node::Not(self)),
+        }
+    }
+
+    /// N-ary conjunction with folding and flattening.
+    pub fn and_all<I: IntoIterator<Item = Formula>>(parts: I) -> Self {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p.node() {
+                Node::Const(true) => {}
+                Node::Const(false) => return Formula::constant(false),
+                Node::And(inner) => flat.extend(inner.iter().cloned()),
+                _ => flat.push(p),
+            }
+        }
+        match flat.len() {
+            0 => Formula::constant(true),
+            1 => flat.pop().expect("len checked"),
+            _ => Formula::wrap(Node::And(flat)),
+        }
+    }
+
+    /// N-ary disjunction with folding and flattening.
+    pub fn or_all<I: IntoIterator<Item = Formula>>(parts: I) -> Self {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p.node() {
+                Node::Const(false) => {}
+                Node::Const(true) => return Formula::constant(true),
+                Node::Or(inner) => flat.extend(inner.iter().cloned()),
+                _ => flat.push(p),
+            }
+        }
+        match flat.len() {
+            0 => Formula::constant(false),
+            1 => flat.pop().expect("len checked"),
+            _ => Formula::wrap(Node::Or(flat)),
+        }
+    }
+
+    /// Binary conjunction.
+    pub fn and(self, other: Formula) -> Self {
+        Formula::and_all([self, other])
+    }
+
+    /// Binary disjunction.
+    pub fn or(self, other: Formula) -> Self {
+        Formula::or_all([self, other])
+    }
+
+    /// Implication `self → other`.
+    pub fn implies(self, other: Formula) -> Self {
+        self.not().or(other)
+    }
+
+    /// Bi-implication with constant folding.
+    pub fn iff(self, other: Formula) -> Self {
+        match (self.node(), other.node()) {
+            (Node::Const(true), _) => other,
+            (_, Node::Const(true)) => self,
+            (Node::Const(false), _) => other.not(),
+            (_, Node::Const(false)) => self.not(),
+            _ => Formula::wrap(Node::Iff(self, other)),
+        }
+    }
+
+    /// Exclusive or.
+    pub fn xor(self, other: Formula) -> Self {
+        self.iff(other).not()
+    }
+
+    /// Evaluates under a total assignment indexed by variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula mentions a variable `>= assignment.len()`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self.node() {
+            Node::Const(b) => *b,
+            Node::Var(v) => assignment[v.index()],
+            Node::Not(f) => !f.eval(assignment),
+            Node::And(fs) => fs.iter().all(|f| f.eval(assignment)),
+            Node::Or(fs) => fs.iter().any(|f| f.eval(assignment)),
+            Node::Iff(a, b) => a.eval(assignment) == b.eval(assignment),
+        }
+    }
+
+    /// Collects the variables occurring in the formula into `seen`.
+    pub fn collect_vars(&self, seen: &mut Vec<bool>) {
+        match self.node() {
+            Node::Const(_) => {}
+            Node::Var(v) => {
+                if v.index() >= seen.len() {
+                    seen.resize(v.index() + 1, false);
+                }
+                seen[v.index()] = true;
+            }
+            Node::Not(f) => f.collect_vars(seen),
+            Node::And(fs) | Node::Or(fs) => {
+                for f in fs {
+                    f.collect_vars(seen);
+                }
+            }
+            Node::Iff(a, b) => {
+                a.collect_vars(seen);
+                b.collect_vars(seen);
+            }
+        }
+    }
+
+    /// The largest variable index occurring, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        let mut seen = Vec::new();
+        self.collect_vars(&mut seen);
+        seen.iter().rposition(|&b| b)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node() {
+            Node::Const(b) => write!(f, "{b}"),
+            Node::Var(v) => write!(f, "v{v}"),
+            Node::Not(g) => write!(f, "!{g}"),
+            Node::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Node::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Node::Iff(a, b) => write!(f, "({a} <-> {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Formula {
+        Formula::var(Var::new(i))
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert!(Formula::constant(true).and(v(0)).eval(&[true]));
+        assert!(Formula::constant(false).or(v(0)).eval(&[true]));
+        assert!(Formula::constant(false)
+            .and(v(0))
+            .is_const(false));
+        assert!(Formula::constant(true).or(v(0)).is_const(true));
+        assert!(Formula::and_all([]).is_const(true));
+        assert!(Formula::or_all([]).is_const(false));
+    }
+
+    #[test]
+    fn double_negation() {
+        let f = v(0).not().not();
+        assert_eq!(f, v(0));
+    }
+
+    #[test]
+    fn flattening() {
+        let f = v(0).and(v(1)).and(v(2));
+        match f.node() {
+            Node::And(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected flat And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truth_tables() {
+        let x = v(0);
+        let y = v(1);
+        for a in [false, true] {
+            for b in [false, true] {
+                let env = [a, b];
+                assert_eq!(x.clone().and(y.clone()).eval(&env), a && b);
+                assert_eq!(x.clone().or(y.clone()).eval(&env), a || b);
+                assert_eq!(x.clone().implies(y.clone()).eval(&env), !a || b);
+                assert_eq!(x.clone().iff(y.clone()).eval(&env), a == b);
+                assert_eq!(x.clone().xor(y.clone()).eval(&env), a != b);
+                assert_eq!(x.clone().not().eval(&env), !a);
+            }
+        }
+    }
+
+    #[test]
+    fn iff_constant_folding() {
+        assert_eq!(v(0).iff(Formula::constant(true)), v(0));
+        assert_eq!(v(0).iff(Formula::constant(false)), v(0).not());
+    }
+
+    #[test]
+    fn var_collection() {
+        let f = v(0).and(v(3)).or(v(1).not());
+        let mut seen = Vec::new();
+        f.collect_vars(&mut seen);
+        assert_eq!(seen, vec![true, true, false, true]);
+        assert_eq!(f.max_var(), Some(3));
+        assert_eq!(Formula::constant(true).max_var(), None);
+    }
+
+    #[test]
+    fn display_readable() {
+        let f = v(0).and(v(1).not());
+        assert_eq!(f.to_string(), "(v1 & !v2)");
+    }
+}

@@ -1,0 +1,378 @@
+//! Polarity-aware definitional CNF conversion (Plaisted–Greenbaum style,
+//! in the spirit of the clause-form conversions of Jackson & Sheridan that
+//! the paper's diameter encoding uses).
+//!
+//! Clausification introduces fresh *auxiliary* variables. The caller owns
+//! the variable universe through a [`VarAlloc`]: substrates that place the
+//! clauses under quantifiers (e.g. the diameter QBFs of §VII-C) can route
+//! the reported auxiliary variables into the correct (innermost
+//! existential) block of the prefix.
+
+use std::collections::HashMap;
+
+use qbf_core::{Clause, Lit, Var};
+
+use crate::ast::{Formula, Node};
+
+/// A monotone allocator of fresh variables.
+#[derive(Debug, Clone)]
+pub struct VarAlloc {
+    next: usize,
+}
+
+impl VarAlloc {
+    /// An allocator whose next fresh variable is `first_free`.
+    pub fn new(first_free: usize) -> Self {
+        VarAlloc { next: first_free }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh(&mut self) -> Var {
+        let v = Var::new(self.next);
+        self.next += 1;
+        v
+    }
+
+    /// The size of the universe allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.next
+    }
+}
+
+/// The product of clausification: clauses asserting the input formula, plus
+/// the auxiliary variables that were introduced (all implicitly
+/// existential, to be bound innermost by the caller).
+#[derive(Debug, Clone)]
+pub struct Clausified {
+    /// Clauses over input + auxiliary variables.
+    pub clauses: Vec<Clause>,
+    /// Fresh variables introduced by the conversion.
+    pub aux: Vec<Var>,
+}
+
+struct Ctx<'a> {
+    alloc: &'a mut VarAlloc,
+    clauses: Vec<Clause>,
+    aux: Vec<Var>,
+    /// node id → (aux literal, positive side emitted, negative side emitted)
+    cache: HashMap<usize, (Lit, bool, bool)>,
+}
+
+impl Ctx<'_> {
+    fn clause(&mut self, lits: Vec<Lit>) {
+        // A tautological defining clause is simply true: drop it.
+        if let Ok(c) = Clause::new(lits) {
+            self.clauses.push(c);
+        }
+    }
+
+    /// Returns a literal equivalent (in the given polarity) to `f`,
+    /// emitting defining clauses as needed.
+    fn lit_for(&mut self, f: &Formula, polarity: bool) -> Lit {
+        match f.node() {
+            Node::Const(_) => unreachable!(
+                "smart constructors fold constants away below the root"
+            ),
+            Node::Var(v) => v.positive(),
+            Node::Not(g) => !self.lit_for(g, !polarity),
+            Node::And(parts) => {
+                let a = self.define(f);
+                if polarity && !self.mark(f, true) {
+                    // a → ∧ parts
+                    let part_lits: Vec<Lit> =
+                        parts.iter().map(|p| self.lit_for(p, true)).collect();
+                    for pl in part_lits {
+                        self.clause(vec![!a, pl]);
+                    }
+                }
+                if !polarity && !self.mark(f, false) {
+                    // ∧ parts → a
+                    let mut lits: Vec<Lit> =
+                        parts.iter().map(|p| !self.lit_for(p, false)).collect();
+                    lits.push(a);
+                    self.clause(lits);
+                }
+                a
+            }
+            Node::Or(parts) => {
+                let a = self.define(f);
+                if polarity && !self.mark(f, true) {
+                    // a → ∨ parts
+                    let mut lits: Vec<Lit> =
+                        parts.iter().map(|p| self.lit_for(p, true)).collect();
+                    lits.push(!a);
+                    self.clause(lits);
+                }
+                if !polarity && !self.mark(f, false) {
+                    // ∨ parts → a
+                    let part_lits: Vec<Lit> =
+                        parts.iter().map(|p| self.lit_for(p, false)).collect();
+                    for pl in part_lits {
+                        self.clause(vec![a, !pl]);
+                    }
+                }
+                a
+            }
+            Node::Iff(x, y) => {
+                let a = self.define(f);
+                // Iff children occur in both polarities on either side.
+                let xp = self.lit_for(x, polarity);
+                let xn = self.lit_for(x, !polarity);
+                let yp = self.lit_for(y, polarity);
+                let yn = self.lit_for(y, !polarity);
+                if polarity && !self.mark(f, true) {
+                    self.clause(vec![!a, !xn, yp]);
+                    self.clause(vec![!a, xp, !yn]);
+                }
+                if !polarity && !self.mark(f, false) {
+                    self.clause(vec![a, xp, yp]);
+                    self.clause(vec![a, !xn, !yn]);
+                }
+                a
+            }
+        }
+    }
+
+    /// The auxiliary literal naming node `f` (allocated once).
+    fn define(&mut self, f: &Formula) -> Lit {
+        if let Some(&(l, _, _)) = self.cache.get(&f.id()) {
+            return l;
+        }
+        let v = self.alloc.fresh();
+        self.aux.push(v);
+        let l = v.positive();
+        self.cache.insert(f.id(), (l, false, false));
+        l
+    }
+
+    /// Marks the polarity side as emitted, returning the previous state.
+    fn mark(&mut self, f: &Formula, polarity: bool) -> bool {
+        let entry = self.cache.get_mut(&f.id()).expect("defined before marked");
+        if polarity {
+            let was = entry.1;
+            entry.1 = true;
+            was
+        } else {
+            let was = entry.2;
+            entry.2 = true;
+            was
+        }
+    }
+
+    /// Asserts `f`, avoiding an auxiliary for the top-level conjunctive
+    /// spine and for top-level clauses.
+    fn assert_top(&mut self, f: &Formula) {
+        match f.node() {
+            Node::Const(true) => {}
+            Node::Const(false) => self.clauses.push(Clause::empty()),
+            Node::And(parts) => {
+                let parts = parts.clone();
+                for p in &parts {
+                    self.assert_top(p);
+                }
+            }
+            Node::Or(parts) => {
+                let parts = parts.clone();
+                let lits: Vec<Lit> = parts.iter().map(|p| self.lit_for(p, true)).collect();
+                self.clause(lits);
+            }
+            _ => {
+                let l = self.lit_for(f, true);
+                self.clause(vec![l]);
+            }
+        }
+    }
+}
+
+/// Clausifies `f`: the returned clauses are satisfiable by an extension of
+/// an input assignment to the auxiliary variables **iff** `f` evaluates to
+/// true under that input assignment (polarity-aware definitional CNF).
+///
+/// # Examples
+///
+/// ```
+/// use qbf_core::Var;
+/// use qbf_formula::{clausify, Formula, VarAlloc};
+/// let x = Formula::var(Var::new(0));
+/// let y = Formula::var(Var::new(1));
+/// let mut alloc = VarAlloc::new(2);
+/// let out = clausify(&x.or(y).not(), &mut alloc);
+/// // ¬(x ∨ y) clausifies without auxiliaries: two unit clauses.
+/// assert_eq!(out.clauses.len(), 2);
+/// assert!(out.aux.is_empty());
+/// ```
+pub fn clausify(f: &Formula, alloc: &mut VarAlloc) -> Clausified {
+    let mut ctx = Ctx {
+        alloc,
+        clauses: Vec::new(),
+        aux: Vec::new(),
+        cache: HashMap::new(),
+    };
+    // Push negations inward over the top-level spine first: ¬(a ∨ b) is two
+    // asserted negations, not an auxiliary definition.
+    let f = push_top_negation(f);
+    ctx.assert_top(&f);
+    Clausified {
+        clauses: ctx.clauses,
+        aux: ctx.aux,
+    }
+}
+
+/// Rewrites `¬(∧…)`/`¬(∨…)`/`¬(a↔b)` at the top into the dual connective so
+/// that [`Ctx::assert_top`] can keep decomposing without auxiliaries.
+fn push_top_negation(f: &Formula) -> Formula {
+    if let Node::Not(g) = f.node() {
+        match g.node() {
+            Node::And(parts) => {
+                return Formula::or_all(parts.iter().map(|p| push_top_negation(&p.clone().not())));
+            }
+            Node::Or(parts) => {
+                return Formula::and_all(parts.iter().map(|p| push_top_negation(&p.clone().not())));
+            }
+            Node::Iff(a, b) => {
+                return a.clone().iff(b.clone().not());
+            }
+            _ => {}
+        }
+    } else if let Node::And(parts) = f.node() {
+        return Formula::and_all(parts.iter().map(push_top_negation));
+    }
+    f.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbf_core::{Matrix, Prefix, Qbf, Quantifier};
+
+    fn v(i: usize) -> Formula {
+        Formula::var(Var::new(i))
+    }
+
+    /// SAT check via the qbf-core solver: do the clauses extend `inputs`?
+    fn sat_with_inputs(out: &Clausified, num_vars: usize, inputs: &[bool]) -> bool {
+        let mut clauses = out.clauses.clone();
+        for (i, &b) in inputs.iter().enumerate() {
+            clauses.push(
+                Clause::new([Var::new(i).lit(b)]).expect("unit clause"),
+            );
+        }
+        let all: Vec<Var> = (0..num_vars).map(Var::new).collect();
+        let prefix = Prefix::prenex(num_vars, [(Quantifier::Exists, all)]).unwrap();
+        let qbf = Qbf::new(prefix, Matrix::from_clauses(num_vars, clauses)).unwrap();
+        qbf_core::solver::Solver::new(&qbf, qbf_core::solver::SolverConfig::partial_order())
+            .solve()
+            .value()
+            .expect("no budget set")
+    }
+
+    fn check_equisat(f: &Formula, num_inputs: usize) {
+        let mut alloc = VarAlloc::new(num_inputs);
+        let out = clausify(f, &mut alloc);
+        for bits in 0..(1u32 << num_inputs) {
+            let inputs: Vec<bool> = (0..num_inputs).map(|i| bits >> i & 1 == 1).collect();
+            let expected = f.eval(&inputs);
+            let got = sat_with_inputs(&out, alloc.num_vars(), &inputs);
+            assert_eq!(got, expected, "inputs {inputs:?} for {f}");
+        }
+    }
+
+    #[test]
+    fn literal_and_constants() {
+        let mut alloc = VarAlloc::new(1);
+        let out = clausify(&v(0), &mut alloc);
+        assert_eq!(out.clauses.len(), 1);
+        assert!(out.aux.is_empty());
+        let out = clausify(&Formula::constant(true), &mut alloc);
+        assert!(out.clauses.is_empty());
+        let out = clausify(&Formula::constant(false), &mut alloc);
+        assert!(out.clauses[0].is_empty());
+    }
+
+    #[test]
+    fn simple_connectives_equisat() {
+        check_equisat(&v(0).and(v(1)), 2);
+        check_equisat(&v(0).or(v(1)), 2);
+        check_equisat(&v(0).iff(v(1)), 2);
+        check_equisat(&v(0).xor(v(1)), 2);
+        check_equisat(&v(0).implies(v(1)), 2);
+        check_equisat(&v(0).and(v(1)).not(), 2);
+    }
+
+    #[test]
+    fn nested_formulas_equisat() {
+        let f = v(0).and(v(1).or(v(2).not())).iff(v(3).xor(v(0)));
+        check_equisat(&f, 4);
+        let g = Formula::or_all([
+            v(0).and(v(1)),
+            v(2).and(v(3).not()),
+            v(1).iff(v(2)),
+        ])
+        .not();
+        check_equisat(&g, 4);
+    }
+
+    #[test]
+    fn shared_subformulas_define_one_aux() {
+        let shared = v(0).and(v(1));
+        let f = Formula::or_all([shared.clone(), shared.clone().iff(v(2))]);
+        let mut alloc = VarAlloc::new(3);
+        let out = clausify(&f, &mut alloc);
+        // `shared` is defined once despite two occurrences.
+        let shared_defs = out.aux.len();
+        assert!(shared_defs <= 3, "expected few auxiliaries, got {shared_defs}");
+        check_equisat(&f, 3);
+    }
+
+    #[test]
+    fn top_level_conjunction_has_no_aux_spine() {
+        let f = Formula::and_all([v(0), v(1).not(), v(2).or(v(3))]);
+        let mut alloc = VarAlloc::new(4);
+        let out = clausify(&f, &mut alloc);
+        assert!(out.aux.is_empty(), "pure clausal input needs no auxiliaries");
+        assert_eq!(out.clauses.len(), 3);
+    }
+
+    #[test]
+    fn negated_conjunction_becomes_clause() {
+        // ¬(x ∧ y) should become the single clause (¬x ∨ ¬y).
+        let f = v(0).and(v(1)).not();
+        let mut alloc = VarAlloc::new(2);
+        let out = clausify(&f, &mut alloc);
+        assert!(out.aux.is_empty());
+        assert_eq!(out.clauses.len(), 1);
+        assert_eq!(out.clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn random_formulas_equisat() {
+        // Deterministic pseudo-random formula fuzz.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545f4914f6cdd1d)
+        };
+        for _ in 0..40 {
+            let f = random_formula(&mut next, 3, 4);
+            check_equisat(&f, 4);
+        }
+    }
+
+    fn random_formula(next: &mut impl FnMut() -> u64, depth: usize, num_vars: usize) -> Formula {
+        if depth == 0 || next().is_multiple_of(5) {
+            let var = v((next() % num_vars as u64) as usize);
+            return if next().is_multiple_of(2) { var } else { var.not() };
+        }
+        match next() % 4 {
+            0 => random_formula(next, depth - 1, num_vars)
+                .and(random_formula(next, depth - 1, num_vars)),
+            1 => random_formula(next, depth - 1, num_vars)
+                .or(random_formula(next, depth - 1, num_vars)),
+            2 => random_formula(next, depth - 1, num_vars)
+                .iff(random_formula(next, depth - 1, num_vars)),
+            _ => random_formula(next, depth - 1, num_vars).not(),
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # qbf-formula
+//!
+//! The propositional (non-CNF) formula substrate of the quantifier-structure
+//! reproduction: boolean formula DAGs with simplifying constructors and a
+//! polarity-aware definitional CNF conversion.
+//!
+//! The paper's applications (§VII-C diameter calculation in particular)
+//! produce arbitrary boolean structure — initial-state predicates `I(s)`,
+//! transition relations `T(s, s′)`, vector equalities — that must be
+//! clausified before a CNF-matrix QBF solver can run. Clausification
+//! introduces auxiliary variables; this crate reports them so callers can
+//! bind them in the correct (innermost existential) position of the
+//! quantifier prefix, exactly as the variable `x` of the paper's example
+//! prefixes (18)/(19).
+//!
+//! # Examples
+//!
+//! ```
+//! use qbf_core::Var;
+//! use qbf_formula::{clausify, Formula, VarAlloc};
+//!
+//! let x = Formula::var(Var::new(0));
+//! let y = Formula::var(Var::new(1));
+//! let f = x.clone().iff(y.clone()).not(); // x xor y
+//! let mut alloc = VarAlloc::new(2);
+//! let cnf = clausify(&f, &mut alloc);
+//! assert!(!cnf.clauses.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ast;
+mod cnf;
+
+pub use ast::{Formula, Node};
+pub use cnf::{clausify, Clausified, VarAlloc};

@@ -1,0 +1,244 @@
+//! The FPV suite: formal-property-verification-style non-prenex QBFs
+//! (§VII-B).
+//!
+//! The paper's FPV instances come from model checking early requirements of
+//! web-service compositions (Tropos, [9]/[29]); each model-checking problem
+//! yields non-prenex QBFs. Those models are not available, so this module
+//! generates a synthetic family with the structural signature the paper
+//! attributes to FPV: a *shallow* quantifier tree — one shared existential
+//! configuration block over several independent `∀ environment ∃ response`
+//! subtrees (one per requirement branch), optionally one alternation
+//! deeper. On such instances the PO/TO separation is real but less
+//! dramatic than on NCF, and TO occasionally wins, which is exactly the
+//! Fig. 4 picture.
+
+use qbf_core::{Clause, Matrix, PrefixBuilder, Qbf, Quantifier, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the FPV-style generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpvParams {
+    /// Shared existential configuration variables at the root.
+    pub config_vars: u32,
+    /// Number of independent requirement branches (subtrees).
+    pub branches: u32,
+    /// Alternation depth of each branch (1 = `∀∃`, 2 = `∀∃∀∃`).
+    pub branch_depth: u32,
+    /// Variables per block inside a branch.
+    pub block_vars: u32,
+    /// Clauses per branch.
+    pub clauses_per_branch: u32,
+    /// Literals per clause.
+    pub lpc: u32,
+}
+
+impl FpvParams {
+    /// A grid of settings around the phase transition (calibrated so runs
+    /// range from trivial to near-timeout, with both TO and PO wins).
+    pub fn grid() -> Vec<FpvParams> {
+        let mut grid = Vec::new();
+        for branches in [2, 3, 4] {
+            for branch_depth in [1, 2] {
+                for block_vars in [6, 8] {
+                    for ratio in [8, 10] {
+                        grid.push(FpvParams {
+                            config_vars: 4,
+                            branches,
+                            branch_depth,
+                            block_vars,
+                            clauses_per_branch: ratio * block_vars * branch_depth,
+                            lpc: 5,
+                        });
+                    }
+                }
+            }
+        }
+        grid
+    }
+}
+
+impl std::fmt::Display for FpvParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fpv(cfg={}, br={}, depth={}, blk={}, cls={}, lpc={})",
+            self.config_vars,
+            self.branches,
+            self.branch_depth,
+            self.block_vars,
+            self.clauses_per_branch,
+            self.lpc
+        )
+    }
+}
+
+/// Generates one FPV-style instance (non-prenex).
+///
+/// # Examples
+///
+/// ```
+/// use qbf_gen::{fpv, FpvParams};
+/// let p = FpvParams { config_vars: 3, branches: 3, branch_depth: 1,
+///                     block_vars: 2, clauses_per_branch: 6, lpc: 3 };
+/// let q = fpv(&p, 11);
+/// assert!(!q.is_prenex());
+/// assert_eq!(q.prefix().roots().len(), 1);
+/// assert_eq!(q.prefix().block_children(q.prefix().roots()[0]).len(), 3);
+/// ```
+pub fn fpv(params: &FpvParams, seed: u64) -> Qbf {
+    assert!(params.config_vars >= 1 && params.block_vars >= 1 && params.lpc >= 2);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995_9d5c_8d1b);
+    let mut next_var = 0usize;
+    let mut fresh = |n: u32| -> Vec<Var> {
+        let vars: Vec<Var> = (0..n as usize).map(|i| Var::new(next_var + i)).collect();
+        next_var += n as usize;
+        vars
+    };
+
+    let config = fresh(params.config_vars);
+    // Reserve branch blocks: per branch, alternating ∀/∃ blocks.
+    let mut branch_blocks: Vec<Vec<(Quantifier, Vec<Var>)>> = Vec::new();
+    for _ in 0..params.branches {
+        let mut blocks = Vec::new();
+        for level in 0..(2 * params.branch_depth) {
+            let quant = if level % 2 == 0 {
+                Quantifier::Forall
+            } else {
+                Quantifier::Exists
+            };
+            blocks.push((quant, fresh(params.block_vars)));
+        }
+        branch_blocks.push(blocks);
+    }
+
+    // Clauses: per branch, mixing universal environment literals with
+    // existential config/response literals (Chen–Interian style, keeping
+    // the instances near the phase transition instead of trivially easy).
+    let mut clauses = Vec::new();
+    for blocks in &branch_blocks {
+        let mut existentials: Vec<Var> = config.clone();
+        let mut universals: Vec<Var> = Vec::new();
+        let mut responses: Vec<Var> = Vec::new();
+        for (q, vars) in blocks {
+            if q.is_exists() {
+                existentials.extend(vars.iter().copied());
+                responses.extend(vars.iter().copied());
+            } else {
+                universals.extend(vars.iter().copied());
+            }
+        }
+        let n_univ = (params.lpc / 2).max(1);
+        let n_exist = (params.lpc - n_univ).max(1);
+        for _ in 0..params.clauses_per_branch {
+            let clause = loop {
+                let mut lits = Vec::new();
+                // one guaranteed response literal anchors the clause in the
+                // branch's existential scope
+                let v = responses[rng.gen_range(0..responses.len())];
+                lits.push(v.lit(rng.gen_bool(0.5)));
+                for _ in 1..n_exist {
+                    let v = existentials[rng.gen_range(0..existentials.len())];
+                    lits.push(v.lit(rng.gen_bool(0.5)));
+                }
+                for _ in 0..n_univ {
+                    let v = universals[rng.gen_range(0..universals.len())];
+                    lits.push(v.lit(rng.gen_bool(0.5)));
+                }
+                if let Ok(c) = Clause::new(lits) {
+                    break c;
+                }
+            };
+            clauses.push(clause);
+        }
+    }
+
+    let mut builder = PrefixBuilder::new(next_var);
+    let root = builder
+        .add_root(Quantifier::Exists, config)
+        .expect("fresh variables");
+    for blocks in branch_blocks {
+        let mut parent = root;
+        for (quant, vars) in blocks {
+            parent = builder
+                .add_child(parent, quant, vars)
+                .expect("fresh variables");
+        }
+    }
+    let prefix = builder.finish().expect("valid tree");
+    let matrix = Matrix::from_clauses(next_var, clauses);
+    Qbf::new(prefix, matrix).expect("clauses mention bound variables only")
+}
+
+/// Draws `count` seeded instances for one parameter setting.
+pub fn fpv_batch(params: &FpvParams, base_seed: u64, count: usize) -> Vec<Qbf> {
+    (0..count as u64)
+        .map(|i| fpv(params, base_seed.wrapping_add(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbf_core::semantics;
+    use qbf_core::solver::{Solver, SolverConfig};
+
+    fn small() -> FpvParams {
+        FpvParams {
+            config_vars: 2,
+            branches: 2,
+            branch_depth: 1,
+            block_vars: 1,
+            clauses_per_branch: 4,
+            lpc: 3,
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(fpv(&small(), 3), fpv(&small(), 3));
+        assert_ne!(fpv(&small(), 3), fpv(&small(), 4));
+    }
+
+    #[test]
+    fn shape() {
+        let p = FpvParams {
+            config_vars: 3,
+            branches: 4,
+            branch_depth: 2,
+            block_vars: 2,
+            clauses_per_branch: 5,
+            lpc: 3,
+        };
+        let q = fpv(&p, 0);
+        let prefix = q.prefix();
+        assert_eq!(prefix.roots().len(), 1);
+        let root = prefix.roots()[0];
+        assert_eq!(prefix.block_children(root).len(), 4);
+        assert_eq!(prefix.prefix_level(), 1 + 2 * p.branch_depth);
+        assert_eq!(
+            q.matrix().len(),
+            (p.branches * p.clauses_per_branch) as usize
+        );
+    }
+
+    #[test]
+    fn solver_agrees_with_semantics() {
+        for seed in 0..10 {
+            let q = fpv(&small(), seed);
+            let expected = semantics::eval(&q);
+            for config in [SolverConfig::partial_order(), SolverConfig::basic()] {
+                assert_eq!(
+                    Solver::new(&q, config).solve().value(),
+                    Some(expected),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_is_nonempty() {
+        assert!(FpvParams::grid().len() >= 20);
+    }
+}

@@ -1,0 +1,41 @@
+//! # qbf-gen
+//!
+//! Benchmark instance generators for the experimental suites of
+//! *“Quantifier structure in search based procedures for QBFs”* (§VII):
+//!
+//! * [`ncf`] — nested-counterfactual-style non-prenex QBFs
+//!   (〈DEP, VAR, CLS, LPC〉 parameterization of §VII-A);
+//! * [`fpv`] — formal-property-verification-style shallow non-prenex QBFs
+//!   (§VII-B);
+//! * [`rand_qbf`] — random prenex QBFs, stratified fixed-clause-length
+//!   model with latent locality (the random part of the PROB class of
+//!   §VII-D);
+//! * [`bomb_in_toilet`] — conformant planning QBFs (the structured part of
+//!   the PROB class: reference 36 of the paper);
+//! * [`fixed`] — structured prenex QBFs hiding independent groups (the
+//!   FIXED class of §VII-D).
+//!
+//! All generators are deterministic per seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use qbf_gen::{ncf, NcfParams};
+//! let q = ncf(&NcfParams { dep: 4, var: 2, cls_ratio: 2, lpc: 3 }, 42);
+//! assert!(!q.is_prenex());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod fixed;
+mod fpv;
+mod ncf;
+mod planning;
+mod rand_qbf;
+
+pub use fixed::{fixed, fixed_batch, FixedInstance, FixedParams};
+pub use fpv::{fpv, fpv_batch, FpvParams};
+pub use ncf::{ncf, ncf_batch, NcfParams};
+pub use planning::{bomb_in_toilet, PlanningParams};
+pub use rand_qbf::{rand_batch, rand_qbf, RandParams};

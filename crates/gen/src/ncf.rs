@@ -1,0 +1,323 @@
+//! The NCF suite: nested-counterfactual-style non-prenex QBFs (§VII-A).
+//!
+//! The paper uses the generator of Egly, Seidl, Tompits, Woltran and Zolda
+//! [12], which encodes nested counterfactual reasoning problems into
+//! non-prenex QBFs parameterized by 〈DEP, VAR, CLS, LPC〉. The original
+//! tool is not available; this module re-implements the published
+//! parameterization: instances are quantifier *trees* of alternation depth
+//! `DEP` whose scopes hold `VAR` fresh variables each, with `CLS/VAR`
+//! random clauses of `LPC` literals attached per scope, drawn from the
+//! variables visible on the scope's root path. This preserves what the
+//! paper's experiment measures: deep non-prenex trees whose sibling scopes
+//! are `≺`-incomparable, which a prenexing strategy must serialize.
+
+use qbf_core::{Clause, Matrix, PrefixBuilder, Qbf, Quantifier, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the NCF generator, mirroring 〈DEP, VAR, CLS, LPC〉.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NcfParams {
+    /// Alternation depth of the quantifier tree (the paper fixes 6).
+    pub dep: u32,
+    /// Variables per scope (the paper varies 4, 8, 16).
+    pub var: u32,
+    /// Clauses per scope = `cls_ratio * var` (the paper varies the ratio
+    /// CLS/VAR in 1..=5).
+    pub cls_ratio: u32,
+    /// Literals per clause (the paper varies 3..=6).
+    pub lpc: u32,
+}
+
+impl NcfParams {
+    /// The paper's full parameter grid (DEP = 6).
+    pub fn paper_grid() -> Vec<NcfParams> {
+        let mut grid = Vec::new();
+        for var in [4, 8, 16] {
+            for cls_ratio in 1..=5 {
+                for lpc in 3..=6 {
+                    grid.push(NcfParams {
+                        dep: 6,
+                        var,
+                        cls_ratio,
+                        lpc,
+                    });
+                }
+            }
+        }
+        grid
+    }
+
+    /// A downscaled grid for quick runs: around the phase transition at
+    /// DEP = 6 with small scopes.
+    pub fn small_grid() -> Vec<NcfParams> {
+        let mut grid = Vec::new();
+        for (var, cls_ratio) in [(4, 3), (4, 4), (4, 5), (8, 2), (8, 3), (8, 4)] {
+            grid.push(NcfParams {
+                dep: 6,
+                var,
+                cls_ratio,
+                lpc: 5,
+            });
+        }
+        grid
+    }
+}
+
+impl std::fmt::Display for NcfParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ncf(dep={}, var={}, cls/var={}, lpc={})",
+            self.dep, self.var, self.cls_ratio, self.lpc
+        )
+    }
+}
+
+struct Gen<'a> {
+    rng: StdRng,
+    params: &'a NcfParams,
+    next_var: usize,
+    clauses: Vec<Clause>,
+}
+
+impl Gen<'_> {
+    fn fresh_block(&mut self) -> Vec<Var> {
+        let vars: Vec<Var> = (0..self.params.var)
+            .map(|i| Var::new(self.next_var + i as usize))
+            .collect();
+        self.next_var += self.params.var as usize;
+        vars
+    }
+
+    /// Generates clauses for an existential scope: each clause mixes
+    /// `⌊lpc/2⌋` universal literals from the ancestor ∀ blocks with
+    /// existential literals from the path (at least one from the current
+    /// block), the Chen–Interian recipe that puts random QBFs near their
+    /// phase transition. A clause without existential literals would be
+    /// contradictory by Lemma 4, which real encodings do not produce.
+    fn emit_clauses(&mut self, current: &[Var], path_e: &[Var], path_a: &[Var]) {
+        if path_a.is_empty() {
+            // The root scope has no universal ancestors; its variables are
+            // constrained through the descendant scopes' clauses instead
+            // (purely local root clauses make instances trivially false).
+            return;
+        }
+        let n_univ = (self.params.lpc / 2).max(1);
+        let n_exist = (self.params.lpc - n_univ).max(1);
+        let n_clauses = self.params.cls_ratio * self.params.var;
+        for _ in 0..n_clauses {
+            let clause = loop {
+                let mut lits = Vec::new();
+                // One guaranteed literal over the current block.
+                let v = current[self.rng.gen_range(0..current.len())];
+                lits.push(v.lit(self.rng.gen_bool(0.5)));
+                for _ in 1..n_exist {
+                    let v = path_e[self.rng.gen_range(0..path_e.len())];
+                    lits.push(v.lit(self.rng.gen_bool(0.5)));
+                }
+                for _ in 0..n_univ {
+                    let v = path_a[self.rng.gen_range(0..path_a.len())];
+                    lits.push(v.lit(self.rng.gen_bool(0.5)));
+                }
+                if let Ok(c) = Clause::new(lits) {
+                    break c;
+                }
+            };
+            self.clauses.push(clause);
+        }
+    }
+}
+
+/// Generates one NCF instance (non-prenex).
+///
+/// # Examples
+///
+/// ```
+/// use qbf_gen::{ncf, NcfParams};
+/// let q = ncf(&NcfParams { dep: 4, var: 2, cls_ratio: 2, lpc: 3 }, 7);
+/// assert!(!q.is_prenex());
+/// assert_eq!(q.prefix().prefix_level(), 5); // dep alternations below the root
+/// ```
+pub fn ncf(params: &NcfParams, seed: u64) -> Qbf {
+    assert!(params.var >= 1 && params.lpc >= 1, "degenerate parameters");
+    // Upper bound on variables: ∃-levels branch in two, ∀-levels chain.
+    let mut gen = Gen {
+        rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+        params,
+        next_var: 0,
+        clauses: Vec::new(),
+    };
+
+    // First pass: reserve variables and record the tree shape.
+    struct Node {
+        vars: Vec<Var>,
+        quant: Quantifier,
+        children: Vec<Node>,
+    }
+    fn build(gen: &mut Gen<'_>, quant: Quantifier, depth_left: u32) -> Node {
+        let vars = gen.fresh_block();
+        let mut children = Vec::new();
+        if depth_left > 0 {
+            // Existential scopes branch (the ∧ of counterfactual
+            // antecedent/consequent encodings); universal scopes chain.
+            let fanout = if quant.is_exists() { 2 } else { 1 };
+            for _ in 0..fanout {
+                children.push(build(gen, quant.dual(), depth_left - 1));
+            }
+        }
+        Node {
+            vars,
+            quant,
+            children,
+        }
+    }
+    let root = build(&mut gen, Quantifier::Exists, params.dep);
+
+    // Second pass: emit clauses per existential scope from the visible
+    // path, split into existential and universal ancestors.
+    fn walk(gen: &mut Gen<'_>, node: &Node, path_e: &mut Vec<Var>, path_a: &mut Vec<Var>) {
+        let existential = node.quant == Quantifier::Exists;
+        if existential {
+            path_e.extend(node.vars.iter().copied());
+            gen.emit_clauses(&node.vars, path_e, path_a);
+        } else {
+            path_a.extend(node.vars.iter().copied());
+        }
+        for c in &node.children {
+            walk(gen, c, path_e, path_a);
+        }
+        if existential {
+            path_e.truncate(path_e.len() - node.vars.len());
+        } else {
+            path_a.truncate(path_a.len() - node.vars.len());
+        }
+    }
+    let mut path_e = Vec::new();
+    let mut path_a = Vec::new();
+    walk(&mut gen, &root, &mut path_e, &mut path_a);
+
+    // Third pass: build the prefix.
+    let mut builder = PrefixBuilder::new(gen.next_var);
+    fn emit(
+        builder: &mut PrefixBuilder,
+        node: &Node,
+        parent: Option<qbf_core::BlockId>,
+    ) {
+        let id = match parent {
+            None => builder.add_root(node.quant, node.vars.iter().copied()),
+            Some(p) => builder.add_child(p, node.quant, node.vars.iter().copied()),
+        }
+        .expect("fresh variables bound once");
+        for c in &node.children {
+            emit(builder, c, Some(id));
+        }
+    }
+    emit(&mut builder, &root, None);
+    let prefix = builder.finish().expect("valid tree");
+    let matrix = Matrix::from_clauses(gen.next_var, std::mem::take(&mut gen.clauses));
+    Qbf::new(prefix, matrix).expect("clauses mention bound variables only")
+}
+
+/// Convenience: draws `count` seeded instances for one parameter setting.
+pub fn ncf_batch(params: &NcfParams, base_seed: u64, count: usize) -> Vec<Qbf> {
+    (0..count as u64)
+        .map(|i| ncf(params, base_seed.wrapping_add(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbf_core::semantics;
+    use qbf_core::solver::{Solver, SolverConfig};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = NcfParams {
+            dep: 4,
+            var: 2,
+            cls_ratio: 2,
+            lpc: 3,
+        };
+        assert_eq!(ncf(&p, 42), ncf(&p, 42));
+        assert_ne!(ncf(&p, 42), ncf(&p, 43));
+    }
+
+    #[test]
+    fn shape_matches_parameters() {
+        let p = NcfParams {
+            dep: 4,
+            var: 3,
+            cls_ratio: 2,
+            lpc: 3,
+        };
+        let q = ncf(&p, 1);
+        assert!(!q.is_prenex());
+        assert_eq!(q.prefix().prefix_level(), p.dep + 1);
+        // every scope holds `var` variables
+        for b in q.prefix().blocks() {
+            assert_eq!(q.prefix().block_vars(b).len(), p.var as usize);
+        }
+        // clause width
+        for c in q.matrix().iter() {
+            assert!(c.len() <= p.lpc as usize);
+            assert!(!c.is_empty());
+        }
+    }
+
+    #[test]
+    fn no_contradictory_clauses() {
+        let p = NcfParams {
+            dep: 6,
+            var: 4,
+            cls_ratio: 3,
+            lpc: 4,
+        };
+        let q = ncf(&p, 99);
+        for c in q.matrix().iter() {
+            assert!(
+                c.iter().any(|l| q.prefix().is_existential(l.var())),
+                "contradictory clause generated"
+            );
+        }
+    }
+
+    #[test]
+    fn solvable_and_consistent_small() {
+        let p = NcfParams {
+            dep: 3,
+            var: 1,
+            cls_ratio: 2,
+            lpc: 2,
+        };
+        for seed in 0..10 {
+            let q = ncf(&p, seed);
+            let expected = semantics::eval(&q);
+            let got = Solver::new(&q, SolverConfig::partial_order())
+                .solve()
+                .value();
+            assert_eq!(got, Some(expected), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batch_produces_distinct_instances() {
+        let p = NcfParams {
+            dep: 4,
+            var: 2,
+            cls_ratio: 1,
+            lpc: 3,
+        };
+        let batch = ncf_batch(&p, 5, 4);
+        assert_eq!(batch.len(), 4);
+        assert_ne!(batch[0], batch[1]);
+    }
+
+    #[test]
+    fn paper_grid_size() {
+        // 3 VAR values × 5 ratios × 4 LPC values.
+        assert_eq!(NcfParams::paper_grid().len(), 60);
+        assert!(NcfParams::paper_grid().iter().all(|p| p.dep == 6));
+    }
+}

@@ -1,0 +1,274 @@
+//! Conformant planning QBFs: the "bomb in the toilet" family.
+//!
+//! The paper's PROB class explicitly includes "structured problems like the
+//! conformant planning problems from reference 36" (Castellini, Giunchiglia,
+//! Tacchella, reference 36 of the paper). This module provides a faithful small instance of that
+//! species: `packages` parcels, exactly one of which is armed (the
+//! uncertainty, universally quantified), `steps` time steps in each of
+//! which the agent dunks one parcel into one of `toilets` toilets; a toilet
+//! clogs for the following step after a dunk. The plan (existential) must
+//! disarm the bomb whatever the uncertainty: the instance is true iff
+//! enough steps are available given the toilet bottleneck.
+//!
+//! Encoding (prenex ∃∀∃, the natural conformant shape):
+//!
+//! * `∃` plan: `dunk(t, p, w)` — at step `t`, parcel `p` goes into toilet
+//!   `w` (at most one dunk per toilet per step, clogging permitting);
+//! * `∀` uncertainty: `armed(p)` bits;
+//! * `∃` auxiliaries from clausification.
+//!
+//! The matrix asserts: *if* the armed bits designate exactly one parcel,
+//! then that parcel is dunked at some step. (If the adversary violates the
+//! exactly-one assumption the matrix is satisfied vacuously.)
+
+use qbf_core::{Matrix, Prefix, Qbf, Quantifier, Var};
+use qbf_formula::{clausify, Formula, VarAlloc};
+
+/// Parameters of the bomb-in-the-toilet generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanningParams {
+    /// Number of parcels (one is armed).
+    pub packages: u32,
+    /// Number of time steps available.
+    pub steps: u32,
+    /// Number of toilets usable in parallel per step.
+    pub toilets: u32,
+    /// Whether a dunk clogs the toilet for the next step.
+    pub clogging: bool,
+}
+
+impl PlanningParams {
+    /// The minimal number of steps that make the instance true.
+    pub fn optimal_steps(&self) -> u32 {
+        let per_step = self.toilets.max(1);
+        let full = self.packages.div_ceil(per_step);
+        if self.clogging && self.toilets > 0 {
+            // a clogged toilet skips every other step
+            let rounds = self.packages.div_ceil(per_step);
+            2 * rounds - 1
+        } else {
+            full
+        }
+    }
+}
+
+impl std::fmt::Display for PlanningParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bomb(p={}, t={}, w={}, clog={})",
+            self.packages, self.steps, self.toilets, self.clogging
+        )
+    }
+}
+
+/// Builds one bomb-in-the-toilet QBF.
+///
+/// The instance is **true** iff a conformant plan exists, which for this
+/// domain is decided by counting: `steps ≥ optimal_steps()`.
+///
+/// # Examples
+///
+/// ```
+/// use qbf_gen::{bomb_in_toilet, PlanningParams};
+/// use qbf_core::solver::{Solver, SolverConfig};
+/// let p = PlanningParams { packages: 3, steps: 3, toilets: 1, clogging: false };
+/// let q = bomb_in_toilet(&p);
+/// let out = Solver::new(&q, SolverConfig::partial_order()).solve();
+/// assert_eq!(out.value(), Some(true)); // 3 steps suffice for 3 parcels
+/// ```
+pub fn bomb_in_toilet(params: &PlanningParams) -> Qbf {
+    let packages = params.packages as usize;
+    let steps = params.steps as usize;
+    let toilets = params.toilets.max(1) as usize;
+    assert!(packages >= 1, "need at least one parcel");
+
+    // Variable layout: dunk[t][p][w] | armed[p] | aux…
+    let mut next = 0usize;
+    let mut fresh = |n: usize| -> Vec<Var> {
+        let v: Vec<Var> = (next..next + n).map(Var::new).collect();
+        next += n;
+        v
+    };
+    let dunk = fresh(steps * packages * toilets);
+    let dunk_at = |t: usize, p: usize, w: usize| dunk[(t * packages + p) * toilets + w];
+    let armed = fresh(packages);
+    let mut alloc = VarAlloc::new(next);
+
+    let mut parts: Vec<Formula> = Vec::new();
+
+    // Plan well-formedness: per step and toilet, at most one parcel.
+    for t in 0..steps {
+        for w in 0..toilets {
+            for p1 in 0..packages {
+                for p2 in (p1 + 1)..packages {
+                    parts.push(
+                        Formula::var(dunk_at(t, p1, w))
+                            .not()
+                            .or(Formula::var(dunk_at(t, p2, w)).not()),
+                    );
+                }
+            }
+        }
+    }
+    // A parcel goes into at most one toilet at a time.
+    for t in 0..steps {
+        for p in 0..packages {
+            for w1 in 0..toilets {
+                for w2 in (w1 + 1)..toilets {
+                    parts.push(
+                        Formula::var(dunk_at(t, p, w1))
+                            .not()
+                            .or(Formula::var(dunk_at(t, p, w2)).not()),
+                    );
+                }
+            }
+        }
+    }
+    // Clogging: a used toilet is unusable in the following step.
+    if params.clogging {
+        for t in 0..steps.saturating_sub(1) {
+            for w in 0..toilets {
+                let used_now = Formula::or_all(
+                    (0..packages).map(|p| Formula::var(dunk_at(t, p, w))),
+                );
+                let used_next = Formula::or_all(
+                    (0..packages).map(|p| Formula::var(dunk_at(t + 1, p, w))),
+                );
+                parts.push(used_now.not().or(used_next.not()));
+            }
+        }
+    }
+
+    // Goal, conditioned on the exactly-one-armed assumption:
+    //   (exactly-one armed) → (the armed parcel is dunked at some step).
+    // Encoded as: ¬valid(armed) ∨ ⋀_p (armed_p → dunked_p), pushed to:
+    // for each p: (¬armed_p ∨ dunked_p ∨ ¬valid') — we expand ¬valid as a
+    // disjunct once via a shared formula.
+    let not_valid = {
+        let none = Formula::and_all(
+            (0..packages).map(|p| Formula::var(armed[p]).not()),
+        );
+        let two = Formula::or_all((0..packages).flat_map(|p1| {
+            ((p1 + 1)..packages)
+                .map(move |p2| (p1, p2))
+        })
+        .map(|(p1, p2)| Formula::var(armed[p1]).and(Formula::var(armed[p2]))));
+        none.or(two)
+    };
+    for (p, &armed_p) in armed.iter().enumerate() {
+        let dunked = Formula::or_all(
+            (0..steps)
+                .flat_map(|t| (0..toilets).map(move |w| (t, w)))
+                .map(|(t, w)| Formula::var(dunk_at(t, p, w))),
+        );
+        parts.push(Formula::var(armed_p).not().or(dunked).or(not_valid.clone()));
+    }
+
+    let cnf = clausify(&Formula::and_all(parts), &mut alloc);
+    let num_vars = alloc.num_vars();
+    let mut blocks = vec![
+        (Quantifier::Exists, dunk),
+        (Quantifier::Forall, armed),
+    ];
+    if !cnf.aux.is_empty() {
+        blocks.push((Quantifier::Exists, cnf.aux.clone()));
+    }
+    let prefix = Prefix::prenex(num_vars, blocks).expect("fresh variables");
+    Qbf::new_closing_free(prefix, Matrix::from_clauses(num_vars, cnf.clauses))
+        .expect("all matrix variables bound")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbf_core::semantics;
+    use qbf_core::solver::{Solver, SolverConfig};
+
+    fn value(params: &PlanningParams) -> Option<bool> {
+        let q = bomb_in_toilet(params);
+        Solver::new(&q, SolverConfig::partial_order().with_node_limit(5_000_000))
+            .solve()
+            .value()
+    }
+
+    #[test]
+    fn one_toilet_no_clogging() {
+        // B parcels need exactly B steps with one toilet.
+        for b in 1..=3 {
+            for steps in 1..=b + 1 {
+                let p = PlanningParams {
+                    packages: b,
+                    steps,
+                    toilets: 1,
+                    clogging: false,
+                };
+                assert_eq!(value(&p), Some(steps >= b), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_toilets_halve_the_plan() {
+        let p = PlanningParams {
+            packages: 4,
+            steps: 2,
+            toilets: 2,
+            clogging: false,
+        };
+        assert_eq!(value(&p), Some(true), "{p}");
+        let p = PlanningParams {
+            packages: 4,
+            steps: 1,
+            toilets: 2,
+            clogging: false,
+        };
+        assert_eq!(value(&p), Some(false), "{p}");
+    }
+
+    #[test]
+    fn clogging_doubles_the_plan() {
+        // 2 parcels, 1 toilet, clogging: dunk at t0 and t2 → needs 3 steps.
+        let base = PlanningParams {
+            packages: 2,
+            steps: 3,
+            toilets: 1,
+            clogging: true,
+        };
+        assert_eq!(base.optimal_steps(), 3);
+        assert_eq!(value(&base), Some(true), "{base}");
+        let tight = PlanningParams {
+            steps: 2,
+            ..base
+        };
+        assert_eq!(value(&tight), Some(false), "{tight}");
+    }
+
+    #[test]
+    fn matches_naive_semantics_small() {
+        let p = PlanningParams {
+            packages: 2,
+            steps: 2,
+            toilets: 1,
+            clogging: false,
+        };
+        let q = bomb_in_toilet(&p);
+        assert_eq!(value(&p), Some(semantics::eval(&q)));
+    }
+
+    #[test]
+    fn prefix_shape_is_conformant() {
+        let p = PlanningParams {
+            packages: 3,
+            steps: 2,
+            toilets: 1,
+            clogging: false,
+        };
+        let q = bomb_in_toilet(&p);
+        assert!(q.is_prenex());
+        let blocks = q.prefix().linear_blocks();
+        assert_eq!(blocks.len(), 3, "∃ plan ∀ armed ∃ aux");
+        assert_eq!(blocks[0].0, Quantifier::Exists);
+        assert_eq!(blocks[1].0, Quantifier::Forall);
+    }
+}

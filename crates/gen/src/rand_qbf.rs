@@ -1,0 +1,241 @@
+//! The PROB class: random prenex QBFs in the generalized fixed-clause-length
+//! model (§VII-D, [35] in the paper).
+//!
+//! Instances are prenex with a fixed block structure; every clause draws
+//! `lpc` distinct variables uniformly, with at least one existential
+//! literal (an all-universal clause is contradictory by Lemma 4 and random
+//! generators conventionally reject it).
+
+use qbf_core::{Clause, Matrix, Prefix, Qbf, Quantifier, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the random prenex generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandParams {
+    /// Alternating block sizes, outermost first, starting with ∃.
+    pub block_sizes: Vec<u32>,
+    /// Number of clauses.
+    pub clauses: u32,
+    /// Literals per clause.
+    pub lpc: u32,
+    /// Latent locality groups: variables are partitioned (by index modulo
+    /// `locality_groups`) and each clause draws its variables within one
+    /// group, except with `cross_percent` probability. `1` is the pure
+    /// model-A generator. Structured-random classes (e.g. the conformant
+    /// planning encodings the paper counts as "probabilistic") exhibit
+    /// exactly this partial locality, which is what lets miniscoping
+    /// recover scope structure on a minority of instances.
+    pub locality_groups: u32,
+    /// Percent of clauses drawn across groups (0..=100).
+    pub cross_percent: u32,
+}
+
+impl RandParams {
+    /// A classical 2QBF-ish setting: `∃ e ∀ a ∃ e` with the given sizes
+    /// (pure model A, no locality).
+    pub fn three_block(e1: u32, a: u32, e2: u32, clauses: u32, lpc: u32) -> Self {
+        RandParams {
+            block_sizes: vec![e1, a, e2],
+            clauses,
+            lpc,
+            locality_groups: 1,
+            cross_percent: 100,
+        }
+    }
+
+    /// Adds latent locality, builder-style.
+    pub fn with_locality(mut self, groups: u32, cross_percent: u32) -> Self {
+        self.locality_groups = groups.max(1);
+        self.cross_percent = cross_percent.min(100);
+        self
+    }
+}
+
+impl std::fmt::Display for RandParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rand(blocks={:?}, cls={}, lpc={})",
+            self.block_sizes, self.clauses, self.lpc
+        )
+    }
+}
+
+/// Generates one random prenex QBF.
+///
+/// # Examples
+///
+/// ```
+/// use qbf_gen::{rand_qbf, RandParams};
+/// let q = rand_qbf(&RandParams::three_block(4, 4, 4, 20, 3), 1);
+/// assert!(q.is_prenex());
+/// assert_eq!(q.num_vars(), 12);
+/// assert_eq!(q.matrix().len(), 20);
+/// ```
+pub fn rand_qbf(params: &RandParams, seed: u64) -> Qbf {
+    assert!(!params.block_sizes.is_empty() && params.lpc >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc2b2_ae3d_27d4_eb4f);
+    let num_vars: usize = params.block_sizes.iter().map(|&s| s as usize).sum();
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    let mut quants: Vec<Quantifier> = Vec::with_capacity(num_vars);
+    for (i, &size) in params.block_sizes.iter().enumerate() {
+        let quant = if i % 2 == 0 {
+            Quantifier::Exists
+        } else {
+            Quantifier::Forall
+        };
+        let vars: Vec<Var> = (start..start + size as usize).map(Var::new).collect();
+        quants.extend(std::iter::repeat_n(quant, size as usize));
+        blocks.push((quant, vars));
+        start += size as usize;
+    }
+    let prefix = Prefix::prenex(num_vars, blocks).expect("fresh variables");
+
+    let groups = params.locality_groups.max(1) as usize;
+    let outer = params.block_sizes[0] as usize;
+    let e_vars: Vec<usize> = (0..num_vars)
+        .filter(|&v| quants[v] == Quantifier::Exists)
+        .collect();
+    let a_vars: Vec<usize> = (0..num_vars)
+        .filter(|&v| quants[v] == Quantifier::Forall)
+        .collect();
+    // Stratified clause widths (the Chen–Interian refinement of model A):
+    // ⌊lpc/2⌋ universal + the rest existential literals. Plain model A
+    // (uniform variable choice) produces overwhelmingly trivially-false
+    // formulas, as the QBF literature observed.
+    let n_univ = if a_vars.is_empty() {
+        0
+    } else {
+        (params.lpc as usize / 2).max(1)
+    };
+    let n_exist = (params.lpc as usize - n_univ).max(1);
+    let mut clauses = Vec::new();
+    while clauses.len() < params.clauses as usize {
+        let local = groups == 1 || !rng.gen_bool(params.cross_percent as f64 / 100.0);
+        let group = rng.gen_range(0..groups);
+        // Distinct variables, within the chosen group for local clauses;
+        // cross-group clauses only touch the outermost existential block,
+        // so the latent groups stay separable below it (like independent
+        // subgoals sharing a plan prefix).
+        let mut vars: Vec<usize> = Vec::new();
+        let mut attempts = 0;
+        let pick = |pool: &[usize], vars: &mut Vec<usize>, rng: &mut StdRng| {
+            if pool.is_empty() {
+                return;
+            }
+            let v = pool[rng.gen_range(0..pool.len())];
+            if local && groups > 1 && v % groups != group {
+                return;
+            }
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        };
+        if local {
+            while vars.len() < n_exist && attempts < 10_000 {
+                attempts += 1;
+                pick(&e_vars, &mut vars, &mut rng);
+            }
+            let want = vars.len() + n_univ.min(a_vars.len());
+            while vars.len() < want && attempts < 10_000 {
+                attempts += 1;
+                pick(&a_vars, &mut vars, &mut rng);
+            }
+        } else {
+            // cross clause over the outermost existential block
+            while vars.len() < n_exist.max(2).min(outer) && attempts < 10_000 {
+                attempts += 1;
+                let v = rng.gen_range(0..outer.max(1));
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        if vars.len() < 2 || !vars.iter().any(|&v| quants[v] == Quantifier::Exists) {
+            continue;
+        }
+        let lits = vars
+            .into_iter()
+            .map(|v| Var::new(v).lit(rng.gen_bool(0.5)));
+        clauses.push(Clause::new(lits).expect("distinct variables"));
+    }
+    Qbf::new(prefix, Matrix::from_clauses(num_vars, clauses))
+        .expect("clauses mention bound variables only")
+}
+
+/// Draws `count` seeded instances for one parameter setting.
+pub fn rand_batch(params: &RandParams, base_seed: u64, count: usize) -> Vec<Qbf> {
+    (0..count as u64)
+        .map(|i| rand_qbf(params, base_seed.wrapping_add(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbf_core::semantics;
+    use qbf_core::solver::{Solver, SolverConfig};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = RandParams::three_block(3, 3, 3, 12, 3);
+        assert_eq!(rand_qbf(&p, 9), rand_qbf(&p, 9));
+        assert_ne!(rand_qbf(&p, 9), rand_qbf(&p, 10));
+    }
+
+    #[test]
+    fn no_all_universal_clauses() {
+        let p = RandParams::three_block(2, 6, 2, 30, 3);
+        let q = rand_qbf(&p, 0);
+        for c in q.matrix().iter() {
+            assert!(c.iter().any(|l| q.prefix().is_existential(l.var())));
+        }
+    }
+
+    #[test]
+    fn solver_agrees_with_semantics() {
+        let p = RandParams::three_block(2, 2, 2, 10, 3);
+        for seed in 0..15 {
+            let q = rand_qbf(&p, seed);
+            let expected = semantics::eval(&q);
+            assert_eq!(
+                Solver::new(&q, SolverConfig::total_order()).solve().value(),
+                Some(expected),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn locality_groups_partition_most_clauses() {
+        let p = RandParams::three_block(6, 6, 6, 40, 3).with_locality(3, 10);
+        let q = rand_qbf(&p, 1);
+        let local = q
+            .matrix()
+            .iter()
+            .filter(|c| {
+                let g: Vec<usize> = c.iter().map(|l| l.var().index() % 3).collect();
+                g.windows(2).all(|w| w[0] == w[1])
+            })
+            .count();
+        assert!(local * 2 > q.matrix().len(), "locality not applied: {local}");
+    }
+
+    #[test]
+    fn block_structure() {
+        let p = RandParams {
+            block_sizes: vec![2, 3, 1, 2],
+            clauses: 5,
+            lpc: 2,
+            locality_groups: 1,
+            cross_percent: 100,
+        };
+        let q = rand_qbf(&p, 2);
+        let blocks = q.prefix().linear_blocks();
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[1].0, Quantifier::Forall);
+        assert_eq!(blocks[1].1.len(), 3);
+    }
+}

@@ -1,0 +1,324 @@
+//! The diameter-calculation QBFs of §VII-C.
+//!
+//! For a model `M` and a bound `n`, Eq. (14) defines
+//!
+//! ```text
+//! φn = ∃x_{n+1} ( ∃x_0…x_n (I(x_0) ∧ ⋀_{i=0}^{n} T(x_i, x_{i+1}))
+//!               ∧ ∀y_0…y_n ¬(I(y_0) ∧ ⋀_{i=0}^{n-1} T′(y_i, y_{i+1}) ∧ x_{n+1} ≡ y_n) )
+//! ```
+//!
+//! with `T′` of Eq. (15) adding a self-loop on the initial states. `φn` is
+//! true exactly when `n < d` and false exactly when `n ≥ d`, where `d` is
+//! the reachable eccentricity ([`crate::explore`] computes it explicitly).
+//! The CNF conversion introduces auxiliary variables which are bound
+//! existentially in the innermost position of their conjunct's scope —
+//! reproducing the prefixes (18) (non-prenex) and (19) (prenex ∃↑∀↑,
+//! Eq. 16) of the paper's worked example.
+
+use qbf_core::solver::{Outcome, Solver, SolverConfig};
+use qbf_core::{Matrix, Prefix, PrefixBuilder, Qbf, Quantifier, Var};
+use qbf_formula::{clausify, Clausified, Formula, VarAlloc};
+
+use crate::model::{vector_equiv, SymbolicModel};
+
+/// Which prefix shape to build for φn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiameterForm {
+    /// The non-prenex Eq. (14): the quantifier tree QUBE(PO) exploits.
+    Tree,
+    /// The prenex Eq. (16): the ∃↑∀↑ flattening QUBE(TO) consumes.
+    Prenex,
+}
+
+/// A constructed diameter probe.
+#[derive(Debug, Clone)]
+pub struct DiameterInstance {
+    /// The QBF φn.
+    pub qbf: Qbf,
+    /// The probed bound `n`.
+    pub n: u32,
+}
+
+struct Unrolling {
+    x_last: Vec<Var>,
+    x_path: Vec<Var>,
+    y_path: Vec<Var>,
+    left: Clausified,
+    right: Clausified,
+    num_vars: usize,
+}
+
+fn unroll(model: &SymbolicModel, n: u32) -> Unrolling {
+    let b = model.bits();
+    let steps = n as usize + 1; // path x_0 … x_{n+1} has n+1 transitions
+    let vec_at = |start: usize| -> Vec<Var> { (start..start + b).map(Var::new).collect() };
+    // Layout: x_{n+1} | x_0..x_n | y_0..y_n | auxiliaries.
+    let x_last = vec_at(0);
+    let xs: Vec<Vec<Var>> = (0..steps).map(|i| vec_at(b * (1 + i))).collect();
+    let ys: Vec<Vec<Var>> = (0..steps).map(|i| vec_at(b * (1 + steps + i))).collect();
+    let mut alloc = VarAlloc::new(b * (1 + 2 * steps));
+
+    // Left conjunct: I(x_0) ∧ T(x_0,x_1) ∧ … ∧ T(x_n, x_{n+1}).
+    let mut left_parts = vec![model.init(&xs[0])];
+    for i in 0..steps {
+        let next = if i + 1 < steps { &xs[i + 1] } else { &x_last };
+        left_parts.push(model.trans(&xs[i], next));
+    }
+    let left_formula = Formula::and_all(left_parts);
+    let left = clausify(&left_formula, &mut alloc);
+
+    // Right conjunct: ¬(I(y_0) ∧ T′(y_0,y_1) ∧ … ∧ T′(y_{n-1},y_n)
+    //                   ∧ x_{n+1} ≡ y_n).
+    let mut right_parts = vec![model.init(&ys[0])];
+    for i in 0..steps - 1 {
+        right_parts.push(model.trans_prime(&ys[i], &ys[i + 1]));
+    }
+    right_parts.push(vector_equiv(&x_last, &ys[steps - 1]));
+    let right_formula = Formula::and_all(right_parts).not();
+    let right = clausify(&right_formula, &mut alloc);
+
+    Unrolling {
+        x_last,
+        x_path: xs.into_iter().flatten().collect(),
+        y_path: ys.into_iter().flatten().collect(),
+        left,
+        right,
+        num_vars: alloc.num_vars(),
+    }
+}
+
+/// Builds φn for the model, in tree (Eq. 14) or prenex (Eq. 16) form.
+///
+/// # Examples
+///
+/// ```
+/// let m = qbf_models::counter(2);
+/// let probe = qbf_models::diameter_qbf(&m, 1, qbf_models::DiameterForm::Tree);
+/// assert!(!probe.qbf.is_prenex());
+/// // counter<2> has eccentricity 3, so φ1 (1 < 3) is true:
+/// assert!(qbf_core::semantics::eval(&probe.qbf));
+/// ```
+pub fn diameter_qbf(model: &SymbolicModel, n: u32, form: DiameterForm) -> DiameterInstance {
+    let u = unroll(model, n);
+    let mut clauses = u.left.clauses.clone();
+    clauses.extend(u.right.clauses.iter().cloned());
+    let matrix = Matrix::from_clauses(u.num_vars, clauses);
+    let prefix = match form {
+        DiameterForm::Tree => {
+            // ∃x_{n+1} ( ∃{x path, left aux} ∧ ∀{y path} ∃{right aux} )
+            let mut builder = PrefixBuilder::new(u.num_vars);
+            let root = builder
+                .add_root(Quantifier::Exists, u.x_last.clone())
+                .expect("fresh variables");
+            let mut left_block = u.x_path.clone();
+            left_block.extend(u.left.aux.iter().copied());
+            builder
+                .add_child(root, Quantifier::Exists, left_block)
+                .expect("fresh variables");
+            let y_block = builder
+                .add_child(root, Quantifier::Forall, u.y_path.clone())
+                .expect("fresh variables");
+            if !u.right.aux.is_empty() {
+                builder
+                    .add_child(y_block, Quantifier::Exists, u.right.aux.clone())
+                    .expect("fresh variables");
+            }
+            builder.finish().expect("valid forest")
+        }
+        DiameterForm::Prenex => {
+            // ∃{x_{n+1}, x path, left aux} ∀{y path} ∃{right aux}
+            let mut first = u.x_last.clone();
+            first.extend(u.x_path.iter().copied());
+            first.extend(u.left.aux.iter().copied());
+            let mut blocks = vec![
+                (Quantifier::Exists, first),
+                (Quantifier::Forall, u.y_path.clone()),
+            ];
+            if !u.right.aux.is_empty() {
+                blocks.push((Quantifier::Exists, u.right.aux.clone()));
+            }
+            Prefix::prenex(u.num_vars, blocks).expect("fresh variables")
+        }
+    };
+    DiameterInstance {
+        qbf: Qbf::new_closing_free(prefix, matrix).expect("all matrix variables bound"),
+        n,
+    }
+}
+
+/// One solved probe of a diameter computation.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// The probed bound.
+    pub n: u32,
+    /// The solver outcome for φn.
+    pub outcome: Outcome,
+    /// Wall time spent on this probe.
+    pub time: std::time::Duration,
+    /// Instance size (variables, clauses).
+    pub size: (usize, usize),
+}
+
+/// A full diameter computation: probe φ0, φ1, … until some φn is false.
+#[derive(Debug, Clone)]
+pub struct DiameterRun {
+    /// The computed diameter (`None` if a probe timed out or `max_n` was
+    /// reached first).
+    pub diameter: Option<u32>,
+    /// All solved probes in order.
+    pub probes: Vec<Probe>,
+}
+
+impl DiameterRun {
+    /// Total deterministic cost (assignments) across the probes.
+    pub fn total_assignments(&self) -> u64 {
+        self.probes
+            .iter()
+            .map(|p| p.outcome.stats.assignments())
+            .sum()
+    }
+
+    /// Total wall time across the probes.
+    pub fn total_time(&self) -> std::time::Duration {
+        self.probes.iter().map(|p| p.time).sum()
+    }
+}
+
+/// Computes the diameter of a model by iterating φn probes with the given
+/// solver configuration. `form` selects the tree (PO-friendly) or prenex
+/// (TO) encoding; the configuration chooses the heuristic.
+pub fn compute_diameter(
+    model: &SymbolicModel,
+    form: DiameterForm,
+    config: &SolverConfig,
+    max_n: u32,
+) -> DiameterRun {
+    let mut probes = Vec::new();
+    for n in 0..=max_n {
+        let inst = diameter_qbf(model, n, form);
+        let size = (inst.qbf.num_vars(), inst.qbf.matrix().len());
+        let start = std::time::Instant::now();
+        let outcome = Solver::new(&inst.qbf, config.clone()).solve();
+        let time = start.elapsed();
+        let value = outcome.value();
+        probes.push(Probe {
+            n,
+            outcome,
+            time,
+            size,
+        });
+        match value {
+            Some(false) => {
+                return DiameterRun {
+                    diameter: Some(n),
+                    probes,
+                }
+            }
+            Some(true) => {}
+            None => {
+                return DiameterRun {
+                    diameter: None,
+                    probes,
+                }
+            }
+        }
+    }
+    DiameterRun {
+        diameter: None,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::explore;
+    use crate::model;
+    use qbf_core::semantics;
+
+    #[test]
+    fn phi_matches_eccentricity_counter2() {
+        let m = model::counter(2);
+        let d = explore(&m).unwrap().eccentricity; // 3
+        assert_eq!(d, 3);
+        for n in 0..=4u32 {
+            for form in [DiameterForm::Tree, DiameterForm::Prenex] {
+                let inst = diameter_qbf(&m, n, form);
+                let expected = n < d;
+                let got = Solver::new(&inst.qbf, SolverConfig::partial_order())
+                    .solve()
+                    .value();
+                assert_eq!(got, Some(expected), "counter<2> n={n} {form:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn phi_matches_eccentricity_small_models_by_semantics() {
+        // Semantic (naive) evaluation keeps this exact but limits size.
+        let m = model::counter(1); // d = 1
+        for n in 0..=2u32 {
+            let inst = diameter_qbf(&m, n, DiameterForm::Tree);
+            assert_eq!(semantics::eval(&inst.qbf), n < 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn compute_diameter_agrees_with_bfs() {
+        for (m, max_n) in [
+            (model::counter(2), 8),
+            (model::counter(3), 12),
+            (model::ring(3), 12),
+            (model::semaphore(2), 10),
+            (model::dme(2), 10),
+        ] {
+            let d = explore(&m).unwrap().eccentricity;
+            for form in [DiameterForm::Tree, DiameterForm::Prenex] {
+                let run = compute_diameter(&m, form, &SolverConfig::partial_order(), max_n);
+                assert_eq!(run.diameter, Some(d), "{} {form:?}", m.name());
+                assert_eq!(run.probes.len() as u32, d + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn total_order_solver_agrees_on_prenex_form() {
+        let m = model::counter(2);
+        let d = explore(&m).unwrap().eccentricity;
+        let run = compute_diameter(
+            &m,
+            DiameterForm::Prenex,
+            &SolverConfig::total_order(),
+            8,
+        );
+        assert_eq!(run.diameter, Some(d));
+        assert!(run.total_assignments() > 0);
+        assert!(run.total_time() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn tree_form_prefix_shape() {
+        let m = model::counter(2);
+        let inst = diameter_qbf(&m, 1, DiameterForm::Tree);
+        let p = inst.qbf.prefix();
+        assert!(!p.is_prenex());
+        assert_eq!(p.roots().len(), 1);
+        let root = p.roots()[0];
+        // the root binds x_{n+1} (2 bits)
+        assert_eq!(p.block_vars(root).len(), 2);
+        assert_eq!(p.block_children(root).len(), 2);
+    }
+
+    #[test]
+    fn prenex_form_prefix_shape() {
+        let m = model::counter(2);
+        let inst = diameter_qbf(&m, 1, DiameterForm::Prenex);
+        assert!(inst.qbf.is_prenex());
+        let blocks = inst.qbf.prefix().linear_blocks();
+        // ∃ ∀ ∃ as in (19) (the right aux block exists for counters).
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].0, Quantifier::Exists);
+        assert_eq!(blocks[1].0, Quantifier::Forall);
+        assert_eq!(blocks[2].0, Quantifier::Exists);
+    }
+}

@@ -1,0 +1,230 @@
+//! Explicit-state reachability: the ground-truth oracle for diameters.
+//!
+//! The paper computes diameters with QBF solvers; we additionally compute
+//! them by brute-force BFS over the (at most `2^bits`) states, both to
+//! validate the QBF encoding end-to-end and to substitute for NuSMV as the
+//! source of truth. Only practical for small bit widths.
+
+// States are raw integer codes throughout; indexing distance/reachability
+// tables by the code is the clearest formulation.
+#![allow(clippy::needless_range_loop)]
+
+use qbf_core::Var;
+use qbf_formula::Formula;
+
+use crate::model::SymbolicModel;
+
+/// Result of an explicit-state exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exploration {
+    /// Number of reachable states (including initial ones).
+    pub reachable: usize,
+    /// The reachable eccentricity: the largest BFS distance from the set of
+    /// initial states to any reachable state. This is the diameter `d` the
+    /// paper's φn probes: φn is true exactly when `n < d`.
+    pub eccentricity: u32,
+    /// Number of initial states.
+    pub initial: usize,
+}
+
+/// Explores the model by BFS from all initial states simultaneously.
+///
+/// Returns `None` when the model has no initial state.
+///
+/// # Panics
+///
+/// Panics if `model.bits() > 24` (the state space would not fit in memory).
+///
+/// # Examples
+///
+/// ```
+/// let m = qbf_models::counter(3);
+/// let e = qbf_models::explore(&m).expect("counter has an initial state");
+/// assert_eq!(e.reachable, 8);
+/// assert_eq!(e.eccentricity, 7); // 2^3 - 1
+/// ```
+pub fn explore(model: &SymbolicModel) -> Option<Exploration> {
+    let bits = model.bits();
+    assert!(bits <= 24, "explicit exploration limited to 24 state bits");
+    let n_states = 1usize << bits;
+    let s_vars: Vec<Var> = (0..bits).map(Var::new).collect();
+    let t_vars: Vec<Var> = (bits..2 * bits).map(Var::new).collect();
+    let init = model.init(&s_vars);
+    let trans = model.trans(&s_vars, &t_vars);
+
+    let decode = |state: usize, out: &mut [bool], offset: usize| {
+        for (i, slot) in out[offset..offset + bits].iter_mut().enumerate() {
+            *slot = state >> i & 1 == 1;
+        }
+    };
+
+    let mut env = vec![false; 2 * bits];
+    let mut dist: Vec<Option<u32>> = vec![None; n_states];
+    let mut queue = std::collections::VecDeque::new();
+    let mut initial = 0usize;
+    for s in 0..n_states {
+        decode(s, &mut env, 0);
+        if init.eval(&env[..bits]) {
+            dist[s] = Some(0);
+            queue.push_back(s);
+            initial += 1;
+        }
+    }
+    if initial == 0 {
+        return None;
+    }
+    let mut eccentricity = 0u32;
+    let mut reachable = initial;
+    while let Some(s) = queue.pop_front() {
+        let d = dist[s].expect("queued states have distances");
+        decode(s, &mut env, 0);
+        for t in 0..n_states {
+            if dist[t].is_some() {
+                continue;
+            }
+            decode(t, &mut env, bits);
+            if trans.eval(&env) {
+                dist[t] = Some(d + 1);
+                eccentricity = eccentricity.max(d + 1);
+                reachable += 1;
+                queue.push_back(t);
+            }
+        }
+    }
+    Some(Exploration {
+        reachable,
+        eccentricity,
+        initial,
+    })
+}
+
+/// Checks that every reachable state has at least one successor
+/// (deadlock-freedom), a prerequisite of the Eq. (14) diameter encoding.
+pub fn is_deadlock_free(model: &SymbolicModel) -> bool {
+    let bits = model.bits();
+    assert!(bits <= 24, "explicit exploration limited to 24 state bits");
+    let n_states = 1usize << bits;
+    let s_vars: Vec<Var> = (0..bits).map(Var::new).collect();
+    let t_vars: Vec<Var> = (bits..2 * bits).map(Var::new).collect();
+    let trans = model.trans(&s_vars, &t_vars);
+    let reach = reachable_states(model, &s_vars, &t_vars, &trans);
+    let mut env = vec![false; 2 * bits];
+    'outer: for s in 0..n_states {
+        if !reach[s] {
+            continue;
+        }
+        for (i, slot) in env[..bits].iter_mut().enumerate() {
+            *slot = s >> i & 1 == 1;
+        }
+        for t in 0..n_states {
+            for (i, slot) in env[bits..].iter_mut().enumerate() {
+                *slot = t >> i & 1 == 1;
+            }
+            if trans.eval(&env) {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn reachable_states(
+    model: &SymbolicModel,
+    s_vars: &[Var],
+    _t_vars: &[Var],
+    trans: &Formula,
+) -> Vec<bool> {
+    let bits = model.bits();
+    let n_states = 1usize << bits;
+    let init = model.init(s_vars);
+    let mut env = vec![false; 2 * bits];
+    let mut reach = vec![false; n_states];
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n_states {
+        for (i, slot) in env[..bits].iter_mut().enumerate() {
+            *slot = s >> i & 1 == 1;
+        }
+        if init.eval(&env[..bits]) {
+            reach[s] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(s) = queue.pop_front() {
+        for (i, slot) in env[..bits].iter_mut().enumerate() {
+            *slot = s >> i & 1 == 1;
+        }
+        for t in 0..n_states {
+            if reach[t] {
+                continue;
+            }
+            for (i, slot) in env[bits..].iter_mut().enumerate() {
+                *slot = t >> i & 1 == 1;
+            }
+            if trans.eval(&env) {
+                reach[t] = true;
+                queue.push_back(t);
+            }
+        }
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model;
+
+    #[test]
+    fn counter_eccentricity_is_exponential() {
+        for n in 1..=5 {
+            let e = explore(&model::counter(n)).unwrap();
+            assert_eq!(e.reachable, 1 << n);
+            assert_eq!(e.eccentricity, (1u32 << n) - 1, "counter<{n}>");
+            assert_eq!(e.initial, 1);
+        }
+    }
+
+    #[test]
+    fn semaphore_eccentricity_is_constant() {
+        let diameters: Vec<u32> = (1..=4)
+            .map(|n| explore(&model::semaphore(n)).unwrap().eccentricity)
+            .collect();
+        // Constant from some small N on (the Fig. 6 right property).
+        assert_eq!(diameters[1], diameters[2]);
+        assert_eq!(diameters[2], diameters[3]);
+        assert!(diameters[3] >= 2);
+    }
+
+    #[test]
+    fn ring_explores() {
+        let e = explore(&model::ring(4)).unwrap();
+        assert!(e.reachable > 1);
+        assert!(e.eccentricity >= 1);
+    }
+
+    #[test]
+    fn gray_eccentricity_is_exponential() {
+        for n in 1..=4 {
+            let e = explore(&model::gray(n)).unwrap();
+            assert_eq!(e.reachable, 1 << n, "gray<{n}> reachable");
+            assert_eq!(e.eccentricity, (1u32 << n) - 1, "gray<{n}> ecc");
+        }
+    }
+
+    #[test]
+    fn dme_eccentricity_grows_with_cells() {
+        let e3 = explore(&model::dme(3)).unwrap();
+        let e5 = explore(&model::dme(5)).unwrap();
+        assert!(e5.eccentricity > e3.eccentricity);
+    }
+
+    #[test]
+    fn all_models_deadlock_free() {
+        assert!(is_deadlock_free(&model::counter(3)));
+        assert!(is_deadlock_free(&model::gray(3)));
+        assert!(is_deadlock_free(&model::ring(3)));
+        assert!(is_deadlock_free(&model::semaphore(2)));
+        assert!(is_deadlock_free(&model::dme(3)));
+    }
+}

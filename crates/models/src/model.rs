@@ -1,0 +1,474 @@
+//! Symbolic transition systems: the NuSMV-model substrate of §VII-C.
+//!
+//! A [`SymbolicModel`] describes a finite-state machine by two formula
+//! builders: `I(s)` over a vector of state variables and `T(s, s′)` over
+//! two vectors. The builders are instantiated on fresh variable vectors by
+//! the BMC-style unrolling of the diameter encoding, playing the role of
+//! the `I`/`T` extraction the paper performs with NuSMV's BMC tool.
+//!
+//! The bundled models mirror the paper's selection: a binary counter
+//! (`counter<N>`), a chain/ring of inverters (`ring<N>`), a semaphore-based
+//! mutual exclusion protocol (`semaphore<N>`) and a token-ring distributed
+//! mutual exclusion protocol (`dme<N>`). All are deadlock-free (every state
+//! has a successor), which the diameter encoding of Eq. (14) requires.
+
+use std::fmt;
+use std::rc::Rc;
+
+use qbf_core::Var;
+use qbf_formula::Formula;
+
+type InitFn = dyn Fn(&[Var]) -> Formula;
+type TransFn = dyn Fn(&[Var], &[Var]) -> Formula;
+
+/// A finite-state model given symbolically by `I(s)` and `T(s, s′)`.
+#[derive(Clone)]
+pub struct SymbolicModel {
+    name: String,
+    bits: usize,
+    init: Rc<InitFn>,
+    trans: Rc<TransFn>,
+}
+
+impl fmt::Debug for SymbolicModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SymbolicModel")
+            .field("name", &self.name)
+            .field("bits", &self.bits)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SymbolicModel {
+    /// Builds a model from its name, state width and formula builders.
+    pub fn new(
+        name: impl Into<String>,
+        bits: usize,
+        init: impl Fn(&[Var]) -> Formula + 'static,
+        trans: impl Fn(&[Var], &[Var]) -> Formula + 'static,
+    ) -> Self {
+        SymbolicModel {
+            name: name.into(),
+            bits,
+            init: Rc::new(init),
+            trans: Rc::new(trans),
+        }
+    }
+
+    /// The model's name (e.g. `counter<4>`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of boolean state variables.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Instantiates `I` on a state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() != self.bits()`.
+    pub fn init(&self, s: &[Var]) -> Formula {
+        assert_eq!(s.len(), self.bits, "state vector width mismatch");
+        (self.init)(s)
+    }
+
+    /// Instantiates `T` on a pair of state vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vector width differs from `self.bits()`.
+    pub fn trans(&self, s: &[Var], s_next: &[Var]) -> Formula {
+        assert_eq!(s.len(), self.bits, "state vector width mismatch");
+        assert_eq!(s_next.len(), self.bits, "state vector width mismatch");
+        (self.trans)(s, s_next)
+    }
+
+    /// The self-looped transition relation `T′` of Eq. (15):
+    /// `T′(s, s′) = (I(s) ∧ I(s′)) ∨ T(s, s′)`.
+    pub fn trans_prime(&self, s: &[Var], s_next: &[Var]) -> Formula {
+        self.init(s).and(self.init(s_next)).or(self.trans(s, s_next))
+    }
+}
+
+/// `v ↔ w` for vectors, i.e. the `xn+1 ≡ yn` of Eq. (14).
+pub fn vector_equiv(v: &[Var], w: &[Var]) -> Formula {
+    assert_eq!(v.len(), w.len(), "vector width mismatch");
+    Formula::and_all(
+        v.iter()
+            .zip(w)
+            .map(|(&a, &b)| Formula::var(a).iff(Formula::var(b))),
+    )
+}
+
+/// `counter<N>`: an N-bit binary counter starting at 0 and incrementing
+/// with wrap-around. Its reachable eccentricity is `2^N − 1` (every state
+/// reachable, the all-ones state last).
+pub fn counter(n: usize) -> SymbolicModel {
+    assert!(n >= 1, "counter needs at least one bit");
+    SymbolicModel::new(
+        format!("counter<{n}>"),
+        n,
+        |s| Formula::and_all(s.iter().map(|&v| Formula::var(v).not())),
+        |s, t| {
+            // t = s + 1 (mod 2^n): bit i flips iff all lower bits are 1.
+            //
+            // The xor is expanded over raw literals (instead of
+            // `Formula::xor` with a composite carry) so that every
+            // clausification auxiliary occurs in a single polarity: that
+            // keeps the monotone-literal cascade of the solver able to
+            // satisfy the definitional clauses of irrelevant subformulas,
+            // which is essential for good learning on the diameter QBFs.
+            let mut conjuncts = Vec::new();
+            for i in 0..s.len() {
+                let carry = Formula::and_all((0..i).map(|j| Formula::var(s[j])));
+                let not_carry = Formula::or_all((0..i).map(|j| Formula::var(s[j]).not()));
+                let si = Formula::var(s[i]);
+                let ti = Formula::var(t[i]);
+                // t_i ↔ (s_i ⊕ carry), expanded:
+                let flip = si.clone().and(not_carry.clone()).or(si.clone().not().and(carry.clone()));
+                let keep = si.clone().and(carry).or(si.not().and(not_carry));
+                conjuncts.push(ti.clone().not().or(flip));
+                conjuncts.push(ti.or(keep));
+            }
+            Formula::and_all(conjuncts)
+        },
+    )
+}
+
+/// `ring<N>`: a ring of N inverters with asynchronous (interleaved)
+/// updates: at each step exactly one gate recomputes its output as the
+/// negation of its predecessor's, the others hold. Deadlock-free (a gate
+/// whose output already equals the negated input yields a stutter step).
+pub fn ring(n: usize) -> SymbolicModel {
+    assert!(n >= 2, "ring needs at least two gates");
+    SymbolicModel::new(
+        format!("ring<{n}>"),
+        n,
+        |s| Formula::and_all(s.iter().map(|&v| Formula::var(v).not())),
+        |s, t| {
+            Formula::or_all((0..s.len()).map(|i| {
+                let prev = s[(i + s.len() - 1) % s.len()];
+                let update = Formula::var(t[i]).iff(Formula::var(prev).not());
+                let holds = Formula::and_all(
+                    (0..s.len())
+                        .filter(|&j| j != i)
+                        .map(|j| Formula::var(t[j]).iff(Formula::var(s[j]))),
+                );
+                update.and(holds)
+            }))
+        },
+    )
+}
+
+/// Process phases of the semaphore protocol, two bits per process.
+const IDLE: (bool, bool) = (false, false);
+const TRYING: (bool, bool) = (false, true);
+const CRITICAL: (bool, bool) = (true, true);
+const EXITING: (bool, bool) = (true, false);
+
+fn phase(s: &[Var], p: usize, (b1, b0): (bool, bool)) -> Formula {
+    let hi = Formula::lit(s[2 * p], b1);
+    let lo = Formula::lit(s[2 * p + 1], b0);
+    hi.and(lo)
+}
+
+/// `semaphore<N>`: N processes cycling idle → trying → critical → exiting
+/// → idle under a mutual-exclusion semaphore, composed synchronously with
+/// critical-section handover. The reachable eccentricity is the constant 3
+/// for every N (reaching an `exiting` process takes three steps), which is
+/// exactly the scaling property Fig. 6 (right) exploits: instance size
+/// grows with N while the diameter stays fixed.
+pub fn semaphore(n: usize) -> SymbolicModel {
+    assert!(n >= 1, "semaphore needs at least one process");
+    SymbolicModel::new(
+        format!("semaphore<{n}>"),
+        2 * n,
+        move |s| Formula::and_all((0..n).map(|p| phase(s, p, IDLE))),
+        move |s, t| {
+            let mut conj = Vec::new();
+            // Per-process local moves.
+            for p in 0..n {
+                let stay_or = |from: (bool, bool), to: (bool, bool)| {
+                    phase(s, p, from)
+                        .implies(phase(t, p, from).or(phase(t, p, to)))
+                };
+                conj.push(stay_or(IDLE, TRYING));
+                conj.push(stay_or(TRYING, CRITICAL));
+                conj.push(stay_or(CRITICAL, EXITING));
+                // Exiting completes immediately (forced), so two processes
+                // can never be exiting at once and the eccentricity stays
+                // at the constant 3 for every N (the paper's d = 3).
+                conj.push(phase(s, p, EXITING).implies(phase(t, p, IDLE)));
+            }
+            // Mutual exclusion in the successor state.
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    conj.push(
+                        phase(t, p, CRITICAL)
+                            .and(phase(t, q, CRITICAL))
+                            .not(),
+                    );
+                }
+            }
+            // Entering the critical section requires the semaphore: every
+            // currently-critical process must be leaving (handover).
+            for p in 0..n {
+                let enters = phase(t, p, CRITICAL).and(phase(s, p, CRITICAL).not());
+                for q in 0..n {
+                    if q != p {
+                        conj.push(
+                            enters
+                                .clone()
+                                .implies(phase(s, q, CRITICAL).implies(phase(t, q, EXITING))),
+                        );
+                    }
+                }
+            }
+            Formula::and_all(conj)
+        },
+    )
+}
+
+/// `gray<N>`: an N-bit Gray-code counter — at every step exactly one bit
+/// flips, following the reflected-Gray successor rule. Like `counter<N>`
+/// its reachable eccentricity is `2^N − 1`, but each transition touches a
+/// single bit, giving the diameter QBFs a different clause shape.
+pub fn gray(n: usize) -> SymbolicModel {
+    assert!(n >= 1, "gray needs at least one bit");
+    SymbolicModel::new(
+        format!("gray<{n}>"),
+        n,
+        |s| Formula::and_all(s.iter().map(|&v| Formula::var(v).not())),
+        |s, t| {
+            // Reflected Gray successor: if parity(s) is even, flip bit 0;
+            // otherwise flip the bit above the lowest set bit (with
+            // wrap-around from the all-but-msb-zero code).
+            let parity_even = |vars: &[Var], upto: usize| -> Vec<Formula> {
+                // XOR of bits expressed as a disjunction over even subsets
+                // would blow up; instead build parity incrementally as a
+                // formula pair (even, odd) over raw literals.
+                let mut even = Formula::constant(true);
+                let mut odd = Formula::constant(false);
+                for &v in &vars[..upto] {
+                    let b = Formula::var(v);
+                    let new_even = even
+                        .clone()
+                        .and(b.clone().not())
+                        .or(odd.clone().and(b.clone()));
+                    let new_odd = odd.and(b.clone().not()).or(even.and(b));
+                    even = new_even;
+                    odd = new_odd;
+                }
+                vec![even, odd]
+            };
+            let n = s.len();
+            let flip_bit = |k: usize| -> Formula {
+                Formula::and_all((0..n).map(|j| {
+                    let sv = Formula::var(s[j]);
+                    let tv = Formula::var(t[j]);
+                    if j == k {
+                        tv.iff(sv.not())
+                    } else {
+                        tv.iff(sv)
+                    }
+                }))
+            };
+            let par = parity_even(s, n);
+            let (even, odd) = (par[0].clone(), par[1].clone());
+            let mut cases = vec![even.and(flip_bit(0))];
+            // odd parity: flip the bit above the lowest set bit
+            for k in 0..n {
+                let lowest_set_is_k = Formula::and_all(
+                    (0..k)
+                        .map(|j| Formula::var(s[j]).not())
+                        .chain(std::iter::once(Formula::var(s[k]))),
+                );
+                let target = if k + 1 < n { k + 1 } else { k }; // wrap: flip msb again
+                cases.push(odd.clone().and(lowest_set_is_k).and(flip_bit(target)));
+            }
+            Formula::or_all(cases)
+        },
+    )
+}
+
+/// `dme<N>`: a token-ring distributed mutual exclusion protocol with N
+/// cells. One token circulates (it may move to the next cell or stay); a
+/// cell may be in its critical section only while it holds the token.
+/// State: N token bits (one-hot) + N critical bits.
+pub fn dme(n: usize) -> SymbolicModel {
+    assert!(n >= 2, "dme needs at least two cells");
+    SymbolicModel::new(
+        format!("dme<{n}>"),
+        2 * n,
+        move |s| {
+            // token at cell 0, nobody critical
+            let mut conj = vec![Formula::var(s[0])];
+            for i in 1..n {
+                conj.push(Formula::var(s[i]).not());
+            }
+            for i in 0..n {
+                conj.push(Formula::var(s[n + i]).not());
+            }
+            Formula::and_all(conj)
+        },
+        move |s, t| {
+            let token = |vars: &[Var], i: usize| Formula::var(vars[i % n]);
+            let crit = |vars: &[Var], i: usize| Formula::var(vars[n + i % n]);
+            let mut conj = Vec::new();
+            // The token stays or moves one cell to the right.
+            let stay = Formula::and_all((0..n).map(|i| token(t, i).iff(token(s, i))));
+            let shift =
+                Formula::and_all((0..n).map(|i| token(t, (i + 1) % n).iff(token(s, i))));
+            conj.push(stay.or(shift));
+            // Criticality requires the token, in the successor state.
+            for i in 0..n {
+                conj.push(crit(t, i).implies(token(t, i)));
+            }
+            // A critical cell keeps the token (no move while critical).
+            for i in 0..n {
+                conj.push(
+                    crit(s, i).implies(token(t, i)),
+                );
+            }
+            Formula::and_all(conj)
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(n: usize) -> Vec<Var> {
+        (0..n).map(Var::new).collect()
+    }
+
+    #[test]
+    fn counter_increments() {
+        let m = counter(3);
+        let s = vars(3);
+        let t: Vec<Var> = (3..6).map(Var::new).collect();
+        let trans = m.trans(&s, &t);
+        // 011 -> 100 (lsb-first: s = [1,1,0], t = [0,0,1])
+        let env = [true, true, false, false, false, true];
+        assert!(trans.eval(&env));
+        // 011 -> 101 is wrong
+        let env = [true, true, false, true, false, true];
+        assert!(!trans.eval(&env));
+        // wrap: 111 -> 000
+        let env = [true, true, true, false, false, false];
+        assert!(trans.eval(&env));
+        // init is all zeros
+        assert!(m.init(&s).eval(&[false, false, false, false, false, false]));
+        assert!(!m.init(&s).eval(&[true, false, false, false, false, false]));
+    }
+
+    #[test]
+    fn trans_prime_adds_initial_self_loop() {
+        let m = counter(2);
+        let s = vars(2);
+        let t: Vec<Var> = (2..4).map(Var::new).collect();
+        let tp = m.trans_prime(&s, &t);
+        // 00 -> 00 allowed by T' (initial self loop) though not by T.
+        assert!(tp.eval(&[false, false, false, false]));
+        assert!(!m.trans(&s, &t).eval(&[false, false, false, false]));
+        // ordinary steps still allowed
+        assert!(tp.eval(&[false, false, true, false]));
+    }
+
+    #[test]
+    fn ring_single_gate_updates() {
+        let m = ring(3);
+        let s = vars(3);
+        let t: Vec<Var> = (3..6).map(Var::new).collect();
+        let trans = m.trans(&s, &t);
+        // gate 0 takes ¬gate2: 000 -> 100
+        assert!(trans.eval(&[false, false, false, true, false, false]));
+        // two gates updating at once: 000 -> 110 is not a single step
+        assert!(!trans.eval(&[false, false, false, true, true, false]));
+        // no gate can stutter from 000 (each update flips a bit)
+        assert!(!trans.eval(&[false; 6]));
+        // stutter allowed when a gate is already stable: 100, gate 1 takes
+        // ¬gate0 = 0 = its current value.
+        assert!(trans.eval(&[true, false, false, true, false, false]));
+    }
+
+    #[test]
+    fn semaphore_mutex_in_successor() {
+        let m = semaphore(2);
+        let s = vars(4);
+        let t: Vec<Var> = (4..8).map(Var::new).collect();
+        let trans = m.trans(&s, &t);
+        // both trying -> both critical is forbidden
+        // phases: trying = (0,1), critical = (1,1); bit order [hi, lo]
+        let env = [
+            false, true, false, true, // s: both trying
+            true, true, true, true, // t: both critical
+        ];
+        assert!(!trans.eval(&env));
+        // one enters
+        let env = [
+            false, true, false, true, // s: both trying
+            true, true, false, true, // t: p0 critical, p1 trying
+        ];
+        assert!(trans.eval(&env));
+    }
+
+    #[test]
+    fn dme_token_moves_or_stays() {
+        let m = dme(3);
+        let s = vars(6);
+        let t: Vec<Var> = (6..12).map(Var::new).collect();
+        let trans = m.trans(&s, &t);
+        // token at 0 moves to 1, nobody critical
+        let mut env = vec![false; 12];
+        env[0] = true; // s token at 0
+        env[6 + 1] = true; // t token at 1
+        assert!(trans.eval(&env));
+        // token jumps from 0 to 2: not allowed
+        let mut env = vec![false; 12];
+        env[0] = true;
+        env[6 + 2] = true;
+        assert!(!trans.eval(&env));
+        // critical without token is forbidden
+        let mut env = vec![false; 12];
+        env[0] = true;
+        env[6] = true; // token stays at 0
+        env[6 + 3 + 1] = true; // cell 1 critical in t
+        assert!(!trans.eval(&env));
+    }
+
+    #[test]
+    fn gray_flips_exactly_one_bit() {
+        let m = gray(3);
+        let s = vars(3);
+        let t: Vec<Var> = (3..6).map(Var::new).collect();
+        let trans = m.trans(&s, &t);
+        // 000 (even parity) -> flip bit 0 -> 100
+        assert!(trans.eval(&[false, false, false, true, false, false]));
+        // 000 -> 010 is not the Gray successor
+        assert!(!trans.eval(&[false, false, false, false, true, false]));
+        // 100 (odd parity, lowest set = 0) -> flip bit 1 -> 110
+        assert!(trans.eval(&[true, false, false, true, true, false]));
+    }
+
+    #[test]
+    fn vector_equiv_works() {
+        let a = vars(2);
+        let b: Vec<Var> = (2..4).map(Var::new).collect();
+        let eq = vector_equiv(&a, &b);
+        assert!(eq.eval(&[true, false, true, false]));
+        assert!(!eq.eval(&[true, false, false, false]));
+    }
+
+    #[test]
+    fn model_metadata() {
+        let m = counter(4);
+        assert_eq!(m.name(), "counter<4>");
+        assert_eq!(m.bits(), 4);
+        assert!(format!("{m:?}").contains("counter"));
+    }
+}

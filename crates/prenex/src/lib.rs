@@ -1,0 +1,37 @@
+//! # qbf-prenex
+//!
+//! Conversions between prenex and non-prenex QBFs, reproducing §V and
+//! §VII-D of *“Quantifier structure in search based procedures for QBFs”*:
+//!
+//! * [`prenex`] — the four prenex-optimal strategies ∃↑∀↑, ∃↑∀↓, ∃↓∀↑,
+//!   ∃↓∀↓ of Egly et al. (reference 12 in the paper), used to feed QUBE(TO);
+//! * [`miniscope`] — scope minimisation (anti-prenexing) with the two
+//!   rules of §VII-D plus single-clause-scope elimination, used to recover
+//!   quantifier structure from prenex QBFEVAL-style instances;
+//! * [`po_to_ratio`] — the footnote-9 "PO/TO" structure metric that gates
+//!   inclusion in the Fig. 7 test set.
+//!
+//! # Examples
+//!
+//! ```
+//! use qbf_core::{samples, semantics};
+//! use qbf_prenex::{miniscope, po_to_ratio, prenex, Strategy};
+//!
+//! let original = samples::paper_example();
+//! let flat = prenex(&original, Strategy::ExistsUpForallUp);
+//! assert!(flat.is_prenex());
+//! assert_eq!(semantics::eval(&flat), semantics::eval(&original));
+//!
+//! let recovered = miniscope(&flat)?.qbf;
+//! assert!(po_to_ratio(&recovered, &flat) > 0.0);
+//! # Ok::<(), String>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod miniscope;
+mod strategy;
+
+pub use miniscope::{miniscope, po_to_ratio, Miniscoped};
+pub use strategy::{prenex, Strategy};

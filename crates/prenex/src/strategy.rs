@@ -1,0 +1,407 @@
+//! The four prenexing strategies ∃↑∀↑, ∃↑∀↓, ∃↓∀↑, ∃↓∀↓ of Egly, Seidl,
+//! Tompits, Woltran and Zolda (reference 12 of the paper, discussed in
+//! §V).
+//!
+//! A strategy linearizes the quantifier forest into a prenex prefix that
+//! *extends* the partial order `≺` and — whenever the deepest-level
+//! variables are existential and all roots share a quantifier — preserves
+//! the prefix level (prenex optimality). `↑` places a quantifier's blocks
+//! as high (outer) as possible, `↓` as low (inner) as possible:
+//!
+//! * the `↑` quantifier receives its globally earliest slots (computed by
+//!   an all-up pass);
+//! * the `↓` quantifier is then pushed as deep as the fixed `↑` slots and
+//!   the forest structure allow (a bottom-up maximization).
+//!
+//! On the paper's example (9) this reproduces the four prefixes of (10)
+//! exactly (see the tests).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use qbf_core::{BlockId, Prefix, Qbf, Quantifier, Var};
+
+/// One of the four prenex-optimal strategies of Egly et al.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// ∃↑∀↑ — both quantifiers as high as possible (the strategy the
+    /// paper's experiments found best for QUBE(TO) on the NCF suite).
+    ExistsUpForallUp,
+    /// ∃↑∀↓.
+    ExistsUpForallDown,
+    /// ∃↓∀↑.
+    ExistsDownForallUp,
+    /// ∃↓∀↓.
+    ExistsDownForallDown,
+}
+
+impl Strategy {
+    /// All four strategies, in the paper's order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::ExistsUpForallUp,
+        Strategy::ExistsDownForallDown,
+        Strategy::ExistsDownForallUp,
+        Strategy::ExistsUpForallDown,
+    ];
+
+    /// Whether the given quantifier is shifted up (`↑`) by this strategy.
+    pub fn is_up(self, q: Quantifier) -> bool {
+        match (self, q) {
+            (Strategy::ExistsUpForallUp, _) => true,
+            (Strategy::ExistsUpForallDown, Quantifier::Exists) => true,
+            (Strategy::ExistsUpForallDown, Quantifier::Forall) => false,
+            (Strategy::ExistsDownForallUp, Quantifier::Exists) => false,
+            (Strategy::ExistsDownForallUp, Quantifier::Forall) => true,
+            (Strategy::ExistsDownForallDown, _) => false,
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Strategy::ExistsUpForallUp => "∃↑∀↑",
+            Strategy::ExistsUpForallDown => "∃↑∀↓",
+            Strategy::ExistsDownForallUp => "∃↓∀↑",
+            Strategy::ExistsDownForallDown => "∃↓∀↓",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Converts a QBF to prenex form with the given strategy. The matrix is
+/// unchanged; the resulting prefix extends the partial order of the input
+/// (§V).
+///
+/// # Examples
+///
+/// ```
+/// use qbf_core::samples;
+/// use qbf_prenex::{prenex, Strategy};
+/// let q = samples::paper_example();
+/// let p = prenex(&q, Strategy::ExistsUpForallUp);
+/// assert!(p.is_prenex());
+/// assert_eq!(p.prefix().prefix_level(), q.prefix().prefix_level());
+/// assert_eq!(qbf_core::semantics::eval(&p), qbf_core::semantics::eval(&q));
+/// ```
+pub fn prenex(qbf: &Qbf, strategy: Strategy) -> Qbf {
+    let prefix = qbf.prefix();
+    if prefix.is_prenex() {
+        return qbf.clone();
+    }
+    let slots = assign_slots(prefix, strategy);
+    let num_slots = slots.values().map(|&(s, _)| s).max().unwrap_or(0);
+    let mut slot_vars: Vec<(Option<Quantifier>, Vec<Var>)> = vec![(None, Vec::new()); num_slots];
+    for b in prefix.blocks() {
+        let (s, q) = slots[&b];
+        let entry = &mut slot_vars[s - 1];
+        debug_assert!(entry.0.is_none() || entry.0 == Some(q), "slot quantifier clash");
+        entry.0 = Some(q);
+        entry.1.extend(prefix.block_vars(b).iter().copied());
+    }
+    let blocks = slot_vars
+        .into_iter()
+        .filter_map(|(q, vars)| q.map(|q| (q, vars)))
+        .filter(|(_, vars)| !vars.is_empty());
+    let new_prefix =
+        Prefix::prenex(prefix.num_vars(), blocks).expect("relinearized prefix is well-formed");
+    Qbf::new(new_prefix, qbf.matrix().clone()).expect("matrix variables unchanged")
+}
+
+/// Computes the slot (1-based) and quantifier of every block.
+fn assign_slots(prefix: &Prefix, strategy: Strategy) -> HashMap<BlockId, (usize, Quantifier)> {
+    let k = prefix.prefix_level() as usize;
+    // Slot parity: uniform-rooted forests start slot 1 with the root
+    // quantifier; mixed-rooted forests get one extra slot headed by ∃.
+    let root_quants: Vec<Quantifier> = prefix
+        .roots()
+        .iter()
+        .map(|&r| prefix.block_quant(r))
+        .collect();
+    let uniform = root_quants.windows(2).all(|w| w[0] == w[1]);
+    let (num_slots, slot1) = if uniform {
+        (k, root_quants.first().copied().unwrap_or(Quantifier::Exists))
+    } else {
+        (k + 1, Quantifier::Exists)
+    };
+    let slot_quant = |s: usize| -> Quantifier {
+        if s % 2 == 1 {
+            slot1
+        } else {
+            slot1.dual()
+        }
+    };
+    // Earliest slot ≥ `from` whose quantifier is `q`.
+    let ceil_slot = |from: usize, q: Quantifier| -> usize {
+        if slot_quant(from) == q {
+            from
+        } else {
+            from + 1
+        }
+    };
+    // Latest slot ≤ `until` whose quantifier is `q`.
+    let floor_slot = |until: usize, q: Quantifier| -> usize {
+        if slot_quant(until) == q {
+            until
+        } else {
+            until - 1
+        }
+    };
+
+    let dfs: Vec<BlockId> = prefix.blocks_dfs().collect();
+
+    // All-up pass (top-down): earliest slots for everything.
+    let mut up: HashMap<BlockId, usize> = HashMap::new();
+    for &b in &dfs {
+        let q = prefix.block_quant(b);
+        let lower = match prefix.block_parent(b) {
+            None => 1,
+            Some(p) => {
+                let ps = up[&p];
+                if prefix.block_quant(p) == q {
+                    ps
+                } else {
+                    ps + 1
+                }
+            }
+        };
+        up.insert(b, ceil_slot(lower, q));
+    }
+
+    // Alternation height: minimal number of alternation levels the subtree
+    // of `b` needs at and below `b`'s slot.
+    let mut height: HashMap<BlockId, usize> = HashMap::new();
+    for &b in dfs.iter().rev() {
+        let q = prefix.block_quant(b);
+        let mut h = 1usize;
+        for &c in prefix.block_children(b) {
+            let extra = usize::from(prefix.block_quant(c) != q);
+            h = h.max(height[&c] + extra);
+        }
+        height.insert(b, h);
+    }
+
+    // Down pass (bottom-up): push the ↓-quantifier's blocks as deep as the
+    // structure and the fixed ↑ slots allow.
+    let mut slots: HashMap<BlockId, (usize, Quantifier)> = HashMap::new();
+    for &b in dfs.iter().rev() {
+        let q = prefix.block_quant(b);
+        if strategy.is_up(q) {
+            slots.insert(b, (up[&b], q));
+            continue;
+        }
+        let mut ub = floor_slot(num_slots - height[&b] + 1, q);
+        for &c in prefix.block_children(b) {
+            let (cs, cq) = *slots.get(&c).expect("children processed first (reverse DFS)");
+            ub = ub.min(if cq == q { cs } else { floor_slot(cs - 1, q) });
+        }
+        slots.insert(b, (ub, q));
+    }
+
+    // Sanity: the linearization must extend ≺.
+    if cfg!(debug_assertions) {
+        for &b in &dfs {
+            if let Some(p) = prefix.block_parent(b) {
+                let (bs, bq) = slots[&b];
+                let (ps, pq) = slots[&p];
+                if pq == bq {
+                    debug_assert!(ps <= bs, "same-quant order violated");
+                } else {
+                    debug_assert!(ps < bs, "≺ violated by slot assignment");
+                }
+            }
+        }
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbf_core::{samples, semantics, Clause, Lit, Matrix, PrefixBuilder, Quantifier::*};
+
+    fn v(i: usize) -> Var {
+        Var::new(i)
+    }
+
+    /// The quantifier structure of the paper's example (9):
+    /// `∃x (∀y1 ∃x1 ∀y2 ∃x2 ϕ0 ∧ ∀y'1 ∃x'1 ϕ1 ∧ ∃x''1 ϕ2)`
+    /// with numbering x=0, y1=1, x1=2, y2=3, x2=4, y'1=5, x'1=6, x''1=7.
+    fn example9() -> Qbf {
+        let mut b = PrefixBuilder::new(8);
+        let x = b.add_root(Exists, [v(0)]).unwrap();
+        let y1 = b.add_child(x, Forall, [v(1)]).unwrap();
+        let x1 = b.add_child(y1, Exists, [v(2)]).unwrap();
+        let y2 = b.add_child(x1, Forall, [v(3)]).unwrap();
+        b.add_child(y2, Exists, [v(4)]).unwrap();
+        let yp1 = b.add_child(x, Forall, [v(5)]).unwrap();
+        b.add_child(yp1, Exists, [v(6)]).unwrap();
+        b.add_child(x, Exists, [v(7)]).unwrap();
+        let prefix = b.finish().unwrap();
+        // A matrix mentioning every variable once keeps them all relevant.
+        let clause = |lits: &[i64]| Clause::new(lits.iter().map(|&d| Lit::from_dimacs(d))).unwrap();
+        let matrix = Matrix::from_clauses(
+            8,
+            [
+                clause(&[1, 2, 3, 4, 5]),
+                clause(&[1, 6, 7]),
+                clause(&[1, 8]),
+            ],
+        );
+        Qbf::new(prefix, matrix).unwrap()
+    }
+
+    fn blocks_of(q: &Qbf) -> Vec<(Quantifier, Vec<Var>)> {
+        q.prefix().linear_blocks()
+    }
+
+    #[test]
+    fn example9_exists_up_forall_up() {
+        // (10): ∃x x''1 ∀y1 y'1 ∃x1 x'1 ∀y2 ∃x2
+        let p = prenex(&example9(), Strategy::ExistsUpForallUp);
+        assert_eq!(
+            blocks_of(&p),
+            vec![
+                (Exists, vec![v(0), v(7)]),
+                (Forall, vec![v(1), v(5)]),
+                (Exists, vec![v(2), v(6)]),
+                (Forall, vec![v(3)]),
+                (Exists, vec![v(4)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn example9_exists_up_forall_down() {
+        // (10): coincides with ∃↑∀↑ on this example.
+        let p = prenex(&example9(), Strategy::ExistsUpForallDown);
+        assert_eq!(
+            blocks_of(&p),
+            blocks_of(&prenex(&example9(), Strategy::ExistsUpForallUp))
+        );
+    }
+
+    #[test]
+    fn example9_exists_down_forall_up() {
+        // (10): ∃x ∀y1 y'1 ∃x1 ∀y2 ∃x2 x'1 x''1
+        let p = prenex(&example9(), Strategy::ExistsDownForallUp);
+        assert_eq!(
+            blocks_of(&p),
+            vec![
+                (Exists, vec![v(0)]),
+                (Forall, vec![v(1), v(5)]),
+                (Exists, vec![v(2)]),
+                (Forall, vec![v(3)]),
+                (Exists, vec![v(4), v(6), v(7)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn example9_exists_down_forall_down() {
+        // (10): ∃x ∀y1 ∃x1 ∀y2 y'1 ∃x2 x'1 x''1
+        let p = prenex(&example9(), Strategy::ExistsDownForallDown);
+        assert_eq!(
+            blocks_of(&p),
+            vec![
+                (Exists, vec![v(0)]),
+                (Forall, vec![v(1)]),
+                (Exists, vec![v(2)]),
+                (Forall, vec![v(3), v(5)]),
+                (Exists, vec![v(4), v(6), v(7)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn prenex_optimal_on_paper_example() {
+        let q = samples::paper_example();
+        for s in Strategy::ALL {
+            let p = prenex(&q, s);
+            assert!(p.is_prenex(), "{s}");
+            assert_eq!(p.prefix().prefix_level(), q.prefix().prefix_level(), "{s}");
+            assert_eq!(p.matrix(), q.matrix(), "{s}: matrix must be unchanged");
+        }
+    }
+
+    #[test]
+    fn extends_partial_order() {
+        // Mixed-quantifier `≺` pairs are exact in the representation and
+        // must all be preserved by every strategy (same-quantifier pairs
+        // are an over-approximation of the timestamp scheme and may
+        // legitimately collapse into one block).
+        let q = example9();
+        for s in Strategy::ALL {
+            let p = prenex(&q, s);
+            for a in 0..8 {
+                for b in 0..8 {
+                    let (qa, qb) = (
+                        q.prefix().quant(v(a)).unwrap(),
+                        q.prefix().quant(v(b)).unwrap(),
+                    );
+                    if qa != qb && q.prefix().precedes(v(a), v(b)) {
+                        assert!(
+                            p.prefix().precedes(v(a), v(b)),
+                            "{s}: lost {a} ≺ {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value_preserved_on_samples() {
+        for q in [
+            samples::paper_example(),
+            samples::two_independent_games(),
+        ] {
+            let expected = semantics::eval(&q);
+            for s in Strategy::ALL {
+                assert_eq!(semantics::eval(&prenex(&q, s)), expected, "{s} on {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn value_preserved_on_random_qbfs() {
+        for round in 0..40u64 {
+            let q = qbf_core::samples::random_qbf(0xfeed_beef ^ round, 6, 8);
+            let expected = semantics::eval(&q);
+            for s in Strategy::ALL {
+                let p = prenex(&q, s);
+                assert!(p.is_prenex());
+                assert_eq!(semantics::eval(&p), expected, "round {round} {s} on {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn prenex_input_is_returned_unchanged() {
+        let q = samples::forall_exists_xor();
+        for s in Strategy::ALL {
+            assert_eq!(prenex(&q, s), q);
+        }
+    }
+
+    #[test]
+    fn mixed_root_quantifiers_get_extra_slot() {
+        // ∀y ϕ1 ∧ ∃x ϕ2 with an alternation below each root.
+        let mut b = PrefixBuilder::new(4);
+        let r1 = b.add_root(Forall, [v(0)]).unwrap();
+        b.add_child(r1, Exists, [v(1)]).unwrap();
+        let r2 = b.add_root(Exists, [v(2)]).unwrap();
+        b.add_child(r2, Forall, [v(3)]).unwrap();
+        let prefix = b.finish().unwrap();
+        let clause = |lits: &[i64]| Clause::new(lits.iter().map(|&d| Lit::from_dimacs(d))).unwrap();
+        let matrix = Matrix::from_clauses(4, [clause(&[1, 2]), clause(&[3, 4])]);
+        let q = Qbf::new(prefix, matrix).unwrap();
+        let expected = semantics::eval(&q);
+        for s in Strategy::ALL {
+            let p = prenex(&q, s);
+            assert!(p.is_prenex(), "{s}");
+            assert_eq!(semantics::eval(&p), expected, "{s}");
+        }
+    }
+
+}

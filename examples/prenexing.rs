@@ -1,0 +1,64 @@
+//! Prenexing strategies and miniscoping (§V and §VII-D): linearize a
+//! non-prenex instance with the four strategies of Egly et al., compare
+//! solver behaviour, then recover the structure by scope minimisation.
+//!
+//! Run with `cargo run --release --example prenexing`.
+
+use qbf_repro::core::solver::{Solver, SolverConfig};
+use qbf_repro::gen::{ncf, NcfParams};
+use qbf_repro::prenex::{miniscope, po_to_ratio, prenex, Strategy};
+
+fn main() {
+    let params = NcfParams {
+        dep: 6,
+        var: 4,
+        cls_ratio: 4,
+        lpc: 5,
+    };
+    let original = ncf(&params, 11);
+    println!(
+        "NCF instance {params}: {} vars, {} clauses, prefix level {}",
+        original.num_vars(),
+        original.matrix().len(),
+        original.prefix().prefix_level()
+    );
+    println!("non-prenex prefix (truncated): {:.90}…\n", original.prefix().to_string());
+
+    // Solve the original with the structure-aware solver.
+    let budget = 2_000_000;
+    let po = Solver::new(
+        &original,
+        SolverConfig::partial_order().with_node_limit(budget),
+    )
+    .solve();
+    println!(
+        "QUBE(PO) on the tree     : {:?} in {} assignments",
+        po.value(),
+        po.stats.assignments()
+    );
+
+    // The four prenex-optimal strategies.
+    for strategy in Strategy::ALL {
+        let flat = prenex(&original, strategy);
+        assert!(flat.is_prenex());
+        let to = Solver::new(&flat, SolverConfig::total_order().with_node_limit(budget)).solve();
+        println!(
+            "QUBE(TO) after {strategy}   : {:?} in {} assignments  (prefix level {})",
+            to.value(),
+            to.stats.assignments(),
+            flat.prefix().prefix_level()
+        );
+    }
+
+    // Round trip: miniscoping the ∃↑∀↑ prenex form recovers structure.
+    let flat = prenex(&original, Strategy::ExistsUpForallUp);
+    let recovered = miniscope(&flat).expect("prenex input");
+    println!(
+        "\nminiscoping the flat form: {} vars eliminated, {} clauses removed",
+        recovered.eliminated_vars, recovered.removed_clauses
+    );
+    println!(
+        "PO/TO structure ratio (footnote 9): {:.1}% of ∃/∀ pairs freed",
+        po_to_ratio(&recovered.qbf, &flat)
+    );
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build a non-prenex QBF with the public API, inspect its
+//! quantifier structure, and solve it with both solver configurations.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use qbf_repro::core::recursive::{self, RecursiveConfig};
+use qbf_repro::core::solver::{Solver, SolverConfig};
+use qbf_repro::core::{samples, Clause, Lit, Matrix, PrefixBuilder, Qbf, Quantifier::*, Var};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. Build a QBF by hand:   ∃x ( ∀y1 ∃a (x∨y1∨a)(¬y1∨¬a)
+    //                                ∧ ∀y2 ∃b (¬x∨y2∨b)(¬y2∨¬b) )
+    // The two ∀-subtrees are incomparable in the prefix partial order —
+    // exactly the structure a prenex solver would have to serialize.
+    // ------------------------------------------------------------------
+    let v: Vec<Var> = (0..5).map(Var::new).collect(); // x, y1, a, y2, b
+    let mut prefix = PrefixBuilder::new(5);
+    let root = prefix.add_root(Exists, [v[0]])?;
+    let y1 = prefix.add_child(root, Forall, [v[1]])?;
+    prefix.add_child(y1, Exists, [v[2]])?;
+    let y2 = prefix.add_child(root, Forall, [v[3]])?;
+    prefix.add_child(y2, Exists, [v[4]])?;
+
+    let clause = |lits: &[i64]| -> Result<Clause, _> {
+        Clause::new(lits.iter().map(|&d| Lit::from_dimacs(d)))
+    };
+    let matrix = Matrix::from_clauses(
+        5,
+        [
+            clause(&[1, 2, 3])?,
+            clause(&[-2, -3])?,
+            clause(&[-1, 4, 5])?,
+            clause(&[-4, -5])?,
+        ],
+    );
+    let qbf = Qbf::new(prefix.finish()?, matrix)?;
+
+    println!("QBF: {qbf}");
+    println!("prenex: {}   prefix level: {}", qbf.is_prenex(), qbf.prefix().prefix_level());
+    println!(
+        "y1 ≺ a: {}   y1 ≺ b: {} (incomparable subtrees)",
+        qbf.prefix().precedes(v[1], v[2]),
+        qbf.prefix().precedes(v[1], v[4])
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Solve it with the structure-aware QUBE(PO)-style solver.
+    // ------------------------------------------------------------------
+    let outcome = Solver::new(&qbf, SolverConfig::partial_order()).solve();
+    println!(
+        "\nQUBE(PO) says: {:?}   ({} decisions, {} propagations)",
+        outcome.value(),
+        outcome.stats.decisions,
+        outcome.stats.propagations
+    );
+
+    // ------------------------------------------------------------------
+    // 3. The paper's running example (1) and its Fig. 2-style trace.
+    // ------------------------------------------------------------------
+    let example = samples::paper_example();
+    let cfg = RecursiveConfig {
+        trace: true,
+        pure_literals: false,
+        ..RecursiveConfig::default()
+    };
+    let run = recursive::solve(&example, &cfg);
+    println!("\nThe paper's QBF (1) is {:?}; its refutation tree:", run.value);
+    println!("{}", run.trace.expect("tracing enabled").render());
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! # qbf-repro
+//!
+//! Facade crate of the reproduction of *Giunchiglia, Narizzano, Tacchella,
+//! “Quantifier structure in search based procedures for QBFs”* (DATE 2006 /
+//! IEEE TCAD). Re-exports the workspace crates:
+//!
+//! * [`core`] ([`qbf_core`]) — QBFs with partially ordered prefixes and the
+//!   search solvers (recursive Q-DLL and the learning QDPLL with the
+//!   QUBE(TO)/QUBE(PO) heuristics);
+//! * [`formula`] ([`qbf_formula`]) — boolean formula substrate and CNF
+//!   conversion;
+//! * [`prenex`] ([`qbf_prenex`]) — prenexing strategies and miniscoping;
+//! * [`models`] ([`qbf_models`]) — symbolic models and diameter QBFs;
+//! * [`gen`] ([`qbf_gen`]) — benchmark instance generators.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qbf_repro::core::{samples, solver::{Solver, SolverConfig}};
+//!
+//! let qbf = samples::paper_example();          // the paper's QBF (1)
+//! let outcome = Solver::new(&qbf, SolverConfig::partial_order()).solve();
+//! assert_eq!(outcome.value(), Some(false));    // Fig. 2 refutes it
+//! ```
+
+#![warn(missing_docs)]
+
+pub use qbf_core as core;
+pub use qbf_formula as formula;
+pub use qbf_gen as gen;
+pub use qbf_models as models;
+pub use qbf_prenex as prenex;

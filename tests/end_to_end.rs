@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: generators → prenexing/miniscoping →
+//! solvers → oracles.
+
+use qbf_repro::core::io::{qdimacs, qtree};
+use qbf_repro::core::recursive::{self, RecursiveConfig};
+use qbf_repro::core::solver::{Solver, SolverConfig};
+use qbf_repro::core::{samples, semantics, Qbf};
+use qbf_repro::gen::{fixed, fpv, ncf, rand_qbf, FixedParams, FpvParams, NcfParams, RandParams};
+use qbf_repro::models::{compute_diameter, counter, dme, explore, ring, semaphore, DiameterForm};
+use qbf_repro::prenex::{miniscope, prenex, Strategy};
+
+fn solve_po(q: &Qbf) -> Option<bool> {
+    Solver::new(q, SolverConfig::partial_order().with_node_limit(5_000_000))
+        .solve()
+        .value()
+}
+
+fn solve_to(q: &Qbf) -> Option<bool> {
+    Solver::new(q, SolverConfig::total_order().with_node_limit(5_000_000))
+        .solve()
+        .value()
+}
+
+#[test]
+fn ncf_pipeline_agrees_across_strategies_and_solvers() {
+    let params = NcfParams {
+        dep: 4,
+        var: 2,
+        cls_ratio: 3,
+        lpc: 4,
+    };
+    for seed in 0..6 {
+        let po = ncf(&params, seed);
+        let reference = solve_po(&po).expect("within budget");
+        for strategy in Strategy::ALL {
+            let flat = prenex(&po, strategy);
+            assert!(flat.is_prenex());
+            assert_eq!(solve_to(&flat), Some(reference), "seed {seed} {strategy}");
+        }
+        // recursive reference solver agrees too
+        let rec = recursive::solve(&po, &RecursiveConfig::default());
+        assert_eq!(rec.value, Some(reference), "seed {seed} recursive");
+    }
+}
+
+#[test]
+fn fpv_pipeline_agrees() {
+    let params = FpvParams {
+        config_vars: 3,
+        branches: 3,
+        branch_depth: 1,
+        block_vars: 2,
+        clauses_per_branch: 8,
+        lpc: 4,
+    };
+    for seed in 0..6 {
+        let po = fpv(&params, seed);
+        let flat = prenex(&po, Strategy::ExistsUpForallUp);
+        assert_eq!(solve_po(&po), solve_to(&flat), "seed {seed}");
+    }
+}
+
+#[test]
+fn dia_pipeline_matches_bfs_all_models() {
+    for model in [counter(2), ring(3), semaphore(2), dme(2)] {
+        let truth = explore(&model).expect("models have initial states");
+        let po = compute_diameter(
+            &model,
+            DiameterForm::Tree,
+            &SolverConfig::partial_order().with_node_limit(5_000_000),
+            20,
+        );
+        let to = compute_diameter(
+            &model,
+            DiameterForm::Prenex,
+            &SolverConfig::total_order().with_node_limit(5_000_000),
+            20,
+        );
+        assert_eq!(po.diameter, Some(truth.eccentricity), "{} po", model.name());
+        assert_eq!(to.diameter, Some(truth.eccentricity), "{} to", model.name());
+    }
+}
+
+#[test]
+fn miniscope_pipeline_preserves_value() {
+    let params = RandParams::three_block(6, 4, 6, 40, 4).with_locality(2, 10);
+    for seed in 0..8 {
+        let flat = rand_qbf(&params, seed);
+        let mini = miniscope(&flat).expect("prenex input");
+        assert_eq!(
+            solve_to(&flat),
+            solve_po(&mini.qbf),
+            "seed {seed}: miniscoping changed the value"
+        );
+    }
+}
+
+#[test]
+fn fixed_instances_recoverable_and_consistent() {
+    let params = FixedParams {
+        groups: 3,
+        depth: 3,
+        block_vars: 2,
+        clauses_per_group: 12,
+        lpc: 5,
+    };
+    for seed in 0..5 {
+        let inst = fixed(&params, seed);
+        let mini = miniscope(&inst.prenex).expect("prenex input");
+        let a = solve_to(&inst.prenex);
+        let b = solve_po(&mini.qbf);
+        let c = solve_po(&inst.structured);
+        assert_eq!(a, b, "seed {seed}");
+        assert_eq!(b, c, "seed {seed}");
+    }
+}
+
+#[test]
+fn io_roundtrip_through_both_formats() {
+    let q = samples::paper_example();
+    // qtree keeps the structure
+    let text = qtree::write(&q);
+    let q2 = qtree::parse(&text).expect("own output parses");
+    assert_eq!(q, q2);
+    // qdimacs via prenexing
+    let flat = prenex(&q, Strategy::ExistsUpForallUp);
+    let text = qdimacs::write(&flat);
+    let flat2 = qdimacs::parse(&text).expect("own output parses");
+    assert_eq!(flat, flat2);
+    // both solve to the same (false) value
+    assert_eq!(solve_po(&q2), Some(false));
+    assert_eq!(solve_to(&flat2), Some(false));
+}
+
+#[test]
+fn generated_instances_roundtrip_qtree() {
+    let params = NcfParams {
+        dep: 4,
+        var: 3,
+        cls_ratio: 2,
+        lpc: 4,
+    };
+    for seed in 0..4 {
+        let q = ncf(&params, seed);
+        let q2 = qtree::parse(&qtree::write(&q)).expect("roundtrip");
+        assert_eq!(q, q2, "seed {seed}");
+    }
+}
+
+#[test]
+fn naive_oracle_spot_checks_generators() {
+    // Small instances from every generator against the exponential oracle.
+    let q = ncf(
+        &NcfParams {
+            dep: 3,
+            var: 1,
+            cls_ratio: 3,
+            lpc: 3,
+        },
+        1,
+    );
+    assert_eq!(solve_po(&q), Some(semantics::eval(&q)));
+    let q = fpv(
+        &FpvParams {
+            config_vars: 2,
+            branches: 2,
+            branch_depth: 1,
+            block_vars: 1,
+            clauses_per_branch: 5,
+            lpc: 3,
+        },
+        1,
+    );
+    assert_eq!(solve_po(&q), Some(semantics::eval(&q)));
+    let q = rand_qbf(&RandParams::three_block(2, 2, 2, 10, 3), 1);
+    assert_eq!(solve_to(&q), Some(semantics::eval(&q)));
+}

@@ -1,0 +1,65 @@
+//! Long-running stress tests, excluded from the default run. Execute with
+//! `cargo test --release --test stress -- --ignored`.
+
+use qbf_repro::core::solver::{HeuristicKind, Solver, SolverConfig};
+use qbf_repro::core::{samples, semantics};
+use qbf_repro::models::{compute_diameter, dme, explore, ring, DiameterForm};
+use qbf_repro::prenex::{miniscope, prenex, Strategy};
+
+#[test]
+#[ignore = "long-running differential sweep"]
+fn differential_sweep_2000_instances() {
+    for seed in 0..2000u64 {
+        let q = samples::random_qbf(seed, 8, 14);
+        let expected = semantics::eval(&q);
+        for heuristic in [
+            HeuristicKind::Naive,
+            HeuristicKind::VsidsLevel,
+            HeuristicKind::VsidsTree,
+            HeuristicKind::Random(seed),
+        ] {
+            let config = SolverConfig {
+                heuristic,
+                ..SolverConfig::default()
+            };
+            assert_eq!(
+                Solver::new(&q, config).solve().value(),
+                Some(expected),
+                "seed {seed} heuristic {heuristic:?}"
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "long-running prenex/miniscope roundtrip sweep"]
+fn prenex_miniscope_roundtrip_sweep() {
+    for seed in 0..800u64 {
+        let q = samples::random_qbf(0xabcd ^ seed, 9, 16);
+        let expected = semantics::eval(&q);
+        for strategy in Strategy::ALL {
+            let flat = prenex(&q, strategy);
+            assert_eq!(semantics::eval(&flat), expected, "seed {seed} {strategy}");
+            let mini = miniscope(&flat).expect("prenex input");
+            assert_eq!(semantics::eval(&mini.qbf), expected, "seed {seed} {strategy} mini");
+        }
+    }
+}
+
+#[test]
+#[ignore = "long-running diameter computations"]
+fn larger_diameters_match_bfs() {
+    // Models whose probe costs stay within the budget; the exponential
+    // counter/gray families outgrow any fixed budget quickly (that is the
+    // Fig. 6 phenomenon itself) and are exercised by `repro fig6` instead.
+    for model in [ring(5), ring(6), dme(4)] {
+        let truth = explore(&model).expect("initial states").eccentricity;
+        let run = compute_diameter(
+            &model,
+            DiameterForm::Tree,
+            &SolverConfig::partial_order().with_node_limit(50_000_000),
+            2 * truth + 2,
+        );
+        assert_eq!(run.diameter, Some(truth), "{}", model.name());
+    }
+}
