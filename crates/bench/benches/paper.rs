@@ -1,9 +1,15 @@
-//! Criterion benches: one representative configuration per experiment of
-//! §VII, for regression tracking. The full regeneration lives in the
-//! `repro` binary; these benches pin the relative TO/PO costs on fixed
-//! instances.
+//! Dependency-free benches (`cargo bench`): one representative
+//! configuration per experiment of §VII, for regression tracking. The full
+//! regeneration lives in the `repro` binary; these benches pin the relative
+//! TO/PO costs on fixed instances.
+//!
+//! The workspace builds hermetically (no crates.io access), so this is a
+//! plain `harness = false` binary timed with `std::time::Instant` instead
+//! of criterion: each case is run for a warm-up iteration, then repeated
+//! until ~0.4 s has elapsed, reporting the median per-iteration time and
+//! the deterministic `assignments()` cost proxy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
 
 use qbf_core::solver::{Solver, SolverConfig};
 use qbf_core::Qbf;
@@ -11,14 +17,36 @@ use qbf_gen::{fixed, fpv, ncf, rand_qbf, FixedParams, FpvParams, NcfParams, Rand
 use qbf_models::{diameter_qbf, DiameterForm};
 use qbf_prenex::{miniscope, prenex, Strategy};
 
-fn solve(qbf: &Qbf, config: &SolverConfig) -> Option<bool> {
-    Solver::new(qbf, config.clone().with_node_limit(5_000_000))
-        .solve()
-        .value()
+fn solve(qbf: &Qbf, config: &SolverConfig) -> u64 {
+    let out = Solver::new(qbf, config.clone().with_node_limit(5_000_000)).solve();
+    assert!(out.value().is_some(), "bench instance hit its node limit");
+    out.stats.assignments()
+}
+
+/// Times `f` repeatedly and prints `group/name: median iter time (n iters)`.
+fn bench<F: FnMut() -> u64>(group: &str, name: &str, mut f: F) {
+    let assignments = f(); // warm-up + cost proxy
+    let budget = Duration::from_millis(400);
+    let mut times = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < budget || times.len() < 3 {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        times.push(t.elapsed());
+        if times.len() >= 200 {
+            break;
+        }
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    println!(
+        "{group:<14} {name:<28} {median:>12.2?}  ({} iters, {assignments} assignments)",
+        times.len()
+    );
 }
 
 /// Table I rows 1–4 / Fig. 3: an NCF instance, PO vs the four strategies.
-fn bench_ncf(c: &mut Criterion) {
+fn bench_ncf() {
     let params = NcfParams {
         dep: 4,
         var: 3,
@@ -26,23 +54,17 @@ fn bench_ncf(c: &mut Criterion) {
         lpc: 3,
     };
     let po = ncf(&params, 7);
-    let mut group = c.benchmark_group("ncf");
-    group.bench_function("po", |b| {
-        b.iter(|| solve(&po, &SolverConfig::partial_order()))
-    });
+    bench("ncf", "po", || solve(&po, &SolverConfig::partial_order()));
     for strategy in Strategy::ALL {
         let to = prenex(&po, strategy);
-        group.bench_with_input(
-            BenchmarkId::new("to", strategy.to_string()),
-            &to,
-            |b, to| b.iter(|| solve(to, &SolverConfig::total_order())),
-        );
+        bench("ncf", &format!("to/{strategy}"), || {
+            solve(&to, &SolverConfig::total_order())
+        });
     }
-    group.finish();
 }
 
 /// Table I row 5 / Fig. 4: an FPV instance.
-fn bench_fpv(c: &mut Criterion) {
+fn bench_fpv() {
     let params = FpvParams {
         config_vars: 4,
         branches: 3,
@@ -53,34 +75,25 @@ fn bench_fpv(c: &mut Criterion) {
     };
     let po = fpv(&params, 3);
     let to = prenex(&po, Strategy::ExistsUpForallUp);
-    let mut group = c.benchmark_group("fpv");
-    group.bench_function("po", |b| {
-        b.iter(|| solve(&po, &SolverConfig::partial_order()))
-    });
-    group.bench_function("to", |b| {
-        b.iter(|| solve(&to, &SolverConfig::total_order()))
-    });
-    group.finish();
+    bench("fpv", "po", || solve(&po, &SolverConfig::partial_order()));
+    bench("fpv", "to", || solve(&to, &SolverConfig::total_order()));
 }
 
 /// Table I row 6 / Figs. 5–6: a diameter probe of counter<3>.
-fn bench_dia(c: &mut Criterion) {
+fn bench_dia() {
     let model = qbf_models::counter(3);
     let tree = diameter_qbf(&model, 5, DiameterForm::Tree);
     let flat = diameter_qbf(&model, 5, DiameterForm::Prenex);
-    let mut group = c.benchmark_group("dia_counter3_phi5");
-    group.bench_function("po_tree", |b| {
-        b.iter(|| solve(&tree.qbf, &SolverConfig::partial_order()))
+    bench("dia_c3_phi5", "po_tree", || {
+        solve(&tree.qbf, &SolverConfig::partial_order())
     });
-    group.bench_function("to_prenex", |b| {
-        b.iter(|| solve(&flat.qbf, &SolverConfig::total_order()))
+    bench("dia_c3_phi5", "to_prenex", || {
+        solve(&flat.qbf, &SolverConfig::total_order())
     });
-    group.finish();
 }
 
 /// Table I rows 7–8 / Fig. 7: miniscoped PROB and FIXED instances.
-fn bench_miniscoped(c: &mut Criterion) {
-    let mut group = c.benchmark_group("qbfeval");
+fn bench_miniscoped() {
     let flat = fixed(
         &FixedParams {
             groups: 3,
@@ -93,21 +106,20 @@ fn bench_miniscoped(c: &mut Criterion) {
     )
     .prenex;
     let mini = miniscope(&flat).expect("prenex input").qbf;
-    group.bench_function("fixed_to", |b| {
-        b.iter(|| solve(&flat, &SolverConfig::total_order()))
+    bench("qbfeval", "fixed_to", || {
+        solve(&flat, &SolverConfig::total_order())
     });
-    group.bench_function("fixed_po_miniscoped", |b| {
-        b.iter(|| solve(&mini, &SolverConfig::partial_order()))
+    bench("qbfeval", "fixed_po_miniscoped", || {
+        solve(&mini, &SolverConfig::partial_order())
     });
     let prob = rand_qbf(&RandParams::three_block(5, 4, 5, 35, 3), 2);
-    group.bench_function("prob_to", |b| {
-        b.iter(|| solve(&prob, &SolverConfig::total_order()))
+    bench("qbfeval", "prob_to", || {
+        solve(&prob, &SolverConfig::total_order())
     });
-    group.finish();
 }
 
 /// Preprocessing costs: the four prenexing strategies and miniscoping.
-fn bench_transforms(c: &mut Criterion) {
+fn bench_transforms() {
     let params = NcfParams {
         dep: 6,
         var: 4,
@@ -115,22 +127,31 @@ fn bench_transforms(c: &mut Criterion) {
         lpc: 4,
     };
     let q = ncf(&params, 1);
-    let mut group = c.benchmark_group("transforms");
     for strategy in Strategy::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("prenex", strategy.to_string()),
-            &strategy,
-            |b, &s| b.iter(|| prenex(&q, s)),
-        );
+        bench("transforms", &format!("prenex/{strategy}"), || {
+            std::hint::black_box(prenex(&q, strategy));
+            0
+        });
     }
     let flat = prenex(&q, Strategy::ExistsUpForallUp);
-    group.bench_function("miniscope", |b| b.iter(|| miniscope(&flat)));
-    group.finish();
+    bench("transforms", "miniscope", || {
+        std::hint::black_box(miniscope(&flat)).is_ok() as u64
+    });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_ncf, bench_fpv, bench_dia, bench_miniscoped, bench_transforms
+fn main() {
+    // `cargo bench` passes `--bench`; `cargo test --benches` passes
+    // `--test-threads` etc. and expects the harness not to actually run.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    println!(
+        "{:<14} {:<28} {:>12}  (iters, deterministic cost)",
+        "group", "case", "median"
+    );
+    bench_ncf();
+    bench_fpv();
+    bench_dia();
+    bench_miniscoped();
+    bench_transforms();
 }
-criterion_main!(benches);

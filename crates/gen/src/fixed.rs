@@ -11,8 +11,7 @@
 
 use qbf_core::{Clause, Matrix, PrefixBuilder, Qbf, Quantifier, Var};
 use qbf_prenex::{prenex, Strategy};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// Parameters of the FIXED-class generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +61,7 @@ pub struct FixedInstance {
 /// ```
 pub fn fixed(params: &FixedParams, seed: u64) -> FixedInstance {
     assert!(params.groups >= 1 && params.depth >= 1 && params.block_vars >= 1);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x1656_67b1_9e37_79f9);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x1656_67b1_9e37_79f9);
     let mut next_var = 0usize;
     let mut builder_blocks: Vec<Vec<(Quantifier, Vec<Var>)>> = Vec::new();
     let mut clauses = Vec::new();

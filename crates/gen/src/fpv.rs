@@ -13,8 +13,7 @@
 //! Fig. 4 picture.
 
 use qbf_core::{Clause, Matrix, PrefixBuilder, Qbf, Quantifier, Var};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// Parameters of the FPV-style generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,7 +87,7 @@ impl std::fmt::Display for FpvParams {
 /// ```
 pub fn fpv(params: &FpvParams, seed: u64) -> Qbf {
     assert!(params.config_vars >= 1 && params.block_vars >= 1 && params.lpc >= 2);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995_9d5c_8d1b);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5bd1_e995_9d5c_8d1b);
     let mut next_var = 0usize;
     let mut fresh = |n: u32| -> Vec<Var> {
         let vars: Vec<Var> = (0..n as usize).map(|i| Var::new(next_var + i)).collect();

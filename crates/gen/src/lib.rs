@@ -33,6 +33,7 @@ mod fpv;
 mod ncf;
 mod planning;
 mod rand_qbf;
+pub mod rng;
 
 pub use fixed::{fixed, fixed_batch, FixedInstance, FixedParams};
 pub use fpv::{fpv, fpv_batch, FpvParams};

@@ -12,8 +12,7 @@
 //! are `≺`-incomparable, which a prenexing strategy must serialize.
 
 use qbf_core::{Clause, Matrix, PrefixBuilder, Qbf, Quantifier, Var};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// Parameters of the NCF generator, mirroring 〈DEP, VAR, CLS, LPC〉.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +74,7 @@ impl std::fmt::Display for NcfParams {
 }
 
 struct Gen<'a> {
-    rng: StdRng,
+    rng: Rng,
     params: &'a NcfParams,
     next_var: usize,
     clauses: Vec<Clause>,
@@ -143,7 +142,7 @@ pub fn ncf(params: &NcfParams, seed: u64) -> Qbf {
     assert!(params.var >= 1 && params.lpc >= 1, "degenerate parameters");
     // Upper bound on variables: ∃-levels branch in two, ∀-levels chain.
     let mut gen = Gen {
-        rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+        rng: Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
         params,
         next_var: 0,
         clauses: Vec::new(),

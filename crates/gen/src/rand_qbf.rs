@@ -6,9 +6,8 @@
 //! literal (an all-universal clause is contradictory by Lemma 4 and random
 //! generators conventionally reject it).
 
+use crate::rng::Rng;
 use qbf_core::{Clause, Matrix, Prefix, Qbf, Quantifier, Var};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the random prenex generator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,7 +74,7 @@ impl std::fmt::Display for RandParams {
 /// ```
 pub fn rand_qbf(params: &RandParams, seed: u64) -> Qbf {
     assert!(!params.block_sizes.is_empty() && params.lpc >= 1);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xc2b2_ae3d_27d4_eb4f);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xc2b2_ae3d_27d4_eb4f);
     let num_vars: usize = params.block_sizes.iter().map(|&s| s as usize).sum();
     let mut blocks = Vec::new();
     let mut start = 0usize;
@@ -121,7 +120,7 @@ pub fn rand_qbf(params: &RandParams, seed: u64) -> Qbf {
         // subgoals sharing a plan prefix).
         let mut vars: Vec<usize> = Vec::new();
         let mut attempts = 0;
-        let pick = |pool: &[usize], vars: &mut Vec<usize>, rng: &mut StdRng| {
+        let pick = |pool: &[usize], vars: &mut Vec<usize>, rng: &mut Rng| {
             if pool.is_empty() {
                 return;
             }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-413f9c2e41979f4f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-413f9c2e41979f4f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8b4b11435c04e090.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8b4b11435c04e090: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qbf_bench-46b3145e0a21a74c.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/suites.rs
+
+/root/repo/target/debug/deps/libqbf_bench-46b3145e0a21a74c.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/suites.rs
+
+/root/repo/target/debug/deps/libqbf_bench-46b3145e0a21a74c.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/suites.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/suites.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qbf_bench-9b9af53edbabda20.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/suites.rs
+
+/root/repo/target/debug/deps/qbf_bench-9b9af53edbabda20: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runner.rs crates/bench/src/suites.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/suites.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/qbf_core-b0ea8c1c2677173e.d: crates/core/src/lib.rs crates/core/src/clause.rs crates/core/src/matrix.rs crates/core/src/prefix.rs crates/core/src/qbf.rs crates/core/src/var.rs crates/core/src/io/mod.rs crates/core/src/io/qdimacs.rs crates/core/src/io/qtree.rs crates/core/src/preprocess.rs crates/core/src/recursive.rs crates/core/src/samples.rs crates/core/src/semantics.rs crates/core/src/solver/mod.rs crates/core/src/solver/db.rs crates/core/src/solver/engine.rs crates/core/src/solver/heuristic.rs crates/core/src/stats.rs crates/core/src/witness.rs
+
+/root/repo/target/debug/deps/qbf_core-b0ea8c1c2677173e: crates/core/src/lib.rs crates/core/src/clause.rs crates/core/src/matrix.rs crates/core/src/prefix.rs crates/core/src/qbf.rs crates/core/src/var.rs crates/core/src/io/mod.rs crates/core/src/io/qdimacs.rs crates/core/src/io/qtree.rs crates/core/src/preprocess.rs crates/core/src/recursive.rs crates/core/src/samples.rs crates/core/src/semantics.rs crates/core/src/solver/mod.rs crates/core/src/solver/db.rs crates/core/src/solver/engine.rs crates/core/src/solver/heuristic.rs crates/core/src/stats.rs crates/core/src/witness.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clause.rs:
+crates/core/src/matrix.rs:
+crates/core/src/prefix.rs:
+crates/core/src/qbf.rs:
+crates/core/src/var.rs:
+crates/core/src/io/mod.rs:
+crates/core/src/io/qdimacs.rs:
+crates/core/src/io/qtree.rs:
+crates/core/src/preprocess.rs:
+crates/core/src/recursive.rs:
+crates/core/src/samples.rs:
+crates/core/src/semantics.rs:
+crates/core/src/solver/mod.rs:
+crates/core/src/solver/db.rs:
+crates/core/src/solver/engine.rs:
+crates/core/src/solver/heuristic.rs:
+crates/core/src/stats.rs:
+crates/core/src/witness.rs:

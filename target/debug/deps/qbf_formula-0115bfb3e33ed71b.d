@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qbf_formula-0115bfb3e33ed71b.d: crates/formula/src/lib.rs crates/formula/src/ast.rs crates/formula/src/cnf.rs
+
+/root/repo/target/debug/deps/libqbf_formula-0115bfb3e33ed71b.rlib: crates/formula/src/lib.rs crates/formula/src/ast.rs crates/formula/src/cnf.rs
+
+/root/repo/target/debug/deps/libqbf_formula-0115bfb3e33ed71b.rmeta: crates/formula/src/lib.rs crates/formula/src/ast.rs crates/formula/src/cnf.rs
+
+crates/formula/src/lib.rs:
+crates/formula/src/ast.rs:
+crates/formula/src/cnf.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qbf_formula-d461b0e141b1eab3.d: crates/formula/src/lib.rs crates/formula/src/ast.rs crates/formula/src/cnf.rs
+
+/root/repo/target/debug/deps/qbf_formula-d461b0e141b1eab3: crates/formula/src/lib.rs crates/formula/src/ast.rs crates/formula/src/cnf.rs
+
+crates/formula/src/lib.rs:
+crates/formula/src/ast.rs:
+crates/formula/src/cnf.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qbf_gen-3d8c369991895e0c.d: crates/gen/src/lib.rs crates/gen/src/fixed.rs crates/gen/src/fpv.rs crates/gen/src/ncf.rs crates/gen/src/planning.rs crates/gen/src/rand_qbf.rs crates/gen/src/rng.rs
+
+/root/repo/target/debug/deps/qbf_gen-3d8c369991895e0c: crates/gen/src/lib.rs crates/gen/src/fixed.rs crates/gen/src/fpv.rs crates/gen/src/ncf.rs crates/gen/src/planning.rs crates/gen/src/rand_qbf.rs crates/gen/src/rng.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/fixed.rs:
+crates/gen/src/fpv.rs:
+crates/gen/src/ncf.rs:
+crates/gen/src/planning.rs:
+crates/gen/src/rand_qbf.rs:
+crates/gen/src/rng.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qbf_gen-522ca3207ff0f36b.d: crates/gen/src/lib.rs crates/gen/src/fixed.rs crates/gen/src/fpv.rs crates/gen/src/ncf.rs crates/gen/src/planning.rs crates/gen/src/rand_qbf.rs crates/gen/src/rng.rs
+
+/root/repo/target/debug/deps/libqbf_gen-522ca3207ff0f36b.rlib: crates/gen/src/lib.rs crates/gen/src/fixed.rs crates/gen/src/fpv.rs crates/gen/src/ncf.rs crates/gen/src/planning.rs crates/gen/src/rand_qbf.rs crates/gen/src/rng.rs
+
+/root/repo/target/debug/deps/libqbf_gen-522ca3207ff0f36b.rmeta: crates/gen/src/lib.rs crates/gen/src/fixed.rs crates/gen/src/fpv.rs crates/gen/src/ncf.rs crates/gen/src/planning.rs crates/gen/src/rand_qbf.rs crates/gen/src/rng.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/fixed.rs:
+crates/gen/src/fpv.rs:
+crates/gen/src/ncf.rs:
+crates/gen/src/planning.rs:
+crates/gen/src/rand_qbf.rs:
+crates/gen/src/rng.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qbf_models-3b9671815ff60fb2.d: crates/models/src/lib.rs crates/models/src/diameter.rs crates/models/src/explicit.rs crates/models/src/model.rs
+
+/root/repo/target/debug/deps/qbf_models-3b9671815ff60fb2: crates/models/src/lib.rs crates/models/src/diameter.rs crates/models/src/explicit.rs crates/models/src/model.rs
+
+crates/models/src/lib.rs:
+crates/models/src/diameter.rs:
+crates/models/src/explicit.rs:
+crates/models/src/model.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qbf_models-cf60b1928abc6bc5.d: crates/models/src/lib.rs crates/models/src/diameter.rs crates/models/src/explicit.rs crates/models/src/model.rs
+
+/root/repo/target/debug/deps/libqbf_models-cf60b1928abc6bc5.rlib: crates/models/src/lib.rs crates/models/src/diameter.rs crates/models/src/explicit.rs crates/models/src/model.rs
+
+/root/repo/target/debug/deps/libqbf_models-cf60b1928abc6bc5.rmeta: crates/models/src/lib.rs crates/models/src/diameter.rs crates/models/src/explicit.rs crates/models/src/model.rs
+
+crates/models/src/lib.rs:
+crates/models/src/diameter.rs:
+crates/models/src/explicit.rs:
+crates/models/src/model.rs:

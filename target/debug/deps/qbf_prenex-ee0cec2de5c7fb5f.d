@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qbf_prenex-ee0cec2de5c7fb5f.d: crates/prenex/src/lib.rs crates/prenex/src/miniscope.rs crates/prenex/src/strategy.rs
+
+/root/repo/target/debug/deps/libqbf_prenex-ee0cec2de5c7fb5f.rlib: crates/prenex/src/lib.rs crates/prenex/src/miniscope.rs crates/prenex/src/strategy.rs
+
+/root/repo/target/debug/deps/libqbf_prenex-ee0cec2de5c7fb5f.rmeta: crates/prenex/src/lib.rs crates/prenex/src/miniscope.rs crates/prenex/src/strategy.rs
+
+crates/prenex/src/lib.rs:
+crates/prenex/src/miniscope.rs:
+crates/prenex/src/strategy.rs:

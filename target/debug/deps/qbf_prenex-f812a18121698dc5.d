@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qbf_prenex-f812a18121698dc5.d: crates/prenex/src/lib.rs crates/prenex/src/miniscope.rs crates/prenex/src/strategy.rs
+
+/root/repo/target/debug/deps/qbf_prenex-f812a18121698dc5: crates/prenex/src/lib.rs crates/prenex/src/miniscope.rs crates/prenex/src/strategy.rs
+
+crates/prenex/src/lib.rs:
+crates/prenex/src/miniscope.rs:
+crates/prenex/src/strategy.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qbf_repro-5e3de6dcc4deaf6f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqbf_repro-5e3de6dcc4deaf6f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqbf_repro-5e3de6dcc4deaf6f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qbf_repro-ae2c9e790389c896.d: src/lib.rs
+
+/root/repo/target/debug/deps/qbf_repro-ae2c9e790389c896: src/lib.rs
+
+src/lib.rs:

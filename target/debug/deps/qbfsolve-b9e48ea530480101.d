@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qbfsolve-b9e48ea530480101.d: crates/core/src/bin/qbfsolve.rs
+
+/root/repo/target/debug/deps/qbfsolve-b9e48ea530480101: crates/core/src/bin/qbfsolve.rs
+
+crates/core/src/bin/qbfsolve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-5c46fe27cc24e564.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-5c46fe27cc24e564: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

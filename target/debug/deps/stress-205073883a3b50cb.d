@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-205073883a3b50cb.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-205073883a3b50cb: tests/stress.rs
+
+tests/stress.rs:

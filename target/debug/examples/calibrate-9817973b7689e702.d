@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate-9817973b7689e702.d: crates/bench/examples/calibrate.rs
+
+/root/repo/target/debug/examples/calibrate-9817973b7689e702: crates/bench/examples/calibrate.rs
+
+crates/bench/examples/calibrate.rs:

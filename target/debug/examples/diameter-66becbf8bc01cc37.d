@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diameter-66becbf8bc01cc37.d: examples/diameter.rs
+
+/root/repo/target/debug/examples/diameter-66becbf8bc01cc37: examples/diameter.rs
+
+examples/diameter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/prenexing-3027f78f3a19a8cd.d: examples/prenexing.rs
+
+/root/repo/target/debug/examples/prenexing-3027f78f3a19a8cd: examples/prenexing.rs
+
+examples/prenexing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-71eb3246dc3ce8b5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-71eb3246dc3ce8b5: examples/quickstart.rs
+
+examples/quickstart.rs:

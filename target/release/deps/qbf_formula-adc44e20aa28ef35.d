@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qbf_formula-adc44e20aa28ef35.d: crates/formula/src/lib.rs crates/formula/src/ast.rs crates/formula/src/cnf.rs
+
+/root/repo/target/release/deps/libqbf_formula-adc44e20aa28ef35.rlib: crates/formula/src/lib.rs crates/formula/src/ast.rs crates/formula/src/cnf.rs
+
+/root/repo/target/release/deps/libqbf_formula-adc44e20aa28ef35.rmeta: crates/formula/src/lib.rs crates/formula/src/ast.rs crates/formula/src/cnf.rs
+
+crates/formula/src/lib.rs:
+crates/formula/src/ast.rs:
+crates/formula/src/cnf.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/qbf_gen-2315f907ecdbb6c0.d: crates/gen/src/lib.rs crates/gen/src/fixed.rs crates/gen/src/fpv.rs crates/gen/src/ncf.rs crates/gen/src/planning.rs crates/gen/src/rand_qbf.rs crates/gen/src/rng.rs
+
+/root/repo/target/release/deps/libqbf_gen-2315f907ecdbb6c0.rlib: crates/gen/src/lib.rs crates/gen/src/fixed.rs crates/gen/src/fpv.rs crates/gen/src/ncf.rs crates/gen/src/planning.rs crates/gen/src/rand_qbf.rs crates/gen/src/rng.rs
+
+/root/repo/target/release/deps/libqbf_gen-2315f907ecdbb6c0.rmeta: crates/gen/src/lib.rs crates/gen/src/fixed.rs crates/gen/src/fpv.rs crates/gen/src/ncf.rs crates/gen/src/planning.rs crates/gen/src/rand_qbf.rs crates/gen/src/rng.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/fixed.rs:
+crates/gen/src/fpv.rs:
+crates/gen/src/ncf.rs:
+crates/gen/src/planning.rs:
+crates/gen/src/rand_qbf.rs:
+crates/gen/src/rng.rs:

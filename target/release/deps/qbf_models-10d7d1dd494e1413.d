@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qbf_models-10d7d1dd494e1413.d: crates/models/src/lib.rs crates/models/src/diameter.rs crates/models/src/explicit.rs crates/models/src/model.rs
+
+/root/repo/target/release/deps/libqbf_models-10d7d1dd494e1413.rlib: crates/models/src/lib.rs crates/models/src/diameter.rs crates/models/src/explicit.rs crates/models/src/model.rs
+
+/root/repo/target/release/deps/libqbf_models-10d7d1dd494e1413.rmeta: crates/models/src/lib.rs crates/models/src/diameter.rs crates/models/src/explicit.rs crates/models/src/model.rs
+
+crates/models/src/lib.rs:
+crates/models/src/diameter.rs:
+crates/models/src/explicit.rs:
+crates/models/src/model.rs:

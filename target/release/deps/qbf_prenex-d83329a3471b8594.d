@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qbf_prenex-d83329a3471b8594.d: crates/prenex/src/lib.rs crates/prenex/src/miniscope.rs crates/prenex/src/strategy.rs
+
+/root/repo/target/release/deps/libqbf_prenex-d83329a3471b8594.rlib: crates/prenex/src/lib.rs crates/prenex/src/miniscope.rs crates/prenex/src/strategy.rs
+
+/root/repo/target/release/deps/libqbf_prenex-d83329a3471b8594.rmeta: crates/prenex/src/lib.rs crates/prenex/src/miniscope.rs crates/prenex/src/strategy.rs
+
+crates/prenex/src/lib.rs:
+crates/prenex/src/miniscope.rs:
+crates/prenex/src/strategy.rs:

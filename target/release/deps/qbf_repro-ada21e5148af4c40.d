@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qbf_repro-ada21e5148af4c40.d: src/lib.rs
+
+/root/repo/target/release/deps/libqbf_repro-ada21e5148af4c40.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqbf_repro-ada21e5148af4c40.rmeta: src/lib.rs
+
+src/lib.rs:

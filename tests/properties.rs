@@ -1,60 +1,61 @@
-//! Property-based tests (proptest) over the core invariants:
-//! solver-vs-oracle agreement, prenexing/miniscoping value preservation,
-//! prefix partial-order laws, and clausification equisatisfiability.
+//! Randomized property tests over the core invariants: solver-vs-oracle
+//! agreement, prenexing/miniscoping value preservation, prefix
+//! partial-order laws, and clausification equisatisfiability.
+//!
+//! Formerly written with `proptest`; the workspace now builds hermetically
+//! (no crates.io access), so these run on the in-tree seed-stable PRNG
+//! (`qbf_gen::rng`) with fixed seed ranges instead of shrinking. A failure
+//! message always includes the seed, which reproduces the case exactly.
 
-use proptest::prelude::*;
-
+use qbf_gen::rng::Rng;
 use qbf_repro::core::solver::{HeuristicKind, Solver, SolverConfig};
 use qbf_repro::core::{
-    semantics, Clause, Lit, Matrix, Prefix, PrefixBuilder, Qbf, Quantifier, Var,
+    semantics, BlockId, Clause, Lit, Matrix, Prefix, PrefixBuilder, Qbf, Quantifier, Var,
 };
 use qbf_repro::formula::{clausify, Formula, VarAlloc};
 use qbf_repro::prenex::{miniscope, prenex, Strategy as PrenexStrategy};
 
-/// Strategy: a random quantifier forest over `n` variables. Each variable
-/// either starts a new root or attaches below a previously placed variable.
-fn arb_prefix(n: usize) -> impl proptest::strategy::Strategy<Value = Prefix> {
-    let choices = proptest::collection::vec((any::<bool>(), 0..100usize, any::<bool>()), n);
-    choices.prop_map(move |specs| {
-        let mut builder = PrefixBuilder::new(n);
-        let mut blocks = Vec::new();
-        for (i, (exists, parent_choice, as_root)) in specs.into_iter().enumerate() {
-            let quant = if exists {
-                Quantifier::Exists
-            } else {
-                Quantifier::Forall
-            };
-            let v = Var::new(i);
-            let id = if blocks.is_empty() || as_root {
-                builder.add_root(quant, [v]).expect("fresh")
-            } else {
-                let parent = blocks[parent_choice % blocks.len()];
-                builder.add_child(parent, quant, [v]).expect("fresh")
-            };
-            blocks.push(id);
-        }
-        builder.finish().expect("valid forest")
-    })
+/// A random quantifier forest over `n` variables. Each variable either
+/// starts a new root or attaches below a previously placed variable.
+fn arb_prefix(seed: u64, n: usize) -> Prefix {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x8f1b_bcdc_bfa5_3e0b);
+    let mut builder = PrefixBuilder::new(n);
+    let mut blocks: Vec<BlockId> = Vec::new();
+    for i in 0..n {
+        let quant = if rng.gen_bool(0.5) {
+            Quantifier::Exists
+        } else {
+            Quantifier::Forall
+        };
+        let v = Var::new(i);
+        let id = if blocks.is_empty() || rng.gen_bool(0.25) {
+            builder.add_root(quant, [v]).expect("fresh")
+        } else {
+            let parent = blocks[rng.gen_range(0..blocks.len())];
+            builder.add_child(parent, quant, [v]).expect("fresh")
+        };
+        blocks.push(id);
+    }
+    builder.finish().expect("valid forest")
 }
 
-/// Strategy: a random **well-formed** QBF (clauses drawn from root paths;
-/// see `qbf_core::samples::random_qbf`). Shrinking operates on the seed.
-fn arb_qbf(n: usize, max_clauses: usize) -> impl proptest::strategy::Strategy<Value = Qbf> {
-    any::<u64>().prop_map(move |seed| qbf_repro::core::samples::random_qbf(seed, n, max_clauses))
+/// A random **well-formed** QBF (clauses drawn from root paths; see
+/// `qbf_core::samples::random_qbf`).
+fn arb_qbf(seed: u64, n: usize, max_clauses: usize) -> Qbf {
+    qbf_repro::core::samples::random_qbf(seed, n, max_clauses)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Every solver configuration agrees with the naive semantics.
-    #[test]
-    fn solver_matches_oracle(q in arb_qbf(7, 12), seed in any::<u64>()) {
+/// Every solver configuration agrees with the naive semantics.
+#[test]
+fn solver_matches_oracle() {
+    for seed in 0..48u64 {
+        let q = arb_qbf(seed.wrapping_mul(0x9e37), 7, 12);
         let expected = semantics::eval(&q);
         for heuristic in [
             HeuristicKind::Naive,
             HeuristicKind::VsidsLevel,
             HeuristicKind::VsidsTree,
-            HeuristicKind::Random(seed),
+            HeuristicKind::Random(seed.wrapping_mul(77) ^ 0xdead_beef),
         ] {
             for learning in [false, true] {
                 for pure_literals in [false, true] {
@@ -65,44 +66,58 @@ proptest! {
                         ..SolverConfig::default()
                     };
                     let got = Solver::new(&q, config.clone()).solve().value();
-                    prop_assert_eq!(got, Some(expected), "{} with {:?}", q, config);
+                    assert_eq!(got, Some(expected), "seed {seed}: {q} with {config:?}");
                 }
             }
         }
     }
+}
 
-    /// All four prenexing strategies preserve the value and produce prenex
-    /// prefixes over the unchanged matrix.
-    #[test]
-    fn prenexing_preserves_value(q in arb_qbf(7, 10)) {
+/// All four prenexing strategies preserve the value and produce prenex
+/// prefixes over the unchanged matrix.
+#[test]
+fn prenexing_preserves_value() {
+    for seed in 0..64u64 {
+        let q = arb_qbf(seed.wrapping_mul(31) ^ 0x517c, 7, 10);
         let expected = semantics::eval(&q);
         for strategy in PrenexStrategy::ALL {
             let flat = prenex(&q, strategy);
-            prop_assert!(flat.is_prenex());
-            prop_assert_eq!(flat.matrix(), q.matrix());
-            prop_assert_eq!(semantics::eval(&flat), expected, "{}", strategy);
+            assert!(flat.is_prenex(), "seed {seed}: {strategy}");
+            assert_eq!(flat.matrix(), q.matrix(), "seed {seed}: {strategy}");
+            assert_eq!(
+                semantics::eval(&flat),
+                expected,
+                "seed {seed}: {strategy} on {q}"
+            );
         }
     }
+}
 
-    /// Miniscoping a prenex QBF preserves the value.
-    #[test]
-    fn miniscope_preserves_value(q in arb_qbf(7, 10)) {
+/// Miniscoping a prenex QBF preserves the value.
+#[test]
+fn miniscope_preserves_value() {
+    for seed in 0..64u64 {
+        let q = arb_qbf(seed.wrapping_mul(101) ^ 0x2bad, 7, 10);
         let flat = prenex(&q, PrenexStrategy::ExistsUpForallUp);
         let mini = miniscope(&flat).expect("prenex input");
-        prop_assert_eq!(
+        assert_eq!(
             semantics::eval(&mini.qbf),
             semantics::eval(&flat),
-            "{} vs {}", flat, mini.qbf
+            "seed {seed}: {flat} vs {}",
+            mini.qbf
         );
     }
+}
 
-    /// The §VI timestamp test is a *sound over-approximation* of the §II
-    /// partial order: irreflexive, antisymmetric, never missing a true `≺`
-    /// pair, and never relating variables of different root subtrees. (It
-    /// is intentionally not transitive: the paper's scheme may add some
-    /// spurious same-quantifier pairs, which only restrict branching.)
-    #[test]
-    fn precedes_soundly_overapproximates(p in arb_prefix(9)) {
+/// The §VI timestamp test is a *sound over-approximation* of the §II
+/// partial order: irreflexive, antisymmetric, never missing a true `≺`
+/// pair, and never relating variables of different root subtrees. (It is
+/// intentionally not transitive: the paper's scheme may add some spurious
+/// same-quantifier pairs, which only restrict branching.)
+#[test]
+fn precedes_soundly_overapproximates() {
+    for seed in 0..96u64 {
+        let p = arb_prefix(seed, 9);
         let vars: Vec<Var> = (0..9).map(Var::new).collect();
         // ground truth: b is in a strict descendant block of a's block and
         // the path from a's block to b's block contains an alternation.
@@ -121,11 +136,9 @@ proptest! {
                 }
                 cur = p.block_parent(c);
             }
-            // alternation anywhere strictly between (inclusive of the end
-            // blocks' quantifier change)
             found && quants.windows(2).any(|w| w[0] != w[1])
         };
-        let root_of = |a: Var| -> Option<qbf_repro::core::BlockId> {
+        let root_of = |a: Var| -> Option<BlockId> {
             let mut cur = p.block_of(a)?;
             while let Some(parent) = p.block_parent(cur) {
                 cur = parent;
@@ -133,90 +146,109 @@ proptest! {
             Some(cur)
         };
         for &a in &vars {
-            prop_assert!(!p.precedes(a, a), "irreflexive {a}");
+            assert!(!p.precedes(a, a), "seed {seed}: irreflexive {a}");
             for &b in &vars {
                 if p.precedes(a, b) {
-                    prop_assert!(!p.precedes(b, a), "antisymmetric {a} {b}");
-                    prop_assert_eq!(root_of(a), root_of(b), "cross-root {} {}", a, b);
+                    assert!(!p.precedes(b, a), "seed {seed}: antisymmetric {a} {b}");
+                    assert_eq!(root_of(a), root_of(b), "seed {seed}: cross-root {a} {b}");
                 }
                 if truly_precedes(a, b) {
-                    prop_assert!(p.precedes(a, b), "missed true pair {a} ≺ {b}");
+                    assert!(p.precedes(a, b), "seed {seed}: missed true pair {a} ≺ {b}");
                 }
                 // mixed-quantifier pairs are exact: no spurious ∃/∀ pairs
                 if p.precedes(a, b) && p.quant(a) != p.quant(b) {
-                    prop_assert!(truly_precedes(a, b), "spurious mixed pair {a} {b}");
+                    assert!(
+                        truly_precedes(a, b),
+                        "seed {seed}: spurious mixed pair {a} {b}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Restriction (`ϕ_l`) commutes with the semantics: ϕ true iff the
-    /// matching branch combination is.
-    #[test]
-    fn restriction_respects_semantics(q in arb_qbf(6, 8)) {
+/// Restriction (`ϕ_l`) commutes with the semantics: ϕ true iff the
+/// matching branch combination is.
+#[test]
+fn restriction_respects_semantics() {
+    let mut checked = 0;
+    for seed in 0..64u64 {
+        let q = arb_qbf(seed.wrapping_mul(7919) ^ 0x0dd, 6, 8);
         let tops = q.prefix().top_vars();
-        prop_assume!(!tops.is_empty());
-        let z = tops[0];
+        let Some(&z) = tops.first() else { continue };
         let pos = semantics::eval(&q.assign(z.positive()));
         let neg = semantics::eval(&q.assign(z.negative()));
         let whole = semantics::eval(&q);
         if q.prefix().is_universal(z) {
-            prop_assert_eq!(whole, pos && neg);
+            assert_eq!(whole, pos && neg, "seed {seed}: ∀ restriction on {q}");
         } else {
-            prop_assert_eq!(whole, pos || neg);
+            assert_eq!(whole, pos || neg, "seed {seed}: ∃ restriction on {q}");
+        }
+        checked += 1;
+    }
+    assert!(checked > 32, "too many vacuous prefixes: {checked}");
+}
+
+/// Clausification is equisatisfiable per input assignment (checked via the
+/// solver as a SAT oracle over the auxiliaries).
+#[test]
+fn clausify_equisat() {
+    let v = |i: usize| Formula::var(Var::new(i));
+    for shape in 0..6u8 {
+        for assignment in 0..16u8 {
+            let bits: Vec<bool> = (0..4).map(|i| assignment & (1 << i) != 0).collect();
+            let f = match shape {
+                0 => v(0).and(v(1)).or(v(2).and(v(3).not())),
+                1 => v(0).iff(v(1).xor(v(2))),
+                2 => Formula::or_all([v(0), v(1), v(2)]).not().or(v(3)),
+                3 => v(0).implies(v(1)).and(v(2).implies(v(3))).not(),
+                4 => v(0).iff(v(1)).iff(v(2).iff(v(3))),
+                _ => Formula::and_all([v(0).or(v(1)), v(2).or(v(3)), v(0).not().or(v(2).not())]),
+            };
+            let mut alloc = VarAlloc::new(4);
+            let out = clausify(&f, &mut alloc);
+            let n = alloc.num_vars();
+            let mut clauses = out.clauses.clone();
+            for (i, &b) in bits.iter().enumerate() {
+                clauses.push(Clause::new([Var::new(i).lit(b)]).expect("unit"));
+            }
+            let all: Vec<Var> = (0..n).map(Var::new).collect();
+            let prefix = Prefix::prenex(n, [(Quantifier::Exists, all)]).expect("fresh");
+            let qbf = Qbf::new(prefix, Matrix::from_clauses(n, clauses)).expect("bound");
+            let sat = Solver::new(&qbf, SolverConfig::partial_order())
+                .solve()
+                .value()
+                .expect("no budget");
+            assert_eq!(sat, f.eval(&bits), "shape {shape}, bits {bits:?}");
         }
     }
+}
 
-    /// Clausification is equisatisfiable per input assignment (checked via
-    /// the solver as a SAT oracle over the auxiliaries).
-    #[test]
-    fn clausify_equisat(bits in proptest::collection::vec(any::<bool>(), 4),
-                        shape in 0..6u8) {
-        let v = |i: usize| Formula::var(Var::new(i));
-        let f = match shape {
-            0 => v(0).and(v(1)).or(v(2).and(v(3).not())),
-            1 => v(0).iff(v(1).xor(v(2))),
-            2 => Formula::or_all([v(0), v(1), v(2)]).not().or(v(3)),
-            3 => v(0).implies(v(1)).and(v(2).implies(v(3))).not(),
-            4 => v(0).iff(v(1)).iff(v(2).iff(v(3))),
-            _ => Formula::and_all([v(0).or(v(1)), v(2).or(v(3)), v(0).not().or(v(2).not())]),
-        };
-        let mut alloc = VarAlloc::new(4);
-        let out = clausify(&f, &mut alloc);
-        let n = alloc.num_vars();
-        let mut clauses = out.clauses.clone();
-        for (i, &b) in bits.iter().enumerate() {
-            clauses.push(Clause::new([Var::new(i).lit(b)]).expect("unit"));
-        }
-        let all: Vec<Var> = (0..n).map(Var::new).collect();
-        let prefix = Prefix::prenex(n, [(Quantifier::Exists, all)]).expect("fresh");
-        let qbf = Qbf::new(prefix, Matrix::from_clauses(n, clauses)).expect("bound");
-        let sat = Solver::new(&qbf, SolverConfig::partial_order())
-            .solve()
-            .value()
-            .expect("no budget");
-        prop_assert_eq!(sat, f.eval(&bits));
-    }
-
-    /// QDIMACS and qtree writers round-trip through their parsers.
-    #[test]
-    fn io_roundtrips(q in arb_qbf(6, 8)) {
-        use qbf_repro::core::io::{qdimacs, qtree};
+/// QDIMACS and qtree writers round-trip through their parsers.
+#[test]
+fn io_roundtrips() {
+    use qbf_repro::core::io::{qdimacs, qtree};
+    for seed in 0..64u64 {
+        let q = arb_qbf(seed.wrapping_mul(613) ^ 0x10, 6, 8);
         let q2 = qtree::parse(&qtree::write(&q)).expect("qtree roundtrip");
-        prop_assert_eq!(&q2, &q);
+        assert_eq!(q2, q, "seed {seed}");
         let flat = prenex(&q, PrenexStrategy::ExistsUpForallUp);
         let flat2 = qdimacs::parse(&qdimacs::write(&flat)).expect("qdimacs roundtrip");
-        prop_assert_eq!(flat2, flat);
+        assert_eq!(flat2, flat, "seed {seed}");
     }
+}
 
-    /// Lit/Var encodings are stable.
-    #[test]
-    fn literal_encoding_roundtrips(code in 1i64..5000) {
+/// Lit/Var encodings are stable.
+#[test]
+fn literal_encoding_roundtrips() {
+    let mut rng = Rng::seed_from_u64(0x11c0_de);
+    let codes = (1i64..=64).chain((0..256).map(|_| rng.gen_range(1..5000) as i64));
+    for code in codes {
         let l = Lit::from_dimacs(code);
-        prop_assert_eq!(l.to_dimacs(), code);
-        prop_assert_eq!(Lit::from_code(l.code()), l);
-        prop_assert_eq!(!!l, l);
+        assert_eq!(l.to_dimacs(), code);
+        assert_eq!(Lit::from_code(l.code()), l);
+        assert_eq!(!!l, l);
         let neg = Lit::from_dimacs(-code);
-        prop_assert_eq!(!l, neg);
+        assert_eq!(!l, neg);
     }
 }
