@@ -1,0 +1,27 @@
+#!/bin/sh
+# Local CI gate. The workspace is hermetic (no crates.io dependencies),
+# so everything here runs fully offline. See README "Offline-build
+# policy".
+set -eu
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> cargo test --workspace --features qbf-core/debug-counters"
+# Re-runs the whole suite with the eager counter discipline shadowing the
+# watched-literal propagator (panics on any propagation divergence).
+cargo test -q --workspace --features qbf-core/debug-counters
+
+echo "==> cargo clippy (best effort)"
+# clippy may not be installed in minimal offline toolchains; treat its
+# absence as a skip, but deny warnings when it is available.
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "clippy unavailable; skipped"
+fi
+
+echo "==> ci.sh: all checks passed"

@@ -173,7 +173,9 @@ pub fn ascii_scatter(pairs: &[Pair], width: usize, height: usize) -> String {
         .fold(f64::NEG_INFINITY, f64::max);
     let span = (max - min).max(1e-9);
     let mut grid = vec![vec![' '; width]; height];
-    // diagonal
+    // diagonal (`i` picks a column, computed row by row — an iterator over
+    // `grid` would index the wrong axis)
+    #[allow(clippy::needless_range_loop)]
     for i in 0..width.min(height * 2) {
         let r = height - 1 - (i * height / width).min(height - 1);
         grid[r][i] = '.';

@@ -1,6 +1,45 @@
 //! The constraint database: original clauses, learned clauses (nogoods) and
-//! learned cubes (goods), with per-literal occurrence lists and
-//! satisfied/falsified literal counters maintained incrementally.
+//! learned cubes (goods), with **lazy watched-literal** indices for
+//! propagation and a small occurrence index over *original* clauses for
+//! satisfaction tracking (solution trigger + monotone-literal detection).
+//!
+//! # Watched literals
+//!
+//! Every constraint keeps its (up to two) movable watched literals at the
+//! front of `lits` (positions are maintained by swapping in place).
+//! Movable watches rest **only on literals of the relevant quantifier**:
+//! existential literals for clauses, universal literals for cubes — the
+//! QBF unit rule makes a clause's unit/conflict status a function of its
+//! existential literals (plus `≺`-blocking), so the classic two-watch
+//! argument applies to the existential subsequence alone.
+//!
+//! * **Clauses** progress towards unit/conflict only when literals become
+//!   *false*, so `watch_clause[m]` holds the clauses watching `m` and is
+//!   visited when `m` is falsified.
+//! * **Cubes** progress towards unit/solution only when literals become
+//!   *true*, so `watch_cube[m]` is visited when `m` is satisfied.
+//!
+//! The same lists additionally carry **pinned unblock sentinels** (see
+//! [`Watcher`]): one per universal literal of a clause that `≺`-precedes
+//! some existential literal of that clause (dually for cubes). These are
+//! never moved; their visit catches the Lemma 5 units that appear when a
+//! blocking outer universal is falsified.
+//!
+//! Watcher lists are **never undone on backtrack**: a movable watch may
+//! go stale (rest on a false literal for a clause, a true literal for a
+//! cube), but the engine's replacement discipline guarantees that the
+//! literal whose assignment completes a conflict, a unit or a fully-true
+//! cube is always watched at that moment — see the invariant note in
+//! `engine.rs`.
+//!
+//! # Shadow counters (`debug-counters`)
+//!
+//! With the `debug-counters` cargo feature the database also carries the
+//! seed engine's per-constraint `true_count`/`false_count` counters,
+//! maintained eagerly for *every* constraint. They take no part in search
+//! decisions; `engine.rs` cross-checks them against the watched state at
+//! every propagation fixpoint, so the two propagators are verified
+//! event-for-event without perturbing the search.
 
 use crate::var::Lit;
 
@@ -23,15 +62,40 @@ pub(crate) enum Kind {
     Cube,
 }
 
+/// A watcher-list entry: the watching constraint plus a *blocker* literal
+/// (some other literal of the constraint). If the blocker already
+/// satisfies a clause (falsifies a cube), the visit is resolved without
+/// touching the constraint's memory.
+///
+/// `pinned` entries are **unblock sentinels**: they sit on a universal
+/// literal that `≺`-blocks some existential of a clause (dually, an
+/// existential that blocks a universal of a cube) and are never moved —
+/// their falsification (satisfaction for cubes) is exactly the Lemma 5
+/// unblocking event, which must always trigger an examination.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Watcher {
+    pub(crate) cref: CRef,
+    pub(crate) blocker: Lit,
+    pub(crate) pinned: bool,
+}
+
 #[derive(Debug)]
 pub(crate) struct Constraint {
+    /// Literals; the movable watches (up to two, only on literals of the
+    /// relevant quantifier) live at the leading positions.
     pub(crate) lits: Vec<Lit>,
     pub(crate) kind: Kind,
     pub(crate) learned: bool,
     pub(crate) deleted: bool,
-    /// Number of literals currently assigned *true*.
+    /// Number of literals currently assigned *true*. Maintained **only**
+    /// for original clauses (satisfaction tracking feeds the solution
+    /// trigger and monotone-literal detection); always zero for learned
+    /// constraints unless `debug-counters` shadows them.
     pub(crate) true_count: u32,
-    /// Number of literals currently assigned *false*.
+    /// Shadow counter of literals currently assigned *false*; carried by
+    /// every build so constructor sites stay feature-free, but maintained
+    /// (and read) only under `debug-counters` (see the module docs).
+    #[cfg_attr(not(feature = "debug-counters"), allow(dead_code))]
     pub(crate) false_count: u32,
     /// Bump-and-decay activity for database reduction.
     pub(crate) activity: f64,
@@ -43,14 +107,26 @@ impl Constraint {
     }
 }
 
-/// Constraint arena plus occurrence lists.
+/// Constraint arena plus watcher lists and the original-clause occurrence
+/// index.
 #[derive(Debug, Default)]
 pub(crate) struct Db {
     pub(crate) constraints: Vec<Constraint>,
-    /// For each literal code: clauses containing that literal.
-    pub(crate) occ_clause: Vec<Vec<CRef>>,
-    /// For each literal code: cubes containing that literal.
-    pub(crate) occ_cube: Vec<Vec<CRef>>,
+    /// For each literal code: *original* clauses containing that literal
+    /// (satisfaction tracking only; learned constraints never appear).
+    pub(crate) occ_original: Vec<Vec<CRef>>,
+    /// For each literal code: clauses watching that literal (visited when
+    /// the literal becomes false).
+    pub(crate) watch_clause: Vec<Vec<Watcher>>,
+    /// For each literal code: cubes watching that literal (visited when
+    /// the literal becomes true).
+    pub(crate) watch_cube: Vec<Vec<Watcher>>,
+    /// Full occurrence lists over **all** constraints (both kinds,
+    /// original and learned) for the shadow counter discipline. Entries
+    /// are never removed; deleted constraints keep receiving harmless
+    /// counter updates and are skipped by the verifier.
+    #[cfg(feature = "debug-counters")]
+    pub(crate) occ_shadow: Vec<Vec<CRef>>,
     /// Number of *original* clauses currently without a true literal; when
     /// it reaches zero the matrix is satisfied (empty under restriction).
     pub(crate) unsat_originals: usize,
@@ -63,8 +139,11 @@ impl Db {
     pub(crate) fn new(num_vars: usize) -> Self {
         Db {
             constraints: Vec::new(),
-            occ_clause: vec![Vec::new(); 2 * num_vars],
-            occ_cube: vec![Vec::new(); 2 * num_vars],
+            occ_original: vec![Vec::new(); 2 * num_vars],
+            watch_clause: vec![Vec::new(); 2 * num_vars],
+            watch_cube: vec![Vec::new(); 2 * num_vars],
+            #[cfg(feature = "debug-counters")]
+            occ_shadow: vec![Vec::new(); 2 * num_vars],
             unsat_originals: 0,
             num_original: 0,
             num_learned_clauses: 0,
@@ -76,27 +155,46 @@ impl Db {
         &self.constraints[c.index()]
     }
 
-    /// Adds a constraint; counts must be initialized by the caller
-    /// according to the current assignment (0 for the initial, empty one).
+    /// Adds a constraint and attaches `movable` watchers (0, 1 or 2) on
+    /// the leading positions of `lits`.
+    ///
+    /// The caller must order `lits` so that the watched prefix is legal:
+    /// **existential** literals first for clauses (universal first for
+    /// cubes) — movable watches only ever rest on literals of the
+    /// *relevant* quantifier, which is what keeps the classic
+    /// two-watched-literal argument sound under the QBF unit rule — and,
+    /// for learned constraints, within the relevant literals those that
+    /// will be unassigned *last* on backtracking first (unassigned
+    /// literals, then by descending trail position). `movable` is
+    /// `min(2, #relevant literals)`.
+    ///
+    /// Unblock sentinels (pinned watchers) are attached separately by the
+    /// engine, which knows the prefix order.
+    ///
+    /// `true_count`/`false_count` initialize the shadow counters; the
+    /// non-shadow build keeps `true_count` live for original clauses only.
     pub(crate) fn add(
         &mut self,
         lits: Vec<Lit>,
         kind: Kind,
         learned: bool,
+        movable: usize,
         true_count: u32,
         false_count: u32,
     ) -> CRef {
         let cref = CRef(self.constraints.len() as u32);
+        #[cfg(feature = "debug-counters")]
         for &l in &lits {
-            match kind {
-                Kind::Clause => self.occ_clause[l.code()].push(cref),
-                Kind::Cube => self.occ_cube[l.code()].push(cref),
-            }
-        }
-        if kind == Kind::Clause && !learned && true_count == 0 {
-            self.unsat_originals += 1;
+            self.occ_shadow[l.code()].push(cref);
         }
         if !learned {
+            debug_assert!(kind == Kind::Clause, "original constraints are clauses");
+            for &l in &lits {
+                self.occ_original[l.code()].push(cref);
+            }
+            if true_count == 0 {
+                self.unsat_originals += 1;
+            }
             self.num_original += 1;
         } else {
             match kind {
@@ -104,20 +202,63 @@ impl Db {
                 Kind::Cube => self.num_learned_cubes += 1,
             }
         }
+        // Attach movable watchers: both ends of the watched pair, a single
+        // watcher for constraints with one relevant literal, or none for
+        // constraints with no relevant literal (those are decided by the
+        // engine at/before add time).
+        debug_assert!(movable <= 2 && movable <= lits.len());
+        if movable == 2 {
+            self.watch_list(kind)[lits[0].code()].push(Watcher {
+                cref,
+                blocker: lits[1],
+                pinned: false,
+            });
+            self.watch_list(kind)[lits[1].code()].push(Watcher {
+                cref,
+                blocker: lits[0],
+                pinned: false,
+            });
+        } else if movable == 1 {
+            self.watch_list(kind)[lits[0].code()].push(Watcher {
+                cref,
+                blocker: if lits.len() >= 2 { lits[1] } else { lits[0] },
+                pinned: false,
+            });
+        }
+        let tc = if !learned || cfg!(feature = "debug-counters") {
+            true_count
+        } else {
+            0
+        };
+        let fc = if cfg!(feature = "debug-counters") {
+            false_count
+        } else {
+            0
+        };
         self.constraints.push(Constraint {
             lits,
             kind,
             learned,
             deleted: false,
-            true_count,
-            false_count,
+            true_count: tc,
+            false_count: fc,
             activity: 1.0,
         });
         cref
     }
 
-    /// Marks a learned constraint deleted (its occurrence entries are
-    /// skipped lazily and purged in [`Db::purge_occurrences`]).
+    #[inline]
+    fn watch_list(&mut self, kind: Kind) -> &mut Vec<Vec<Watcher>> {
+        match kind {
+            Kind::Clause => &mut self.watch_clause,
+            Kind::Cube => &mut self.watch_cube,
+        }
+    }
+
+    /// Marks a learned constraint deleted. Its watcher entries are skipped
+    /// (and dropped) lazily on visit and purged wholesale in
+    /// [`Db::purge_watchers`]; original-clause occurrence lists never
+    /// contain learned constraints, so they need no purge.
     pub(crate) fn delete(&mut self, c: CRef) {
         let k = {
             let con = &mut self.constraints[c.index()];
@@ -131,11 +272,12 @@ impl Db {
         }
     }
 
-    /// Drops occurrence entries of deleted constraints.
-    pub(crate) fn purge_occurrences(&mut self) {
+    /// Drops watcher entries of deleted constraints (called after a
+    /// database-reduction sweep; lazy dropping on visit handles the rest).
+    pub(crate) fn purge_watchers(&mut self) {
         let constraints = &self.constraints;
-        for list in self.occ_clause.iter_mut().chain(self.occ_cube.iter_mut()) {
-            list.retain(|c| !constraints[c.index()].deleted);
+        for list in self.watch_clause.iter_mut().chain(self.watch_cube.iter_mut()) {
+            list.retain(|w| !constraints[w.cref.index()].deleted);
         }
     }
 }
@@ -148,44 +290,71 @@ mod tests {
         Lit::from_dimacs(d)
     }
 
+    fn watched(db: &Db, kind: Kind, l: Lit) -> Vec<CRef> {
+        let list = match kind {
+            Kind::Clause => &db.watch_clause[l.code()],
+            Kind::Cube => &db.watch_cube[l.code()],
+        };
+        list.iter().map(|w| w.cref).collect()
+    }
+
     #[test]
     fn add_and_query() {
         let mut db = Db::new(3);
-        let c = db.add(vec![lit(1), lit(-2)], Kind::Clause, false, 0, 0);
+        let c = db.add(vec![lit(1), lit(-2)], Kind::Clause, false, 2, 0, 0);
         assert_eq!(db.unsat_originals, 1);
         assert_eq!(db.num_original, 1);
-        assert_eq!(db.occ_clause[lit(1).code()], vec![c]);
-        assert_eq!(db.occ_clause[lit(-2).code()], vec![c]);
-        assert!(db.occ_cube[lit(1).code()].is_empty());
+        assert_eq!(db.occ_original[lit(1).code()], vec![c]);
+        assert_eq!(db.occ_original[lit(-2).code()], vec![c]);
+        assert_eq!(watched(&db, Kind::Clause, lit(1)), vec![c]);
+        assert_eq!(watched(&db, Kind::Clause, lit(-2)), vec![c]);
+        assert!(watched(&db, Kind::Cube, lit(1)).is_empty());
         assert_eq!(db.constraint(c).len(), 2);
     }
 
     #[test]
-    fn learned_clause_does_not_count_unsat() {
+    fn learned_clause_does_not_count_unsat_or_occ() {
         let mut db = Db::new(2);
-        db.add(vec![lit(1)], Kind::Clause, true, 0, 0);
+        let c = db.add(vec![lit(1)], Kind::Clause, true, 1, 0, 0);
         assert_eq!(db.unsat_originals, 0);
         assert_eq!(db.num_learned_clauses, 1);
+        assert!(db.occ_original[lit(1).code()].is_empty());
+        // unit constraints get a single watcher on their only literal
+        assert_eq!(watched(&db, Kind::Clause, lit(1)), vec![c]);
     }
 
     #[test]
-    fn cubes_use_cube_occurrences() {
+    fn cubes_use_cube_watchers() {
         let mut db = Db::new(2);
-        let k = db.add(vec![lit(1), lit(2)], Kind::Cube, true, 0, 0);
-        assert_eq!(db.occ_cube[lit(1).code()], vec![k]);
-        assert!(db.occ_clause[lit(1).code()].is_empty());
+        let k = db.add(vec![lit(1), lit(2)], Kind::Cube, true, 2, 0, 0);
+        assert_eq!(watched(&db, Kind::Cube, lit(1)), vec![k]);
+        assert_eq!(watched(&db, Kind::Cube, lit(2)), vec![k]);
+        assert!(watched(&db, Kind::Clause, lit(1)).is_empty());
         assert_eq!(db.num_learned_cubes, 1);
+    }
+
+    #[test]
+    fn only_first_two_literals_are_watched() {
+        let mut db = Db::new(3);
+        let c = db.add(vec![lit(1), lit(2), lit(3)], Kind::Clause, true, 2, 0, 0);
+        assert_eq!(watched(&db, Kind::Clause, lit(1)), vec![c]);
+        assert_eq!(watched(&db, Kind::Clause, lit(2)), vec![c]);
+        assert!(watched(&db, Kind::Clause, lit(3)).is_empty());
+        // blockers point at the partner watch
+        assert_eq!(db.watch_clause[lit(1).code()][0].blocker, lit(2));
+        assert_eq!(db.watch_clause[lit(2).code()][0].blocker, lit(1));
     }
 
     #[test]
     fn delete_and_purge() {
         let mut db = Db::new(2);
-        let a = db.add(vec![lit(1)], Kind::Clause, true, 0, 0);
-        let b = db.add(vec![lit(1)], Kind::Clause, true, 0, 0);
+        let a = db.add(vec![lit(1), lit(2)], Kind::Clause, true, 2, 0, 0);
+        let b = db.add(vec![lit(1), lit(2)], Kind::Clause, true, 2, 0, 0);
         db.delete(a);
         assert_eq!(db.num_learned_clauses, 1);
-        assert_eq!(db.occ_clause[lit(1).code()].len(), 2);
-        db.purge_occurrences();
-        assert_eq!(db.occ_clause[lit(1).code()], vec![b]);
+        assert_eq!(db.watch_clause[lit(1).code()].len(), 2);
+        db.purge_watchers();
+        assert_eq!(watched(&db, Kind::Clause, lit(1)), vec![b]);
+        assert_eq!(watched(&db, Kind::Clause, lit(2)), vec![b]);
     }
 }

@@ -19,12 +19,72 @@
 //! chronological Q-DLL step (flip the most recent unflipped existential
 //! decision on conflicts, universal decision on solutions), so the search is
 //! structurally a DFS and always terminates.
+//!
+//! # Watched-literal propagation
+//!
+//! Unit/conflict detection on clauses and unit/solution detection on cubes
+//! use lazy watched-literal indices (see [`super::db`]): processing a
+//! trail literal `l` visits only the clauses watching `¬l` and the cubes
+//! watching `l`, instead of scanning all four occurrence lists. The
+//! discipline is the QDPLL adaptation of the classic two-watched-literal
+//! scheme, with two QBF-specific twists:
+//!
+//! * **Movable watches rest only on the constraint's *relevant*
+//!   quantifier** — existential literals for clauses, universal for cubes
+//!   (cf. the watched data structures of Gent et al. for QBF). A clause's
+//!   Lemma 4/5 status depends on its existential literals being false
+//!   (free/false universals are removable by universal reduction; a true
+//!   literal of either kind satisfies it), so two non-false existential
+//!   watches certify "neither conflicting nor unit". Replacement searches
+//!   accept only non-false existentials; when none exists the watch is
+//!   kept *stale* on the falsified literal and the clause is examined
+//!   under Lemma 4/5 on the spot. A clause with fewer than two
+//!   existential literals just keeps fewer movable watches (a clause with
+//!   none is conflicting at the initial scan).
+//! * **Pinned unblock sentinels** cover the `≺`-blocked cases of
+//!   Lemma 5: each universal literal `u` of a clause containing an
+//!   existential `e` with `u ≺ e` carries a permanent watcher entry that
+//!   is never moved and always examines the clause when `u` is falsified —
+//!   exactly the event that can unblock a pending unit. Cubes carry the
+//!   dual sentinels on outer existential literals.
+//!
+//! **Why watchers need no undo:** backtracking unassigns a suffix of the
+//! trail, level by level. Pinned sentinels are position-independent, so
+//! only the movable watches need an argument. If both movable watches of a
+//! clause are non-false, falsifying unwatched literals cannot make it
+//! unit or conflicting (two free existentials remain), and unassignment
+//! only moves it further from either verdict. A watch goes stale on `p`
+//! only when every tail existential is false — each at a trail position
+//! `≤ pos(p)` or inside `p`'s own decision level (units assigned while
+//! `p`'s watch list is being processed) — so any backtrack that revives a
+//! tail existential revives `p` first, restoring the two-free-watches
+//! invariant. States *between* those transitions are exact replays of
+//! earlier propagation fixpoints, which held no event by induction.
+//! Learned constraints are born with their relevant literals watched in
+//! unassigned-first, then latest-falsified-first order, which establishes
+//! the same invariant at birth.
+//!
+//! One caveat is inherited from the seed engine rather than the watched
+//! indices: the QUBE-style unwind can assert a flipped literal above the
+//! levels of its constraint's remaining literals, so a deep backjump may
+//! re-expose a *learned* constraint's unit with no assignment event.
+//! Neither engine re-detects such a unit until a literal of the
+//! constraint is touched again; for original constraints the triggering
+//! falsification always shares the propagated literal's level, so their
+//! units are never re-exposed.
+//!
+//! With the `debug-counters` feature the seed engine's eager
+//! `true_count`/`false_count` discipline runs in shadow over full
+//! occurrence lists and is cross-checked against the watched conclusions
+//! at every no-event propagation fixpoint (see `shadow_verify`): counters
+//! must match a from-scratch recount, no clause may be conflicting and no
+//! cube validated, and no original constraint may be unit.
 
 use crate::prefix::{BlockId, Prefix};
 use crate::qbf::Qbf;
 use crate::var::{Lit, Var};
 
-use super::db::{CRef, Db, Kind};
+use super::db::{CRef, Db, Kind, Watcher};
 use super::heuristic::Brancher;
 use super::{Outcome, SolverConfig, Stats};
 
@@ -54,6 +114,57 @@ enum Event {
     Conflict(CRef),
     /// A learned cube became true / existential-only under the assignment.
     CubeSolution(CRef),
+}
+
+/// Registers pinned unblock sentinels for `cref` (see [`super::db`]): one
+/// permanent watcher per universal literal of a clause that `≺`-precedes
+/// some existential literal of the same clause (dually, per existential
+/// literal of a cube preceding some universal of the cube). Such literals
+/// are exactly the ones whose falsification (satisfaction for cubes) can
+/// *unblock* a Lemma 5 unit; the sentinel guarantees that event always
+/// triggers an examination. The blocker is one of the literals it blocks,
+/// enabling the satisfied/disabled fast path on visits.
+fn attach_unblock_sentinels(db: &mut Db, prefix: &Prefix, cref: CRef) {
+    let (lits, kind) = {
+        let con = &db.constraints[cref.index()];
+        (con.lits.clone(), con.kind)
+    };
+    match kind {
+        Kind::Clause => {
+            for &u in &lits {
+                if prefix.is_existential(u.var()) {
+                    continue;
+                }
+                let blocked = lits.iter().copied().find(|&e| {
+                    prefix.is_existential(e.var()) && prefix.precedes(u.var(), e.var())
+                });
+                if let Some(e) = blocked {
+                    db.watch_clause[u.code()].push(Watcher {
+                        cref,
+                        blocker: e,
+                        pinned: true,
+                    });
+                }
+            }
+        }
+        Kind::Cube => {
+            for &e in &lits {
+                if !prefix.is_existential(e.var()) {
+                    continue;
+                }
+                let blocked = lits.iter().copied().find(|&u| {
+                    !prefix.is_existential(u.var()) && prefix.precedes(e.var(), u.var())
+                });
+                if let Some(u) = blocked {
+                    db.watch_cube[e.code()].push(Watcher {
+                        cref,
+                        blocker: u,
+                        pinned: true,
+                    });
+                }
+            }
+        }
+    }
 }
 
 /// The iterative QUBE-style solver. See the [module docs](crate::solver).
@@ -92,14 +203,27 @@ impl<'a> Solver<'a> {
         let mut db = Db::new(n);
         let mut active_occ = vec![0u32; 2 * n];
         let mut counts = vec![0.0f64; 2 * n];
+        let prefix = qbf.prefix();
         for c in qbf.matrix().iter() {
-            db.add(c.lits().to_vec(), Kind::Clause, false, 0, 0);
+            // Movable watches rest on existential literals only: sort them
+            // first and watch the leading two (or fewer — a clause with a
+            // single existential keeps one permanently-stale watch on it,
+            // and an all-universal clause is contradictory at the initial
+            // scan before any watcher matters).
+            let mut lits = c.lits().to_vec();
+            lits.sort_by_key(|l| !prefix.is_existential(l.var()));
+            let movable = lits
+                .iter()
+                .take(2)
+                .filter(|l| prefix.is_existential(l.var()))
+                .count();
+            let cref = db.add(lits, Kind::Clause, false, movable, 0, 0);
+            attach_unblock_sentinels(&mut db, prefix, cref);
             for &l in c.lits() {
                 active_occ[l.code()] += 1;
                 counts[l.code()] += 1.0;
             }
         }
-        let prefix = qbf.prefix();
         let block_unassigned = prefix
             .blocks()
             .map(|b| prefix.block_vars(b).len() as u32)
@@ -243,28 +367,64 @@ impl<'a> Solver<'a> {
             self.block_unassigned[b.index()] -= 1;
         }
         self.trail.push(lit);
+        // Satisfaction tracking over *original* clauses only: feeds the
+        // solution trigger (`unsat_originals`) and monotone-literal
+        // detection. This is off the unit/conflict propagation path, which
+        // is fully watcher-driven.
+        for i in 0..self.db.occ_original[lit.code()].len() {
+            let c = self.db.occ_original[lit.code()][i];
+            let con = &mut self.db.constraints[c.index()];
+            con.true_count += 1;
+            if con.true_count == 1 {
+                self.db.unsat_originals -= 1;
+                if self.config.pure_literals {
+                    let lits = con.lits.clone();
+                    for m in lits {
+                        self.active_occ[m.code()] -= 1;
+                        if self.active_occ[m.code()] == 0 {
+                            self.pure_candidates.push(m.var());
+                        }
+                    }
+                }
+            }
+        }
+        #[cfg(feature = "debug-counters")]
+        self.shadow_assign(lit);
     }
 
-    /// Pops the topmost decision level.
+    /// Pops the topmost decision level. Watcher lists are deliberately
+    /// **not** touched: stale watches are legal (see the module docs).
     fn backtrack_one(&mut self) {
         let frame = self.frames.pop().expect("backtrack with empty stack");
         while self.trail.len() > frame.trail_start {
-            let pos = self.trail.len() - 1;
             let l = self.trail.pop().expect("trail_start within trail");
-            // Counter updates happen when `propagate` processes a literal;
-            // literals past `qhead` (assigned after a conflict/solution was
-            // detected) never got theirs, so there is nothing to reverse.
-            let processed = pos < self.qhead;
-            self.unassign(l, processed);
+            self.unassign(l);
         }
         self.qhead = self.trail.len();
     }
 
-    fn unassign(&mut self, l: Lit, processed: bool) {
+    fn unassign(&mut self, l: Lit) {
         let v = l.var();
         self.value[v.index()] = None;
         if let Some(b) = self.prefix().block_of(v) {
             self.block_unassigned[b.index()] += 1;
+        }
+        // Reverse the satisfaction tracking of `assign`. No per-constraint
+        // work happens for the clause/cube *propagation* state: watchers
+        // are backtrack-invariant.
+        for i in 0..self.db.occ_original[l.code()].len() {
+            let c = self.db.occ_original[l.code()][i];
+            let con = &mut self.db.constraints[c.index()];
+            con.true_count -= 1;
+            if con.true_count == 0 {
+                self.db.unsat_originals += 1;
+                if self.config.pure_literals {
+                    let lits = con.lits.clone();
+                    for m in lits {
+                        self.active_occ[m.code()] += 1;
+                    }
+                }
+            }
         }
         // A variable that is monotone *right now* becomes fixable again the
         // moment it is unassigned; the transition-triggered queue alone
@@ -276,48 +436,8 @@ impl<'a> Solver<'a> {
         {
             self.pure_candidates.push(v);
         }
-        if !processed {
-            return;
-        }
-        // Reverse the counter updates of `propagate` for literal l.
-        for i in 0..self.db.occ_clause[l.code()].len() {
-            let c = self.db.occ_clause[l.code()][i];
-            let con = &mut self.db.constraints[c.index()];
-            if con.deleted {
-                continue;
-            }
-            con.true_count -= 1;
-            if con.true_count == 0 && !con.learned {
-                self.db.unsat_originals += 1;
-                if self.config.pure_literals {
-                    let lits = con.lits.clone();
-                    for m in lits {
-                        self.active_occ[m.code()] += 1;
-                    }
-                }
-            }
-        }
-        for i in 0..self.db.occ_clause[(!l).code()].len() {
-            let c = self.db.occ_clause[(!l).code()][i];
-            let con = &mut self.db.constraints[c.index()];
-            if !con.deleted {
-                con.false_count -= 1;
-            }
-        }
-        for i in 0..self.db.occ_cube[l.code()].len() {
-            let c = self.db.occ_cube[l.code()][i];
-            let con = &mut self.db.constraints[c.index()];
-            if !con.deleted {
-                con.true_count -= 1;
-            }
-        }
-        for i in 0..self.db.occ_cube[(!l).code()].len() {
-            let c = self.db.occ_cube[(!l).code()][i];
-            let con = &mut self.db.constraints[c.index()];
-            if !con.deleted {
-                con.false_count -= 1;
-            }
-        }
+        #[cfg(feature = "debug-counters")]
+        self.shadow_unassign(l);
     }
 
     fn push_decision(&mut self, lit: Lit, flipped: bool, pseudo_reason: Option<CRef>) {
@@ -342,6 +462,8 @@ impl<'a> Solver<'a> {
                 return Some(ev);
             }
             if !self.config.pure_literals || !self.fix_one_pure() {
+                #[cfg(feature = "debug-counters")]
+                self.shadow_verify();
                 return None;
             }
         }
@@ -351,79 +473,231 @@ impl<'a> Solver<'a> {
         while self.qhead < self.trail.len() {
             let l = self.trail[self.qhead];
             self.qhead += 1;
-            // Backtracking reverses counter updates per fully-processed
-            // trail literal, so even when a conflict/solution shows up
-            // mid-literal we must finish all four counter loops for `l`
-            // before returning the event.
-            let mut event: Option<Event> = None;
-            // Clauses satisfied by l.
-            for i in 0..self.db.occ_clause[l.code()].len() {
-                let c = self.db.occ_clause[l.code()][i];
-                let con = &mut self.db.constraints[c.index()];
-                if con.deleted {
-                    continue;
-                }
-                con.true_count += 1;
-                if con.true_count == 1 && !con.learned {
-                    self.db.unsat_originals -= 1;
-                    if self.config.pure_literals {
-                        let lits = con.lits.clone();
-                        for m in lits {
-                            self.active_occ[m.code()] -= 1;
-                            if self.active_occ[m.code()] == 0 {
-                                self.pure_candidates.push(m.var());
-                            }
-                        }
-                    }
-                }
+            // Clauses progress towards unit/conflict when ¬l is falsified…
+            if let Some(ev) = self.propagate_clause_watches(!l) {
+                return Some(ev);
             }
-            // Clauses where l's negation occurs: may become unit/conflicting.
-            for i in 0..self.db.occ_clause[(!l).code()].len() {
-                let c = self.db.occ_clause[(!l).code()][i];
-                {
-                    let con = &mut self.db.constraints[c.index()];
-                    if con.deleted {
-                        continue;
-                    }
-                    con.false_count += 1;
-                    if con.true_count > 0 {
-                        continue;
-                    }
-                }
-                if event.is_none() {
-                    event = self.examine_clause(c);
-                }
-            }
-            // Cubes where l occurs: may become true/unit.
-            for i in 0..self.db.occ_cube[l.code()].len() {
-                let c = self.db.occ_cube[l.code()][i];
-                {
-                    let con = &mut self.db.constraints[c.index()];
-                    if con.deleted {
-                        continue;
-                    }
-                    con.true_count += 1;
-                    if con.false_count > 0 {
-                        continue;
-                    }
-                }
-                if event.is_none() {
-                    event = self.examine_cube(c);
-                }
-            }
-            // Cubes where l's negation occurs: disabled.
-            for i in 0..self.db.occ_cube[(!l).code()].len() {
-                let c = self.db.occ_cube[(!l).code()][i];
-                let con = &mut self.db.constraints[c.index()];
-                if !con.deleted {
-                    con.false_count += 1;
-                }
-            }
-            if event.is_some() {
-                return event;
+            // …cubes progress towards unit/solution when l is satisfied.
+            if let Some(ev) = self.propagate_cube_watches(l) {
+                return Some(ev);
             }
         }
         None
+    }
+
+    /// Visits the watchers of `p`, which has just become **false**.
+    ///
+    /// Pinned unblock sentinels are examined in place. For movable
+    /// watches: resolve via the blocker if it satisfies the clause, move
+    /// the watch to another non-false *existential* literal if one
+    /// exists, and otherwise keep it (stale) and examine the clause under
+    /// Lemma 4/5. On an event the remaining watchers are kept verbatim:
+    /// the event handler pops the current level, which unassigns `p`
+    /// itself.
+    fn propagate_clause_watches(&mut self, p: Lit) -> Option<Event> {
+        let mut ws = std::mem::take(&mut self.db.watch_clause[p.code()]);
+        let mut kept = 0usize;
+        let mut event: Option<Event> = None;
+        let mut i = 0;
+        while i < ws.len() {
+            let w = ws[i];
+            i += 1;
+            self.stats.watcher_visits += 1;
+            // Fast path: some other literal already satisfies the clause.
+            if self.is_true(w.blocker) {
+                ws[kept] = w;
+                kept += 1;
+                continue;
+            }
+            let c = w.cref;
+            if self.db.constraints[c.index()].deleted {
+                continue; // lazily drop watchers of deleted constraints
+            }
+            if w.pinned || self.db.constraints[c.index()].len() == 1 {
+                // Pinned: an outer universal blocking some existential of
+                // this clause has just been falsified — the clause may
+                // have become unit (Lemma 5 unblocking). Unit constraint:
+                // p false falsifies it. Both keep their watcher in place.
+                ws[kept] = w;
+                kept += 1;
+                event = self.examine_clause(c);
+            } else {
+                // Normalize so the fired watch sits at position 1.
+                {
+                    let con = &mut self.db.constraints[c.index()];
+                    if con.lits[0] == p {
+                        con.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(con.lits[1], p, "watcher list out of sync");
+                }
+                let other = self.db.constraints[c.index()].lits[0];
+                if self.is_true(other) {
+                    ws[kept] = Watcher {
+                        cref: c,
+                        blocker: other,
+                        pinned: false,
+                    };
+                    kept += 1;
+                    continue;
+                }
+                // Replacement search over the unwatched tail: only a
+                // non-false *existential* restores the movable-watch
+                // invariant (see the module docs — watches must stay on
+                // the existential subsequence to survive backtracking).
+                let len = self.db.constraints[c.index()].len();
+                let mut found: Option<usize> = None;
+                for k in 2..len {
+                    let m = self.db.constraints[c.index()].lits[k];
+                    if self.is_existential(m.var()) && !self.is_false(m) {
+                        found = Some(k);
+                        break;
+                    }
+                }
+                if let Some(k) = found {
+                    let con = &mut self.db.constraints[c.index()];
+                    con.lits.swap(1, k);
+                    let m = con.lits[1];
+                    self.db.watch_clause[m.code()].push(Watcher {
+                        cref: c,
+                        blocker: other,
+                        pinned: false,
+                    });
+                    continue; // watcher moved off p's list
+                }
+                // No existential replacement: at most one non-false
+                // existential remains (`other`, if it is one), so the
+                // clause is satisfied by an unwatched universal,
+                // conflicting, unit, or ≺-blocked — exactly what
+                // `examine_clause` decides. The stale watch stays on p
+                // and comes back to life in unassignment order.
+                ws[kept] = Watcher {
+                    cref: c,
+                    blocker: other,
+                    pinned: false,
+                };
+                kept += 1;
+                event = self.examine_clause(c);
+            }
+            if event.is_some() {
+                while i < ws.len() {
+                    ws[kept] = ws[i];
+                    kept += 1;
+                    i += 1;
+                }
+                break;
+            }
+        }
+        ws.truncate(kept);
+        debug_assert!(self.db.watch_clause[p.code()].is_empty());
+        self.db.watch_clause[p.code()] = ws;
+        event
+    }
+
+    /// Dual of [`Solver::propagate_clause_watches`]: visits the cubes
+    /// watching `p`, which has just become **true**.
+    ///
+    /// Pinned unblock sentinels (outer existentials blocking some
+    /// universal of the cube) are examined in place. Movable watches rest
+    /// only on *universal* literals: resolve via the blocker if it
+    /// disables the cube, move to another non-true universal if one
+    /// exists, and otherwise keep the watch (stale) and examine the cube.
+    fn propagate_cube_watches(&mut self, p: Lit) -> Option<Event> {
+        let mut ws = std::mem::take(&mut self.db.watch_cube[p.code()]);
+        let mut kept = 0usize;
+        let mut event: Option<Event> = None;
+        let mut i = 0;
+        while i < ws.len() {
+            let w = ws[i];
+            i += 1;
+            self.stats.watcher_visits += 1;
+            // Fast path: some other literal already disables the cube.
+            if self.is_false(w.blocker) {
+                ws[kept] = w;
+                kept += 1;
+                continue;
+            }
+            let c = w.cref;
+            if self.db.constraints[c.index()].deleted {
+                continue; // lazily drop watchers of deleted constraints
+            }
+            if w.pinned || self.db.constraints[c.index()].len() == 1 {
+                // Pinned: an outer existential blocking some universal of
+                // this cube has just been satisfied — the cube may have
+                // become unit (dual unblocking). Unit constraint: p true
+                // makes it a solution. Both keep their watcher in place.
+                ws[kept] = w;
+                kept += 1;
+                event = self.examine_cube(c);
+            } else {
+                // Normalize so the fired watch sits at position 1.
+                {
+                    let con = &mut self.db.constraints[c.index()];
+                    if con.lits[0] == p {
+                        con.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(con.lits[1], p, "cube watcher list out of sync");
+                }
+                let other = self.db.constraints[c.index()].lits[0];
+                if self.is_false(other) {
+                    ws[kept] = Watcher {
+                        cref: c,
+                        blocker: other,
+                        pinned: false,
+                    };
+                    kept += 1;
+                    continue;
+                }
+                // Replacement search over the unwatched tail: only a
+                // non-true *universal* restores the movable-watch
+                // invariant (dual of the clause case — watches must stay
+                // on the universal subsequence to survive backtracking).
+                let len = self.db.constraints[c.index()].len();
+                let mut found: Option<usize> = None;
+                for k in 2..len {
+                    let m = self.db.constraints[c.index()].lits[k];
+                    if !self.is_existential(m.var()) && !self.is_true(m) {
+                        found = Some(k);
+                        break;
+                    }
+                }
+                if let Some(k) = found {
+                    let con = &mut self.db.constraints[c.index()];
+                    con.lits.swap(1, k);
+                    let m = con.lits[1];
+                    self.db.watch_cube[m.code()].push(Watcher {
+                        cref: c,
+                        blocker: other,
+                        pinned: false,
+                    });
+                    continue; // watcher moved off p's list
+                }
+                // No universal replacement: at most one non-true universal
+                // remains (`other`, if it is one), so the cube is disabled
+                // by an unwatched existential, a solution, unit, or
+                // ≺-blocked — exactly what `examine_cube` decides. The
+                // stale watch stays on p and comes back to life in
+                // unassignment order.
+                ws[kept] = Watcher {
+                    cref: c,
+                    blocker: other,
+                    pinned: false,
+                };
+                kept += 1;
+                event = self.examine_cube(c);
+            }
+            if event.is_some() {
+                while i < ws.len() {
+                    ws[kept] = ws[i];
+                    kept += 1;
+                    i += 1;
+                }
+                break;
+            }
+        }
+        ws.truncate(kept);
+        debug_assert!(self.db.watch_cube[p.code()].is_empty());
+        self.db.watch_cube[p.code()] = ws;
+        event
     }
 
     /// Checks a clause that is not (yet) known satisfied: Lemma 4 conflict
@@ -705,18 +979,42 @@ impl<'a> Solver<'a> {
         });
     }
 
-    fn learn(&mut self, lits: Vec<Lit>, kind: Kind) -> CRef {
-        // Counts reflect only *processed* assignments (trail prefix up to
-        // qhead): the unprocessed suffix never received counter updates and
-        // is guaranteed to be popped by the following unwind.
+    fn learn(&mut self, mut lits: Vec<Lit>, kind: Kind) -> CRef {
+        // Watch ordering: `Db::add` attaches movable watchers to the
+        // first (up to) two positions, and movable watches must rest on
+        // the constraint's *relevant* quantifier (existential for
+        // clauses, universal for cubes; see the module docs). So sort the
+        // relevant-quantifier literals first, and within them place the
+        // literals that will be unassigned *last* by the upcoming unwind
+        // up front — currently-unassigned literals first, then by
+        // descending trail position. This generalizes the classic "watch
+        // the two highest decision levels" rule and keeps the learned
+        // constraint's unit status detectable after backtracking.
+        lits.sort_by_key(|l| {
+            let wrong_type = match kind {
+                Kind::Clause => !self.is_existential(l.var()),
+                Kind::Cube => self.is_existential(l.var()),
+            };
+            let pos_key = match self.value[l.var().index()] {
+                None => i64::MIN,
+                Some(_) => -(self.trail_pos[l.var().index()] as i64),
+            };
+            (wrong_type, pos_key)
+        });
+        let movable = lits
+            .iter()
+            .take(2)
+            .filter(|l| match kind {
+                Kind::Clause => self.is_existential(l.var()),
+                Kind::Cube => !self.is_existential(l.var()),
+            })
+            .count();
+        // Shadow counters reflect *all* current assignments: the shadow
+        // discipline updates counters at assign time (trail push), not at
+        // propagation-queue processing time.
         let mut t = 0;
         let mut f = 0;
         for &l in &lits {
-            if self.value[l.var().index()].is_none()
-                || self.trail_pos[l.var().index()] as usize >= self.qhead
-            {
-                continue;
-            }
             match self.lit_value(l) {
                 Some(true) => t += 1,
                 Some(false) => f += 1,
@@ -728,7 +1026,8 @@ impl<'a> Solver<'a> {
             Kind::Clause => self.stats.learned_clauses += 1,
             Kind::Cube => self.stats.learned_cubes += 1,
         }
-        let cref = self.db.add(lits, kind, true, t, f);
+        let cref = self.db.add(lits, kind, true, movable, t, f);
+        attach_unblock_sentinels(&mut self.db, self.qbf.prefix(), cref);
         self.db.constraints[cref.index()].activity = self.stats.conflicts as f64;
         cref
     }
@@ -1161,7 +1460,148 @@ impl<'a> Solver<'a> {
             self.db.delete(c);
             self.stats.forgotten += 1;
         }
-        self.db.purge_occurrences();
+        self.db.purge_watchers();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Shadow counter oracle (`debug-counters`)
+// ----------------------------------------------------------------------
+
+/// The seed engine's eager per-constraint counter discipline, run in
+/// shadow next to the watched propagator. It performs exactly the counter
+/// updates the counter-based engine would perform (over full occurrence
+/// lists, for every constraint, at assign/unassign time) and never feeds
+/// a search decision, so the watched build's statistics are untouched;
+/// [`Solver::shadow_verify`] then cross-checks the two propagators'
+/// conclusions at every propagation fixpoint.
+#[cfg(feature = "debug-counters")]
+impl Solver<'_> {
+    fn shadow_assign(&mut self, lit: Lit) {
+        // The satisfaction tracker in `assign` already maintains
+        // `true_count` for original clauses; the shadow adds the learned
+        // constraints' true counts and everyone's false counts.
+        for i in 0..self.db.occ_shadow[lit.code()].len() {
+            let c = self.db.occ_shadow[lit.code()][i];
+            let con = &mut self.db.constraints[c.index()];
+            if con.learned {
+                con.true_count += 1;
+            }
+        }
+        let neg = !lit;
+        for i in 0..self.db.occ_shadow[neg.code()].len() {
+            let c = self.db.occ_shadow[neg.code()][i];
+            self.db.constraints[c.index()].false_count += 1;
+        }
+    }
+
+    fn shadow_unassign(&mut self, lit: Lit) {
+        for i in 0..self.db.occ_shadow[lit.code()].len() {
+            let c = self.db.occ_shadow[lit.code()][i];
+            let con = &mut self.db.constraints[c.index()];
+            if con.learned {
+                con.true_count -= 1;
+            }
+        }
+        let neg = !lit;
+        for i in 0..self.db.occ_shadow[neg.code()].len() {
+            let c = self.db.occ_shadow[neg.code()][i];
+            self.db.constraints[c.index()].false_count -= 1;
+        }
+    }
+
+    /// Cross-checks the watched propagator against the counter discipline
+    /// at a no-event propagation fixpoint:
+    ///
+    /// 1. every live constraint's counters equal a from-scratch recount
+    ///    (the eager discipline is event-for-event intact), and
+    /// 2. no constraint is conflicting (clauses) or validated (cubes),
+    ///    and no *original* constraint is unit — i.e. the counter engine,
+    ///    which scans occurrence lists eagerly, would not have found an
+    ///    event the watched indices missed. This is the *tightness* claim
+    ///    of the movable-relevant-watch + pinned-sentinel discipline (see
+    ///    the module docs), checked at every fixpoint of every run.
+    ///
+    ///    Learned constraints are exempt from the *unit* half only: the
+    ///    QUBE-style unwind asserts a flipped literal one level up, which
+    ///    may sit above the levels of the constraint's other literals, so
+    ///    a later backjump can pop the asserted literal alone and
+    ///    re-expose the unit with no assignment event. The seed counter
+    ///    engine — which also examined constraints only through the
+    ///    occurrence lists of newly assigned literals — missed exactly
+    ///    the same re-exposed units, so this is engine-equivalent
+    ///    behaviour, not a watched-index hole; the unit is re-detected at
+    ///    the next visit of any watched literal.
+    fn shadow_verify(&self) {
+        for (i, con) in self.db.constraints.iter().enumerate() {
+            if con.deleted {
+                continue;
+            }
+            let mut t = 0u32;
+            let mut f = 0u32;
+            for &m in &con.lits {
+                match self.lit_value(m) {
+                    Some(true) => t += 1,
+                    Some(false) => f += 1,
+                    None => {}
+                }
+            }
+            assert_eq!(con.true_count, t, "true_count drift on constraint {i}");
+            assert_eq!(con.false_count, f, "false_count drift on constraint {i}");
+            match con.kind {
+                // Clause without a true literal: the counter engine would
+                // examine it eagerly. Replay Lemma 4/5 on the counters.
+                Kind::Clause if t == 0 => {
+                    let open_exist: Vec<Lit> = con
+                        .lits
+                        .iter()
+                        .copied()
+                        .filter(|&m| self.lit_value(m).is_none() && self.is_existential(m.var()))
+                        .collect();
+                    assert!(
+                        !open_exist.is_empty(),
+                        "watched propagator missed a conflict on clause {i}"
+                    );
+                    if let [e] = open_exist[..] {
+                        if !con.learned {
+                            let blocked = con.lits.iter().any(|&m| {
+                                m != e
+                                    && self.lit_value(m).is_none()
+                                    && self.prefix().precedes(m.var(), e.var())
+                            });
+                            assert!(blocked, "watched propagator missed a unit on clause {i}");
+                        }
+                    }
+                }
+                // Cube without a false literal: dual replay — a cube all
+                // of whose unassigned literals are existential is a
+                // validated good; a single unblocked free universal is a
+                // dual unit.
+                Kind::Cube if f == 0 => {
+                    let open_univ: Vec<Lit> = con
+                        .lits
+                        .iter()
+                        .copied()
+                        .filter(|&m| self.lit_value(m).is_none() && !self.is_existential(m.var()))
+                        .collect();
+                    assert!(
+                        !open_univ.is_empty(),
+                        "watched propagator missed a solution on cube {i}"
+                    );
+                    if let [u] = open_univ[..] {
+                        if !con.learned {
+                            let blocked = con.lits.iter().any(|&m| {
+                                m != u
+                                    && self.lit_value(m).is_none()
+                                    && self.prefix().precedes(m.var(), u.var())
+                            });
+                            assert!(blocked, "watched propagator missed a unit on cube {i}");
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
     }
 }
 

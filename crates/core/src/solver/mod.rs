@@ -142,6 +142,10 @@ pub struct Stats {
     pub solution_depth_sum: u64,
     /// Sum of learned cube sizes (diagnostic: how general the goods are).
     pub cube_size_sum: u64,
+    /// Watcher-list entries visited during propagation (the lazy
+    /// propagator's cost measure; compare against `assignments()` to see
+    /// how much work the watched indices avoid).
+    pub watcher_visits: u64,
 }
 
 impl Stats {

@@ -306,8 +306,8 @@ pub fn dme(n: usize) -> SymbolicModel {
         move |s| {
             // token at cell 0, nobody critical
             let mut conj = vec![Formula::var(s[0])];
-            for i in 1..n {
-                conj.push(Formula::var(s[i]).not());
+            for &v in &s[1..n] {
+                conj.push(Formula::var(v).not());
             }
             for i in 0..n {
                 conj.push(Formula::var(s[n + i]).not());

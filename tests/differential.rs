@@ -1,0 +1,170 @@
+//! Differential testing of the three evaluators: the naive semantic
+//! evaluator (`semantics::eval`), the recursive Q-DLL of Fig. 1
+//! (`recursive::solve`) and the iterative watched-literal solver
+//! (`solver::Solver`) under every branching heuristic with learning on
+//! and off.
+//!
+//! The instance pool mixes prenex and non-prenex inputs: the hand-written
+//! samples, random quantifier forests (`samples::random_qbf`), their
+//! prenexings under all four strategies of §V, miniscoped forms, and
+//! small structured instances from the `qbf-gen` generators. Well over
+//! 200 instances are cross-checked.
+//!
+//! Built with `--features qbf-core/debug-counters`, every solver run in
+//! here is additionally shadow-verified: the seed engine's eager counter
+//! discipline runs next to the watched propagator and panics on any
+//! missed conflict, solution, or original-constraint unit (see
+//! `solver/engine.rs`), turning this file into the watched-vs-counter
+//! differential suite as well.
+
+use qbf_repro::core::solver::{HeuristicKind, Solver, SolverConfig, Stats};
+use qbf_repro::core::{recursive, samples, semantics, Qbf};
+use qbf_repro::gen::{fixed, fpv, ncf, rand_qbf, FixedParams, FpvParams, NcfParams, RandParams};
+use qbf_repro::prenex::{miniscope, prenex, Strategy};
+
+/// All iterative configurations under test: every heuristic, learning on
+/// and off (pure literals stay on — the recursive reference uses them
+/// too, and `properties.rs` already sweeps the pure-literal axis).
+fn iterative_configs() -> Vec<SolverConfig> {
+    let mut configs = Vec::new();
+    for heuristic in [
+        HeuristicKind::Naive,
+        HeuristicKind::VsidsLevel,
+        HeuristicKind::VsidsTree,
+        HeuristicKind::Random(0x5eed_cafe),
+    ] {
+        for learning in [false, true] {
+            configs.push(SolverConfig {
+                heuristic,
+                learning,
+                ..SolverConfig::default()
+            });
+        }
+    }
+    configs
+}
+
+fn solve_iterative(qbf: &Qbf, config: &SolverConfig) -> (Option<bool>, Stats) {
+    let out = Solver::new(qbf, config.clone().with_node_limit(2_000_000)).solve();
+    (out.value(), out.stats)
+}
+
+/// Cross-checks one instance against a known expected value (or, when
+/// `expected` is `None`, against the recursive reference only).
+fn check(label: &str, qbf: &Qbf, expected: Option<bool>) {
+    let reference = recursive::solve(qbf, &recursive::RecursiveConfig::default())
+        .value
+        .unwrap_or_else(|| panic!("{label}: recursive reference hit its node limit"));
+    if let Some(e) = expected {
+        assert_eq!(reference, e, "{label}: recursive Q-DLL disagrees with semantics");
+    }
+    for config in iterative_configs() {
+        let (got, stats) = solve_iterative(qbf, &config);
+        assert_eq!(
+            got,
+            Some(reference),
+            "{label}: iterative solver disagrees under {config:?}"
+        );
+        // Determinism: the engine is seed-stable, so a second run must
+        // reproduce the statistics bit-for-bit (and, with
+        // `debug-counters`, re-pass every shadow cross-check).
+        let (got2, stats2) = solve_iterative(qbf, &config);
+        assert_eq!(got, got2, "{label}: nondeterministic value under {config:?}");
+        assert_eq!(stats, stats2, "{label}: nondeterministic stats under {config:?}");
+    }
+}
+
+/// The hand-written sample formulas (prenex and non-prenex).
+#[test]
+fn differential_samples() {
+    let cases: [(&str, Qbf); 6] = [
+        ("paper_example", samples::paper_example()),
+        ("forall_exists_xor", samples::forall_exists_xor()),
+        ("exists_forall_xor", samples::exists_forall_xor()),
+        ("two_independent_games", samples::two_independent_games()),
+        ("sat_instance", samples::sat_instance()),
+        ("unsat_instance", samples::unsat_instance()),
+    ];
+    for (name, qbf) in cases {
+        check(name, &qbf, Some(semantics::eval(&qbf)));
+    }
+}
+
+/// 150 random non-prenex quantifier forests, checked against the
+/// exponential semantic evaluator.
+#[test]
+fn differential_random_forests() {
+    for seed in 0..150u64 {
+        let q = samples::random_qbf(seed.wrapping_mul(0x9e37_79b9) ^ 0xd1f, 7, 11);
+        check(&format!("forest seed {seed}"), &q, Some(semantics::eval(&q)));
+    }
+}
+
+/// 50 random forests, each prenexed with a rotating §V strategy (prenex
+/// inputs exercise the degenerate left-to-right partial order) and 20
+/// re-miniscoped (non-prenex inputs with reconstructed structure).
+#[test]
+fn differential_prenexed_and_miniscoped() {
+    for seed in 0..50u64 {
+        let q = samples::random_qbf(seed.wrapping_mul(0x61c8_8647) ^ 0xabc, 7, 10);
+        let expected = semantics::eval(&q);
+        let strategy = Strategy::ALL[seed as usize % Strategy::ALL.len()];
+        let flat = prenex(&q, strategy);
+        check(&format!("prenex({strategy}) seed {seed}"), &flat, Some(expected));
+        if seed < 20 {
+            let mini = miniscope(&flat).expect("prenex input").qbf;
+            check(&format!("miniscope seed {seed}"), &mini, Some(expected));
+        }
+    }
+}
+
+/// Structured generator instances (NCF, FPV, FIXED, PROB): too large for
+/// the exponential evaluator, so the recursive Q-DLL is the reference.
+#[test]
+fn differential_generators() {
+    for seed in 0..4u64 {
+        let q = ncf(
+            &NcfParams {
+                dep: 3,
+                var: 2,
+                cls_ratio: 2,
+                lpc: 3,
+            },
+            seed,
+        );
+        check(&format!("ncf seed {seed}"), &q, None);
+    }
+    for seed in 0..3u64 {
+        let q = fpv(
+            &FpvParams {
+                config_vars: 3,
+                branches: 2,
+                branch_depth: 2,
+                block_vars: 2,
+                clauses_per_branch: 8,
+                lpc: 3,
+            },
+            seed,
+        );
+        check(&format!("fpv seed {seed}"), &q, None);
+    }
+    for seed in 0..3u64 {
+        let inst = fixed(
+            &FixedParams {
+                groups: 2,
+                depth: 2,
+                block_vars: 2,
+                clauses_per_group: 6,
+                lpc: 3,
+            },
+            seed,
+        );
+        check(&format!("fixed(prenex) seed {seed}"), &inst.prenex, None);
+        let mini = miniscope(&inst.prenex).expect("prenex input").qbf;
+        check(&format!("fixed(miniscoped) seed {seed}"), &mini, None);
+    }
+    for seed in 0..3u64 {
+        let q = rand_qbf(&RandParams::three_block(4, 3, 4, 20, 3), seed);
+        check(&format!("prob seed {seed}"), &q, None);
+    }
+}

@@ -241,7 +241,7 @@ fn io_roundtrips() {
 /// Lit/Var encodings are stable.
 #[test]
 fn literal_encoding_roundtrips() {
-    let mut rng = Rng::seed_from_u64(0x11c0_de);
+    let mut rng = Rng::seed_from_u64(0x0011_c0de);
     let codes = (1i64..=64).chain((0..256).map(|_| rng.gen_range(1..5000) as i64));
     for code in codes {
         let l = Lit::from_dimacs(code);
