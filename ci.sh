@@ -15,6 +15,13 @@ echo "==> cargo test --workspace --features qbf-core/debug-counters"
 # watched-literal propagator (panics on any propagation divergence).
 cargo test -q --workspace --features qbf-core/debug-counters
 
+echo "==> repro bench-smoke (telemetry determinism gate)"
+# Runs a micro benchmark suite twice and asserts the machine-readable
+# BENCH_qbf.json aggregate is byte-identical across runs and parses with
+# the in-tree JSON reader. Writes under target/repro-smoke so the
+# committed BENCH_qbf.json at the repo root is never clobbered.
+cargo run -q --release -p qbf-bench --bin repro -- --out target/repro-smoke bench-smoke
+
 echo "==> cargo clippy (best effort)"
 # clippy may not be installed in minimal offline toolchains; treat its
 # absence as a skip, but deny warnings when it is available.

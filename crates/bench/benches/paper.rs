@@ -118,6 +118,40 @@ fn bench_miniscoped() {
     });
 }
 
+/// Observability overhead: the same NCF instance solved with the default
+/// `NoopObserver` (must stay indistinguishable from the engine without
+/// the layer — the observer calls monomorphize to nothing) vs a profiler
+/// and the full observer fan-out (pins the cost of full tracing).
+fn bench_observe() {
+    use qbf_core::observe::{JsonlTrace, MultiObserver, Profiler, Progress, TreeTrace};
+
+    // A non-trivial instance (~7.5k assignments, so per-event costs
+    // dominate the solver-construction noise): a counter<3> diameter probe.
+    let po = diameter_qbf(&qbf_models::counter(3), 5, DiameterForm::Tree).qbf;
+    let config = || SolverConfig::partial_order().with_node_limit(5_000_000);
+    bench("observe", "noop", || solve(&po, &SolverConfig::partial_order()));
+    bench("observe", "profiler", || {
+        let mut profiler = Profiler::new(&po);
+        let out = Solver::with_observer(&po, config(), &mut profiler).solve();
+        assert_eq!(profiler.decisions(), out.stats.decisions);
+        out.stats.assignments()
+    });
+    bench("observe", "full_fanout", || {
+        let mut tree = TreeTrace::new();
+        let mut jsonl = JsonlTrace::new();
+        let mut profiler = Profiler::new(&po);
+        let mut progress = Progress::new(u64::MAX);
+        let mut multi = MultiObserver::new();
+        multi.push(&mut tree);
+        multi.push(&mut jsonl);
+        multi.push(&mut profiler);
+        multi.push(&mut progress);
+        let out = Solver::with_observer(&po, config(), multi).solve();
+        std::hint::black_box((tree.as_str().len(), jsonl.finish().len()));
+        out.stats.assignments()
+    });
+}
+
 /// Preprocessing costs: the four prenexing strategies and miniscoping.
 fn bench_transforms() {
     let params = NcfParams {
@@ -153,5 +187,6 @@ fn main() {
     bench_fpv();
     bench_dia();
     bench_miniscoped();
+    bench_observe();
     bench_transforms();
 }

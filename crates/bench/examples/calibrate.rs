@@ -20,8 +20,8 @@ fn main() {
                 let b = run(&mini.qbf, &po_config(500_000));
                 line += &format!(" [{}|to {:.1}ms {}a|po {:.1}ms {}a]",
                     a.value.map(|v| if v {"T"} else {"F"}).unwrap_or("?"),
-                    a.time.as_secs_f64()*1e3, a.assignments,
-                    b.time.as_secs_f64()*1e3, b.assignments);
+                    a.time.as_secs_f64()*1e3, a.assignments(),
+                    b.time.as_secs_f64()*1e3, b.assignments());
             }
             println!("{line}  pass={pass}");
         }

@@ -1,11 +1,11 @@
 //! `repro` — regenerates the tables and figures of the paper.
 //!
 //! ```text
-//! repro [--scale small|paper] [--out DIR] <command>
+//! repro [--scale small|paper] [--out DIR] [--bench-out FILE] <command>
 //!
 //! commands:
 //!   fig2              search tree of Q-DLL on the running example (Fig. 2)
-//!   table1            all rows of Table I
+//!   table1            all rows of Table I (+ BENCH_qbf.json + telemetry)
 //!   fig3              NCF medians: QUBE(TO)* vs QUBE(PO)
 //!   fig4              FPV scatter
 //!   fig5              DIA scatter
@@ -15,28 +15,40 @@
 //!   ablate-score      PO heuristic: tree score vs level score
 //!   ablate-learning   learning on/off on DIA (PO)
 //!   ablate-miniscope  single-clause-scope elimination effect
-//!   all               everything above
+//!   bench-smoke       micro suite; asserts BENCH_qbf.json is
+//!                     byte-deterministic and parseable (CI gate)
+//!   all               everything above except bench-smoke
 //! ```
+//!
+//! `table1` (and `all`) additionally write, per suite, a
+//! `<stem>_telemetry.jsonl` stream (one record per measured run, full
+//! stats) and `<stem>_learned.txt`, and aggregate every suite into the
+//! machine-readable `BENCH_qbf.json` (`--bench-out`, default inside
+//! `--out`). The aggregate is derived from deterministic assignment
+//! counts, so it is byte-identical across runs.
 
 use std::fs;
 use std::path::PathBuf;
 
 use qbf_bench::experiments::{
     self, dia_suite_result, fig2, fixed_result, fpv_result, ncf_result, prob_result,
-    render_curves, render_medians, SuiteResult,
+    render_curves, render_learned, render_medians, SuiteResult,
 };
 use qbf_bench::runner::{ascii_scatter, pairs_to_csv, TableRow};
 use qbf_bench::suites::Scale;
+use qbf_bench::{json, telemetry};
 
 struct Args {
     scale: Scale,
     out: PathBuf,
+    bench_out: Option<PathBuf>,
     command: String,
 }
 
 fn parse_args() -> Args {
     let mut scale = Scale::Small;
     let mut out = PathBuf::from("target/repro");
+    let mut bench_out = None;
     let mut command = String::from("all");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -55,10 +67,16 @@ fn parse_args() -> Args {
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| "target/repro".into()));
             }
+            "--bench-out" => {
+                bench_out = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| "BENCH_qbf.json".into()),
+                ));
+            }
             "--help" | "-h" => {
-                println!("repro [--scale small|paper] [--out DIR] <command>");
+                println!("repro [--scale small|paper] [--out DIR] [--bench-out FILE] <command>");
                 println!("commands: fig2 table1 fig3 fig4 fig5 fig6 fig7 instances");
-                println!("          ablate-score ablate-learning ablate-miniscope all");
+                println!("          ablate-score ablate-learning ablate-miniscope");
+                println!("          bench-smoke all");
                 println!("env: QBF_REPRO_SEEDS=N overrides instances per setting");
                 std::process::exit(0);
             }
@@ -68,6 +86,7 @@ fn parse_args() -> Args {
     Args {
         scale,
         out,
+        bench_out,
         command,
     }
 }
@@ -94,6 +113,12 @@ fn suite_outputs(out: &PathBuf, result: &SuiteResult, stem: &str) {
     if !result.medians.is_empty() {
         save(out, &format!("{stem}_medians.txt"), &render_medians(result));
     }
+    save(
+        out,
+        &format!("{stem}_telemetry.jsonl"),
+        &telemetry::records_to_jsonl(&result.telemetry),
+    );
+    save(out, &format!("{stem}_learned.txt"), &render_learned(result));
 }
 
 fn main() {
@@ -141,6 +166,18 @@ fn main() {
             "Fig. 7 scatter (PROB+FIXED):\n{}",
             ascii_scatter(&fig7, 60, 20)
         );
+        // Aggregate every suite into the machine-readable, deterministic
+        // BENCH_qbf.json (validated by the in-tree JSON reader).
+        let all_results = [ncf_res.clone(), fpv, dia, prob, fixed];
+        let doc = telemetry::bench_json(&all_results);
+        json::parse(&doc).expect("BENCH_qbf.json must parse");
+        match &args.bench_out {
+            Some(path) => {
+                fs::write(path, &doc).expect("write bench-out file");
+                println!("[saved {}]", path.display());
+            }
+            None => save(out, "BENCH_qbf.json", &doc),
+        }
     }
     if is("fig3") {
         let ncf_res = ncf.get_or_insert_with(|| ncf_result(scale));
@@ -215,5 +252,94 @@ fn main() {
         let text = experiments::ablate_miniscope(scale);
         println!("{text}");
     }
+    if args.command == "bench-smoke" {
+        bench_smoke(&args);
+    }
     println!("done (scale {scale:?}).");
+}
+
+/// `bench-smoke`: runs a micro NCF suite twice, asserts the aggregated
+/// `BENCH_qbf.json` is byte-identical across the two runs, validates it
+/// with the in-tree JSON reader, and writes the artifacts. This is the CI
+/// gate for the telemetry pipeline's determinism contract.
+fn bench_smoke(args: &Args) {
+    use qbf_bench::experiments::run_suite;
+    use qbf_bench::json::Json;
+    use qbf_bench::suites::SuiteInstance;
+    use qbf_prenex::Strategy;
+    use std::time::Duration;
+
+    let make_suite = || -> Vec<SuiteInstance> {
+        let params = qbf_gen::NcfParams {
+            dep: 3,
+            var: 1,
+            cls_ratio: 2,
+            lpc: 2,
+        };
+        (0..4u64)
+            .map(|seed| {
+                let po = qbf_gen::ncf(&params, seed);
+                let to = Strategy::ALL
+                    .iter()
+                    .map(|&s| (s, qbf_prenex::prenex(&po, s)))
+                    .collect();
+                SuiteInstance {
+                    label: format!("smoke#{seed}"),
+                    group: "smoke".to_string(),
+                    po,
+                    to,
+                }
+            })
+            .collect()
+    };
+    let run_once = || {
+        let result = run_suite(
+            "SMOKE",
+            &make_suite(),
+            100_000,
+            Duration::from_millis(5),
+        );
+        telemetry::bench_json(std::slice::from_ref(&result))
+    };
+    println!("bench-smoke: running the micro suite twice…");
+    let doc1 = run_once();
+    let doc2 = run_once();
+    assert_eq!(
+        doc1, doc2,
+        "BENCH_qbf.json must be byte-identical across runs"
+    );
+    let parsed = json::parse(&doc1).expect("BENCH_qbf.json must parse");
+    assert_eq!(
+        parsed.get("schema").and_then(Json::as_str),
+        Some(telemetry::BENCH_SCHEMA),
+        "schema tag"
+    );
+    let suites = parsed
+        .get("suites")
+        .and_then(Json::as_array)
+        .expect("suites array");
+    assert_eq!(suites.len(), 1);
+    let suite = &suites[0];
+    assert_eq!(suite.get("name").and_then(Json::as_str), Some("SMOKE"));
+    let instances = suite
+        .get("instances")
+        .and_then(Json::as_u64)
+        .expect("instances count");
+    let row = suite.get("row_by_assignments").expect("deterministic row");
+    let total: u64 = ["to_slower", "to_faster", "ties"]
+        .iter()
+        .map(|k| row.get(k).and_then(Json::as_u64).expect("row column"))
+        .sum();
+    assert_eq!(total, instances, "row columns must partition the suite");
+    let po_runs = suite
+        .get("po")
+        .and_then(|p| p.get("runs"))
+        .and_then(Json::as_u64);
+    assert_eq!(po_runs, Some(instances), "one PO run per instance");
+    save(&args.out, "BENCH_qbf_smoke.json", &doc1);
+    println!(
+        "bench-smoke: ok ({} instances, {} bytes, byte-deterministic)",
+        instances,
+        doc1.len()
+    );
 }

@@ -10,6 +10,7 @@ use qbf_prenex::Strategy;
 
 use crate::runner::{run, Measurement, Pair, TableRow};
 use crate::suites::{self, Scale, SuiteInstance};
+use crate::telemetry::TelemetryRecord;
 
 /// Result of a Table-I style suite run: one row per strategy, plus the
 /// per-instance pairs (against the listed strategy, or the virtual best
@@ -25,6 +26,9 @@ pub struct SuiteResult {
     /// Fig. 3 data: per parameter setting, (median PO ms, median best-TO
     /// ms) — only populated when several strategies are run.
     pub medians: Vec<(String, f64, f64)>,
+    /// One telemetry record per measured run (PO and every TO strategy),
+    /// feeding the JSONL stream and the `BENCH_qbf.json` aggregation.
+    pub telemetry: Vec<TelemetryRecord>,
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -46,19 +50,34 @@ pub fn run_suite(name: &str, instances: &[SuiteInstance], budget: u64, tie: Dura
     let mut rows: Vec<(String, TableRow)> =
         strategies.iter().map(|s| (s.to_string(), TableRow::default())).collect();
     let mut pairs = Vec::new();
+    let mut telemetry = Vec::new();
     // group -> (po times, best-to times)
     let mut group_data: BTreeMap<String, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
 
     for inst in instances {
         let po = run(&inst.po, &po_cfg);
+        telemetry.push(TelemetryRecord::new(
+            name,
+            &inst.label,
+            &inst.group,
+            "po",
+            &po,
+        ));
         let mut to_runs: Vec<Measurement> = Vec::new();
-        for ((_, to_qbf), (_, row)) in inst.to.iter().zip(rows.iter_mut()) {
+        for ((strategy, to_qbf), (_, row)) in inst.to.iter().zip(rows.iter_mut()) {
             let to = run(to_qbf, &to_cfg);
             // sanity: decided values must agree
             if let (Some(a), Some(b)) = (to.value, po.value) {
                 assert_eq!(a, b, "TO/PO disagree on {}", inst.label);
             }
             row.add(&to, &po, tie);
+            telemetry.push(TelemetryRecord::new(
+                name,
+                &inst.label,
+                &inst.group,
+                &format!("to:{strategy}"),
+                &to,
+            ));
             to_runs.push(to);
         }
         // Virtual best TO (QUBE(TO)* of Fig. 3): minimum time, timeouts
@@ -103,6 +122,7 @@ pub fn run_suite(name: &str, instances: &[SuiteInstance], budget: u64, tie: Dura
         rows,
         pairs,
         medians,
+        telemetry,
     }
 }
 
@@ -139,6 +159,9 @@ pub struct ScalingCurve {
     pub to_diameter: Option<u32>,
     /// Diameter found by the PO solver.
     pub po_diameter: Option<u32>,
+    /// Full per-probe (TO, PO) measurements (labelled `model@nN`) — the
+    /// source for the Table I row, Fig. 5 scatter and telemetry records.
+    pub pairs: Vec<Pair>,
 }
 
 /// Runs the DIA experiment for one model: probes φ0, φ1, … with both
@@ -168,6 +191,19 @@ pub fn dia_curve(model: &SymbolicModel, budget: u64, max_n: u32, with_bfs: bool)
         assert_eq!(d, t, "QBF diameter disagrees with BFS on {}", model.name());
     }
     let mut points = Vec::new();
+    let mut pairs = Vec::new();
+    // A probe missing on one side (the other solver stopped probing
+    // earlier) counts as a budget exhaustion with empty statistics.
+    let absent = || Measurement {
+        value: None,
+        stats: qbf_core::solver::Stats::default(),
+        time: Duration::ZERO,
+    };
+    let present = |p: &qbf_models::Probe| Measurement {
+        value: p.outcome.value(),
+        stats: p.outcome.stats,
+        time: p.time,
+    };
     let n_points = po_run.probes.len().max(to_run.probes.len());
     for i in 0..n_points {
         let po = po_run.probes.get(i);
@@ -180,6 +216,11 @@ pub fn dia_curve(model: &SymbolicModel, budget: u64, max_n: u32, with_bfs: bool)
             to.map(|p| p.outcome.value().is_none()).unwrap_or(true),
             po.map(|p| p.outcome.value().is_none()).unwrap_or(true),
         ));
+        pairs.push(Pair {
+            label: format!("{}@n{}", model.name(), n),
+            to: to.map(present).unwrap_or_else(absent),
+            po: po.map(present).unwrap_or_else(absent),
+        });
     }
     ScalingCurve {
         model: model.name().to_string(),
@@ -187,6 +228,7 @@ pub fn dia_curve(model: &SymbolicModel, budget: u64, max_n: u32, with_bfs: bool)
         points,
         to_diameter: to_run.diameter,
         po_diameter: po_run.diameter,
+        pairs,
     }
 }
 
@@ -200,23 +242,27 @@ pub fn dia_suite_result(scale: Scale) -> (SuiteResult, Vec<ScalingCurve>) {
     };
     let mut rows = vec![(Strategy::ExistsUpForallUp.to_string(), TableRow::default())];
     let mut pairs = Vec::new();
+    let mut telemetry = Vec::new();
     let mut curves = Vec::new();
     for model in suites::dia_models(scale) {
         let curve = dia_curve(&model, budget, max_n, scale == Scale::Small);
-        for &(n, to_ms, po_ms, to_t, po_t) in &curve.points {
-            let mk = |ms: f64, t: bool| Measurement {
-                value: if t { None } else { Some(true) },
-                assignments: 0,
-                time: Duration::from_secs_f64((ms / 1e3).max(0.0)),
-            };
-            let to = mk(to_ms, to_t);
-            let po = mk(po_ms, po_t);
-            rows[0].1.add(&to, &po, scale.tie());
-            pairs.push(Pair {
-                label: format!("{}@n{}", curve.model, n),
-                to,
-                po,
-            });
+        for pair in &curve.pairs {
+            rows[0].1.add(&pair.to, &pair.po, scale.tie());
+            telemetry.push(TelemetryRecord::new(
+                "DIA",
+                &pair.label,
+                &curve.model,
+                "po",
+                &pair.po,
+            ));
+            telemetry.push(TelemetryRecord::new(
+                "DIA",
+                &pair.label,
+                &curve.model,
+                &format!("to:{}", rows[0].0),
+                &pair.to,
+            ));
+            pairs.push(pair.clone());
         }
         curves.push(curve);
     }
@@ -226,6 +272,7 @@ pub fn dia_suite_result(scale: Scale) -> (SuiteResult, Vec<ScalingCurve>) {
             rows,
             pairs,
             medians: Vec::new(),
+            telemetry,
         },
         curves,
     )
@@ -266,6 +313,30 @@ pub fn render_medians(result: &SuiteResult) -> String {
     for (g, po, to) in &result.medians {
         let winner = if po < to { "PO" } else if to < po { "TO*" } else { "=" };
         out.push_str(&format!("{g} | {po:.2} | {to:.2} | {winner}\n"));
+    }
+    out
+}
+
+/// Renders per-solver learning totals for a suite from its telemetry: how
+/// many nogoods/goods each configuration learned (and at what assignment
+/// cost) to achieve its Table I row.
+pub fn render_learned(result: &SuiteResult) -> String {
+    let mut agg: BTreeMap<&str, (u64, u64, u64, u64)> = BTreeMap::new();
+    for r in &result.telemetry {
+        let e = agg.entry(r.solver.as_str()).or_default();
+        e.0 += 1;
+        e.1 += r.stats.learned_clauses;
+        e.2 += r.stats.learned_cubes;
+        e.3 += r.stats.assignments();
+    }
+    let mut out = format!(
+        "{}: learning totals per configuration\n{:<24} {:>5} {:>10} {:>10} {:>12}\n",
+        result.name, "solver", "runs", "clauses", "cubes", "assignments"
+    );
+    for (solver, (runs, clauses, cubes, assignments)) in agg {
+        out.push_str(&format!(
+            "{solver:<24} {runs:>5} {clauses:>10} {cubes:>10} {assignments:>12}\n"
+        ));
     }
     out
 }
@@ -389,6 +460,8 @@ mod tests {
         assert_eq!(c.po_diameter, Some(3));
         assert_eq!(c.to_diameter, Some(3));
         assert_eq!(c.points.len(), 4);
+        assert_eq!(c.pairs.len(), 4);
+        assert!(c.pairs.iter().all(|p| p.label.starts_with("counter<2>@n")));
         let rendered = render_curves(&[c]);
         assert!(rendered.contains("counter<2>"));
     }
@@ -424,5 +497,16 @@ mod tests {
         assert_eq!(result.rows[0].1.total(), 3);
         let rendered = render_medians(&result);
         assert!(rendered.contains("median"));
+        // telemetry: one PO + four TO records per instance
+        assert_eq!(result.telemetry.len(), 3 * 5);
+        assert!(result.telemetry.iter().any(|r| r.solver == "po"));
+        assert!(result.telemetry.iter().any(|r| r.solver.starts_with("to:")));
+        assert!(result
+            .telemetry
+            .iter()
+            .all(|r| r.suite == "micro" && r.stats.assignments() > 0));
+        let learned = render_learned(&result);
+        assert!(learned.contains("po"));
+        assert!(learned.contains("assignments"));
     }
 }

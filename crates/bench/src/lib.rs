@@ -12,5 +12,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod json;
 pub mod runner;
 pub mod suites;
+pub mod telemetry;

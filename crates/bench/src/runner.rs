@@ -3,16 +3,18 @@
 
 use std::time::{Duration, Instant};
 
-use qbf_core::solver::{Solver, SolverConfig};
+use qbf_core::solver::{Solver, SolverConfig, Stats};
 use qbf_core::Qbf;
 
-/// One measured solver run.
+/// One measured solver run, carrying the **full** search statistics (not
+/// just the assignment count) so that the telemetry layer can attribute
+/// the cost of a run without re-solving.
 #[derive(Debug, Clone)]
 pub struct Measurement {
     /// `Some(value)` if decided within the budget.
     pub value: Option<bool>,
-    /// Deterministic cost: decisions + propagations + pure fixings.
-    pub assignments: u64,
+    /// Full search statistics of the run.
+    pub stats: Stats,
     /// Wall-clock time.
     pub time: Duration,
 }
@@ -23,6 +25,11 @@ impl Measurement {
     pub fn is_timeout(&self) -> bool {
         self.value.is_none()
     }
+
+    /// Deterministic cost: decisions + propagations + pure fixings.
+    pub fn assignments(&self) -> u64 {
+        self.stats.assignments()
+    }
 }
 
 /// Solves one instance under the given configuration, measuring wall time.
@@ -31,7 +38,7 @@ pub fn run(qbf: &Qbf, config: &SolverConfig) -> Measurement {
     let outcome = Solver::new(qbf, config.clone()).solve();
     Measurement {
         value: outcome.value(),
-        assignments: outcome.stats.assignments(),
+        stats: outcome.stats,
         time: start.elapsed(),
     }
 }
@@ -100,6 +107,46 @@ impl TableRow {
         }
     }
 
+    /// Deterministic variant of [`TableRow::add`]: compares the
+    /// *assignment counts* (the harness's deterministic time proxy)
+    /// instead of wall times, with a relative tie window of 10% of the
+    /// smaller count (at least 16 assignments). This is what the
+    /// machine-readable `BENCH_qbf.json` aggregation uses, so repeated
+    /// runs produce byte-identical output.
+    pub fn add_by_assignments(&mut self, to: &Measurement, po: &Measurement) {
+        match (to.is_timeout(), po.is_timeout()) {
+            (true, true) => {
+                self.both_timeout += 1;
+                self.ties += 1;
+            }
+            (true, false) => {
+                self.to_only_timeout += 1;
+                self.to_slower += 1;
+            }
+            (false, true) => {
+                self.po_only_timeout += 1;
+                self.to_faster += 1;
+            }
+            (false, false) => {
+                let (t, p) = (to.assignments(), po.assignments());
+                let tie = (t.min(p) / 10).max(16);
+                if t > p + tie {
+                    self.to_slower += 1;
+                } else if p > t + tie {
+                    self.to_faster += 1;
+                } else {
+                    self.ties += 1;
+                }
+                let (ts, ps) = (t.max(1), p.max(1));
+                if ts >= 10 * ps {
+                    self.to_slower_10x += 1;
+                } else if ps >= 10 * ts {
+                    self.to_faster_10x += 1;
+                }
+            }
+        }
+    }
+
     /// Renders the row in the paper's column order:
     /// `> < =±tie ⊣ ⊢ ⊣⊢ >10× 10×<`.
     pub fn render(&self) -> String {
@@ -143,8 +190,8 @@ pub fn pairs_to_csv(pairs: &[Pair]) -> String {
             p.label,
             p.to.time.as_secs_f64() * 1e3,
             p.po.time.as_secs_f64() * 1e3,
-            p.to.assignments,
-            p.po.assignments,
+            p.to.assignments(),
+            p.po.assignments(),
             p.to.is_timeout(),
             p.po.is_timeout()
         ));
@@ -205,8 +252,22 @@ mod tests {
     fn m(ms: u64, timeout: bool) -> Measurement {
         Measurement {
             value: if timeout { None } else { Some(true) },
-            assignments: 10,
+            stats: Stats {
+                decisions: 10,
+                ..Stats::default()
+            },
             time: Duration::from_millis(ms),
+        }
+    }
+
+    fn ma(assignments: u64, timeout: bool) -> Measurement {
+        Measurement {
+            value: if timeout { None } else { Some(true) },
+            stats: Stats {
+                decisions: assignments,
+                ..Stats::default()
+            },
+            time: Duration::from_millis(1),
         }
     }
 
@@ -241,7 +302,28 @@ mod tests {
         let meas = run(&q, &qbf_core::solver::SolverConfig::partial_order());
         assert_eq!(meas.value, Some(false));
         assert!(!meas.is_timeout());
-        assert!(meas.assignments > 0);
+        assert!(meas.assignments() > 0);
+        assert!(meas.stats.decisions > 0);
+    }
+
+    #[test]
+    fn row_classification_by_assignments() {
+        let mut row = TableRow::default();
+        row.add_by_assignments(&ma(1000, false), &ma(50, false)); // TO slower, >10x
+        row.add_by_assignments(&ma(50, false), &ma(1000, false)); // TO faster, 10x<
+        row.add_by_assignments(&ma(100, false), &ma(95, false)); // tie (within window)
+        row.add_by_assignments(&ma(0, true), &ma(50, false)); // TO timeout
+        row.add_by_assignments(&ma(50, false), &ma(0, true)); // PO timeout
+        row.add_by_assignments(&ma(0, true), &ma(0, true)); // both
+        assert_eq!(row.to_slower, 2);
+        assert_eq!(row.to_faster, 2);
+        assert_eq!(row.ties, 2);
+        assert_eq!(row.to_only_timeout, 1);
+        assert_eq!(row.po_only_timeout, 1);
+        assert_eq!(row.both_timeout, 1);
+        assert_eq!(row.to_slower_10x, 1);
+        assert_eq!(row.to_faster_10x, 1);
+        assert_eq!(row.total(), 6);
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //!   --no-learning      disable good/nogood learning
 //!   --budget N         abort after N assignments
 //!   --stats            print search statistics to stderr
+//!   --trace[=FILE]     Fig. 2-style indented search-tree trace
+//!                      (stderr, or FILE when given)
+//!   --trace-json[=FILE] JSONL event trace, one JSON object per event
+//!                      (stderr, or FILE when given)
+//!   --profile          per-level/size/chain-length search profile on stderr
+//!   --progress N       one-line status on stderr every N conflicts+solutions
 //! ```
 //!
 //! Prints `s cnf 1` / `s cnf 0` (true/false) like QBF evaluation solvers and
@@ -22,9 +28,13 @@
 use std::io::Read;
 use std::process::ExitCode;
 
+use qbf_core::observe::{JsonlTrace, MultiObserver, Profiler, Progress, TreeTrace};
 use qbf_core::recursive::{self, RecursiveConfig};
 use qbf_core::solver::{Solver, SolverConfig};
 use qbf_core::{io, Qbf};
+
+/// `None` = disabled, `Some(None)` = stderr, `Some(Some(path))` = file.
+type Sink = Option<Option<String>>;
 
 struct Options {
     file: Option<String>,
@@ -32,12 +42,17 @@ struct Options {
     use_recursive: bool,
     preprocess: bool,
     stats: bool,
+    trace: Sink,
+    trace_json: Sink,
+    profile: bool,
+    progress: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: qbfsolve [--to|--po|--basic|--recursive] [--preprocess] \
-         [--no-pure] [--no-learning] [--budget N] [--stats] [FILE]"
+         [--no-pure] [--no-learning] [--budget N] [--stats] \
+         [--trace[=FILE]] [--trace-json[=FILE]] [--profile] [--progress N] [FILE]"
     );
     std::process::exit(1);
 }
@@ -49,6 +64,10 @@ fn parse_args() -> Options {
         use_recursive: false,
         preprocess: false,
         stats: false,
+        trace: None,
+        trace_json: None,
+        profile: false,
+        progress: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -68,13 +87,47 @@ fn parse_args() -> Options {
             }
             "--preprocess" => opts.preprocess = true,
             "--stats" => opts.stats = true,
+            "--trace" => opts.trace = Some(None),
+            "--trace-json" => opts.trace_json = Some(None),
+            "--profile" => opts.profile = true,
+            "--progress" => {
+                let n = args.next().and_then(|v| v.parse().ok());
+                match n {
+                    Some(n) => opts.progress = n,
+                    None => usage(),
+                }
+            }
             "--help" | "-h" => usage(),
             "-" => opts.file = None,
+            _ if a.starts_with("--trace=") => {
+                opts.trace = Some(Some(a["--trace=".len()..].to_string()));
+            }
+            _ if a.starts_with("--trace-json=") => {
+                opts.trace_json = Some(Some(a["--trace-json=".len()..].to_string()));
+            }
             f if !f.starts_with('-') => opts.file = Some(f.to_string()),
             _ => usage(),
         }
     }
     opts
+}
+
+/// Writes trace output to the sink's file, or to stderr line by line with a
+/// `c ` comment prefix.
+fn emit(sink: &Sink, what: &str, text: &str) {
+    let Some(target) = sink else { return };
+    match target {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("error: cannot write {what} to {path}: {e}");
+            }
+        }
+        None => {
+            for line in text.lines() {
+                eprintln!("c {line}");
+            }
+        }
+    }
 }
 
 fn read_input(file: &Option<String>) -> std::io::Result<String> {
@@ -98,6 +151,40 @@ fn parse_qbf(text: &str) -> Result<Qbf, String> {
         io::qtree::parse(text).map_err(|e| e.to_string())
     } else {
         io::qdimacs::parse(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Runs the selected solver, reporting events to `multi` (an empty
+/// fan-out takes the `NoopObserver` fast path) and printing `--stats`.
+fn run(qbf: &Qbf, opts: &Options, multi: MultiObserver<'_>) -> Option<bool> {
+    let observed = !multi.is_empty();
+    if opts.use_recursive {
+        let cfg = RecursiveConfig {
+            node_limit: opts.config.node_limit,
+            pure_literals: opts.config.pure_literals,
+            ..RecursiveConfig::default()
+        };
+        let out = if observed {
+            recursive::solve_with_observer(qbf, &cfg, multi)
+        } else {
+            recursive::solve(qbf, &cfg)
+        };
+        if opts.stats {
+            eprintln!("c stats: {:?}", out.stats);
+        }
+        out.value
+    } else {
+        let out = if observed {
+            Solver::with_observer(qbf, opts.config.clone(), multi).solve()
+        } else {
+            Solver::new(qbf, opts.config.clone()).solve()
+        };
+        if opts.stats {
+            for line in out.stats.to_string().lines() {
+                eprintln!("c {line}");
+            }
+        }
+        out.value()
     }
 }
 
@@ -136,23 +223,36 @@ fn main() -> ExitCode {
         eprintln!("c {line}");
     }
 
-    let value = if opts.use_recursive {
-        let cfg = RecursiveConfig {
-            node_limit: opts.config.node_limit,
-            ..RecursiveConfig::default()
-        };
-        let out = recursive::solve(&qbf, &cfg);
-        if opts.stats {
-            eprintln!("c stats: {:?}", out.stats);
+    // Observability: build the fan-out requested on the command line. An
+    // empty fan-out takes the `NoopObserver` fast path instead.
+    let mut tree = TreeTrace::new();
+    let mut jsonl = JsonlTrace::new();
+    let mut profiler = Profiler::new(&qbf);
+    let mut progress = Progress::new(opts.progress);
+    let mut multi = MultiObserver::new();
+    if opts.trace.is_some() {
+        multi.push(&mut tree);
+    }
+    if opts.trace_json.is_some() {
+        multi.push(&mut jsonl);
+    }
+    if opts.profile {
+        multi.push(&mut profiler);
+    }
+    if opts.progress > 0 {
+        multi.push(&mut progress);
+    }
+    // `run` consumes the fan-out, so the borrows of the individual
+    // observers end at this call and the traces can be emitted below.
+    let value = run(&qbf, &opts, multi);
+
+    emit(&opts.trace, "trace", tree.as_str());
+    emit(&opts.trace_json, "JSON trace", &jsonl.finish());
+    if opts.profile {
+        for line in profiler.report().lines() {
+            eprintln!("c {line}");
         }
-        out.value
-    } else {
-        let out = Solver::new(&qbf, opts.config.clone()).solve();
-        if opts.stats {
-            eprintln!("c stats: {:?}", out.stats);
-        }
-        out.value()
-    };
+    }
 
     match value {
         Some(true) => {

@@ -37,6 +37,7 @@ mod qbf;
 mod var;
 
 pub mod io;
+pub mod observe;
 pub mod preprocess;
 pub mod recursive;
 pub mod samples;

@@ -16,6 +16,7 @@
 //! It can record the explored search tree, which reproduces Fig. 2 of the
 //! paper on the running example.
 
+use crate::observe::{NoopObserver, PropagationKind, SearchObserver};
 use crate::qbf::Qbf;
 use crate::var::{Lit, Var};
 
@@ -156,13 +157,28 @@ pub struct RecursiveOutcome {
 /// assert_eq!(out.value, Some(false));
 /// ```
 pub fn solve(qbf: &Qbf, config: &RecursiveConfig) -> RecursiveOutcome {
+    solve_with_observer(qbf, config, NoopObserver)
+}
+
+/// Like [`solve`], but reports every assignment and leaf to a
+/// [`SearchObserver`] (pass `&mut obs` to keep ownership). Decisions are
+/// reported with `level` = number of branches on the current path and a
+/// heuristic score of 0 (the recursive solver branches positionally);
+/// propagations carry the level of the enclosing branch, so an attached
+/// [`crate::observe::TreeTrace`] indents exactly like Fig. 2 of the paper.
+pub fn solve_with_observer<O: SearchObserver>(
+    qbf: &Qbf,
+    config: &RecursiveConfig,
+    observer: O,
+) -> RecursiveOutcome {
     let mut ctx = Ctx {
         config: config.clone(),
         stats: RecursiveStats::default(),
         trace: if config.trace { Some(Trace::default()) } else { None },
         aborted: false,
+        observer,
     };
-    let value = ctx.qdll(qbf, None, None);
+    let value = ctx.qdll(qbf, None, None, 0, 0);
     RecursiveOutcome {
         value: if ctx.aborted { None } else { Some(value) },
         stats: ctx.stats,
@@ -170,15 +186,23 @@ pub fn solve(qbf: &Qbf, config: &RecursiveConfig) -> RecursiveOutcome {
     }
 }
 
-struct Ctx {
+struct Ctx<O: SearchObserver> {
     config: RecursiveConfig,
     stats: RecursiveStats,
     trace: Option<Trace>,
     aborted: bool,
+    observer: O,
 }
 
-impl Ctx {
-    fn qdll(&mut self, qbf: &Qbf, parent: Option<u64>, via: Option<(Lit, AssignKind)>) -> bool {
+impl<O: SearchObserver> Ctx<O> {
+    fn qdll(
+        &mut self,
+        qbf: &Qbf,
+        parent: Option<u64>,
+        via: Option<(Lit, AssignKind)>,
+        level: u32,
+        depth: usize,
+    ) -> bool {
         self.stats.nodes += 1;
         if let Some(limit) = self.config.node_limit {
             if self.stats.nodes > limit {
@@ -196,7 +220,7 @@ impl Ctx {
                 value: None,
             });
         }
-        let value = self.qdll_inner(qbf, id);
+        let value = self.qdll_inner(qbf, id, level, depth);
         if let Some(trace) = &mut self.trace {
             if let Some(node) = trace.nodes.iter_mut().find(|n| n.id == id) {
                 node.value = Some(value);
@@ -205,28 +229,46 @@ impl Ctx {
         value
     }
 
-    fn qdll_inner(&mut self, qbf: &Qbf, id: u64) -> bool {
+    fn qdll_inner(&mut self, qbf: &Qbf, id: u64, level: u32, depth: usize) -> bool {
         // Line 1 of Fig. 1 generalized by Lemma 4: a clause without
         // existential literals is contradictory.
         if has_contradictory_clause(qbf) {
+            self.observer.on_conflict(level, depth);
             return false;
         }
         // Line 2.
         if qbf.matrix().is_empty() {
+            self.observer.on_solution(level, depth);
             return true;
         }
         // Line 3 (Lemma 5).
         if self.config.unit_propagation {
             if let Some(l) = find_unit(qbf) {
                 self.stats.units += 1;
-                return self.qdll(&qbf.assign(l), Some(id), Some((l, AssignKind::Unit)));
+                self.observer
+                    .on_propagation(l, level, depth + 1, PropagationKind::UnitClause);
+                return self.qdll(
+                    &qbf.assign(l),
+                    Some(id),
+                    Some((l, AssignKind::Unit)),
+                    level,
+                    depth + 1,
+                );
             }
         }
         // Monotone literal fixing (§III).
         if self.config.pure_literals {
             if let Some(l) = find_pure(qbf) {
                 self.stats.pures += 1;
-                return self.qdll(&qbf.assign(l), Some(id), Some((l, AssignKind::Pure)));
+                self.observer
+                    .on_propagation(l, level, depth + 1, PropagationKind::Pure);
+                return self.qdll(
+                    &qbf.assign(l),
+                    Some(id),
+                    Some((l, AssignKind::Pure)),
+                    level,
+                    depth + 1,
+                );
             }
         }
         // Lines 4–6: branch on a top literal.
@@ -237,23 +279,31 @@ impl Ctx {
         // of the paper happens to do on x0).
         let first = z.negative();
         let second = z.positive();
-        let r1 = self.qdll(&qbf.assign(first), Some(id), Some((first, AssignKind::Branch)));
+        self.observer
+            .on_decision(first, level + 1, depth + 1, false, 0.0);
+        let r1 = self.qdll(
+            &qbf.assign(first),
+            Some(id),
+            Some((first, AssignKind::Branch)),
+            level + 1,
+            depth + 1,
+        );
         if self.aborted {
             return false;
         }
-        if existential {
-            if r1 {
-                return true;
-            }
-            self.stats.branches += 1;
-            self.qdll(&qbf.assign(second), Some(id), Some((second, AssignKind::Branch)))
-        } else {
-            if !r1 {
-                return false;
-            }
-            self.stats.branches += 1;
-            self.qdll(&qbf.assign(second), Some(id), Some((second, AssignKind::Branch)))
+        if (existential && r1) || (!existential && !r1) {
+            return r1;
         }
+        self.stats.branches += 1;
+        self.observer
+            .on_decision(second, level + 1, depth + 1, true, 0.0);
+        self.qdll(
+            &qbf.assign(second),
+            Some(id),
+            Some((second, AssignKind::Branch)),
+            level + 1,
+            depth + 1,
+        )
     }
 }
 

@@ -80,6 +80,7 @@
 //! must match a from-scratch recount, no clause may be conflicting and no
 //! cube validated, and no original constraint may be unit.
 
+use crate::observe::{LearnedKind, NoopObserver, PropagationKind, SearchObserver};
 use crate::prefix::{BlockId, Prefix};
 use crate::qbf::Qbf;
 use crate::var::{Lit, Var};
@@ -168,12 +169,20 @@ fn attach_unblock_sentinels(db: &mut Db, prefix: &Prefix, cref: CRef) {
 }
 
 /// The iterative QUBE-style solver. See the [module docs](crate::solver).
+///
+/// The solver is generic over a [`SearchObserver`] so that tracing,
+/// profiling and progress reporting can hook every search event. The
+/// default observer is [`NoopObserver`], whose empty inline callbacks
+/// compile away entirely — `Solver::new` runs the exact pre-observability
+/// hot path (see `tests/observe_integration.rs` for the determinism
+/// guard).
 #[derive(Debug)]
-pub struct Solver<'a> {
+pub struct Solver<'a, O: SearchObserver = NoopObserver> {
     qbf: &'a Qbf,
     config: SolverConfig,
     db: Db,
     brancher: Brancher,
+    observer: O,
 
     value: Vec<Option<bool>>,
     level: Vec<u32>,
@@ -197,8 +206,18 @@ pub struct Solver<'a> {
 }
 
 impl<'a> Solver<'a> {
-    /// Prepares a solver for the given QBF.
+    /// Prepares a solver for the given QBF with the (zero-cost) no-op
+    /// observer.
     pub fn new(qbf: &'a Qbf, config: SolverConfig) -> Self {
+        Solver::with_observer(qbf, config, NoopObserver)
+    }
+}
+
+impl<'a, O: SearchObserver> Solver<'a, O> {
+    /// Prepares a solver for the given QBF that reports every search
+    /// event to `observer`. Pass `&mut obs` to keep ownership of the
+    /// observer across [`Solver::solve`] (which consumes the solver).
+    pub fn with_observer(qbf: &'a Qbf, config: SolverConfig, observer: O) -> Self {
         let n = qbf.num_vars();
         let mut db = Db::new(n);
         let mut active_occ = vec![0u32; 2 * n];
@@ -234,6 +253,7 @@ impl<'a> Solver<'a> {
             config,
             db,
             brancher,
+            observer,
             value: vec![None; n],
             level: vec![0; n],
             reason: vec![Reason::Decision; n],
@@ -296,6 +316,7 @@ impl<'a> Solver<'a> {
             match event {
                 Some(Event::Conflict(c)) => {
                     self.stats.conflicts += 1;
+                    self.observer.on_conflict(self.current_level(), self.trail.len());
                     self.tick_decay();
                     if let Some(v) = self.handle_conflict(c) {
                         return Outcome::new(Some(v), self.stats);
@@ -303,6 +324,7 @@ impl<'a> Solver<'a> {
                 }
                 Some(Event::CubeSolution(k)) => {
                     self.stats.solutions += 1;
+                    self.observer.on_solution(self.current_level(), self.trail.len());
                     self.tick_decay();
                     let init = self.db.constraint(k).lits.clone();
                     if let Some(v) = self.handle_solution(init) {
@@ -312,6 +334,7 @@ impl<'a> Solver<'a> {
                 None => {
                     if self.db.unsat_originals == 0 {
                         self.stats.solutions += 1;
+                        self.observer.on_solution(self.current_level(), self.trail.len());
                         self.tick_decay();
                         let init = self.matrix_implicant();
                         if let Some(v) = self.handle_solution(init) {
@@ -349,6 +372,7 @@ impl<'a> Solver<'a> {
         if self.conflicts_since_decay >= self.config.decay_interval {
             self.conflicts_since_decay = 0;
             self.brancher.decay();
+            self.observer.on_decay();
         }
     }
 
@@ -449,6 +473,9 @@ impl<'a> Solver<'a> {
         });
         self.stats.decisions += 1;
         self.assign(lit, Reason::Decision);
+        let score = self.brancher.score_of(lit);
+        self.observer
+            .on_decision(lit, self.current_level(), self.trail.len(), flipped, score);
     }
 
     // ------------------------------------------------------------------
@@ -503,6 +530,7 @@ impl<'a> Solver<'a> {
             let w = ws[i];
             i += 1;
             self.stats.watcher_visits += 1;
+            self.observer.on_watcher_visit();
             // Fast path: some other literal already satisfies the clause.
             if self.is_true(w.blocker) {
                 ws[kept] = w;
@@ -610,6 +638,7 @@ impl<'a> Solver<'a> {
             let w = ws[i];
             i += 1;
             self.stats.watcher_visits += 1;
+            self.observer.on_watcher_visit();
             // Fast path: some other literal already disables the cube.
             if self.is_false(w.blocker) {
                 ws[kept] = w;
@@ -740,6 +769,12 @@ impl<'a> Solver<'a> {
                 }
                 self.stats.propagations += 1;
                 self.assign(e, Reason::Constraint(c));
+                self.observer.on_propagation(
+                    e,
+                    self.current_level(),
+                    self.trail.len(),
+                    PropagationKind::UnitClause,
+                );
                 None
             }
         }
@@ -783,6 +818,12 @@ impl<'a> Solver<'a> {
                 // The ∀-player must falsify the cube: assign ¬u.
                 self.stats.propagations += 1;
                 self.assign(!u, Reason::Constraint(c));
+                self.observer.on_propagation(
+                    !u,
+                    self.current_level(),
+                    self.trail.len(),
+                    PropagationKind::UnitCube,
+                );
                 None
             }
         }
@@ -835,6 +876,12 @@ impl<'a> Solver<'a> {
             };
             self.stats.pures += 1;
             self.assign(lit, Reason::Pure);
+            self.observer.on_propagation(
+                lit,
+                self.current_level(),
+                self.trail.len(),
+                PropagationKind::Pure,
+            );
             return true;
         }
         false
@@ -1026,6 +1073,28 @@ impl<'a> Solver<'a> {
             Kind::Clause => self.stats.learned_clauses += 1,
             Kind::Cube => self.stats.learned_cubes += 1,
         }
+        // Asserting level for the observer: the second-highest distinct
+        // decision level among the constraint's assigned literals — the
+        // deepest level the unwind could jump back to while keeping the
+        // constraint unit (0 when all literals share one level).
+        let (mut highest, mut second) = (0u32, 0u32);
+        for &l in &lits {
+            if self.lit_value(l).is_none() {
+                continue;
+            }
+            let lv = self.level[l.var().index()];
+            if lv > highest {
+                second = highest;
+                highest = lv;
+            } else if lv < highest && lv > second {
+                second = lv;
+            }
+        }
+        let lkind = match kind {
+            Kind::Clause => LearnedKind::Clause,
+            Kind::Cube => LearnedKind::Cube,
+        };
+        self.observer.on_learned(lkind, lits.len(), second);
         let cref = self.db.add(lits, kind, true, movable, t, f);
         attach_unblock_sentinels(&mut self.db, self.qbf.prefix(), cref);
         self.db.constraints[cref.index()].activity = self.stats.conflicts as f64;
@@ -1051,6 +1120,7 @@ impl<'a> Solver<'a> {
                 // The conflict does not depend on level k at all.
                 self.stats.backjumps += 1;
                 self.backtrack_one();
+                self.observer.on_backjump(k, self.current_level());
                 continue;
             }
             if at_k.len() == 1 && at_k[0] == !d {
@@ -1063,6 +1133,12 @@ impl<'a> Solver<'a> {
                         if self.constraint_unit_for(&lits, !d) {
                             self.stats.propagations += 1;
                             self.assign(!d, Reason::Constraint(cref));
+                            self.observer.on_propagation(
+                                !d,
+                                self.current_level(),
+                                self.trail.len(),
+                                PropagationKind::UnitClause,
+                            );
                         } else {
                             self.push_decision(!d, true, Some(cref));
                         }
@@ -1080,6 +1156,7 @@ impl<'a> Solver<'a> {
                             dirty = true;
                             self.stats.backjumps += 1;
                             self.backtrack_one();
+                            self.observer.on_backjump(k, self.current_level());
                             continue;
                         }
                     }
@@ -1099,6 +1176,7 @@ impl<'a> Solver<'a> {
                     dirty = true;
                     self.stats.backjumps += 1;
                     self.backtrack_one();
+                    self.observer.on_backjump(k, self.current_level());
                     continue;
                 }
                 return self.chrono_conflict();
@@ -1161,13 +1239,16 @@ impl<'a> Solver<'a> {
     /// branch is).
     fn chrono_conflict(&mut self) -> Option<bool> {
         self.stats.chrono_backtracks += 1;
+        let from = self.current_level();
         loop {
             let Some(frame) = self.frames.last().copied() else {
+                self.observer.on_chrono_backtrack(from, 0);
                 return Some(false);
             };
             if self.is_existential(frame.lit.var()) && !frame.flipped {
                 let d = frame.lit;
                 self.backtrack_one();
+                self.observer.on_chrono_backtrack(from, self.current_level());
                 self.push_decision(!d, true, None);
                 return None;
             }
@@ -1302,6 +1383,7 @@ impl<'a> Solver<'a> {
             if at_k.is_empty() {
                 self.stats.backjumps += 1;
                 self.backtrack_one();
+                self.observer.on_backjump(k, self.current_level());
                 continue;
             }
             if at_k.len() == 1 && at_k[0] == d {
@@ -1314,6 +1396,12 @@ impl<'a> Solver<'a> {
                         if self.cube_unit_for(&lits, d) {
                             self.stats.propagations += 1;
                             self.assign(!d, Reason::Constraint(cref));
+                            self.observer.on_propagation(
+                                !d,
+                                self.current_level(),
+                                self.trail.len(),
+                                PropagationKind::UnitCube,
+                            );
                         } else {
                             self.push_decision(!d, true, Some(cref));
                         }
@@ -1329,6 +1417,7 @@ impl<'a> Solver<'a> {
                             dirty = true;
                             self.stats.backjumps += 1;
                             self.backtrack_one();
+                            self.observer.on_backjump(k, self.current_level());
                             continue;
                         }
                     }
@@ -1348,6 +1437,7 @@ impl<'a> Solver<'a> {
                     dirty = true;
                     self.stats.backjumps += 1;
                     self.backtrack_one();
+                    self.observer.on_backjump(k, self.current_level());
                     continue;
                 }
                 return self.chrono_solution();
@@ -1403,13 +1493,16 @@ impl<'a> Solver<'a> {
     /// is).
     fn chrono_solution(&mut self) -> Option<bool> {
         self.stats.chrono_backtracks += 1;
+        let from = self.current_level();
         loop {
             let Some(frame) = self.frames.last().copied() else {
+                self.observer.on_chrono_backtrack(from, 0);
                 return Some(true);
             };
             if !self.is_existential(frame.lit.var()) && !frame.flipped {
                 let d = frame.lit;
                 self.backtrack_one();
+                self.observer.on_chrono_backtrack(from, self.current_level());
                 self.push_decision(!d, true, None);
                 return None;
             }
@@ -1460,6 +1553,9 @@ impl<'a> Solver<'a> {
             self.db.delete(c);
             self.stats.forgotten += 1;
         }
+        if drop_count > 0 {
+            self.observer.on_forget(drop_count);
+        }
         self.db.purge_watchers();
     }
 }
@@ -1476,7 +1572,7 @@ impl<'a> Solver<'a> {
 /// [`Solver::shadow_verify`] then cross-checks the two propagators'
 /// conclusions at every propagation fixpoint.
 #[cfg(feature = "debug-counters")]
-impl Solver<'_> {
+impl<O: SearchObserver> Solver<'_, O> {
     fn shadow_assign(&mut self, lit: Lit) {
         // The satisfaction tracker in `assign` already maintains
         // `true_count` for original clauses; the shadow adds the learned

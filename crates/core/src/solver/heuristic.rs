@@ -164,6 +164,12 @@ impl Brancher {
         }
     }
 
+    /// Current VSIDS-like score of a literal (read-only; used by the
+    /// observability layer to report the rank of a decision).
+    pub(crate) fn score_of(&self, l: Lit) -> f64 {
+        self.score[l.code()]
+    }
+
     fn var_score(&self, v: Var) -> f64 {
         self.score[v.positive().code()].max(self.score[v.negative().code()])
     }

@@ -154,6 +154,44 @@ impl Stats {
     pub fn assignments(&self) -> u64 {
         self.decisions + self.propagations + self.pures
     }
+
+    /// Every counter as a `(name, value)` pair, in display order. The
+    /// single source of truth for [`Stats`]'s `Display` impl, the
+    /// `qbfsolve --stats` output and the bench telemetry records — adding
+    /// a field here updates all three.
+    pub fn fields(&self) -> [(&'static str, u64); 14] {
+        [
+            ("decisions", self.decisions),
+            ("propagations", self.propagations),
+            ("pures", self.pures),
+            ("assignments", self.assignments()),
+            ("conflicts", self.conflicts),
+            ("solutions", self.solutions),
+            ("learned_clauses", self.learned_clauses),
+            ("learned_cubes", self.learned_cubes),
+            ("backjumps", self.backjumps),
+            ("chrono_backtracks", self.chrono_backtracks),
+            ("forgotten", self.forgotten),
+            ("solution_depth_sum", self.solution_depth_sum),
+            ("cube_size_sum", self.cube_size_sum),
+            ("watcher_visits", self.watcher_visits),
+        ]
+    }
+}
+
+impl std::fmt::Display for Stats {
+    /// One `name = value` line per counter (including the derived
+    /// `assignments` total), in the order of [`Stats::fields`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fields = self.fields();
+        for (i, (name, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{name:<18} = {value}")?;
+        }
+        Ok(())
+    }
 }
 
 /// Result of a [`Solver`] run.
