@@ -20,7 +20,14 @@ echo "==> repro bench-smoke (telemetry determinism gate)"
 # BENCH_qbf.json aggregate is byte-identical across runs and parses with
 # the in-tree JSON reader. Writes under target/repro-smoke so the
 # committed BENCH_qbf.json at the repo root is never clobbered.
-cargo run -q --release -p qbf-bench --bin repro -- --out target/repro-smoke bench-smoke
+cargo run -q --release -p qbf-bench --bin repro -- --out target/repro-smoke --jobs 1 bench-smoke
+
+echo "==> repro bench-smoke --jobs 4 (parallel determinism gate)"
+# The --jobs fan-out parallelizes only the measurement phase; aggregation
+# stays sequential in instance order, so the smoke benchmark must produce
+# a byte-identical BENCH_qbf_smoke.json at any worker count.
+cargo run -q --release -p qbf-bench --bin repro -- --out target/repro-smoke-jobs4 --jobs 4 bench-smoke
+cmp target/repro-smoke/BENCH_qbf_smoke.json target/repro-smoke-jobs4/BENCH_qbf_smoke.json
 
 echo "==> cargo clippy (best effort)"
 # clippy may not be installed in minimal offline toolchains; treat its

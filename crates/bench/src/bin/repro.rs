@@ -31,8 +31,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use qbf_bench::experiments::{
-    self, dia_suite_result, fig2, fixed_result, fpv_result, ncf_result, prob_result,
-    render_curves, render_learned, render_medians, SuiteResult,
+    self, dia_suite_result_jobs, fig2, fixed_result_jobs, fpv_result_jobs, ncf_result_jobs,
+    prob_result_jobs, render_curves, render_learned, render_medians, SuiteResult,
 };
 use qbf_bench::runner::{ascii_scatter, pairs_to_csv, TableRow};
 use qbf_bench::suites::Scale;
@@ -42,6 +42,7 @@ struct Args {
     scale: Scale,
     out: PathBuf,
     bench_out: Option<PathBuf>,
+    jobs: usize,
     command: String,
 }
 
@@ -49,10 +50,18 @@ fn parse_args() -> Args {
     let mut scale = Scale::Small;
     let mut out = PathBuf::from("target/repro");
     let mut bench_out = None;
+    let mut jobs = 1usize;
     let mut command = String::from("all");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--jobs" => {
+                let v = args.next().unwrap_or_default();
+                jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --jobs `{v}`, using 1");
+                    1
+                });
+            }
             "--scale" => {
                 let v = args.next().unwrap_or_default();
                 scale = match v.as_str() {
@@ -73,7 +82,9 @@ fn parse_args() -> Args {
                 ));
             }
             "--help" | "-h" => {
-                println!("repro [--scale small|paper] [--out DIR] [--bench-out FILE] <command>");
+                println!(
+                    "repro [--scale small|paper] [--out DIR] [--bench-out FILE] [--jobs N] <command>"
+                );
                 println!("commands: fig2 table1 fig3 fig4 fig5 fig6 fig7 instances");
                 println!("          ablate-score ablate-learning ablate-miniscope");
                 println!("          bench-smoke all");
@@ -87,6 +98,7 @@ fn parse_args() -> Args {
         scale,
         out,
         bench_out,
+        jobs,
         command,
     }
 }
@@ -137,27 +149,27 @@ fn main() {
     let mut ncf: Option<SuiteResult> = None;
     if is("table1") || is("fig3") {
         println!("running NCF suite (4 strategies × instances)…");
-        ncf = Some(ncf_result(scale));
+        ncf = Some(ncf_result_jobs(scale, args.jobs));
     }
     if is("table1") {
         let ncf_res = ncf.as_ref().expect("computed above");
         suite_outputs(out, ncf_res, "table1_ncf");
         println!("running FPV suite…");
-        let fpv = fpv_result(scale);
+        let fpv = fpv_result_jobs(scale, args.jobs);
         suite_outputs(out, &fpv, "table1_fpv");
         save(out, "fig4.csv", &pairs_to_csv(&fpv.pairs));
         println!("Fig. 4 scatter (FPV):\n{}", ascii_scatter(&fpv.pairs, 60, 20));
         println!("running DIA suite…");
-        let (dia, curves) = dia_suite_result(scale);
+        let (dia, curves) = dia_suite_result_jobs(scale, args.jobs);
         suite_outputs(out, &dia, "table1_dia");
         save(out, "fig5.csv", &pairs_to_csv(&dia.pairs));
         println!("Fig. 5 scatter (DIA):\n{}", ascii_scatter(&dia.pairs, 60, 20));
         save(out, "fig6.txt", &render_curves(&curves));
         println!("running PROB suite…");
-        let prob = prob_result(scale);
+        let prob = prob_result_jobs(scale, args.jobs);
         suite_outputs(out, &prob, "table1_prob");
         println!("running FIXED suite…");
-        let fixed = fixed_result(scale);
+        let fixed = fixed_result_jobs(scale, args.jobs);
         suite_outputs(out, &fixed, "table1_fixed");
         let mut fig7 = prob.pairs.clone();
         fig7.extend(fixed.pairs.iter().cloned());
@@ -180,33 +192,33 @@ fn main() {
         }
     }
     if is("fig3") {
-        let ncf_res = ncf.get_or_insert_with(|| ncf_result(scale));
+        let ncf_res = ncf.get_or_insert_with(|| ncf_result_jobs(scale, args.jobs));
         let text = render_medians(ncf_res);
         println!("Fig. 3 medians (PO vs best-of-4-strategies TO*):\n{text}");
         save(out, "fig3_medians.txt", &text);
         save(out, "fig3.csv", &pairs_to_csv(&ncf_res.pairs));
     }
     if only("fig4") {
-        let fpv = fpv_result(scale);
+        let fpv = fpv_result_jobs(scale, args.jobs);
         save(out, "fig4.csv", &pairs_to_csv(&fpv.pairs));
         println!("{}", ascii_scatter(&fpv.pairs, 60, 20));
         print_table_rows("FPV", &fpv.rows);
     }
     if only("fig5") {
-        let (dia, _) = dia_suite_result(scale);
+        let (dia, _) = dia_suite_result_jobs(scale, args.jobs);
         save(out, "fig5.csv", &pairs_to_csv(&dia.pairs));
         println!("{}", ascii_scatter(&dia.pairs, 60, 20));
         print_table_rows("DIA", &dia.rows);
     }
     if only("fig6") {
-        let (_, curves) = dia_suite_result(scale);
+        let (_, curves) = dia_suite_result_jobs(scale, args.jobs);
         let text = render_curves(&curves);
         println!("{text}");
         save(out, "fig6.txt", &text);
     }
     if only("fig7") {
-        let prob = prob_result(scale);
-        let fixed = fixed_result(scale);
+        let prob = prob_result_jobs(scale, args.jobs);
+        let fixed = fixed_result_jobs(scale, args.jobs);
         let mut pairs = prob.pairs.clone();
         pairs.extend(fixed.pairs.iter().cloned());
         save(out, "fig7.csv", &pairs_to_csv(&pairs));
@@ -263,7 +275,7 @@ fn main() {
 /// with the in-tree JSON reader, and writes the artifacts. This is the CI
 /// gate for the telemetry pipeline's determinism contract.
 fn bench_smoke(args: &Args) {
-    use qbf_bench::experiments::run_suite;
+    use qbf_bench::experiments::run_suite_jobs;
     use qbf_bench::json::Json;
     use qbf_bench::suites::SuiteInstance;
     use qbf_prenex::Strategy;
@@ -271,10 +283,10 @@ fn bench_smoke(args: &Args) {
 
     let make_suite = || -> Vec<SuiteInstance> {
         let params = qbf_gen::NcfParams {
-            dep: 3,
-            var: 1,
-            cls_ratio: 2,
-            lpc: 2,
+            dep: 6,
+            var: 4,
+            cls_ratio: 3,
+            lpc: 5,
         };
         (0..4u64)
             .map(|seed| {
@@ -293,17 +305,19 @@ fn bench_smoke(args: &Args) {
             .collect()
     };
     let run_once = || {
-        let result = run_suite(
+        let result = run_suite_jobs(
             "SMOKE",
             &make_suite(),
             100_000,
             Duration::from_millis(5),
+            args.jobs,
         );
-        telemetry::bench_json(std::slice::from_ref(&result))
+        let doc = telemetry::bench_json(std::slice::from_ref(&result));
+        (doc, result)
     };
-    println!("bench-smoke: running the micro suite twice…");
-    let doc1 = run_once();
-    let doc2 = run_once();
+    println!("bench-smoke: running the micro suite twice (jobs {})…", args.jobs);
+    let (doc1, result1) = run_once();
+    let (doc2, _) = run_once();
     assert_eq!(
         doc1, doc2,
         "BENCH_qbf.json must be byte-identical across runs"
@@ -337,6 +351,14 @@ fn bench_smoke(args: &Args) {
         .and_then(Json::as_u64);
     assert_eq!(po_runs, Some(instances), "one PO run per instance");
     save(&args.out, "BENCH_qbf_smoke.json", &doc1);
+    // Wall-clock telemetry for the smoke runs (the JSON aggregate keeps
+    // only deterministic counts): one record per measured run, used to
+    // track solver throughput across commits.
+    save(
+        &args.out,
+        "BENCH_qbf_smoke_telemetry.jsonl",
+        &telemetry::records_to_jsonl(&result1.telemetry),
+    );
     println!(
         "bench-smoke: ok ({} instances, {} bytes, byte-deterministic)",
         instances,

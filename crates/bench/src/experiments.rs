@@ -39,8 +39,71 @@ fn median(mut xs: Vec<f64>) -> f64 {
     xs[xs.len() / 2]
 }
 
+/// Maps `items` through `f` on up to `jobs` worker threads (plain
+/// `std::thread` — the workspace is hermetic), returning the results **in
+/// item order** regardless of how the work was scheduled. `jobs <= 1`
+/// degenerates to a sequential map on the calling thread, so the two
+/// paths produce identical values and differ only in wall clock.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// The raw measurements of one suite instance: the PO run plus one TO run
+/// per strategy. Produced by the (possibly parallel) measurement phase,
+/// consumed sequentially in instance order by the aggregation phase.
+struct InstanceRuns {
+    po: Measurement,
+    to: Vec<Measurement>,
+}
+
 /// Runs a suite of paired instances: PO once, TO once per strategy.
 pub fn run_suite(name: &str, instances: &[SuiteInstance], budget: u64, tie: Duration) -> SuiteResult {
+    run_suite_jobs(name, instances, budget, tie, 1)
+}
+
+/// [`run_suite`] with the instances fanned out across `jobs` worker
+/// threads. The solver is deterministic and aggregation happens in
+/// instance order, so everything derived from verdicts and [`qbf_core::solver::Stats`]
+/// (rows, pairs, `BENCH_qbf.json`) is byte-identical for any `jobs`; only
+/// the measured wall-clock times differ.
+pub fn run_suite_jobs(
+    name: &str,
+    instances: &[SuiteInstance],
+    budget: u64,
+    tie: Duration,
+    jobs: usize,
+) -> SuiteResult {
     let po_cfg = suites::po_config(budget);
     let to_cfg = suites::to_config(budget);
     let strategies: Vec<Strategy> = instances
@@ -54,8 +117,13 @@ pub fn run_suite(name: &str, instances: &[SuiteInstance], budget: u64, tie: Dura
     // group -> (po times, best-to times)
     let mut group_data: BTreeMap<String, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
 
-    for inst in instances {
-        let po = run(&inst.po, &po_cfg);
+    let measured = parallel_map(instances, jobs, |inst| InstanceRuns {
+        po: run(&inst.po, &po_cfg),
+        to: inst.to.iter().map(|(_, to_qbf)| run(to_qbf, &to_cfg)).collect(),
+    });
+
+    for (inst, runs) in instances.iter().zip(measured) {
+        let po = runs.po;
         telemetry.push(TelemetryRecord::new(
             name,
             &inst.label,
@@ -64,8 +132,9 @@ pub fn run_suite(name: &str, instances: &[SuiteInstance], budget: u64, tie: Dura
             &po,
         ));
         let mut to_runs: Vec<Measurement> = Vec::new();
-        for ((strategy, to_qbf), (_, row)) in inst.to.iter().zip(rows.iter_mut()) {
-            let to = run(to_qbf, &to_cfg);
+        for (((strategy, _), to), (_, row)) in
+            inst.to.iter().zip(runs.to).zip(rows.iter_mut())
+        {
             // sanity: decided values must agree
             if let (Some(a), Some(b)) = (to.value, po.value) {
                 assert_eq!(a, b, "TO/PO disagree on {}", inst.label);
@@ -235,6 +304,12 @@ pub fn dia_curve(model: &SymbolicModel, budget: u64, max_n: u32, with_bfs: bool)
 /// The DIA suite as Table I row + Fig. 5 pairs: each (model, n) probe is
 /// one instance.
 pub fn dia_suite_result(scale: Scale) -> (SuiteResult, Vec<ScalingCurve>) {
+    dia_suite_result_jobs(scale, 1)
+}
+
+/// [`dia_suite_result`] with the models fanned out across `jobs` worker
+/// threads; curves and telemetry are aggregated in model order.
+pub fn dia_suite_result_jobs(scale: Scale, jobs: usize) -> (SuiteResult, Vec<ScalingCurve>) {
     let budget = scale.dia_budget();
     let max_n = match scale {
         Scale::Small => 10,
@@ -244,8 +319,15 @@ pub fn dia_suite_result(scale: Scale) -> (SuiteResult, Vec<ScalingCurve>) {
     let mut pairs = Vec::new();
     let mut telemetry = Vec::new();
     let mut curves = Vec::new();
-    for model in suites::dia_models(scale) {
-        let curve = dia_curve(&model, budget, max_n, scale == Scale::Small);
+    // `SymbolicModel` holds non-`Send` transition closures, so each worker
+    // rebuilds its model from the (cheap, deterministic) suite definition
+    // instead of sharing one across threads.
+    let indices: Vec<usize> = (0..suites::dia_models(scale).len()).collect();
+    let measured = parallel_map(&indices, jobs, |&i| {
+        let model = suites::dia_models(scale).swap_remove(i);
+        dia_curve(&model, budget, max_n, scale == Scale::Small)
+    });
+    for curve in measured {
         for pair in &curve.pairs {
             rows[0].1.add(&pair.to, &pair.po, scale.tie());
             telemetry.push(TelemetryRecord::new(
@@ -343,22 +425,42 @@ pub fn render_learned(result: &SuiteResult) -> String {
 
 /// Runs the NCF experiment (Table I rows 1–4 + Fig. 3 data).
 pub fn ncf_result(scale: Scale) -> SuiteResult {
-    run_suite("NCF", &suites::ncf_suite(scale), scale.budget(), scale.tie())
+    ncf_result_jobs(scale, 1)
+}
+
+/// [`ncf_result`] on `jobs` worker threads.
+pub fn ncf_result_jobs(scale: Scale, jobs: usize) -> SuiteResult {
+    run_suite_jobs("NCF", &suites::ncf_suite(scale), scale.budget(), scale.tie(), jobs)
 }
 
 /// Runs the FPV experiment (Table I row 5 + Fig. 4 data).
 pub fn fpv_result(scale: Scale) -> SuiteResult {
-    run_suite("FPV", &suites::fpv_suite(scale), scale.budget(), scale.tie())
+    fpv_result_jobs(scale, 1)
+}
+
+/// [`fpv_result`] on `jobs` worker threads.
+pub fn fpv_result_jobs(scale: Scale, jobs: usize) -> SuiteResult {
+    run_suite_jobs("FPV", &suites::fpv_suite(scale), scale.budget(), scale.tie(), jobs)
 }
 
 /// Runs the PROB experiment (Table I row 7 + Fig. 7 data).
 pub fn prob_result(scale: Scale) -> SuiteResult {
-    run_suite("PROB", &suites::prob_suite(scale), scale.budget(), scale.tie())
+    prob_result_jobs(scale, 1)
+}
+
+/// [`prob_result`] on `jobs` worker threads.
+pub fn prob_result_jobs(scale: Scale, jobs: usize) -> SuiteResult {
+    run_suite_jobs("PROB", &suites::prob_suite(scale), scale.budget(), scale.tie(), jobs)
 }
 
 /// Runs the FIXED experiment (Table I row 8 + Fig. 7 data).
 pub fn fixed_result(scale: Scale) -> SuiteResult {
-    run_suite("FIXED", &suites::fixed_suite(scale), scale.budget(), scale.tie())
+    fixed_result_jobs(scale, 1)
+}
+
+/// [`fixed_result`] on `jobs` worker threads.
+pub fn fixed_result_jobs(scale: Scale, jobs: usize) -> SuiteResult {
+    run_suite_jobs("FIXED", &suites::fixed_suite(scale), scale.budget(), scale.tie(), jobs)
 }
 
 /// Ablation: the PO heuristic with and without the §VI tree score
@@ -464,6 +566,59 @@ mod tests {
         assert!(c.pairs.iter().all(|p| p.label.starts_with("counter<2>@n")));
         let rendered = render_curves(&[c]);
         assert!(rendered.contains("counter<2>"));
+    }
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let doubled = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(parallel_map(&items, 1, |&x| x + 1)[36], 37);
+        assert!(parallel_map::<usize, usize, _>(&[], 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn jobs_do_not_change_suite_results() {
+        // The parallel harness must aggregate in instance order: the
+        // deterministic outputs (rows, stats, BENCH json) are identical
+        // for any --jobs N.
+        let params = qbf_gen::NcfParams {
+            dep: 3,
+            var: 1,
+            cls_ratio: 2,
+            lpc: 2,
+        };
+        let instances: Vec<SuiteInstance> = (0..5u64)
+            .map(|seed| {
+                let po = qbf_gen::ncf(&params, seed);
+                let to = Strategy::ALL
+                    .iter()
+                    .map(|&s| (s, qbf_prenex::prenex(&po, s)))
+                    .collect();
+                SuiteInstance {
+                    label: format!("j#{seed}"),
+                    group: "j".to_string(),
+                    po,
+                    to,
+                }
+            })
+            .collect();
+        let seq = run_suite_jobs("jobs", &instances, 100_000, Duration::from_millis(5), 1);
+        let par = run_suite_jobs("jobs", &instances, 100_000, Duration::from_millis(5), 4);
+        assert_eq!(
+            crate::telemetry::bench_json(std::slice::from_ref(&seq)),
+            crate::telemetry::bench_json(std::slice::from_ref(&par)),
+            "BENCH json must be byte-identical across --jobs"
+        );
+        for (a, b) in seq.pairs.iter().zip(&par.pairs) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.po.value, b.po.value);
+            assert_eq!(a.po.stats, b.po.stats);
+            assert_eq!(a.to.stats, b.to.stats);
+        }
+        for (a, b) in seq.telemetry.iter().zip(&par.telemetry) {
+            assert_eq!((&a.label, &a.solver, a.stats), (&b.label, &b.solver, b.stats));
+        }
     }
 
     #[test]

@@ -259,6 +259,10 @@ mod tests {
                 decisions: assignments,
                 learned_clauses: 2,
                 learned_cubes: 1,
+                blocker_hits: 5,
+                arena_bytes_peak: 640,
+                arena_bytes_reclaimed: 128,
+                compactions: 1,
                 ..Stats::default()
             },
             time: Duration::from_micros(1234 + assignments),
@@ -301,6 +305,14 @@ mod tests {
             stats.get("learned_clauses").and_then(Json::as_u64),
             Some(2)
         );
+        // the PR-4 memory telemetry flows through without touching this module
+        assert_eq!(stats.get("blocker_hits").and_then(Json::as_u64), Some(5));
+        assert_eq!(stats.get("arena_bytes_peak").and_then(Json::as_u64), Some(640));
+        assert_eq!(
+            stats.get("arena_bytes_reclaimed").and_then(Json::as_u64),
+            Some(128)
+        );
+        assert_eq!(stats.get("compactions").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

@@ -116,7 +116,14 @@ impl LearnedKind {
 ///   scores were halved;
 /// * [`on_watcher_visit`](SearchObserver::on_watcher_visit) — iterative
 ///   solver only: one watcher-list entry was examined (the propagation
-///   cost measure; extremely hot, keep implementations trivial).
+///   cost measure; extremely hot, keep implementations trivial);
+/// * [`on_blocker_hit`](SearchObserver::on_blocker_hit) — iterative solver
+///   only: a watcher visit was resolved by its cached blocker literal
+///   without touching the constraint arena (fired in addition to
+///   `on_watcher_visit`; as hot as it);
+/// * [`on_compaction`](SearchObserver::on_compaction) — iterative solver
+///   only: database reduction physically compacted the constraint arenas,
+///   reclaiming `reclaimed_bytes`.
 pub trait SearchObserver: fmt::Debug {
     /// A branching decision `lit` was made, opening decision level `level`.
     #[inline]
@@ -179,6 +186,16 @@ pub trait SearchObserver: fmt::Debug {
     /// One watcher-list entry was visited during propagation.
     #[inline]
     fn on_watcher_visit(&mut self) {}
+
+    /// A watcher visit was satisfied by its cached blocker literal.
+    #[inline]
+    fn on_blocker_hit(&mut self) {}
+
+    /// The constraint arenas were compacted, reclaiming `reclaimed_bytes`.
+    #[inline]
+    fn on_compaction(&mut self, reclaimed_bytes: usize) {
+        let _ = reclaimed_bytes;
+    }
 }
 
 /// The do-nothing observer: the solvers' default type parameter. All its
@@ -231,6 +248,14 @@ impl<T: SearchObserver + ?Sized> SearchObserver for &mut T {
     #[inline]
     fn on_watcher_visit(&mut self) {
         (**self).on_watcher_visit();
+    }
+    #[inline]
+    fn on_blocker_hit(&mut self) {
+        (**self).on_blocker_hit();
+    }
+    #[inline]
+    fn on_compaction(&mut self, reclaimed_bytes: usize) {
+        (**self).on_compaction(reclaimed_bytes);
     }
 }
 
@@ -296,6 +321,12 @@ impl SearchObserver for MultiObserver<'_> {
     }
     fn on_watcher_visit(&mut self) {
         fan_out!(self, on_watcher_visit);
+    }
+    fn on_blocker_hit(&mut self) {
+        fan_out!(self, on_blocker_hit);
+    }
+    fn on_compaction(&mut self, reclaimed_bytes: usize) {
+        fan_out!(self, on_compaction, reclaimed_bytes);
     }
 }
 
@@ -580,6 +611,9 @@ pub struct Profiler {
     forgotten: u64,
     decays: u64,
     watcher_visits: u64,
+    blocker_hits: u64,
+    compactions: u64,
+    bytes_reclaimed: u64,
     learned_clause_sizes: Histogram,
     learned_cube_sizes: Histogram,
     chain_lengths: Histogram,
@@ -615,6 +649,9 @@ impl Profiler {
             forgotten: 0,
             decays: 0,
             watcher_visits: 0,
+            blocker_hits: 0,
+            compactions: 0,
+            bytes_reclaimed: 0,
             learned_clause_sizes: Histogram::new(32),
             learned_cube_sizes: Histogram::new(32),
             chain_lengths: Histogram::new(32),
@@ -690,6 +727,21 @@ impl Profiler {
         self.watcher_visits
     }
 
+    /// Watcher visits resolved by the cached blocker literal.
+    pub fn blocker_hits(&self) -> u64 {
+        self.blocker_hits
+    }
+
+    /// Arena compaction passes observed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Arena bytes reclaimed by compaction.
+    pub fn bytes_reclaimed(&self) -> u64 {
+        self.bytes_reclaimed
+    }
+
     /// Deepest trail observed.
     pub fn peak_trail_depth(&self) -> usize {
         self.peak_trail_depth
@@ -756,6 +808,19 @@ impl Profiler {
             self.watcher_visits,
             self.visits_per_propagation.mean(),
             self.visits_per_propagation.max()
+        ));
+        s.push_str(&format!(
+            "  blocker hits         {} ({:.1}% of visits)\n",
+            self.blocker_hits,
+            if self.watcher_visits == 0 {
+                0.0
+            } else {
+                100.0 * self.blocker_hits as f64 / self.watcher_visits as f64
+            }
+        ));
+        s.push_str(&format!(
+            "  compactions          {} ({} bytes reclaimed)\n",
+            self.compactions, self.bytes_reclaimed
         ));
         s.push_str(&format!(
             "  conflicts/solutions  {} / {}\n",
@@ -851,6 +916,13 @@ impl SearchObserver for Profiler {
     fn on_watcher_visit(&mut self) {
         self.watcher_visits += 1;
         self.visits_since_propagation += 1;
+    }
+    fn on_blocker_hit(&mut self) {
+        self.blocker_hits += 1;
+    }
+    fn on_compaction(&mut self, reclaimed_bytes: usize) {
+        self.compactions += 1;
+        self.bytes_reclaimed += reclaimed_bytes as u64;
     }
 }
 

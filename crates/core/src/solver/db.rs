@@ -3,15 +3,35 @@
 //! propagation and a small occurrence index over *original* clauses for
 //! satisfaction tracking (solution trigger + monotone-literal detection).
 //!
+//! # Memory layout: the constraint arena
+//!
+//! Constraints are not individual heap allocations. Each kind lives in a
+//! contiguous `u32` arena ([`ConstraintArena`], MiniSat-style): a fixed
+//! header (size, learned/deleted flags, activity, shadow counters)
+//! followed by the packed literal codes. A [`ConstraintRef`] is the word
+//! offset of the header, with the top bit selecting the clause or the
+//! cube arena — so the kind of a constraint is recoverable from the ref
+//! alone, without touching memory.
+//!
+//! Refs are **stable between compactions**: adding constraints never
+//! moves existing ones (offsets are not invalidated by `Vec` growth).
+//! [`Db::compact`] physically reclaims tombstoned constraints by sliding
+//! the live ones down; it returns a [`RefMap`] so the engine can relocate
+//! the refs it holds outside the database (antecedent/reason refs and
+//! frame pseudo-reasons). Refs held *inside* the database — watcher
+//! lists, original-occurrence lists, shadow occurrence lists, and the
+//! learned creation-order index — are remapped here.
+//!
 //! # Watched literals
 //!
 //! Every constraint keeps its (up to two) movable watched literals at the
-//! front of `lits` (positions are maintained by swapping in place).
-//! Movable watches rest **only on literals of the relevant quantifier**:
-//! existential literals for clauses, universal literals for cubes — the
-//! QBF unit rule makes a clause's unit/conflict status a function of its
-//! existential literals (plus `≺`-blocking), so the classic two-watch
-//! argument applies to the existential subsequence alone.
+//! front of its literal block (positions are maintained by swapping in
+//! place). Movable watches rest **only on literals of the relevant
+//! quantifier**: existential literals for clauses, universal literals for
+//! cubes — the QBF unit rule makes a clause's unit/conflict status a
+//! function of its existential literals (plus `≺`-blocking), so the
+//! classic two-watch argument applies to the existential subsequence
+//! alone.
 //!
 //! * **Clauses** progress towards unit/conflict only when literals become
 //!   *false*, so `watch_clause[m]` holds the clauses watching `m` and is
@@ -19,11 +39,18 @@
 //! * **Cubes** progress towards unit/solution only when literals become
 //!   *true*, so `watch_cube[m]` is visited when `m` is satisfied.
 //!
+//! Each watcher entry carries a cached **blocker** literal (some other
+//! literal of the constraint). When the blocker already satisfies a
+//! clause (falsifies a cube) the visit is resolved from the watcher entry
+//! alone — no arena memory is touched. The engine counts these as
+//! `blocker_hits` next to `watcher_visits`.
+//!
 //! The same lists additionally carry **pinned unblock sentinels** (see
 //! [`Watcher`]): one per universal literal of a clause that `≺`-precedes
 //! some existential literal of that clause (dually for cubes). These are
-//! never moved; their visit catches the Lemma 5 units that appear when a
-//! blocking outer universal is falsified.
+//! never moved — but they are *relocatable*: compaction remaps their refs
+//! like any other watcher. Their visit catches the Lemma 5 units that
+//! appear when a blocking outer universal is falsified.
 //!
 //! Watcher lists are **never undone on backtrack**: a movable watch may
 //! go stale (rest on a false literal for a clause, a true literal for a
@@ -43,17 +70,6 @@
 
 use crate::var::Lit;
 
-/// Reference to a constraint in the database.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) struct CRef(pub(crate) u32);
-
-impl CRef {
-    #[inline]
-    pub(crate) fn index(self) -> usize {
-        self.0 as usize
-    }
-}
-
 /// Whether a constraint is a clause (disjunction, conjoined with the
 /// matrix) or a cube (conjunction, disjoined with the matrix).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,59 +78,244 @@ pub(crate) enum Kind {
     Cube,
 }
 
+/// Reference to a constraint: the header word offset into the arena of
+/// its kind, with the top bit set for cubes. Stable between compactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct ConstraintRef(u32);
+
+/// Top bit of a [`ConstraintRef`]: set iff the ref points into the cube
+/// arena.
+const CUBE_TAG: u32 = 1 << 31;
+
+impl ConstraintRef {
+    #[inline]
+    fn new(kind: Kind, offset: usize) -> Self {
+        debug_assert!((offset as u32) < CUBE_TAG, "arena offset overflow");
+        match kind {
+            Kind::Clause => ConstraintRef(offset as u32),
+            Kind::Cube => ConstraintRef(offset as u32 | CUBE_TAG),
+        }
+    }
+
+    /// The kind of the referenced constraint, recovered from the tag bit.
+    #[inline]
+    pub(crate) fn kind(self) -> Kind {
+        if self.0 & CUBE_TAG == 0 {
+            Kind::Clause
+        } else {
+            Kind::Cube
+        }
+    }
+
+    /// Header word offset within the arena of [`ConstraintRef::kind`].
+    #[inline]
+    fn offset(self) -> usize {
+        (self.0 & !CUBE_TAG) as usize
+    }
+}
+
 /// A watcher-list entry: the watching constraint plus a *blocker* literal
 /// (some other literal of the constraint). If the blocker already
 /// satisfies a clause (falsifies a cube), the visit is resolved without
-/// touching the constraint's memory.
+/// touching the constraint's memory — counted by the `blocker_hits` stat.
 ///
 /// `pinned` entries are **unblock sentinels**: they sit on a universal
 /// literal that `≺`-blocks some existential of a clause (dually, an
 /// existential that blocks a universal of a cube) and are never moved —
 /// their falsification (satisfaction for cubes) is exactly the Lemma 5
 /// unblocking event, which must always trigger an examination.
+/// Packed to 8 bytes (two words) so watcher lists stay cache-dense: the
+/// pinned flag lives in bit 31 of the blocker word (literal codes use at
+/// most 31 bits, like [`ConstraintRef`] offsets).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Watcher {
-    pub(crate) cref: CRef,
-    pub(crate) blocker: Lit,
-    pub(crate) pinned: bool,
+    pub(crate) cref: ConstraintRef,
+    blocker_pin: u32,
 }
 
-#[derive(Debug)]
-pub(crate) struct Constraint {
-    /// Literals; the movable watches (up to two, only on literals of the
-    /// relevant quantifier) live at the leading positions.
-    pub(crate) lits: Vec<Lit>,
-    pub(crate) kind: Kind,
-    pub(crate) learned: bool,
-    pub(crate) deleted: bool,
-    /// Number of literals currently assigned *true*. Maintained **only**
-    /// for original clauses (satisfaction tracking feeds the solution
-    /// trigger and monotone-literal detection); always zero for learned
-    /// constraints unless `debug-counters` shadows them.
-    pub(crate) true_count: u32,
-    /// Shadow counter of literals currently assigned *false*; carried by
-    /// every build so constructor sites stay feature-free, but maintained
-    /// (and read) only under `debug-counters` (see the module docs).
-    #[cfg_attr(not(feature = "debug-counters"), allow(dead_code))]
-    pub(crate) false_count: u32,
-    /// Bump-and-decay activity for database reduction.
-    pub(crate) activity: f64,
-}
+const PINNED_BIT: u32 = 1 << 31;
 
-impl Constraint {
-    pub(crate) fn len(&self) -> usize {
-        self.lits.len()
+impl Watcher {
+    #[inline]
+    pub(crate) fn new(cref: ConstraintRef, blocker: Lit, pinned: bool) -> Self {
+        debug_assert!((blocker.code() as u32) < PINNED_BIT, "literal code overflow");
+        Watcher {
+            cref,
+            blocker_pin: blocker.code() as u32 | if pinned { PINNED_BIT } else { 0 },
+        }
+    }
+
+    #[inline]
+    pub(crate) fn blocker(self) -> Lit {
+        Lit::from_code((self.blocker_pin & !PINNED_BIT) as usize)
+    }
+
+    #[inline]
+    pub(crate) fn pinned(self) -> bool {
+        self.blocker_pin & PINNED_BIT != 0
     }
 }
 
-/// Constraint arena plus watcher lists and the original-clause occurrence
-/// index.
+/// Arena header layout (all `u32` words, immediately before the packed
+/// literal codes):
+///
+/// | word | contents                                             |
+/// |------|------------------------------------------------------|
+/// | 0    | size (bits 0..30) \| learned (bit 30) \| deleted (31) |
+/// | 1    | activity `f64` bits, low half                         |
+/// | 2    | activity `f64` bits, high half                        |
+/// | 3    | `true_count` shadow counter                           |
+/// | 4    | `false_count` shadow counter                          |
+const HEADER_WORDS: usize = 5;
+const SIZE_MASK: u32 = (1 << 30) - 1;
+const LEARNED_BIT: u32 = 1 << 30;
+const DELETED_BIT: u32 = 1 << 31;
+
+/// One contiguous `u32` arena holding every constraint of one [`Kind`]:
+/// header words followed by packed literal codes, back to back.
+#[derive(Debug, Default)]
+pub(crate) struct ConstraintArena {
+    words: Vec<u32>,
+}
+
+impl ConstraintArena {
+    /// Appends a constraint, returning its header word offset.
+    fn push(&mut self, lits: &[Lit], learned: bool, tc: u32, fc: u32, activity: f64) -> usize {
+        let offset = self.words.len();
+        debug_assert!(lits.len() as u32 <= SIZE_MASK, "constraint too large");
+        let mut header = lits.len() as u32;
+        if learned {
+            header |= LEARNED_BIT;
+        }
+        let act = activity.to_bits();
+        self.words.push(header);
+        self.words.push(act as u32);
+        self.words.push((act >> 32) as u32);
+        self.words.push(tc);
+        self.words.push(fc);
+        self.words.extend(lits.iter().map(|l| l.code() as u32));
+        offset
+    }
+
+    #[inline]
+    fn size(&self, o: usize) -> usize {
+        (self.words[o] & SIZE_MASK) as usize
+    }
+
+    #[inline]
+    fn lits(&self, o: usize) -> &[Lit] {
+        let size = self.size(o);
+        let words = &self.words[o + HEADER_WORDS..o + HEADER_WORDS + size];
+        // SAFETY: `Lit` is `#[repr(transparent)]` over `u32`, and every
+        // word in the literal block was produced by `Lit::code` in `push`
+        // (or swapped in place by `swap_lits`), so the reinterpretation
+        // is exact.
+        unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<Lit>(), size) }
+    }
+
+    /// Total words currently allocated (live + tombstoned).
+    #[inline]
+    fn len_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Slides live constraints down over tombstoned ones. Returns the
+    /// old-offset → new-offset map (`u32::MAX` for deleted constraints)
+    /// and the number of words reclaimed.
+    fn compact(&mut self) -> (Vec<u32>, usize) {
+        let mut map = vec![u32::MAX; self.words.len()];
+        let mut read = 0usize;
+        let mut write = 0usize;
+        while read < self.words.len() {
+            let header = self.words[read];
+            let total = HEADER_WORDS + (header & SIZE_MASK) as usize;
+            if header & DELETED_BIT == 0 {
+                map[read] = write as u32;
+                if write != read {
+                    self.words.copy_within(read..read + total, write);
+                }
+                write += total;
+            }
+            read += total;
+        }
+        let reclaimed = self.words.len() - write;
+        self.words.truncate(write);
+        (map, reclaimed)
+    }
+
+    /// Walks the arena front to back, yielding header offsets of **all**
+    /// constraints (including tombstoned ones) in creation order.
+    fn offsets(&self) -> ArenaOffsets<'_> {
+        ArenaOffsets {
+            arena: self,
+            offset: 0,
+        }
+    }
+}
+
+/// Iterator over the header offsets of a [`ConstraintArena`].
+struct ArenaOffsets<'a> {
+    arena: &'a ConstraintArena,
+    offset: usize,
+}
+
+impl Iterator for ArenaOffsets<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.offset >= self.arena.words.len() {
+            return None;
+        }
+        let o = self.offset;
+        self.offset += HEADER_WORDS + self.arena.size(o);
+        Some(o)
+    }
+}
+
+/// Old-ref → new-ref translation produced by [`Db::compact`]; the engine
+/// uses it to relocate antecedent/reason refs and frame pseudo-reasons.
+pub(crate) struct RefMap {
+    clause: Vec<u32>,
+    cube: Vec<u32>,
+    /// Bytes physically reclaimed across both arenas.
+    pub(crate) reclaimed_bytes: usize,
+}
+
+impl RefMap {
+    /// New location of `r`, or `None` if the constraint was tombstoned
+    /// and has been physically reclaimed.
+    pub(crate) fn remap(&self, r: ConstraintRef) -> Option<ConstraintRef> {
+        let table = match r.kind() {
+            Kind::Clause => &self.clause,
+            Kind::Cube => &self.cube,
+        };
+        match table[r.offset()] {
+            u32::MAX => None,
+            new => Some(ConstraintRef::new(r.kind(), new as usize)),
+        }
+    }
+}
+
+/// Constraint arenas plus watcher lists and the original-clause
+/// occurrence index.
 #[derive(Debug, Default)]
 pub(crate) struct Db {
-    pub(crate) constraints: Vec<Constraint>,
+    /// Arena of all clauses; the `num_original` original clauses form a
+    /// stable, never-deleted prefix in creation order.
+    clauses: ConstraintArena,
+    /// Arena of all cubes (always learned).
+    cubes: ConstraintArena,
+    /// Learned constraints (both kinds) in creation order — the tie-break
+    /// order of the database-reduction sweep. Deleted entries linger
+    /// (filtered by the sweep) until compaction drops them.
+    learned_order: Vec<ConstraintRef>,
+    /// Words tombstoned but not yet reclaimed, across both arenas.
+    dead_words: usize,
+    /// High-water mark of total arena bytes, updated on every add.
+    pub(crate) bytes_peak: usize,
     /// For each literal code: *original* clauses containing that literal
     /// (satisfaction tracking only; learned constraints never appear).
-    pub(crate) occ_original: Vec<Vec<CRef>>,
+    pub(crate) occ_original: Vec<Vec<ConstraintRef>>,
     /// For each literal code: clauses watching that literal (visited when
     /// the literal becomes false).
     pub(crate) watch_clause: Vec<Vec<Watcher>>,
@@ -122,11 +323,11 @@ pub(crate) struct Db {
     /// the literal becomes true).
     pub(crate) watch_cube: Vec<Vec<Watcher>>,
     /// Full occurrence lists over **all** constraints (both kinds,
-    /// original and learned) for the shadow counter discipline. Entries
-    /// are never removed; deleted constraints keep receiving harmless
-    /// counter updates and are skipped by the verifier.
+    /// original and learned) for the shadow counter discipline. Deleted
+    /// constraints keep receiving harmless counter updates and are
+    /// skipped by the verifier; compaction drops their entries.
     #[cfg(feature = "debug-counters")]
-    pub(crate) occ_shadow: Vec<Vec<CRef>>,
+    pub(crate) occ_shadow: Vec<Vec<ConstraintRef>>,
     /// Number of *original* clauses currently without a true literal; when
     /// it reaches zero the matrix is satisfied (empty under restriction).
     pub(crate) unsat_originals: usize,
@@ -138,7 +339,11 @@ pub(crate) struct Db {
 impl Db {
     pub(crate) fn new(num_vars: usize) -> Self {
         Db {
-            constraints: Vec::new(),
+            clauses: ConstraintArena::default(),
+            cubes: ConstraintArena::default(),
+            learned_order: Vec::new(),
+            dead_words: 0,
+            bytes_peak: 0,
             occ_original: vec![Vec::new(); 2 * num_vars],
             watch_clause: vec![Vec::new(); 2 * num_vars],
             watch_cube: vec![Vec::new(); 2 * num_vars],
@@ -151,8 +356,127 @@ impl Db {
         }
     }
 
-    pub(crate) fn constraint(&self, c: CRef) -> &Constraint {
-        &self.constraints[c.index()]
+    #[inline]
+    fn arena(&self, c: ConstraintRef) -> &ConstraintArena {
+        match c.kind() {
+            Kind::Clause => &self.clauses,
+            Kind::Cube => &self.cubes,
+        }
+    }
+
+    #[inline]
+    fn arena_mut(&mut self, c: ConstraintRef) -> &mut ConstraintArena {
+        match c.kind() {
+            Kind::Clause => &mut self.clauses,
+            Kind::Cube => &mut self.cubes,
+        }
+    }
+
+    /// The literals of `c`; the movable watches (up to two) live at the
+    /// leading positions.
+    #[inline]
+    pub(crate) fn lits(&self, c: ConstraintRef) -> &[Lit] {
+        self.arena(c).lits(c.offset())
+    }
+
+    #[inline]
+    pub(crate) fn len(&self, c: ConstraintRef) -> usize {
+        self.arena(c).size(c.offset())
+    }
+
+    #[inline]
+    pub(crate) fn lit(&self, c: ConstraintRef, i: usize) -> Lit {
+        self.lits(c)[i]
+    }
+
+    /// Swaps two literal positions in place (watch normalization).
+    #[inline]
+    pub(crate) fn swap_lits(&mut self, c: ConstraintRef, i: usize, j: usize) {
+        let o = c.offset() + HEADER_WORDS;
+        self.arena_mut(c).words.swap(o + i, o + j);
+    }
+
+    #[inline]
+    pub(crate) fn is_deleted(&self, c: ConstraintRef) -> bool {
+        self.arena(c).words[c.offset()] & DELETED_BIT != 0
+    }
+
+    #[inline]
+    pub(crate) fn is_learned(&self, c: ConstraintRef) -> bool {
+        self.arena(c).words[c.offset()] & LEARNED_BIT != 0
+    }
+
+    #[inline]
+    pub(crate) fn activity(&self, c: ConstraintRef) -> f64 {
+        let o = c.offset();
+        let words = &self.arena(c).words;
+        f64::from_bits(words[o + 1] as u64 | (words[o + 2] as u64) << 32)
+    }
+
+    #[inline]
+    pub(crate) fn set_activity(&mut self, c: ConstraintRef, activity: f64) {
+        let o = c.offset();
+        let act = activity.to_bits();
+        let words = &mut self.arena_mut(c).words;
+        words[o + 1] = act as u32;
+        words[o + 2] = (act >> 32) as u32;
+    }
+
+    #[cfg(any(test, feature = "debug-counters"))]
+    #[inline]
+    pub(crate) fn true_count(&self, c: ConstraintRef) -> u32 {
+        self.arena(c).words[c.offset() + 3]
+    }
+
+    #[inline]
+    pub(crate) fn true_count_mut(&mut self, c: ConstraintRef) -> &mut u32 {
+        let o = c.offset() + 3;
+        &mut self.arena_mut(c).words[o]
+    }
+
+    #[cfg(feature = "debug-counters")]
+    #[inline]
+    pub(crate) fn false_count(&self, c: ConstraintRef) -> u32 {
+        self.arena(c).words[c.offset() + 4]
+    }
+
+    #[cfg(feature = "debug-counters")]
+    #[inline]
+    pub(crate) fn false_count_mut(&mut self, c: ConstraintRef) -> &mut u32 {
+        let o = c.offset() + 4;
+        &mut self.arena_mut(c).words[o]
+    }
+
+    /// Total bytes currently held by both arenas (live + tombstoned).
+    #[inline]
+    pub(crate) fn arena_bytes(&self) -> usize {
+        (self.clauses.len_words() + self.cubes.len_words()) * 4
+    }
+
+    /// Header refs of the original clauses, in creation order. Originals
+    /// are added before any learned constraint and never deleted, so they
+    /// are a stable prefix of the clause arena.
+    pub(crate) fn original_refs(&self) -> impl Iterator<Item = ConstraintRef> + '_ {
+        self.clauses
+            .offsets()
+            .take(self.num_original)
+            .map(|o| ConstraintRef::new(Kind::Clause, o))
+    }
+
+    /// Learned constraints (both kinds) in creation order, including
+    /// tombstoned ones — the reduction sweep filters those.
+    pub(crate) fn learned_refs(&self) -> &[ConstraintRef] {
+        &self.learned_order
+    }
+
+    /// Every constraint of both arenas (clauses first), including
+    /// tombstoned ones. Shadow-verification walk.
+    #[cfg(feature = "debug-counters")]
+    pub(crate) fn all_refs(&self) -> impl Iterator<Item = ConstraintRef> + '_ {
+        self.clauses
+            .offsets()
+            .map(|o| ConstraintRef::new(Kind::Clause, o))
+            .chain(self.cubes.offsets().map(|o| ConstraintRef::new(Kind::Cube, o)))
     }
 
     /// Adds a constraint and attaches `movable` watchers (0, 1 or 2) on
@@ -181,14 +505,34 @@ impl Db {
         movable: usize,
         true_count: u32,
         false_count: u32,
-    ) -> CRef {
-        let cref = CRef(self.constraints.len() as u32);
+    ) -> ConstraintRef {
+        let tc = if !learned || cfg!(feature = "debug-counters") {
+            true_count
+        } else {
+            0
+        };
+        let fc = if cfg!(feature = "debug-counters") {
+            false_count
+        } else {
+            0
+        };
+        let arena = match kind {
+            Kind::Clause => &mut self.clauses,
+            Kind::Cube => &mut self.cubes,
+        };
+        let offset = arena.push(&lits, learned, tc, fc, 1.0);
+        let cref = ConstraintRef::new(kind, offset);
+        self.bytes_peak = self.bytes_peak.max(self.arena_bytes());
         #[cfg(feature = "debug-counters")]
         for &l in &lits {
             self.occ_shadow[l.code()].push(cref);
         }
         if !learned {
             debug_assert!(kind == Kind::Clause, "original constraints are clauses");
+            debug_assert!(
+                self.learned_order.is_empty(),
+                "originals are added before any learned constraint"
+            );
             for &l in &lits {
                 self.occ_original[l.code()].push(cref);
             }
@@ -201,6 +545,7 @@ impl Db {
                 Kind::Clause => self.num_learned_clauses += 1,
                 Kind::Cube => self.num_learned_cubes += 1,
             }
+            self.learned_order.push(cref);
         }
         // Attach movable watchers: both ends of the watched pair, a single
         // watcher for constraints with one relevant literal, or none for
@@ -208,42 +553,12 @@ impl Db {
         // engine at/before add time).
         debug_assert!(movable <= 2 && movable <= lits.len());
         if movable == 2 {
-            self.watch_list(kind)[lits[0].code()].push(Watcher {
-                cref,
-                blocker: lits[1],
-                pinned: false,
-            });
-            self.watch_list(kind)[lits[1].code()].push(Watcher {
-                cref,
-                blocker: lits[0],
-                pinned: false,
-            });
+            self.watch_list(kind)[lits[0].code()].push(Watcher::new(cref, lits[1], false));
+            self.watch_list(kind)[lits[1].code()].push(Watcher::new(cref, lits[0], false));
         } else if movable == 1 {
-            self.watch_list(kind)[lits[0].code()].push(Watcher {
-                cref,
-                blocker: if lits.len() >= 2 { lits[1] } else { lits[0] },
-                pinned: false,
-            });
+            let blocker = if lits.len() >= 2 { lits[1] } else { lits[0] };
+            self.watch_list(kind)[lits[0].code()].push(Watcher::new(cref, blocker, false));
         }
-        let tc = if !learned || cfg!(feature = "debug-counters") {
-            true_count
-        } else {
-            0
-        };
-        let fc = if cfg!(feature = "debug-counters") {
-            false_count
-        } else {
-            0
-        };
-        self.constraints.push(Constraint {
-            lits,
-            kind,
-            learned,
-            deleted: false,
-            true_count: tc,
-            false_count: fc,
-            activity: 1.0,
-        });
         cref
     }
 
@@ -257,16 +572,19 @@ impl Db {
 
     /// Marks a learned constraint deleted. Its watcher entries are skipped
     /// (and dropped) lazily on visit and purged wholesale in
-    /// [`Db::purge_watchers`]; original-clause occurrence lists never
-    /// contain learned constraints, so they need no purge.
-    pub(crate) fn delete(&mut self, c: CRef) {
-        let k = {
-            let con = &mut self.constraints[c.index()];
-            debug_assert!(con.learned, "only learned constraints are deleted");
-            con.deleted = true;
-            con.kind
+    /// [`Db::purge_watchers`] or reclaimed by [`Db::compact`];
+    /// original-clause occurrence lists never contain learned constraints,
+    /// so they need no purge.
+    pub(crate) fn delete(&mut self, c: ConstraintRef) {
+        debug_assert!(self.is_learned(c), "only learned constraints are deleted");
+        let o = c.offset();
+        let size = {
+            let arena = self.arena_mut(c);
+            arena.words[o] |= DELETED_BIT;
+            (arena.words[o] & SIZE_MASK) as usize
         };
-        match k {
+        self.dead_words += HEADER_WORDS + size;
+        match c.kind() {
             Kind::Clause => self.num_learned_clauses -= 1,
             Kind::Cube => self.num_learned_cubes -= 1,
         }
@@ -275,10 +593,74 @@ impl Db {
     /// Drops watcher entries of deleted constraints (called after a
     /// database-reduction sweep; lazy dropping on visit handles the rest).
     pub(crate) fn purge_watchers(&mut self) {
-        let constraints = &self.constraints;
+        // Split borrows: the retain closures only read the arenas.
+        let clauses = &self.clauses;
+        let cubes = &self.cubes;
+        let deleted = |c: ConstraintRef| {
+            let arena = match c.kind() {
+                Kind::Clause => clauses,
+                Kind::Cube => cubes,
+            };
+            arena.words[c.offset()] & DELETED_BIT != 0
+        };
         for list in self.watch_clause.iter_mut().chain(self.watch_cube.iter_mut()) {
-            list.retain(|w| !constraints[w.cref.index()].deleted);
+            list.retain(|w| !deleted(w.cref));
         }
+    }
+
+    /// Whether tombstoned garbage justifies a compaction pass (a quarter
+    /// or more of the arena words are dead).
+    pub(crate) fn wants_compaction(&self) -> bool {
+        self.dead_words > 0 && self.dead_words * 4 >= self.arena_bytes() / 4
+    }
+
+    /// Physically reclaims tombstoned constraints in both arenas and
+    /// remaps every ref held inside the database: watcher lists (entries
+    /// of reclaimed constraints are dropped, preserving order — exactly
+    /// the effect of [`Db::purge_watchers`]), original and shadow
+    /// occurrence lists, and the learned creation-order index. Returns
+    /// the [`RefMap`] for the refs the engine holds.
+    pub(crate) fn compact(&mut self) -> RefMap {
+        let (clause_map, clause_rec) = self.clauses.compact();
+        let (cube_map, cube_rec) = self.cubes.compact();
+        let map = RefMap {
+            clause: clause_map,
+            cube: cube_map,
+            reclaimed_bytes: (clause_rec + cube_rec) * 4,
+        };
+        self.dead_words = 0;
+        for list in &mut self.occ_original {
+            for r in list.iter_mut() {
+                *r = map.remap(*r).expect("original clauses are never deleted");
+            }
+        }
+        for list in self.watch_clause.iter_mut().chain(self.watch_cube.iter_mut()) {
+            list.retain_mut(|w| match map.remap(w.cref) {
+                Some(nr) => {
+                    w.cref = nr;
+                    true
+                }
+                None => false,
+            });
+        }
+        #[cfg(feature = "debug-counters")]
+        for list in &mut self.occ_shadow {
+            list.retain_mut(|r| match map.remap(*r) {
+                Some(nr) => {
+                    *r = nr;
+                    true
+                }
+                None => false,
+            });
+        }
+        self.learned_order.retain_mut(|r| match map.remap(*r) {
+            Some(nr) => {
+                *r = nr;
+                true
+            }
+            None => false,
+        });
+        map
     }
 }
 
@@ -290,7 +672,7 @@ mod tests {
         Lit::from_dimacs(d)
     }
 
-    fn watched(db: &Db, kind: Kind, l: Lit) -> Vec<CRef> {
+    fn watched(db: &Db, kind: Kind, l: Lit) -> Vec<ConstraintRef> {
         let list = match kind {
             Kind::Clause => &db.watch_clause[l.code()],
             Kind::Cube => &db.watch_cube[l.code()],
@@ -309,7 +691,11 @@ mod tests {
         assert_eq!(watched(&db, Kind::Clause, lit(1)), vec![c]);
         assert_eq!(watched(&db, Kind::Clause, lit(-2)), vec![c]);
         assert!(watched(&db, Kind::Cube, lit(1)).is_empty());
-        assert_eq!(db.constraint(c).len(), 2);
+        assert_eq!(db.len(c), 2);
+        assert_eq!(db.lits(c), &[lit(1), lit(-2)]);
+        assert_eq!(c.kind(), Kind::Clause);
+        assert!(!db.is_learned(c));
+        assert!(!db.is_deleted(c));
     }
 
     #[test]
@@ -331,6 +717,7 @@ mod tests {
         assert_eq!(watched(&db, Kind::Cube, lit(2)), vec![k]);
         assert!(watched(&db, Kind::Clause, lit(1)).is_empty());
         assert_eq!(db.num_learned_cubes, 1);
+        assert_eq!(k.kind(), Kind::Cube);
     }
 
     #[test]
@@ -341,8 +728,8 @@ mod tests {
         assert_eq!(watched(&db, Kind::Clause, lit(2)), vec![c]);
         assert!(watched(&db, Kind::Clause, lit(3)).is_empty());
         // blockers point at the partner watch
-        assert_eq!(db.watch_clause[lit(1).code()][0].blocker, lit(2));
-        assert_eq!(db.watch_clause[lit(2).code()][0].blocker, lit(1));
+        assert_eq!(db.watch_clause[lit(1).code()][0].blocker(), lit(2));
+        assert_eq!(db.watch_clause[lit(2).code()][0].blocker(), lit(1));
     }
 
     #[test]
@@ -356,5 +743,91 @@ mod tests {
         db.purge_watchers();
         assert_eq!(watched(&db, Kind::Clause, lit(1)), vec![b]);
         assert_eq!(watched(&db, Kind::Clause, lit(2)), vec![b]);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let mut db = Db::new(4);
+        let c = db.add(vec![lit(1), lit(-2), lit(3)], Kind::Clause, true, 1, 2, 0);
+        assert!(db.is_learned(c));
+        assert_eq!(db.activity(c), 1.0);
+        db.set_activity(c, 1234.5);
+        assert_eq!(db.activity(c), 1234.5);
+        db.swap_lits(c, 0, 2);
+        assert_eq!(db.lits(c), &[lit(3), lit(-2), lit(1)]);
+        if cfg!(feature = "debug-counters") {
+            assert_eq!(db.true_count(c), 2);
+            *db.true_count_mut(c) += 1;
+            assert_eq!(db.true_count(c), 3);
+        }
+    }
+
+    #[test]
+    fn learned_order_tracks_creation_across_kinds() {
+        let mut db = Db::new(3);
+        db.add(vec![lit(1), lit(2)], Kind::Clause, false, 2, 0, 0);
+        let a = db.add(vec![lit(1)], Kind::Clause, true, 1, 0, 0);
+        let k = db.add(vec![lit(2)], Kind::Cube, true, 1, 0, 0);
+        let b = db.add(vec![lit(3)], Kind::Clause, true, 1, 0, 0);
+        assert_eq!(db.learned_refs(), &[a, k, b]);
+        let originals: Vec<_> = db.original_refs().collect();
+        assert_eq!(originals.len(), 1);
+        assert_eq!(db.lits(originals[0]), &[lit(1), lit(2)]);
+    }
+
+    #[test]
+    fn compaction_relocates_watchers_and_preserves_order() {
+        let mut db = Db::new(3);
+        let orig = db.add(vec![lit(1), lit(2)], Kind::Clause, false, 2, 0, 0);
+        let a = db.add(vec![lit(1), lit(2), lit(3)], Kind::Clause, true, 2, 0, 0);
+        let b = db.add(vec![lit(1), lit(3)], Kind::Clause, true, 2, 0, 0);
+        let k = db.add(vec![lit(2), lit(3)], Kind::Cube, true, 2, 0, 0);
+        // Pinned sentinel on `a`, engine-style.
+        db.watch_clause[lit(-3).code()].push(Watcher::new(a, lit(3), true));
+        db.delete(a);
+        assert!(db.wants_compaction());
+        let map = db.compact();
+        assert!(map.remap(a).is_none());
+        let nb = map.remap(b).expect("b survives");
+        let nk = map.remap(k).expect("k survives");
+        let norig = map.remap(orig).expect("originals survive");
+        assert_eq!(map.reclaimed_bytes, (HEADER_WORDS + 3) * 4);
+        // `b` slid down into `a`'s slot; contents intact.
+        assert_eq!(db.lits(nb), &[lit(1), lit(3)]);
+        assert_eq!(db.lits(nk), &[lit(2), lit(3)]);
+        assert_eq!(db.lits(norig), &[lit(1), lit(2)]);
+        assert!(db.is_learned(nb) && !db.is_deleted(nb));
+        // Watchers of the deleted constraint are gone (including the
+        // pinned sentinel); survivors are remapped in place, in order.
+        assert_eq!(watched(&db, Kind::Clause, lit(1)), vec![norig, nb]);
+        assert_eq!(watched(&db, Kind::Clause, lit(3)), vec![nb]);
+        assert!(db.watch_clause[lit(-3).code()].is_empty());
+        assert_eq!(watched(&db, Kind::Cube, lit(2)), vec![nk]);
+        // Pinned sentinels of survivors are relocated, not dropped.
+        db.watch_clause[lit(-1).code()].push(Watcher::new(nb, lit(1), true));
+        let c = db.add(vec![lit(2)], Kind::Clause, true, 1, 0, 0);
+        db.delete(c);
+        let map2 = db.compact();
+        let w = db.watch_clause[lit(-1).code()][0];
+        assert_eq!(w.cref, map2.remap(nb).unwrap());
+        assert!(w.pinned());
+        // Occurrence and creation-order indices follow the moves.
+        assert_eq!(db.occ_original[lit(1).code()], vec![norig]);
+        assert_eq!(db.learned_refs(), &[map2.remap(nb).unwrap(), map2.remap(nk).unwrap()]);
+    }
+
+    #[test]
+    fn compaction_reclaims_bytes_and_resets_garbage() {
+        let mut db = Db::new(2);
+        let a = db.add(vec![lit(1), lit(2)], Kind::Clause, true, 2, 0, 0);
+        let before = db.arena_bytes();
+        assert_eq!(db.bytes_peak, before);
+        db.delete(a);
+        let map = db.compact();
+        assert_eq!(map.reclaimed_bytes, before);
+        assert_eq!(db.arena_bytes(), 0);
+        assert!(!db.wants_compaction());
+        // Peak is a high-water mark; compaction does not lower it.
+        assert_eq!(db.bytes_peak, before);
     }
 }

@@ -85,7 +85,7 @@ use crate::prefix::{BlockId, Prefix};
 use crate::qbf::Qbf;
 use crate::var::{Lit, Var};
 
-use super::db::{CRef, Db, Kind, Watcher};
+use super::db::{ConstraintRef, Db, Kind, Watcher};
 use super::heuristic::Brancher;
 use super::{Outcome, SolverConfig, Stats};
 
@@ -93,7 +93,7 @@ use super::{Outcome, SolverConfig, Stats};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Reason {
     Decision,
-    Constraint(CRef),
+    Constraint(ConstraintRef),
     Pure,
 }
 
@@ -106,15 +106,15 @@ struct Frame {
     /// For flipped decisions: the constraint that refuted the first branch
     /// (clause for existential flips, cube for universal flips), usable as
     /// a resolution partner when the second branch fails too.
-    pseudo_reason: Option<CRef>,
+    pseudo_reason: Option<ConstraintRef>,
     trail_start: usize,
 }
 
 #[derive(Debug)]
 enum Event {
-    Conflict(CRef),
+    Conflict(ConstraintRef),
     /// A learned cube became true / existential-only under the assignment.
-    CubeSolution(CRef),
+    CubeSolution(ConstraintRef),
 }
 
 /// Registers pinned unblock sentinels for `cref` (see [`super::db`]): one
@@ -125,12 +125,9 @@ enum Event {
 /// *unblock* a Lemma 5 unit; the sentinel guarantees that event always
 /// triggers an examination. The blocker is one of the literals it blocks,
 /// enabling the satisfied/disabled fast path on visits.
-fn attach_unblock_sentinels(db: &mut Db, prefix: &Prefix, cref: CRef) {
-    let (lits, kind) = {
-        let con = &db.constraints[cref.index()];
-        (con.lits.clone(), con.kind)
-    };
-    match kind {
+fn attach_unblock_sentinels(db: &mut Db, prefix: &Prefix, cref: ConstraintRef) {
+    let lits = db.lits(cref).to_vec();
+    match cref.kind() {
         Kind::Clause => {
             for &u in &lits {
                 if prefix.is_existential(u.var()) {
@@ -140,11 +137,7 @@ fn attach_unblock_sentinels(db: &mut Db, prefix: &Prefix, cref: CRef) {
                     prefix.is_existential(e.var()) && prefix.precedes(u.var(), e.var())
                 });
                 if let Some(e) = blocked {
-                    db.watch_clause[u.code()].push(Watcher {
-                        cref,
-                        blocker: e,
-                        pinned: true,
-                    });
+                    db.watch_clause[u.code()].push(Watcher::new(cref, e, true));
                 }
             }
         }
@@ -157,11 +150,7 @@ fn attach_unblock_sentinels(db: &mut Db, prefix: &Prefix, cref: CRef) {
                     !prefix.is_existential(u.var()) && prefix.precedes(e.var(), u.var())
                 });
                 if let Some(u) = blocked {
-                    db.watch_cube[e.code()].push(Watcher {
-                        cref,
-                        blocker: u,
-                        pinned: true,
-                    });
+                    db.watch_cube[e.code()].push(Watcher::new(cref, u, true));
                 }
             }
         }
@@ -203,6 +192,14 @@ pub struct Solver<'a, O: SearchObserver = NoopObserver> {
 
     stats: Stats,
     conflicts_since_decay: u64,
+
+    /// Scratch membership flags, one per literal code, used by the
+    /// resolution loops and the implicant builder to answer
+    /// `lits.contains(..)` in O(1). Always all-false between uses.
+    lit_mark: Vec<bool>,
+    /// Whether `QBF_DEBUG` was set at construction (checking the
+    /// environment on every solution is measurable on cube-heavy runs).
+    debug_dump: bool,
 }
 
 impl<'a> Solver<'a> {
@@ -248,6 +245,10 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
             .map(|b| prefix.block_vars(b).len() as u32)
             .collect();
         let brancher = Brancher::new(config.heuristic, prefix, &counts);
+        let stats = Stats {
+            arena_bytes_peak: db.bytes_peak as u64,
+            ..Stats::default()
+        };
         Solver {
             qbf,
             config,
@@ -264,8 +265,10 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
             block_unassigned,
             active_occ,
             pure_candidates: Vec::new(),
-            stats: Stats::default(),
+            stats,
             conflicts_since_decay: 0,
+            lit_mark: vec![false; 2 * n],
+            debug_dump: std::env::var_os("QBF_DEBUG").is_some(),
         }
     }
 
@@ -299,9 +302,11 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
 
     /// Runs the search to completion or budget exhaustion.
     pub fn solve(mut self) -> Outcome {
-        // Initial scan: Lemma 4 / Lemma 5 on the input matrix.
-        for i in 0..self.db.constraints.len() {
-            if let Some(Event::Conflict(_)) = self.examine_clause(CRef(i as u32)) {
+        // Initial scan: Lemma 4 / Lemma 5 on the input matrix (only the
+        // original clauses exist at this point).
+        let originals: Vec<ConstraintRef> = self.db.original_refs().collect();
+        for c in originals {
+            if let Some(Event::Conflict(_)) = self.examine_clause(c) {
                 return Outcome::new(Some(false), self.stats);
             }
         }
@@ -326,7 +331,7 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                     self.stats.solutions += 1;
                     self.observer.on_solution(self.current_level(), self.trail.len());
                     self.tick_decay();
-                    let init = self.db.constraint(k).lits.clone();
+                    let init = self.db.lits(k).to_vec();
                     if let Some(v) = self.handle_solution(init) {
                         return Outcome::new(Some(v), self.stats);
                     }
@@ -397,13 +402,12 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         // is fully watcher-driven.
         for i in 0..self.db.occ_original[lit.code()].len() {
             let c = self.db.occ_original[lit.code()][i];
-            let con = &mut self.db.constraints[c.index()];
-            con.true_count += 1;
-            if con.true_count == 1 {
+            let tc = self.db.true_count_mut(c);
+            *tc += 1;
+            if *tc == 1 {
                 self.db.unsat_originals -= 1;
                 if self.config.pure_literals {
-                    let lits = con.lits.clone();
-                    for m in lits {
+                    for &m in self.db.lits(c) {
                         self.active_occ[m.code()] -= 1;
                         if self.active_occ[m.code()] == 0 {
                             self.pure_candidates.push(m.var());
@@ -438,13 +442,12 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         // are backtrack-invariant.
         for i in 0..self.db.occ_original[l.code()].len() {
             let c = self.db.occ_original[l.code()][i];
-            let con = &mut self.db.constraints[c.index()];
-            con.true_count -= 1;
-            if con.true_count == 0 {
+            let tc = self.db.true_count_mut(c);
+            *tc -= 1;
+            if *tc == 0 {
                 self.db.unsat_originals += 1;
                 if self.config.pure_literals {
-                    let lits = con.lits.clone();
-                    for m in lits {
+                    for &m in self.db.lits(c) {
                         self.active_occ[m.code()] += 1;
                     }
                 }
@@ -460,11 +463,14 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         {
             self.pure_candidates.push(v);
         }
+        // The variable is branchable again: re-enter it into its block's
+        // lazy decision heap (no-op for scan-based heuristics).
+        self.brancher.on_unassign(v);
         #[cfg(feature = "debug-counters")]
         self.shadow_unassign(l);
     }
 
-    fn push_decision(&mut self, lit: Lit, flipped: bool, pseudo_reason: Option<CRef>) {
+    fn push_decision(&mut self, lit: Lit, flipped: bool, pseudo_reason: Option<ConstraintRef>) {
         self.frames.push(Frame {
             lit,
             flipped,
@@ -531,17 +537,20 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
             i += 1;
             self.stats.watcher_visits += 1;
             self.observer.on_watcher_visit();
-            // Fast path: some other literal already satisfies the clause.
-            if self.is_true(w.blocker) {
+            // Fast path: some other literal already satisfies the clause —
+            // resolved from the watcher entry alone, no arena access.
+            if self.is_true(w.blocker()) {
+                self.stats.blocker_hits += 1;
+                self.observer.on_blocker_hit();
                 ws[kept] = w;
                 kept += 1;
                 continue;
             }
             let c = w.cref;
-            if self.db.constraints[c.index()].deleted {
+            if self.db.is_deleted(c) {
                 continue; // lazily drop watchers of deleted constraints
             }
-            if w.pinned || self.db.constraints[c.index()].len() == 1 {
+            if w.pinned() || self.db.len(c) == 1 {
                 // Pinned: an outer universal blocking some existential of
                 // this clause has just been falsified — the clause may
                 // have become unit (Lemma 5 unblocking). Unit constraint:
@@ -551,20 +560,13 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                 event = self.examine_clause(c);
             } else {
                 // Normalize so the fired watch sits at position 1.
-                {
-                    let con = &mut self.db.constraints[c.index()];
-                    if con.lits[0] == p {
-                        con.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(con.lits[1], p, "watcher list out of sync");
+                if self.db.lit(c, 0) == p {
+                    self.db.swap_lits(c, 0, 1);
                 }
-                let other = self.db.constraints[c.index()].lits[0];
+                debug_assert_eq!(self.db.lit(c, 1), p, "watcher list out of sync");
+                let other = self.db.lit(c, 0);
                 if self.is_true(other) {
-                    ws[kept] = Watcher {
-                        cref: c,
-                        blocker: other,
-                        pinned: false,
-                    };
+                    ws[kept] = Watcher::new(c, other, false);
                     kept += 1;
                     continue;
                 }
@@ -572,24 +574,17 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                 // non-false *existential* restores the movable-watch
                 // invariant (see the module docs — watches must stay on
                 // the existential subsequence to survive backtracking).
-                let len = self.db.constraints[c.index()].len();
                 let mut found: Option<usize> = None;
-                for k in 2..len {
-                    let m = self.db.constraints[c.index()].lits[k];
+                for (k, &m) in self.db.lits(c).iter().enumerate().skip(2) {
                     if self.is_existential(m.var()) && !self.is_false(m) {
                         found = Some(k);
                         break;
                     }
                 }
                 if let Some(k) = found {
-                    let con = &mut self.db.constraints[c.index()];
-                    con.lits.swap(1, k);
-                    let m = con.lits[1];
-                    self.db.watch_clause[m.code()].push(Watcher {
-                        cref: c,
-                        blocker: other,
-                        pinned: false,
-                    });
+                    self.db.swap_lits(c, 1, k);
+                    let m = self.db.lit(c, 1);
+                    self.db.watch_clause[m.code()].push(Watcher::new(c, other, false));
                     continue; // watcher moved off p's list
                 }
                 // No existential replacement: at most one non-false
@@ -598,11 +593,7 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                 // conflicting, unit, or ≺-blocked — exactly what
                 // `examine_clause` decides. The stale watch stays on p
                 // and comes back to life in unassignment order.
-                ws[kept] = Watcher {
-                    cref: c,
-                    blocker: other,
-                    pinned: false,
-                };
+                ws[kept] = Watcher::new(c, other, false);
                 kept += 1;
                 event = self.examine_clause(c);
             }
@@ -639,17 +630,20 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
             i += 1;
             self.stats.watcher_visits += 1;
             self.observer.on_watcher_visit();
-            // Fast path: some other literal already disables the cube.
-            if self.is_false(w.blocker) {
+            // Fast path: some other literal already disables the cube —
+            // resolved from the watcher entry alone, no arena access.
+            if self.is_false(w.blocker()) {
+                self.stats.blocker_hits += 1;
+                self.observer.on_blocker_hit();
                 ws[kept] = w;
                 kept += 1;
                 continue;
             }
             let c = w.cref;
-            if self.db.constraints[c.index()].deleted {
+            if self.db.is_deleted(c) {
                 continue; // lazily drop watchers of deleted constraints
             }
-            if w.pinned || self.db.constraints[c.index()].len() == 1 {
+            if w.pinned() || self.db.len(c) == 1 {
                 // Pinned: an outer existential blocking some universal of
                 // this cube has just been satisfied — the cube may have
                 // become unit (dual unblocking). Unit constraint: p true
@@ -659,20 +653,13 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                 event = self.examine_cube(c);
             } else {
                 // Normalize so the fired watch sits at position 1.
-                {
-                    let con = &mut self.db.constraints[c.index()];
-                    if con.lits[0] == p {
-                        con.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(con.lits[1], p, "cube watcher list out of sync");
+                if self.db.lit(c, 0) == p {
+                    self.db.swap_lits(c, 0, 1);
                 }
-                let other = self.db.constraints[c.index()].lits[0];
+                debug_assert_eq!(self.db.lit(c, 1), p, "cube watcher list out of sync");
+                let other = self.db.lit(c, 0);
                 if self.is_false(other) {
-                    ws[kept] = Watcher {
-                        cref: c,
-                        blocker: other,
-                        pinned: false,
-                    };
+                    ws[kept] = Watcher::new(c, other, false);
                     kept += 1;
                     continue;
                 }
@@ -680,24 +667,17 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                 // non-true *universal* restores the movable-watch
                 // invariant (dual of the clause case — watches must stay
                 // on the universal subsequence to survive backtracking).
-                let len = self.db.constraints[c.index()].len();
                 let mut found: Option<usize> = None;
-                for k in 2..len {
-                    let m = self.db.constraints[c.index()].lits[k];
+                for (k, &m) in self.db.lits(c).iter().enumerate().skip(2) {
                     if !self.is_existential(m.var()) && !self.is_true(m) {
                         found = Some(k);
                         break;
                     }
                 }
                 if let Some(k) = found {
-                    let con = &mut self.db.constraints[c.index()];
-                    con.lits.swap(1, k);
-                    let m = con.lits[1];
-                    self.db.watch_cube[m.code()].push(Watcher {
-                        cref: c,
-                        blocker: other,
-                        pinned: false,
-                    });
+                    self.db.swap_lits(c, 1, k);
+                    let m = self.db.lit(c, 1);
+                    self.db.watch_cube[m.code()].push(Watcher::new(c, other, false));
                     continue; // watcher moved off p's list
                 }
                 // No universal replacement: at most one non-true universal
@@ -706,11 +686,7 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                 // ≺-blocked — exactly what `examine_cube` decides. The
                 // stale watch stays on p and comes back to life in
                 // unassignment order.
-                ws[kept] = Watcher {
-                    cref: c,
-                    blocker: other,
-                    pinned: false,
-                };
+                ws[kept] = Watcher::new(c, other, false);
                 kept += 1;
                 event = self.examine_cube(c);
             }
@@ -731,14 +707,13 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
 
     /// Checks a clause that is not (yet) known satisfied: Lemma 4 conflict
     /// or Lemma 5 unit.
-    fn examine_clause(&mut self, c: CRef) -> Option<Event> {
+    fn examine_clause(&mut self, c: ConstraintRef) -> Option<Event> {
         let mut unit: Option<Lit> = None;
         let mut existentials = 0u32;
         // First pass: find unassigned existential literals; a true literal
         // (possibly still pending on the trail) means the clause is
         // satisfied.
-        for i in 0..self.db.constraint(c).len() {
-            let m = self.db.constraint(c).lits[i];
+        for &m in self.db.lits(c) {
             if self.is_true(m) {
                 return None;
             }
@@ -758,8 +733,7 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
             Some(e) => {
                 // Generalized Lemma 5: unassigned universal literals must
                 // not precede e.
-                for i in 0..self.db.constraint(c).len() {
-                    let m = self.db.constraint(c).lits[i];
+                for &m in self.db.lits(c) {
                     if m == e || self.lit_value(m).is_some() {
                         continue;
                     }
@@ -782,11 +756,10 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
 
     /// Checks a cube that is not (yet) known disabled: solution trigger or
     /// dual unit.
-    fn examine_cube(&mut self, c: CRef) -> Option<Event> {
+    fn examine_cube(&mut self, c: ConstraintRef) -> Option<Event> {
         let mut unit: Option<Lit> = None;
         let mut universals = 0u32;
-        for i in 0..self.db.constraint(c).len() {
-            let m = self.db.constraint(c).lits[i];
+        for &m in self.db.lits(c) {
             if self.is_false(m) {
                 return None;
             }
@@ -806,8 +779,7 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
             // validated good: the formula is true under the assignment.
             None => Some(Event::CubeSolution(c)),
             Some(u) => {
-                for i in 0..self.db.constraint(c).len() {
-                    let m = self.db.constraint(c).lits[i];
+                for &m in self.db.lits(c) {
                     if m == u || self.lit_value(m).is_some() {
                         continue;
                     }
@@ -913,10 +885,50 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         cands
     }
 
+    /// Collects the available *blocks* (same walk as [`Solver::candidates`]
+    /// without expanding to variables): blocks with an unassigned variable
+    /// whose ancestor blocks are all complete.
+    fn available_blocks(&self) -> Vec<BlockId> {
+        let prefix = self.prefix();
+        let mut blocks = Vec::new();
+        let mut stack: Vec<BlockId> = prefix.roots().to_vec();
+        while let Some(b) = stack.pop() {
+            if self.block_unassigned[b.index()] > 0 {
+                blocks.push(b);
+                // children unavailable until this block is complete
+                continue;
+            }
+            stack.extend(prefix.block_children(b).iter().copied());
+        }
+        blocks
+    }
+
     /// Picks and assigns a branching literal; `false` if none is available.
+    ///
+    /// Scored heuristics pick incrementally from the per-block lazy heaps
+    /// (no O(candidates) scan); `Random` keeps the scan path because its
+    /// choice is positional in the candidate vector.
     fn decide(&mut self) -> bool {
-        let cands = self.candidates();
-        match self.brancher.pick(self.qbf.prefix(), &cands) {
+        let lit = if self.brancher.uses_heaps() {
+            let blocks = self.available_blocks();
+            let lit = self
+                .brancher
+                .pick_incremental(self.qbf.prefix(), &blocks, &self.value);
+            // Debug builds cross-check every incremental pick against the
+            // legacy full scan, so the differential suite doubles as a
+            // heap-vs-scan equivalence proof.
+            #[cfg(debug_assertions)]
+            {
+                let cands = self.candidates();
+                let scan = self.brancher.pick(self.qbf.prefix(), &cands);
+                debug_assert_eq!(lit, scan, "incremental pick diverged from the scan");
+            }
+            lit
+        } else {
+            let cands = self.candidates();
+            self.brancher.pick(self.qbf.prefix(), &cands)
+        };
+        match lit {
             None => false,
             Some(lit) => {
                 self.push_decision(lit, false, None);
@@ -930,11 +942,11 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
     // ------------------------------------------------------------------
 
     /// Handles a conflict; `Some(value)` ends the search.
-    fn handle_conflict(&mut self, conflict: CRef) -> Option<bool> {
+    fn handle_conflict(&mut self, conflict: ConstraintRef) -> Option<bool> {
         if !self.config.learning {
             return self.chrono_conflict();
         }
-        let mut lits = self.db.constraint(conflict).lits.clone();
+        let mut lits = self.db.lits(conflict).to_vec();
         self.resolve_existentials(&mut lits);
         self.universal_reduce(&mut lits);
         if lits.is_empty() {
@@ -948,19 +960,25 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
     /// latest-assigned first, skipping steps that would produce a
     /// tautological or satisfied resolvent.
     fn resolve_existentials(&mut self, lits: &mut Vec<Lit>) {
-        let mut skipped: Vec<Var> = Vec::new();
+        // `lit_mark` mirrors the content of `lits` throughout so the
+        // membership tests below are O(1) instead of a scan per reason
+        // literal; `skipped` doubles as the list of marks to clear.
+        for &l in lits.iter() {
+            self.lit_mark[l.code()] = true;
+        }
+        let mut skipped: Vec<Lit> = Vec::new();
         loop {
             // Pick the resolvable pivot assigned latest on the trail.
-            let mut pivot: Option<(usize, Lit, CRef)> = None;
+            let mut pivot: Option<(usize, Lit, ConstraintRef)> = None;
             for &m in lits.iter() {
                 let v = m.var();
-                if !self.is_false(m) || !self.is_existential(v) || skipped.contains(&v) {
+                if !self.is_false(m) || !self.is_existential(v) || skipped.contains(&m) {
                     continue;
                 }
                 let Reason::Constraint(r) = self.reason[v.index()] else {
                     continue;
                 };
-                if self.db.constraint(r).kind != Kind::Clause {
+                if r.kind() != Kind::Clause {
                     continue;
                 }
                 let pos = self.trail_pos[v.index()] as usize;
@@ -970,27 +988,33 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
             }
             let Some((_, m, r)) = pivot else { break };
             // Check the reason's side literals.
-            let reason_lits = self.db.constraint(r).lits.clone();
+            let reason_lits = self.db.lits(r);
             let mut ok = true;
-            for &x in &reason_lits {
+            for &x in reason_lits {
                 if x == !m {
                     continue;
                 }
-                if self.is_true(x) || lits.contains(&!x) {
+                if self.is_true(x) || self.lit_mark[(!x).code()] {
                     ok = false;
                     break;
                 }
             }
             if !ok {
-                skipped.push(m.var());
+                skipped.push(m);
                 continue;
             }
             lits.retain(|&y| y != m);
-            for &x in &reason_lits {
-                if x != !m && !lits.contains(&x) {
+            self.lit_mark[m.code()] = false;
+            for k in 0..self.db.len(r) {
+                let x = self.db.lit(r, k);
+                if x != !m && !self.lit_mark[x.code()] {
+                    self.lit_mark[x.code()] = true;
                     lits.push(x);
                 }
             }
+        }
+        for &l in lits.iter() {
+            self.lit_mark[l.code()] = false;
         }
     }
 
@@ -1026,7 +1050,7 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         });
     }
 
-    fn learn(&mut self, mut lits: Vec<Lit>, kind: Kind) -> CRef {
+    fn learn(&mut self, mut lits: Vec<Lit>, kind: Kind) -> ConstraintRef {
         // Watch ordering: `Db::add` attaches movable watchers to the
         // first (up to) two positions, and movable watches must rest on
         // the constraint's *relevant* quantifier (existential for
@@ -1096,13 +1120,14 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         };
         self.observer.on_learned(lkind, lits.len(), second);
         let cref = self.db.add(lits, kind, true, movable, t, f);
+        self.stats.arena_bytes_peak = self.stats.arena_bytes_peak.max(self.db.bytes_peak as u64);
         attach_unblock_sentinels(&mut self.db, self.qbf.prefix(), cref);
-        self.db.constraints[cref.index()].activity = self.stats.conflicts as f64;
+        self.db.set_activity(cref, self.stats.conflicts as f64);
         cref
     }
 
     /// Unwinds the decision stack guided by a learned (falsified) clause.
-    fn unwind_conflict(&mut self, mut lits: Vec<Lit>, mut cref: CRef) -> Option<bool> {
+    fn unwind_conflict(&mut self, mut lits: Vec<Lit>, mut cref: ConstraintRef) -> Option<bool> {
         let mut dirty = false;
         loop {
             if self.frames.is_empty() {
@@ -1111,19 +1136,26 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
             let k = self.current_level();
             let frame = *self.frames.last().expect("non-empty stack");
             let d = frame.lit;
-            let at_k: Vec<Lit> = lits
-                .iter()
-                .copied()
-                .filter(|&m| self.lit_value(m).is_some() && self.level[m.var().index()] == k)
-                .collect();
-            if at_k.is_empty() {
+            // Count the level-k literals without materializing them; only
+            // the count and the first hit are ever consulted.
+            let mut at_k = 0usize;
+            let mut at_k_first = d;
+            for &m in lits.iter() {
+                if self.lit_value(m).is_some() && self.level[m.var().index()] == k {
+                    if at_k == 0 {
+                        at_k_first = m;
+                    }
+                    at_k += 1;
+                }
+            }
+            if at_k == 0 {
                 // The conflict does not depend on level k at all.
                 self.stats.backjumps += 1;
                 self.backtrack_one();
                 self.observer.on_backjump(k, self.current_level());
                 continue;
             }
-            if at_k.len() == 1 && at_k[0] == !d {
+            if at_k == 1 && at_k_first == !d {
                 if self.is_existential(d.var()) {
                     if !frame.flipped {
                         if dirty {
@@ -1189,11 +1221,11 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
     /// Q-resolution of `lits` with constraint `pr` on existential pivot
     /// `d`; `None` if the step would be tautological or pull in a satisfied
     /// literal.
-    fn try_resolve_clause(&self, lits: &[Lit], pr: CRef, d: Lit) -> Option<Vec<Lit>> {
+    fn try_resolve_clause(&self, lits: &[Lit], pr: ConstraintRef, d: Lit) -> Option<Vec<Lit>> {
         // `lits` falsifies the flipped branch (it contains ¬d where d is the
         // flipped decision literal); `pr` refuted the first branch, so it
         // contains d itself.
-        let reason = &self.db.constraint(pr).lits;
+        let reason = self.db.lits(pr);
         if !reason.contains(&d) {
             return None;
         }
@@ -1264,16 +1296,17 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
     /// assignment (model generation): one true literal per clause,
     /// preferring inner existential literals so that existential reduction
     /// shrinks the good (cf. the §VII-C discussion of PO goods).
-    fn matrix_implicant(&self) -> Vec<Lit> {
+    fn matrix_implicant(&mut self) -> Vec<Lit> {
+        // `lit_mark` mirrors `chosen` so the already-covered test is O(1)
+        // per literal instead of a scan of the chosen set per clause.
         let mut chosen: Vec<Lit> = Vec::new();
-        for i in 0..self.db.num_original {
-            let con = &self.db.constraints[i];
-            debug_assert!(!con.learned);
-            if con.lits.iter().any(|&l| chosen.contains(&l)) {
+        for c in self.db.original_refs() {
+            debug_assert!(!self.db.is_learned(c));
+            let lits = self.db.lits(c);
+            if lits.iter().any(|&l| self.lit_mark[l.code()]) {
                 continue;
             }
-            let best = con
-                .lits
+            let best = lits
                 .iter()
                 .copied()
                 .filter(|&l| self.is_true(l))
@@ -1289,7 +1322,11 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                     }
                 })
                 .expect("solution trigger requires every original clause satisfied");
+            self.lit_mark[best.code()] = true;
             chosen.push(best);
+        }
+        for &l in chosen.iter() {
+            self.lit_mark[l.code()] = false;
         }
         chosen
     }
@@ -1306,7 +1343,7 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
             return Some(true);
         }
         self.stats.cube_size_sum += lits.len() as u64;
-        if std::env::var_os("QBF_DEBUG").is_some() && self.stats.solutions < 12 {
+        if self.debug_dump && self.stats.solutions < 12 {
             let levels: Vec<(String, u32)> = lits
                 .iter()
                 .map(|&m| (m.to_string(), if self.lit_value(m).is_some() { self.level[m.var().index()] } else { 9999 }))
@@ -1321,18 +1358,23 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
     /// Dual of [`Solver::resolve_existentials`]: resolves away universal
     /// literals with cube reasons.
     fn resolve_universals(&mut self, lits: &mut Vec<Lit>) {
-        let mut skipped: Vec<Var> = Vec::new();
+        // Mirror of `resolve_existentials`: `lit_mark` tracks membership
+        // in `lits` for O(1) tests and is left all-false on return.
+        for &l in lits.iter() {
+            self.lit_mark[l.code()] = true;
+        }
+        let mut skipped: Vec<Lit> = Vec::new();
         loop {
-            let mut pivot: Option<(usize, Lit, CRef)> = None;
+            let mut pivot: Option<(usize, Lit, ConstraintRef)> = None;
             for &m in lits.iter() {
                 let v = m.var();
-                if !self.is_true(m) || self.is_existential(v) || skipped.contains(&v) {
+                if !self.is_true(m) || self.is_existential(v) || skipped.contains(&m) {
                     continue;
                 }
                 let Reason::Constraint(r) = self.reason[v.index()] else {
                     continue;
                 };
-                if self.db.constraint(r).kind != Kind::Cube {
+                if r.kind() != Kind::Cube {
                     continue;
                 }
                 let pos = self.trail_pos[v.index()] as usize;
@@ -1341,32 +1383,38 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                 }
             }
             let Some((_, m, r)) = pivot else { break };
-            let reason_lits = self.db.constraint(r).lits.clone();
+            let reason_lits = self.db.lits(r);
             let mut ok = true;
-            for &x in &reason_lits {
+            for &x in reason_lits {
                 if x == !m {
                     continue;
                 }
-                if self.is_false(x) || lits.contains(&!x) {
+                if self.is_false(x) || self.lit_mark[(!x).code()] {
                     ok = false;
                     break;
                 }
             }
             if !ok {
-                skipped.push(m.var());
+                skipped.push(m);
                 continue;
             }
             lits.retain(|&y| y != m);
-            for &x in &reason_lits {
-                if x != !m && !lits.contains(&x) {
+            self.lit_mark[m.code()] = false;
+            for k in 0..self.db.len(r) {
+                let x = self.db.lit(r, k);
+                if x != !m && !self.lit_mark[x.code()] {
+                    self.lit_mark[x.code()] = true;
                     lits.push(x);
                 }
             }
         }
+        for &l in lits.iter() {
+            self.lit_mark[l.code()] = false;
+        }
     }
 
     /// Unwinds the decision stack guided by a learned (satisfied) cube.
-    fn unwind_solution(&mut self, mut lits: Vec<Lit>, mut cref: CRef) -> Option<bool> {
+    fn unwind_solution(&mut self, mut lits: Vec<Lit>, mut cref: ConstraintRef) -> Option<bool> {
         let mut dirty = false;
         loop {
             if self.frames.is_empty() {
@@ -1375,18 +1423,25 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
             let k = self.current_level();
             let frame = *self.frames.last().expect("non-empty stack");
             let d = frame.lit;
-            let at_k: Vec<Lit> = lits
-                .iter()
-                .copied()
-                .filter(|&m| self.lit_value(m).is_some() && self.level[m.var().index()] == k)
-                .collect();
-            if at_k.is_empty() {
+            // Dual of the conflict unwind: count level-k literals without
+            // materializing them.
+            let mut at_k = 0usize;
+            let mut at_k_first = d;
+            for &m in lits.iter() {
+                if self.lit_value(m).is_some() && self.level[m.var().index()] == k {
+                    if at_k == 0 {
+                        at_k_first = m;
+                    }
+                    at_k += 1;
+                }
+            }
+            if at_k == 0 {
                 self.stats.backjumps += 1;
                 self.backtrack_one();
                 self.observer.on_backjump(k, self.current_level());
                 continue;
             }
-            if at_k.len() == 1 && at_k[0] == d {
+            if at_k == 1 && at_k_first == d {
                 if !self.is_existential(d.var()) {
                     if !frame.flipped {
                         if dirty {
@@ -1447,8 +1502,8 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
     }
 
     /// Term resolution of `lits` with cube `pr` on universal pivot `d`.
-    fn try_resolve_cube(&self, lits: &[Lit], pr: CRef, d: Lit) -> Option<Vec<Lit>> {
-        let reason = &self.db.constraint(pr).lits;
+    fn try_resolve_cube(&self, lits: &[Lit], pr: ConstraintRef, d: Lit) -> Option<Vec<Lit>> {
+        let reason = self.db.lits(pr);
         if !reason.contains(&!d) {
             return None;
         }
@@ -1520,35 +1575,36 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
             return;
         }
         // Locked constraints: trail reasons and frame pseudo-reasons.
-        let mut locked = vec![false; self.db.constraints.len()];
+        let mut locked: std::collections::HashSet<ConstraintRef> = std::collections::HashSet::new();
         for &l in &self.trail {
             if let Reason::Constraint(c) = self.reason[l.var().index()] {
-                locked[c.index()] = true;
+                locked.insert(c);
             }
         }
         for f in &self.frames {
             if let Some(c) = f.pseudo_reason {
-                locked[c.index()] = true;
+                locked.insert(c);
             }
         }
-        // Forget the least recently created half of the learned constraints.
-        let mut candidates: Vec<CRef> = (self.db.num_original..self.db.constraints.len())
-            .map(|i| CRef(i as u32))
-            .filter(|c| {
-                let con = self.db.constraint(*c);
-                con.learned && !con.deleted && !locked[c.index()]
-            })
+        // Forget the least active half; the stable sort over the
+        // creation-order index breaks activity ties by creation order,
+        // reproducing the pre-arena sweep exactly.
+        let mut candidates: Vec<ConstraintRef> = self
+            .db
+            .learned_refs()
+            .iter()
+            .copied()
+            .filter(|c| !self.db.is_deleted(*c) && !locked.contains(c))
             .collect();
         candidates.sort_by(|a, b| {
             self.db
-                .constraint(*a)
-                .activity
-                .partial_cmp(&self.db.constraint(*b).activity)
+                .activity(*a)
+                .partial_cmp(&self.db.activity(*b))
                 .expect("activities are finite")
         });
         let drop_count = candidates.len() / 2;
         for &c in candidates.iter().take(drop_count) {
-            let lits = self.db.constraint(c).lits.clone();
+            let lits = self.db.lits(c).to_vec();
             self.brancher.on_forget(&lits);
             self.db.delete(c);
             self.stats.forgotten += 1;
@@ -1556,7 +1612,49 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         if drop_count > 0 {
             self.observer.on_forget(drop_count);
         }
-        self.db.purge_watchers();
+        // Physically reclaim tombstones once they dominate the arena;
+        // otherwise just drop their watcher entries. Either path removes
+        // exactly the deleted constraints' watchers, in list order, so
+        // search behaviour (including `watcher_visits`) is unaffected.
+        if self.config.compact_db && self.db.wants_compaction() {
+            self.compact_db();
+        } else {
+            self.db.purge_watchers();
+        }
+    }
+
+    /// Runs arena compaction and relocates the refs the engine holds
+    /// outside the database: antecedent/reason refs and frame
+    /// pseudo-reasons. Reason refs of *unassigned* variables are stale and
+    /// may point at reclaimed constraints; they are reset to `Decision`
+    /// (they are never read while the variable is unassigned). Reasons of
+    /// assigned variables and pseudo-reasons are locked against deletion,
+    /// so their remap always succeeds.
+    fn compact_db(&mut self) {
+        let map = self.db.compact();
+        for v in 0..self.reason.len() {
+            if let Reason::Constraint(c) = self.reason[v] {
+                self.reason[v] = match map.remap(c) {
+                    Some(nc) => Reason::Constraint(nc),
+                    None => {
+                        debug_assert!(
+                            self.value[v].is_none(),
+                            "reason of an assigned variable was reclaimed"
+                        );
+                        Reason::Decision
+                    }
+                };
+            }
+        }
+        for f in &mut self.frames {
+            if let Some(c) = f.pseudo_reason {
+                f.pseudo_reason = map.remap(c);
+                debug_assert!(f.pseudo_reason.is_some(), "pinned pseudo-reason reclaimed");
+            }
+        }
+        self.stats.compactions += 1;
+        self.stats.arena_bytes_reclaimed += map.reclaimed_bytes as u64;
+        self.observer.on_compaction(map.reclaimed_bytes);
     }
 }
 
@@ -1579,30 +1677,28 @@ impl<O: SearchObserver> Solver<'_, O> {
         // constraints' true counts and everyone's false counts.
         for i in 0..self.db.occ_shadow[lit.code()].len() {
             let c = self.db.occ_shadow[lit.code()][i];
-            let con = &mut self.db.constraints[c.index()];
-            if con.learned {
-                con.true_count += 1;
+            if self.db.is_learned(c) {
+                *self.db.true_count_mut(c) += 1;
             }
         }
         let neg = !lit;
         for i in 0..self.db.occ_shadow[neg.code()].len() {
             let c = self.db.occ_shadow[neg.code()][i];
-            self.db.constraints[c.index()].false_count += 1;
+            *self.db.false_count_mut(c) += 1;
         }
     }
 
     fn shadow_unassign(&mut self, lit: Lit) {
         for i in 0..self.db.occ_shadow[lit.code()].len() {
             let c = self.db.occ_shadow[lit.code()][i];
-            let con = &mut self.db.constraints[c.index()];
-            if con.learned {
-                con.true_count -= 1;
+            if self.db.is_learned(c) {
+                *self.db.true_count_mut(c) -= 1;
             }
         }
         let neg = !lit;
         for i in 0..self.db.occ_shadow[neg.code()].len() {
             let c = self.db.occ_shadow[neg.code()][i];
-            self.db.constraints[c.index()].false_count -= 1;
+            *self.db.false_count_mut(c) -= 1;
         }
     }
 
@@ -1629,27 +1725,27 @@ impl<O: SearchObserver> Solver<'_, O> {
     ///    behaviour, not a watched-index hole; the unit is re-detected at
     ///    the next visit of any watched literal.
     fn shadow_verify(&self) {
-        for (i, con) in self.db.constraints.iter().enumerate() {
-            if con.deleted {
+        for (i, c) in self.db.all_refs().enumerate() {
+            if self.db.is_deleted(c) {
                 continue;
             }
+            let lits = self.db.lits(c);
             let mut t = 0u32;
             let mut f = 0u32;
-            for &m in &con.lits {
+            for &m in lits {
                 match self.lit_value(m) {
                     Some(true) => t += 1,
                     Some(false) => f += 1,
                     None => {}
                 }
             }
-            assert_eq!(con.true_count, t, "true_count drift on constraint {i}");
-            assert_eq!(con.false_count, f, "false_count drift on constraint {i}");
-            match con.kind {
+            assert_eq!(self.db.true_count(c), t, "true_count drift on constraint {i}");
+            assert_eq!(self.db.false_count(c), f, "false_count drift on constraint {i}");
+            match c.kind() {
                 // Clause without a true literal: the counter engine would
                 // examine it eagerly. Replay Lemma 4/5 on the counters.
                 Kind::Clause if t == 0 => {
-                    let open_exist: Vec<Lit> = con
-                        .lits
+                    let open_exist: Vec<Lit> = lits
                         .iter()
                         .copied()
                         .filter(|&m| self.lit_value(m).is_none() && self.is_existential(m.var()))
@@ -1659,8 +1755,8 @@ impl<O: SearchObserver> Solver<'_, O> {
                         "watched propagator missed a conflict on clause {i}"
                     );
                     if let [e] = open_exist[..] {
-                        if !con.learned {
-                            let blocked = con.lits.iter().any(|&m| {
+                        if !self.db.is_learned(c) {
+                            let blocked = lits.iter().any(|&m| {
                                 m != e
                                     && self.lit_value(m).is_none()
                                     && self.prefix().precedes(m.var(), e.var())
@@ -1674,8 +1770,7 @@ impl<O: SearchObserver> Solver<'_, O> {
                 // validated good; a single unblocked free universal is a
                 // dual unit.
                 Kind::Cube if f == 0 => {
-                    let open_univ: Vec<Lit> = con
-                        .lits
+                    let open_univ: Vec<Lit> = lits
                         .iter()
                         .copied()
                         .filter(|&m| self.lit_value(m).is_none() && !self.is_existential(m.var()))
@@ -1685,8 +1780,8 @@ impl<O: SearchObserver> Solver<'_, O> {
                         "watched propagator missed a solution on cube {i}"
                     );
                     if let [u] = open_univ[..] {
-                        if !con.learned {
-                            let blocked = con.lits.iter().any(|&m| {
+                        if !self.db.is_learned(c) {
+                            let blocked = lits.iter().any(|&m| {
                                 m != u
                                     && self.lit_value(m).is_none()
                                     && self.prefix().precedes(m.var(), u.var())

@@ -4,7 +4,9 @@
 //! candidate is *available* (all `≺`-predecessors assigned), so any ranking
 //! is sound.
 
-use crate::prefix::Prefix;
+use std::collections::BinaryHeap;
+
+use crate::prefix::{BlockId, Prefix};
 use crate::var::{Lit, Var};
 
 /// Selects the branching heuristic of the [`crate::solver::Solver`].
@@ -25,8 +27,41 @@ pub enum HeuristicKind {
     Random(u64),
 }
 
+/// A lazy-heap entry: a variable with the score it had when pushed.
+///
+/// Stale entries (the score has changed, or the variable got assigned)
+/// stay in the heap and are discarded or re-keyed when they surface at
+/// the top, MiniSat-style. Ordering is total: higher key first, ties
+/// broken towards the *smaller* variable so that heap order agrees with
+/// the scan comparators of [`Brancher::pick`].
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    key: f64,
+    var: Var,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key
+            .total_cmp(&other.key)
+            .then_with(|| other.var.cmp(&self.var))
+    }
+}
+
 /// Heuristic state: per-literal scores plus (for the tree variant) cached
-/// per-block subtree maxima.
+/// per-block subtree maxima, and per-block lazy max-heaps so that
+/// decisions don't re-scan every candidate.
 #[derive(Debug)]
 pub(crate) struct Brancher {
     kind: HeuristicKind,
@@ -36,6 +71,18 @@ pub(crate) struct Brancher {
     subtree_max: Vec<f64>,
     /// Whether scores changed since the last subtree refresh.
     dirty: bool,
+    /// Post-order of the block forest, cached at construction (the prefix
+    /// is immutable for the lifetime of a solve), so
+    /// [`Brancher::refresh_subtree_max`] doesn't collect `blocks_dfs()`
+    /// into a fresh `Vec` on every refresh.
+    dfs_order: Vec<BlockId>,
+    /// Block of each variable, cached so score bumps can be routed to the
+    /// right heap without a prefix in hand.
+    var_block: Vec<Option<BlockId>>,
+    /// One lazy max-heap of [`HeapEntry`] per quantifier block. Entries
+    /// carry the key they were pushed with; [`Brancher::best_in_block`]
+    /// drops assigned tops and re-keys stale ones.
+    heaps: Vec<BinaryHeap<HeapEntry>>,
     rng: u64,
 }
 
@@ -45,12 +92,57 @@ impl Brancher {
             HeuristicKind::Random(seed) => seed | 1,
             _ => 0x9e3779b97f4a7c15,
         };
-        Brancher {
+        let var_block: Vec<Option<BlockId>> =
+            (0..prefix.num_vars()).map(|i| prefix.block_of(Var::new(i))).collect();
+        let mut brancher = Brancher {
             kind,
             score: initial_counts.to_vec(),
             subtree_max: vec![0.0; prefix.num_blocks()],
             dirty: true,
+            dfs_order: prefix.blocks_dfs().collect(),
+            var_block,
+            heaps: vec![BinaryHeap::new(); prefix.num_blocks()],
             rng,
+        };
+        if brancher.uses_heaps() {
+            for i in 0..brancher.var_block.len() {
+                brancher.heap_insert(Var::new(i));
+            }
+        }
+        brancher
+    }
+
+    /// Whether this heuristic branches through the per-block lazy heaps
+    /// ([`Brancher::pick_incremental`]). `Random` keeps the candidate
+    /// scan: its draw depends on the candidate *list*, not on scores.
+    pub(crate) fn uses_heaps(&self) -> bool {
+        !matches!(self.kind, HeuristicKind::Random(_))
+    }
+
+    /// The heap key of `v` under the current scores. `Naive` ranks by
+    /// variable id alone, so its key is constantly zero (entries are never
+    /// stale and the heap tie-break yields the smallest variable).
+    fn key_of(&self, v: Var) -> f64 {
+        match self.kind {
+            HeuristicKind::Naive => 0.0,
+            _ => self.score[v.positive().code()].max(self.score[v.negative().code()]),
+        }
+    }
+
+    /// Pushes a fresh entry for `v` into its block's heap.
+    fn heap_insert(&mut self, v: Var) {
+        if let Some(b) = self.var_block[v.index()] {
+            let key = self.key_of(v);
+            self.heaps[b.index()].push(HeapEntry { key, var: v });
+        }
+    }
+
+    /// The variable got unassigned and is branchable again: re-enter it
+    /// into its block's heap (stale duplicates are fine — they are lazily
+    /// discarded).
+    pub(crate) fn on_unassign(&mut self, v: Var) {
+        if self.uses_heaps() {
+            self.heap_insert(v);
         }
     }
 
@@ -59,6 +151,14 @@ impl Brancher {
     pub(crate) fn on_learn(&mut self, lits: &[Lit]) {
         for &l in lits {
             self.score[l.code()] += 1.0;
+        }
+        if self.uses_heaps() {
+            // Re-key the bumped variables: the entries already in the heap
+            // now under-estimate their scores, so without a fresh entry a
+            // bumped variable could surface too late.
+            for &l in lits {
+                self.heap_insert(l.var());
+            }
         }
         self.dirty = true;
     }
@@ -97,8 +197,8 @@ impl Brancher {
             return;
         }
         self.dirty = false;
-        // Post-order over the forest.
-        let order: Vec<_> = prefix.blocks_dfs().collect();
+        // Post-order over the forest (reverse of the cached DFS preorder).
+        let order = std::mem::take(&mut self.dfs_order);
         for &b in order.iter().rev() {
             let mut m = 0.0f64;
             for &c in prefix.block_children(b) {
@@ -112,6 +212,7 @@ impl Brancher {
             }
             self.subtree_max[b.index()] = block_max;
         }
+        self.dfs_order = order;
     }
 
     /// Picks a branching literal among the candidate variables (all
@@ -164,6 +265,105 @@ impl Brancher {
         }
     }
 
+    /// The best unassigned variable of block `b` with its current key, or
+    /// `None` if the block has no live entry. Lazily repairs the heap top:
+    /// assigned variables are dropped (they re-enter via
+    /// [`Brancher::on_unassign`]) and entries whose key went stale are
+    /// re-pushed with the current key. Every variable's *current* key is
+    /// never above its best stored key (scores only drop between pushes;
+    /// bumps push a fresh entry), so a top whose stored key is current is
+    /// the true block maximum.
+    fn best_in_block(&mut self, b: BlockId, value: &[Option<bool>]) -> Option<(f64, Var)> {
+        let kind = self.kind;
+        let score = &self.score;
+        let key_of = |v: Var| match kind {
+            HeuristicKind::Naive => 0.0,
+            _ => score[v.positive().code()].max(score[v.negative().code()]),
+        };
+        let heap = &mut self.heaps[b.index()];
+        loop {
+            let &top = heap.peek()?;
+            if value[top.var.index()].is_some() {
+                heap.pop();
+                continue;
+            }
+            let cur = key_of(top.var);
+            if top.key == cur {
+                return Some((cur, top.var));
+            }
+            heap.pop();
+            heap.push(HeapEntry { key: cur, var: top.var });
+        }
+    }
+
+    /// Does block `b`'s candidate `(key, v)` outrank the incumbent
+    /// `(bkey, bv)` from block `bb` under this heuristic's scan
+    /// comparator? Comparisons replicate [`Brancher::pick`] exactly so the
+    /// incremental path is decision-for-decision identical to the scan.
+    fn block_beats(
+        &self,
+        prefix: &Prefix,
+        (b, key, v): (BlockId, f64, Var),
+        (bb, bkey, bv): (BlockId, f64, Var),
+    ) -> bool {
+        match self.kind {
+            HeuristicKind::Naive => v < bv,
+            HeuristicKind::Random(_) => unreachable!("Random branches via the scan"),
+            HeuristicKind::VsidsLevel => {
+                let (la, lb) = (prefix.block_level(b), prefix.block_level(bb));
+                la.cmp(&lb)
+                    .then_with(|| bkey.partial_cmp(&key).expect("scores are finite"))
+                    .then_with(|| v.cmp(&bv))
+                    .is_lt()
+            }
+            HeuristicKind::VsidsTree => {
+                let ta = key + self.child_max(prefix, b);
+                let tb = bkey + self.child_max(prefix, bb);
+                ta.partial_cmp(&tb)
+                    .expect("scores are finite")
+                    .then_with(|| bv.cmp(&v))
+                    .is_gt()
+            }
+        }
+    }
+
+    /// Incremental decision: the best candidate across the *available*
+    /// blocks, found by folding each block's lazy-heap maximum instead of
+    /// scanning every candidate variable. Returns `None` iff no block has
+    /// an unassigned variable. Must only be called when
+    /// [`Brancher::uses_heaps`] is `true`.
+    pub(crate) fn pick_incremental(
+        &mut self,
+        prefix: &Prefix,
+        blocks: &[BlockId],
+        value: &[Option<bool>],
+    ) -> Option<Lit> {
+        debug_assert!(self.uses_heaps());
+        if matches!(self.kind, HeuristicKind::VsidsTree) {
+            self.refresh_subtree_max(prefix);
+        }
+        let mut best: Option<(BlockId, f64, Var)> = None;
+        for &b in blocks {
+            let Some((key, v)) = self.best_in_block(b, value) else {
+                continue;
+            };
+            best = Some(match best {
+                None => (b, key, v),
+                Some(inc) => {
+                    if self.block_beats(prefix, (b, key, v), inc) {
+                        (b, key, v)
+                    } else {
+                        inc
+                    }
+                }
+            });
+        }
+        best.map(|(_, _, v)| match self.kind {
+            HeuristicKind::Naive => v.negative(),
+            _ => self.phase(v),
+        })
+    }
+
     /// Current VSIDS-like score of a literal (read-only; used by the
     /// observability layer to report the rank of a decision).
     pub(crate) fn score_of(&self, l: Lit) -> f64 {
@@ -174,15 +374,23 @@ impl Brancher {
         self.score[v.positive().code()].max(self.score[v.negative().code()])
     }
 
+    /// Maximum cached subtree score among the children of block `b` (the
+    /// shared addend of every tree score in the block).
+    fn child_max(&self, prefix: &Prefix, b: BlockId) -> f64 {
+        let mut m = 0.0f64;
+        for &c in prefix.block_children(b) {
+            m = m.max(self.subtree_max[c.index()]);
+        }
+        m
+    }
+
     /// §VI: counter of the literal plus the maximum score one prefix level
     /// deeper in its scope (the cached child-subtree maxima).
     fn tree_score(&self, prefix: &Prefix, v: Var) -> f64 {
-        let mut child_max = 0.0f64;
-        if let Some(b) = prefix.block_of(v) {
-            for &c in prefix.block_children(b) {
-                child_max = child_max.max(self.subtree_max[c.index()]);
-            }
-        }
+        let child_max = match prefix.block_of(v) {
+            Some(b) => self.child_max(prefix, b),
+            None => 0.0,
+        };
         self.var_score(v) + child_max
     }
 
@@ -280,6 +488,82 @@ mod tests {
         assert_eq!(h.var_score(v(0)), 0.5);
         h.on_forget(&[v(0).positive()]);
         assert_eq!(h.var_score(v(0)), 0.0);
+    }
+
+    /// All blocks of `p` whose variables are all unassigned in `value`
+    /// and whose ancestors are fully assigned (mirrors the engine's
+    /// availability computation for these fully-unassigned test prefixes).
+    fn available_blocks(p: &Prefix, value: &[Option<bool>]) -> Vec<crate::prefix::BlockId> {
+        let mut blocks = Vec::new();
+        let mut stack: Vec<_> = p.roots().to_vec();
+        while let Some(b) = stack.pop() {
+            if p.block_vars(b).iter().any(|v| value[v.index()].is_none()) {
+                blocks.push(b);
+                continue;
+            }
+            stack.extend(p.block_children(b).iter().copied());
+        }
+        blocks
+    }
+
+    #[test]
+    fn incremental_pick_matches_scan() {
+        // The lazy-heap path must be decision-for-decision identical to
+        // the candidate scan, across heuristics, bumps, decay and
+        // partial assignments.
+        let p = paper_prefix();
+        for kind in [HeuristicKind::Naive, HeuristicKind::VsidsLevel, HeuristicKind::VsidsTree] {
+            let mut counts = vec![0.0; 14];
+            counts[v(2).positive().code()] = 3.0;
+            counts[v(5).negative().code()] = 7.0;
+            let mut h = Brancher::new(kind, &p, &counts);
+            assert!(h.uses_heaps());
+            let mut value: Vec<Option<bool>> = vec![None; 7];
+
+            // fully unassigned: only the root block is available
+            let blocks = available_blocks(&p, &value);
+            let scan_cands: Vec<Var> = blocks
+                .iter()
+                .flat_map(|&b| p.block_vars(b))
+                .copied()
+                .filter(|x| value[x.index()].is_none())
+                .collect();
+            assert_eq!(h.pick_incremental(&p, &blocks, &value), h.pick(&p, &scan_cands));
+
+            // assign the root and one inner var, bump and decay: stale
+            // heap entries must be repaired, not trusted
+            value[0] = Some(true);
+            h.on_learn(&[v(3).positive(), v(6).negative()]);
+            h.decay();
+            h.on_forget(&[v(5).negative()]);
+            value[1] = Some(false);
+            h.on_unassign(v(1));
+            let blocks = available_blocks(&p, &value);
+            let scan_cands: Vec<Var> = blocks
+                .iter()
+                .flat_map(|&b| p.block_vars(b))
+                .copied()
+                .filter(|x| value[x.index()].is_none())
+                .collect();
+            assert_eq!(h.pick_incremental(&p, &blocks, &value), h.pick(&p, &scan_cands));
+        }
+    }
+
+    #[test]
+    fn incremental_pick_skips_assigned_and_empty_blocks() {
+        let p = paper_prefix();
+        let mut h = Brancher::new(HeuristicKind::Naive, &p, &[0.0; 14]);
+        let mut value: Vec<Option<bool>> = vec![None; 7];
+        // assign everything: no pick
+        for slot in value.iter_mut() {
+            *slot = Some(true);
+        }
+        let blocks: Vec<_> = p.blocks_dfs().collect();
+        assert_eq!(h.pick_incremental(&p, &blocks, &value), None);
+        // unassign one inner variable and re-enter it
+        value[5] = None;
+        h.on_unassign(v(5));
+        assert_eq!(h.pick_incremental(&p, &blocks, &value), Some(v(5).negative()));
     }
 
     #[test]

@@ -56,6 +56,12 @@ pub struct SolverConfig {
     /// Halve heuristic scores every this many conflicts (the paper's
     /// periodic rearrangement of the priority queue).
     pub decay_interval: u64,
+    /// Physically reclaim tombstoned learned constraints from the arena
+    /// when garbage accumulates (default `true`). Compaction is purely a
+    /// memory-layout operation — search behaviour and every search
+    /// counter are identical with it off (see `tests/compaction.rs`);
+    /// the switch exists for exactly that differential check.
+    pub compact_db: bool,
 }
 
 impl Default for SolverConfig {
@@ -68,6 +74,7 @@ impl Default for SolverConfig {
             conflict_limit: None,
             max_learned: 20_000,
             decay_interval: 256,
+            compact_db: true,
         }
     }
 }
@@ -146,6 +153,17 @@ pub struct Stats {
     /// propagator's cost measure; compare against `assignments()` to see
     /// how much work the watched indices avoid).
     pub watcher_visits: u64,
+    /// Watcher visits resolved by the cached blocker literal alone, i.e.
+    /// without touching the constraint arena (a subset of
+    /// `watcher_visits`).
+    pub blocker_hits: u64,
+    /// High-water mark of constraint-arena bytes (clauses + cubes,
+    /// headers included).
+    pub arena_bytes_peak: u64,
+    /// Bytes physically reclaimed from the arenas by compaction.
+    pub arena_bytes_reclaimed: u64,
+    /// Arena compaction passes run by database reduction.
+    pub compactions: u64,
 }
 
 impl Stats {
@@ -159,7 +177,7 @@ impl Stats {
     /// single source of truth for [`Stats`]'s `Display` impl, the
     /// `qbfsolve --stats` output and the bench telemetry records — adding
     /// a field here updates all three.
-    pub fn fields(&self) -> [(&'static str, u64); 14] {
+    pub fn fields(&self) -> [(&'static str, u64); 18] {
         [
             ("decisions", self.decisions),
             ("propagations", self.propagations),
@@ -175,6 +193,10 @@ impl Stats {
             ("solution_depth_sum", self.solution_depth_sum),
             ("cube_size_sum", self.cube_size_sum),
             ("watcher_visits", self.watcher_visits),
+            ("blocker_hits", self.blocker_hits),
+            ("arena_bytes_peak", self.arena_bytes_peak),
+            ("arena_bytes_reclaimed", self.arena_bytes_reclaimed),
+            ("compactions", self.compactions),
         ]
     }
 }

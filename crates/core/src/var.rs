@@ -75,7 +75,11 @@ impl fmt::Display for Var {
 /// assert_eq!(!l, Var::new(0).negative());
 /// assert_eq!(!!l, l);
 /// ```
+// `repr(transparent)` guarantees the layout matches `u32`, which lets the
+// constraint arena (`solver/db.rs`) reinterpret its packed literal words as
+// `&[Lit]` without copying.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Lit(u32);
 
 impl Lit {

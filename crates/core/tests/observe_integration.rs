@@ -115,8 +115,20 @@ fn cross_check(qbf: &Qbf, config: SolverConfig) {
     );
     assert_eq!(profiler.forgotten(), s.forgotten, "forgotten");
     assert_eq!(profiler.watcher_visits(), s.watcher_visits, "watcher visits");
+    assert_eq!(profiler.blocker_hits(), s.blocker_hits, "blocker hits");
+    assert_eq!(profiler.compactions(), s.compactions, "compactions");
+    assert_eq!(
+        profiler.bytes_reclaimed(),
+        s.arena_bytes_reclaimed,
+        "bytes reclaimed"
+    );
+    assert!(
+        s.blocker_hits <= s.watcher_visits,
+        "blocker hits are a subset of watcher visits"
+    );
     let report = profiler.report();
     assert!(report.contains("decisions"), "report renders");
+    assert!(report.contains("blocker hits"), "report renders blockers");
 }
 
 #[test]

@@ -1,0 +1,201 @@
+//! Compaction stress suite: the representation-only guarantee of the
+//! arena-packed constraint store.
+//!
+//! Every instance of the differential pool (same seeds and generator
+//! parameters as `differential.rs`) is solved twice under an aggressively
+//! small learned-constraint budget (`max_learned: 3`, so database
+//! reduction — and with it arena compaction — fires every few conflicts):
+//! once with `compact_db: true` and once with `compact_db: false`. The
+//! verdicts must agree and every search counter must be bit-identical;
+//! only the three arena-memory telemetry fields (`arena_bytes_peak`,
+//! `arena_bytes_reclaimed`, `compactions`) may differ, because physically
+//! reclaiming tombstones is exactly the thing being toggled.
+//!
+//! Built with `--features qbf-core/debug-counters`, each of these runs is
+//! additionally shadow-verified by the seed engine's eager counter
+//! discipline, which panics if compaction corrupts a watcher, reason, or
+//! sentinel reference.
+
+use qbf_repro::core::solver::{HeuristicKind, Solver, SolverConfig};
+use qbf_repro::core::{samples, Qbf};
+use qbf_repro::gen::{fixed, fpv, ncf, rand_qbf, FixedParams, FpvParams, NcfParams, RandParams};
+use qbf_repro::prenex::{miniscope, prenex, Strategy};
+
+/// Solves `qbf` with compaction on and off under an aggressive reduction
+/// schedule and asserts the runs are search-identical. Returns how many
+/// compaction passes the compacting run performed, so callers can assert
+/// the stress schedule actually exercised the reclamation path.
+fn check_compaction(label: &str, qbf: &Qbf) -> u64 {
+    let mut compactions = 0;
+    for heuristic in [HeuristicKind::VsidsTree, HeuristicKind::VsidsLevel] {
+        let base = SolverConfig {
+            heuristic,
+            learning: true,
+            max_learned: 3,
+            ..SolverConfig::default()
+        }
+        .with_node_limit(2_000_000);
+        let with = Solver::new(
+            qbf,
+            SolverConfig {
+                compact_db: true,
+                ..base.clone()
+            },
+        )
+        .solve();
+        let without = Solver::new(
+            qbf,
+            SolverConfig {
+                compact_db: false,
+                ..base
+            },
+        )
+        .solve();
+        assert_eq!(
+            with.value(),
+            without.value(),
+            "{label}: verdict changed by compaction under {heuristic:?}"
+        );
+        let memory_fields = ["arena_bytes_peak", "arena_bytes_reclaimed", "compactions"];
+        for ((name, a), (_, b)) in with
+            .stats
+            .fields()
+            .iter()
+            .zip(without.stats.fields().iter())
+        {
+            if memory_fields.contains(name) {
+                continue;
+            }
+            assert_eq!(
+                a, b,
+                "{label}: search counter `{name}` changed by compaction under {heuristic:?}"
+            );
+        }
+        assert_eq!(
+            without.stats.compactions, 0,
+            "{label}: compact_db: false must never compact"
+        );
+        assert_eq!(
+            without.stats.arena_bytes_reclaimed, 0,
+            "{label}: compact_db: false must never reclaim"
+        );
+        compactions += with.stats.compactions;
+    }
+    compactions
+}
+
+#[test]
+fn compaction_samples() {
+    let cases: [(&str, Qbf); 6] = [
+        ("paper_example", samples::paper_example()),
+        ("forall_exists_xor", samples::forall_exists_xor()),
+        ("exists_forall_xor", samples::exists_forall_xor()),
+        ("two_independent_games", samples::two_independent_games()),
+        ("sat_instance", samples::sat_instance()),
+        ("unsat_instance", samples::unsat_instance()),
+    ];
+    for (name, qbf) in cases {
+        check_compaction(name, &qbf);
+    }
+}
+
+#[test]
+fn compaction_random_forests() {
+    for seed in 0..150u64 {
+        let q = samples::random_qbf(seed.wrapping_mul(0x9e37_79b9) ^ 0xd1f, 7, 11);
+        check_compaction(&format!("forest seed {seed}"), &q);
+    }
+}
+
+#[test]
+fn compaction_prenexed_and_miniscoped() {
+    for seed in 0..50u64 {
+        let q = samples::random_qbf(seed.wrapping_mul(0x61c8_8647) ^ 0xabc, 7, 10);
+        let strategy = Strategy::ALL[seed as usize % Strategy::ALL.len()];
+        let flat = prenex(&q, strategy);
+        check_compaction(&format!("prenex({strategy}) seed {seed}"), &flat);
+        if seed < 20 {
+            let mini = miniscope(&flat).expect("prenex input").qbf;
+            check_compaction(&format!("miniscope seed {seed}"), &mini);
+        }
+    }
+}
+
+#[test]
+fn compaction_generators() {
+    for seed in 0..4u64 {
+        let q = ncf(
+            &NcfParams {
+                dep: 3,
+                var: 2,
+                cls_ratio: 2,
+                lpc: 3,
+            },
+            seed,
+        );
+        check_compaction(&format!("ncf seed {seed}"), &q);
+    }
+    for seed in 0..3u64 {
+        let q = fpv(
+            &FpvParams {
+                config_vars: 3,
+                branches: 2,
+                branch_depth: 2,
+                block_vars: 2,
+                clauses_per_branch: 8,
+                lpc: 3,
+            },
+            seed,
+        );
+        check_compaction(&format!("fpv seed {seed}"), &q);
+    }
+    for seed in 0..3u64 {
+        let inst = fixed(
+            &FixedParams {
+                groups: 2,
+                depth: 2,
+                block_vars: 2,
+                clauses_per_group: 6,
+                lpc: 3,
+            },
+            seed,
+        );
+        check_compaction(&format!("fixed(prenex) seed {seed}"), &inst.prenex);
+        let mini = miniscope(&inst.prenex).expect("prenex input").qbf;
+        check_compaction(&format!("fixed(miniscoped) seed {seed}"), &mini);
+    }
+    for seed in 0..3u64 {
+        let q = rand_qbf(&RandParams::three_block(4, 3, 4, 20, 3), seed);
+        check_compaction(&format!("prob seed {seed}"), &q);
+    }
+}
+
+/// The differential pool is deliberately small; its searches rarely
+/// accumulate enough tombstoned words to cross the quarter-dead
+/// compaction threshold. This pool uses the bench suite's hard
+/// three-block instances, whose cube-heavy searches forget (and under
+/// `max_learned: 3` constantly reclaim) dozens of constraints — so the
+/// identity contract above is exercised on runs where compaction
+/// demonstrably fires.
+#[test]
+fn compaction_fires_on_hard_instances() {
+    let mut compactions = 0;
+    for seed in 0..6u64 {
+        let q = rand_qbf(
+            &RandParams::three_block(12, 9, 12, 110, 5).with_locality(3, 10),
+            seed,
+        );
+        compactions += check_compaction(&format!("hard three-block seed {seed}"), &q);
+    }
+    for seed in 0..3u64 {
+        let q = rand_qbf(
+            &RandParams::three_block(16, 10, 16, 170, 5).with_locality(4, 10),
+            seed,
+        );
+        compactions += check_compaction(&format!("large three-block seed {seed}"), &q);
+    }
+    assert!(
+        compactions > 0,
+        "the hard pool must trigger at least one compaction"
+    );
+}
