@@ -29,6 +29,21 @@ echo "==> repro bench-smoke --jobs 4 (parallel determinism gate)"
 cargo run -q --release -p qbf-bench --bin repro -- --out target/repro-smoke-jobs4 --jobs 4 bench-smoke
 cmp target/repro-smoke/BENCH_qbf_smoke.json target/repro-smoke-jobs4/BENCH_qbf_smoke.json
 
+echo "==> certificate gate (solve with --proof, verify with qbfcheck, byte-determinism)"
+# The release differential suite already certifies all 239 pool
+# instances under TO and PO; here the *binaries* are exercised
+# end-to-end: qbfsolve writes a certificate twice, qbfcheck must accept
+# it, and the two runs must be byte-identical.
+cargo test -q --release --test proof_differential
+mkdir -p target/proof-gate
+for cfg in --to --po; do
+    # paper_example is false: qbfsolve exits 20, qbfcheck prints VERIFIED 0.
+    ./target/release/qbfsolve $cfg --proof=target/proof-gate/a.qrp data/paper_example.qtree || [ $? -eq 20 ]
+    ./target/release/qbfsolve $cfg --proof=target/proof-gate/b.qrp data/paper_example.qtree || [ $? -eq 20 ]
+    cmp target/proof-gate/a.qrp target/proof-gate/b.qrp
+    ./target/release/qbfcheck data/paper_example.qtree target/proof-gate/a.qrp
+done
+
 echo "==> cargo clippy (best effort)"
 # clippy may not be installed in minimal offline toolchains; treat its
 # absence as a skip, but deny warnings when it is available.

@@ -14,6 +14,10 @@
 //!   --no-learning      disable good/nogood learning
 //!   --budget N         abort after N assignments
 //!   --stats            print search statistics to stderr
+//!   --proof[=FILE]     log a `qrp` Q-resolution/Q-consensus certificate
+//!                      (stderr with a `c ` prefix, or FILE when given);
+//!                      forces learning on and pure literals off, and is
+//!                      checkable with `qbfcheck INSTANCE FILE`
 //!   --trace[=FILE]     Fig. 2-style indented search-tree trace
 //!                      (stderr, or FILE when given)
 //!   --trace-json[=FILE] JSONL event trace, one JSON object per event
@@ -29,6 +33,7 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use qbf_core::observe::{JsonlTrace, MultiObserver, Profiler, Progress, TreeTrace};
+use qbf_core::proof::ProofLog;
 use qbf_core::recursive::{self, RecursiveConfig};
 use qbf_core::solver::{Solver, SolverConfig};
 use qbf_core::{io, Qbf};
@@ -42,6 +47,7 @@ struct Options {
     use_recursive: bool,
     preprocess: bool,
     stats: bool,
+    proof: Sink,
     trace: Sink,
     trace_json: Sink,
     profile: bool,
@@ -51,7 +57,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: qbfsolve [--to|--po|--basic|--recursive] [--preprocess] \
-         [--no-pure] [--no-learning] [--budget N] [--stats] \
+         [--no-pure] [--no-learning] [--budget N] [--stats] [--proof[=FILE]] \
          [--trace[=FILE]] [--trace-json[=FILE]] [--profile] [--progress N] [FILE]"
     );
     std::process::exit(1);
@@ -64,6 +70,7 @@ fn parse_args() -> Options {
         use_recursive: false,
         preprocess: false,
         stats: false,
+        proof: None,
         trace: None,
         trace_json: None,
         profile: false,
@@ -87,6 +94,7 @@ fn parse_args() -> Options {
             }
             "--preprocess" => opts.preprocess = true,
             "--stats" => opts.stats = true,
+            "--proof" => opts.proof = Some(None),
             "--trace" => opts.trace = Some(None),
             "--trace-json" => opts.trace_json = Some(None),
             "--profile" => opts.profile = true,
@@ -99,6 +107,9 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => usage(),
             "-" => opts.file = None,
+            _ if a.starts_with("--proof=") => {
+                opts.proof = Some(Some(a["--proof=".len()..].to_string()));
+            }
             _ if a.starts_with("--trace=") => {
                 opts.trace = Some(Some(a["--trace=".len()..].to_string()));
             }
@@ -155,8 +166,14 @@ fn parse_qbf(text: &str) -> Result<Qbf, String> {
 }
 
 /// Runs the selected solver, reporting events to `multi` (an empty
-/// fan-out takes the `NoopObserver` fast path) and printing `--stats`.
-fn run(qbf: &Qbf, opts: &Options, multi: MultiObserver<'_>) -> Option<bool> {
+/// fan-out takes the `NoopObserver` fast path), logging a certificate
+/// into `proof` when requested, and printing `--stats`.
+fn run(
+    qbf: &Qbf,
+    opts: &Options,
+    multi: MultiObserver<'_>,
+    proof: Option<&mut ProofLog>,
+) -> Option<bool> {
     let observed = !multi.is_empty();
     if opts.use_recursive {
         let cfg = RecursiveConfig {
@@ -174,10 +191,12 @@ fn run(qbf: &Qbf, opts: &Options, multi: MultiObserver<'_>) -> Option<bool> {
         }
         out.value
     } else {
-        let out = if observed {
-            Solver::with_observer(qbf, opts.config.clone(), multi).solve()
-        } else {
-            Solver::new(qbf, opts.config.clone()).solve()
+        let config = opts.config.clone();
+        let out = match (observed, proof) {
+            (true, Some(log)) => Solver::with_parts(qbf, config, multi, log).solve(),
+            (false, Some(log)) => Solver::with_proof(qbf, config, log).solve(),
+            (true, None) => Solver::with_observer(qbf, config, multi).solve(),
+            (false, None) => Solver::new(qbf, config).solve(),
         };
         if opts.stats {
             for line in out.stats.to_string().lines() {
@@ -242,10 +261,33 @@ fn main() -> ExitCode {
     if opts.progress > 0 {
         multi.push(&mut progress);
     }
+    let mut log = ProofLog::new();
+    if opts.proof.is_some() {
+        if opts.use_recursive {
+            eprintln!("error: --proof requires the QDPLL solver (drop --recursive)");
+            return ExitCode::from(1);
+        }
+        if opts.config.pure_literals || !opts.config.learning {
+            eprintln!("c proof: forcing learning on and pure literals off");
+        }
+    }
+
     // `run` consumes the fan-out, so the borrows of the individual
     // observers end at this call and the traces can be emitted below.
-    let value = run(&qbf, &opts, multi);
+    let value = run(
+        &qbf,
+        &opts,
+        multi,
+        opts.proof.is_some().then_some(&mut log),
+    );
 
+    if opts.proof.is_some() {
+        if log.is_concluded() {
+            emit(&opts.proof, "proof", log.as_text());
+        } else {
+            eprintln!("c proof: search was cut off before a conclusion; no certificate");
+        }
+    }
     emit(&opts.trace, "trace", tree.as_str());
     emit(&opts.trace_json, "JSON trace", &jsonl.finish());
     if opts.profile {

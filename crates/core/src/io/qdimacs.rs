@@ -42,6 +42,8 @@ pub fn parse(input: &str) -> Result<Qbf, ParseQbfError> {
     let mut blocks: Vec<(Quantifier, Vec<Var>)> = Vec::new();
     let mut clauses: Vec<Clause> = Vec::new();
     let mut in_matrix = false;
+    let mut bound: Vec<bool> = Vec::new();
+    let mut last_prefix_line = 0usize;
 
     for (lineno, raw) in input.lines().enumerate() {
         let lineno = lineno + 1;
@@ -67,6 +69,7 @@ pub fn parse(input: &str) -> Result<Qbf, ParseQbfError> {
                 .ok_or_else(|| ParseQbfError::new(lineno, "bad clause count"))?;
             num_vars = Some(nv);
             declared_clauses = Some(nc);
+            bound = vec![false; nv];
             continue;
         }
         let nv = num_vars
@@ -99,13 +102,29 @@ pub fn parse(input: &str) -> Result<Qbf, ParseQbfError> {
                 }
                 let v = n as usize;
                 if v > nv {
-                    return Err(ParseQbfError::new(lineno, format!("variable {v} out of range")));
+                    return Err(ParseQbfError::new(
+                        lineno,
+                        format!("variable `{tok}` out of range (1..={nv})"),
+                    ));
+                }
+                if std::mem::replace(&mut bound[v - 1], true) {
+                    return Err(ParseQbfError::new(
+                        lineno,
+                        format!("variable `{tok}` bound twice"),
+                    ));
                 }
                 vars.push(Var::new(v - 1));
             }
             if !terminated {
                 return Err(ParseQbfError::new(lineno, "quantifier line not 0-terminated"));
             }
+            if vars.is_empty() {
+                return Err(ParseQbfError::new(
+                    lineno,
+                    format!("empty quantifier block `{line}`"),
+                ));
+            }
+            last_prefix_line = lineno;
             blocks.push((quant, vars));
             continue;
         }
@@ -122,9 +141,19 @@ pub fn parse(input: &str) -> Result<Qbf, ParseQbfError> {
                 break;
             }
             if n.unsigned_abs() as usize > nv {
-                return Err(ParseQbfError::new(lineno, format!("literal {n} out of range")));
+                return Err(ParseQbfError::new(
+                    lineno,
+                    format!("literal `{tok}` names an undeclared variable (1..={nv})"),
+                ));
             }
-            lits.push(Lit::from_dimacs(n));
+            let l = Lit::from_dimacs(n);
+            if lits.contains(&l) {
+                return Err(ParseQbfError::new(
+                    lineno,
+                    format!("duplicate literal `{tok}` in clause"),
+                ));
+            }
+            lits.push(l);
         }
         if !terminated {
             return Err(ParseQbfError::new(lineno, "clause not 0-terminated"));
@@ -144,9 +173,10 @@ pub fn parse(input: &str) -> Result<Qbf, ParseQbfError> {
         }
     }
     let prefix = Prefix::prenex(nv, blocks)
-        .map_err(|e| ParseQbfError::new(0, e.to_string()))?;
+        .map_err(|e| ParseQbfError::new(last_prefix_line.max(1), e.to_string()))?;
     let matrix = Matrix::from_clauses(nv, clauses);
-    Qbf::new_closing_free(prefix, matrix).map_err(|e| ParseQbfError::new(0, e.to_string()))
+    Qbf::new_closing_free(prefix, matrix)
+        .map_err(|e| ParseQbfError::new(input.lines().count().max(1), e.to_string()))
 }
 
 /// Writes a prenex QBF in QDIMACS format.
@@ -232,6 +262,32 @@ mod tests {
         assert!(parse("p cnf 1 1\n2 0\n").is_err()); // out of range
         let err = parse("p cnf 1 1\nxyz 0\n").unwrap_err();
         assert!(err.to_string().contains("bad token"));
+    }
+
+    /// Every rejection names the 1-based line and quotes the offending
+    /// token, so a user can fix the document without bisecting it.
+    #[test]
+    fn errors_carry_line_and_token() {
+        let err = parse("p cnf 3 1\ne 1 2 0\n1 2 2 0\n").unwrap_err();
+        assert_eq!(err.line, 3, "duplicate literal: {err}");
+        assert!(err.to_string().contains("duplicate literal `2`"), "{err}");
+
+        let err = parse("p cnf 3 1\ne 1 0\n1 4 0\n").unwrap_err();
+        assert_eq!(err.line, 3, "undeclared variable: {err}");
+        assert!(err.to_string().contains("`4`"), "{err}");
+        assert!(err.to_string().contains("undeclared"), "{err}");
+
+        let err = parse("p cnf 3 1\ne 1 0\na 0\ne 2 0\n1 2 0\n").unwrap_err();
+        assert_eq!(err.line, 3, "empty quantifier block: {err}");
+        assert!(err.to_string().contains("empty quantifier block"), "{err}");
+
+        let err = parse("p cnf 3 1\ne 1 2 0\na 2 0\n1 2 0\n").unwrap_err();
+        assert_eq!(err.line, 3, "double binding: {err}");
+        assert!(err.to_string().contains("`2` bound twice"), "{err}");
+
+        let err = parse("p cnf 2 1\ne 1 3 0\n1 0\n").unwrap_err();
+        assert_eq!(err.line, 2, "prefix out of range: {err}");
+        assert!(err.to_string().contains("`3` out of range"), "{err}");
     }
 
     #[test]

@@ -166,6 +166,7 @@ pub fn parse(input: &str) -> Result<Qbf, ParseQbfError> {
     let mut declared_clauses: Option<usize> = None;
     let mut builder: Option<PrefixBuilder> = None;
     let mut saw_prefix = false;
+    let mut prefix_line = 0usize;
     let mut clauses: Vec<Clause> = Vec::new();
 
     for (lineno, raw) in input.lines().enumerate() {
@@ -208,6 +209,7 @@ pub fn parse(input: &str) -> Result<Qbf, ParseQbfError> {
                 return Err(ParseQbfError::new(lineno, "prefix line after clauses"));
             }
             saw_prefix = true;
+            prefix_line = lineno;
             let toks = tokenize(rest, lineno)?;
             parse_groups(
                 &toks,
@@ -229,9 +231,19 @@ pub fn parse(input: &str) -> Result<Qbf, ParseQbfError> {
                 break;
             }
             if n.unsigned_abs() as usize > nv {
-                return Err(ParseQbfError::new(lineno, format!("literal {n} out of range")));
+                return Err(ParseQbfError::new(
+                    lineno,
+                    format!("literal `{tok}` names an undeclared variable (1..={nv})"),
+                ));
             }
-            lits.push(Lit::from_dimacs(n));
+            let l = Lit::from_dimacs(n);
+            if lits.contains(&l) {
+                return Err(ParseQbfError::new(
+                    lineno,
+                    format!("duplicate literal `{tok}` in clause"),
+                ));
+            }
+            lits.push(l);
         }
         if !terminated {
             return Err(ParseQbfError::new(lineno, "clause not 0-terminated"));
@@ -252,9 +264,10 @@ pub fn parse(input: &str) -> Result<Qbf, ParseQbfError> {
     let prefix = builder
         .expect("builder created with problem line")
         .finish()
-        .map_err(|e| ParseQbfError::new(0, e.to_string()))?;
+        .map_err(|e| ParseQbfError::new(prefix_line.max(1), e.to_string()))?;
     let matrix = Matrix::from_clauses(nv, clauses);
-    Qbf::new_closing_free(prefix, matrix).map_err(|e| ParseQbfError::new(0, e.to_string()))
+    Qbf::new_closing_free(prefix, matrix)
+        .map_err(|e| ParseQbfError::new(input.lines().count().max(1), e.to_string()))
 }
 
 /// Writes any QBF (prenex or not) in `qtree` format.
@@ -317,6 +330,25 @@ mod tests {
         assert!(parse("p qtree 2 1\nt (e)\n1 0\n").is_err()); // empty block
         assert!(parse("p qtree 2 1\n1 0\nt (e 1)\n").is_err()); // prefix after clause
         assert!(parse("p cnf 2 1\n1 0\n").is_err()); // wrong keyword
+    }
+
+    /// Rejections name the 1-based line and quote the offending token.
+    #[test]
+    fn errors_carry_line_and_token() {
+        let err = parse("p qtree 3 1\nt (e 1 2)\n1 2 2 0\n").unwrap_err();
+        assert_eq!(err.line, 3, "duplicate literal: {err}");
+        assert!(err.to_string().contains("duplicate literal `2`"), "{err}");
+
+        let err = parse("p qtree 3 1\nt (e 1)\n1 4 0\n").unwrap_err();
+        assert_eq!(err.line, 3, "undeclared variable: {err}");
+        assert!(err.to_string().contains("`4`"), "{err}");
+
+        let err = parse("p qtree 3 1\nt (e 1) (a)\n1 0\n").unwrap_err();
+        assert_eq!(err.line, 2, "empty block: {err}");
+        assert!(err.to_string().contains("binds no variables"), "{err}");
+
+        let err = parse("p qtree 2 1\nt (e 1) (a 1)\n1 0\n").unwrap_err();
+        assert_eq!(err.line, 2, "double binding: {err}");
     }
 
     #[test]

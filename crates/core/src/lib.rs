@@ -39,6 +39,7 @@ mod var;
 pub mod io;
 pub mod observe;
 pub mod preprocess;
+pub mod proof;
 pub mod recursive;
 pub mod samples;
 pub mod semantics;

@@ -112,6 +112,15 @@ impl ConstraintRef {
     fn offset(self) -> usize {
         (self.0 & !CUBE_TAG) as usize
     }
+
+    /// Opaque identity handed to proof sinks (arena offset plus kind
+    /// tag). Stable until the constraint is deleted or the arena is
+    /// compacted — both events are reported to the sink, which keeps its
+    /// token → proof-line map in sync.
+    #[inline]
+    pub(crate) fn token(self) -> u64 {
+        self.0 as u64
+    }
 }
 
 /// A watcher-list entry: the watching constraint plus a *blocker* literal
@@ -470,8 +479,8 @@ impl Db {
     }
 
     /// Every constraint of both arenas (clauses first), including
-    /// tombstoned ones. Shadow-verification walk.
-    #[cfg(feature = "debug-counters")]
+    /// tombstoned ones. Shadow-verification walk; also the proof sink's
+    /// pre-compaction token snapshot.
     pub(crate) fn all_refs(&self) -> impl Iterator<Item = ConstraintRef> + '_ {
         self.clauses
             .offsets()

@@ -82,6 +82,7 @@
 
 use crate::observe::{LearnedKind, NoopObserver, PropagationKind, SearchObserver};
 use crate::prefix::{BlockId, Prefix};
+use crate::proof::{NoProof, ProofSink};
 use crate::qbf::Qbf;
 use crate::var::{Lit, Var};
 
@@ -166,12 +167,13 @@ fn attach_unblock_sentinels(db: &mut Db, prefix: &Prefix, cref: ConstraintRef) {
 /// hot path (see `tests/observe_integration.rs` for the determinism
 /// guard).
 #[derive(Debug)]
-pub struct Solver<'a, O: SearchObserver = NoopObserver> {
+pub struct Solver<'a, O: SearchObserver = NoopObserver, P: ProofSink = NoProof> {
     qbf: &'a Qbf,
     config: SolverConfig,
     db: Db,
     brancher: Brancher,
     observer: O,
+    proof: P,
 
     value: Vec<Option<bool>>,
     level: Vec<u32>,
@@ -206,7 +208,7 @@ impl<'a> Solver<'a> {
     /// Prepares a solver for the given QBF with the (zero-cost) no-op
     /// observer.
     pub fn new(qbf: &'a Qbf, config: SolverConfig) -> Self {
-        Solver::with_observer(qbf, config, NoopObserver)
+        Solver::with_parts(qbf, config, NoopObserver, NoProof)
     }
 }
 
@@ -215,6 +217,36 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
     /// event to `observer`. Pass `&mut obs` to keep ownership of the
     /// observer across [`Solver::solve`] (which consumes the solver).
     pub fn with_observer(qbf: &'a Qbf, config: SolverConfig, observer: O) -> Self {
+        Solver::with_parts(qbf, config, observer, NoProof)
+    }
+}
+
+impl<'a, P: ProofSink> Solver<'a, NoopObserver, P> {
+    /// Prepares a solver that records a Q-resolution/Q-consensus
+    /// certificate into `proof` (see [`crate::proof`]). Pass `&mut log`
+    /// to keep ownership of the log across [`Solver::solve`].
+    ///
+    /// Proof mode pins two config axes (see `with_parts`):
+    /// `pure_literals` is forced off — monotone-literal fixing assigns
+    /// variables with no constraint antecedent, which Q-resolution chains
+    /// cannot discharge — and `learning` is forced on, since the
+    /// certificate records the learning derivations. The pinning is a
+    /// no-op for the default QUBE(TO)/QUBE(PO) learning configurations
+    /// apart from the pure-literal axis.
+    pub fn with_proof(qbf: &'a Qbf, config: SolverConfig, proof: P) -> Self {
+        Solver::with_parts(qbf, config, NoopObserver, proof)
+    }
+}
+
+impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
+    /// Fully general constructor: observer and proof sink together.
+    pub fn with_parts(qbf: &'a Qbf, mut config: SolverConfig, observer: O, proof: P) -> Self {
+        if P::ENABLED {
+            // See `with_proof`: certificates require constraint
+            // antecedents for every non-decision assignment.
+            config.pure_literals = false;
+            config.learning = true;
+        }
         let n = qbf.num_vars();
         let mut db = Db::new(n);
         let mut active_occ = vec![0u32; 2 * n];
@@ -249,12 +281,13 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
             arena_bytes_peak: db.bytes_peak as u64,
             ..Stats::default()
         };
-        Solver {
+        let mut solver = Solver {
             qbf,
             config,
             db,
             brancher,
             observer,
+            proof,
             value: vec![None; n],
             level: vec![0; n],
             reason: vec![Reason::Decision; n],
@@ -269,7 +302,15 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
             conflicts_since_decay: 0,
             lit_mark: vec![false; 2 * n],
             debug_dump: std::env::var_os("QBF_DEBUG").is_some(),
+        };
+        if P::ENABLED {
+            solver.proof.begin(qbf);
+            let tokens: Vec<u64> = solver.db.original_refs().map(|c| c.token()).collect();
+            for t in tokens {
+                solver.proof.on_original(t);
+            }
         }
+        solver
     }
 
     fn prefix(&self) -> &Prefix {
@@ -307,7 +348,15 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         let originals: Vec<ConstraintRef> = self.db.original_refs().collect();
         for c in originals {
             if let Some(Event::Conflict(_)) = self.examine_clause(c) {
-                return Outcome::new(Some(false), self.stats);
+                // The clause has no existential literals: it ∀-reduces to
+                // the empty clause (after resolving out any literals the
+                // scan's earlier unit propagations falsified).
+                if P::ENABLED {
+                    let lits = self.db.lits(c).to_vec();
+                    self.proof.chain_start(c.token(), &lits, false);
+                    self.proof_finish(false);
+                }
+                return self.outcome(Some(false));
             }
         }
         if self.config.pure_literals {
@@ -315,7 +364,7 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         }
         loop {
             if self.budget_exhausted() {
-                return Outcome::new(None, self.stats);
+                return self.outcome(None);
             }
             let event = self.propagate_and_fix();
             match event {
@@ -324,7 +373,7 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                     self.observer.on_conflict(self.current_level(), self.trail.len());
                     self.tick_decay();
                     if let Some(v) = self.handle_conflict(c) {
-                        return Outcome::new(Some(v), self.stats);
+                        return self.outcome(Some(v));
                     }
                 }
                 Some(Event::CubeSolution(k)) => {
@@ -332,8 +381,11 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                     self.observer.on_solution(self.current_level(), self.trail.len());
                     self.tick_decay();
                     let init = self.db.lits(k).to_vec();
+                    if P::ENABLED {
+                        self.proof.chain_start(k.token(), &init, true);
+                    }
                     if let Some(v) = self.handle_solution(init) {
-                        return Outcome::new(Some(v), self.stats);
+                        return self.outcome(Some(v));
                     }
                 }
                 None => {
@@ -342,19 +394,74 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                         self.observer.on_solution(self.current_level(), self.trail.len());
                         self.tick_decay();
                         let init = self.matrix_implicant();
+                        if P::ENABLED {
+                            self.proof.chain_init_cube(&init);
+                        }
                         if let Some(v) = self.handle_solution(init) {
-                            return Outcome::new(Some(v), self.stats);
+                            return self.outcome(Some(v));
                         }
                     } else if !self.decide() {
                         // No candidate although clauses remain unsatisfied:
                         // cannot happen (a falsified clause would have
                         // conflicted), but fail safe.
                         debug_assert!(false, "no decision candidates but matrix unsatisfied");
-                        return Outcome::new(None, self.stats);
+                        return self.outcome(None);
                     }
                 }
             }
             self.maybe_reduce_db();
+        }
+    }
+
+    /// Folds the proof sink's counters into `Stats` and builds the
+    /// outcome (the single exit path of [`Solver::solve`]).
+    fn outcome(&mut self, value: Option<bool>) -> Outcome {
+        if P::ENABLED {
+            let (steps, bytes, dels) = self.proof.proof_stats();
+            self.stats.proof_steps = steps;
+            self.stats.proof_bytes = bytes;
+            self.stats.proof_dels = dels;
+        }
+        Outcome::new(value, self.stats)
+    }
+
+    /// Resolves the proof sink's working constraint against the reasons of
+    /// the trail suffix `trail[from..]`, latest-assigned first, then
+    /// maximally reduces it. A working *clause* depends on a trail literal
+    /// `t` through `¬t` and is resolved with `t`'s clause reason; a working
+    /// *cube* depends through `t` itself and is resolved with `t`'s cube
+    /// reason. Literals without a usable reason (decisions) are left for
+    /// the reduction or a later `chain_absorb_frame`.
+    fn proof_drain_trail(&mut self, from: usize, cube: bool) {
+        let mut i = self.trail.len();
+        while i > from {
+            i -= 1;
+            let t = self.trail[i];
+            let pivot = if cube { t } else { !t };
+            if !self.proof.working_contains(pivot) {
+                continue;
+            }
+            let Reason::Constraint(r) = self.reason[t.var().index()] else {
+                continue;
+            };
+            let want = if cube { Kind::Cube } else { Kind::Clause };
+            if r.kind() != want {
+                continue;
+            }
+            let rl = self.db.lits(r).to_vec();
+            self.proof.chain_resolve(self.qbf.prefix(), r.token(), &rl, pivot);
+        }
+        self.proof.chain_reduce(self.qbf.prefix());
+    }
+
+    /// Discharges the residual trail dependencies of the working
+    /// constraint and writes the conclusion record. Safe to call at every
+    /// terminal site: when the working constraint is already empty the
+    /// drain and reduction are no-ops.
+    fn proof_finish(&mut self, value: bool) {
+        if P::ENABLED {
+            self.proof_drain_trail(0, value);
+            self.proof.conclude(value);
         }
     }
 
@@ -423,6 +530,9 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
     /// Pops the topmost decision level. Watcher lists are deliberately
     /// **not** touched: stale watches are legal (see the module docs).
     fn backtrack_one(&mut self) {
+        if P::ENABLED {
+            self.proof.frame_pop();
+        }
         let frame = self.frames.pop().expect("backtrack with empty stack");
         while self.trail.len() > frame.trail_start {
             let l = self.trail.pop().expect("trail_start within trail");
@@ -471,6 +581,21 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
     }
 
     fn push_decision(&mut self, lit: Lit, flipped: bool, pseudo_reason: Option<ConstraintRef>) {
+        if P::ENABLED {
+            // Record how a later unwinding can discharge this frame: a
+            // flipped decision carries the refutation of its first phase —
+            // either a learned constraint (token shadow) or the analysis
+            // working set of the chronological flip (working shadow).
+            match (flipped, pseudo_reason) {
+                (true, Some(pr)) => {
+                    let pl = self.db.lits(pr).to_vec();
+                    self.proof
+                        .frame_push_token(pr.token(), &pl, pr.kind() == Kind::Cube);
+                }
+                (true, None) => self.proof.frame_push_working(),
+                _ => self.proof.frame_push(),
+            }
+        }
         self.frames.push(Frame {
             lit,
             flipped,
@@ -947,9 +1072,16 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
             return self.chrono_conflict();
         }
         let mut lits = self.db.lits(conflict).to_vec();
+        if P::ENABLED {
+            self.proof.chain_start(conflict.token(), &lits, false);
+        }
         self.resolve_existentials(&mut lits);
         self.universal_reduce(&mut lits);
+        if P::ENABLED {
+            self.proof.chain_reduce(self.qbf.prefix());
+        }
         if lits.is_empty() {
+            self.proof_finish(false);
             return Some(false);
         }
         let cref = self.learn(lits.clone(), Kind::Clause);
@@ -1011,6 +1143,10 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                     self.lit_mark[x.code()] = true;
                     lits.push(x);
                 }
+            }
+            if P::ENABLED {
+                let rl = self.db.lits(r).to_vec();
+                self.proof.chain_resolve(self.qbf.prefix(), r.token(), &rl, m);
             }
         }
         for &l in lits.iter() {
@@ -1123,6 +1259,10 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         self.stats.arena_bytes_peak = self.stats.arena_bytes_peak.max(self.db.bytes_peak as u64);
         attach_unblock_sentinels(&mut self.db, self.qbf.prefix(), cref);
         self.db.set_activity(cref, self.stats.conflicts as f64);
+        if P::ENABLED {
+            let ll = self.db.lits(cref).to_vec();
+            self.proof.chain_learn(cref.token(), &ll);
+        }
         cref
     }
 
@@ -1131,6 +1271,7 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         let mut dirty = false;
         loop {
             if self.frames.is_empty() {
+                self.proof_finish(false);
                 return Some(false);
             }
             let k = self.current_level();
@@ -1180,8 +1321,16 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                     // that refuted the first branch, if resolution is legal.
                     if let Some(pr) = frame.pseudo_reason {
                         if let Some(mut combined) = self.try_resolve_clause(&lits, pr, d) {
+                            if P::ENABLED {
+                                let pl = self.db.lits(pr).to_vec();
+                                self.proof.chain_resolve(self.qbf.prefix(), pr.token(), &pl, !d);
+                            }
                             self.universal_reduce(&mut combined);
+                            if P::ENABLED {
+                                self.proof.chain_reduce(self.qbf.prefix());
+                            }
                             if combined.is_empty() {
+                                self.proof_finish(false);
                                 return Some(false);
                             }
                             lits = combined;
@@ -1202,7 +1351,11 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                     .any(|&e| self.is_existential(e.var()) && self.prefix().precedes(d.var(), e.var()));
                 if reducible {
                     lits = rest;
+                    if P::ENABLED {
+                        self.proof.chain_remove(self.qbf.prefix(), !d);
+                    }
                     if lits.is_empty() {
+                        self.proof_finish(false);
                         return Some(false);
                     }
                     dirty = true;
@@ -1275,14 +1428,29 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         loop {
             let Some(frame) = self.frames.last().copied() else {
                 self.observer.on_chrono_backtrack(from, 0);
+                self.proof_finish(false);
                 return Some(false);
             };
             if self.is_existential(frame.lit.var()) && !frame.flipped {
                 let d = frame.lit;
+                // Discharge the frame's propagations so the working clause
+                // depends on level k only through the decision itself; the
+                // flip then carries it as its shadow refutation.
+                if P::ENABLED {
+                    self.proof_drain_trail(frame.trail_start + 1, false);
+                }
                 self.backtrack_one();
                 self.observer.on_chrono_backtrack(from, self.current_level());
                 self.push_decision(!d, true, None);
                 return None;
+            }
+            if P::ENABLED {
+                self.proof_drain_trail(frame.trail_start + 1, false);
+                self.proof.chain_absorb_frame(
+                    self.qbf.prefix(),
+                    frame.lit,
+                    self.is_existential(frame.lit.var()),
+                );
             }
             self.backtrack_one();
         }
@@ -1339,7 +1507,11 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         }
         self.resolve_universals(&mut lits);
         self.existential_reduce(&mut lits);
+        if P::ENABLED {
+            self.proof.chain_reduce(self.qbf.prefix());
+        }
         if lits.is_empty() {
+            self.proof_finish(true);
             return Some(true);
         }
         self.stats.cube_size_sum += lits.len() as u64;
@@ -1407,6 +1579,10 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                     lits.push(x);
                 }
             }
+            if P::ENABLED {
+                let rl = self.db.lits(r).to_vec();
+                self.proof.chain_resolve(self.qbf.prefix(), r.token(), &rl, m);
+            }
         }
         for &l in lits.iter() {
             self.lit_mark[l.code()] = false;
@@ -1418,6 +1594,7 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         let mut dirty = false;
         loop {
             if self.frames.is_empty() {
+                self.proof_finish(true);
                 return Some(true);
             }
             let k = self.current_level();
@@ -1464,8 +1641,16 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                     }
                     if let Some(pr) = frame.pseudo_reason {
                         if let Some(mut combined) = self.try_resolve_cube(&lits, pr, d) {
+                            if P::ENABLED {
+                                let pl = self.db.lits(pr).to_vec();
+                                self.proof.chain_resolve(self.qbf.prefix(), pr.token(), &pl, d);
+                            }
                             self.existential_reduce(&mut combined);
+                            if P::ENABLED {
+                                self.proof.chain_reduce(self.qbf.prefix());
+                            }
                             if combined.is_empty() {
+                                self.proof_finish(true);
                                 return Some(true);
                             }
                             lits = combined;
@@ -1486,7 +1671,11 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
                     .any(|&u| !self.is_existential(u.var()) && self.prefix().precedes(d.var(), u.var()));
                 if reducible {
                     lits = rest;
+                    if P::ENABLED {
+                        self.proof.chain_remove(self.qbf.prefix(), d);
+                    }
                     if lits.is_empty() {
+                        self.proof_finish(true);
                         return Some(true);
                     }
                     dirty = true;
@@ -1552,14 +1741,29 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         loop {
             let Some(frame) = self.frames.last().copied() else {
                 self.observer.on_chrono_backtrack(from, 0);
+                self.proof_finish(true);
                 return Some(true);
             };
             if !self.is_existential(frame.lit.var()) && !frame.flipped {
                 let d = frame.lit;
+                // Dual of `chrono_conflict`: discharge the frame's
+                // propagations, then carry the working cube as the flip's
+                // shadow.
+                if P::ENABLED {
+                    self.proof_drain_trail(frame.trail_start + 1, true);
+                }
                 self.backtrack_one();
                 self.observer.on_chrono_backtrack(from, self.current_level());
                 self.push_decision(!d, true, None);
                 return None;
+            }
+            if P::ENABLED {
+                self.proof_drain_trail(frame.trail_start + 1, true);
+                self.proof.chain_absorb_frame(
+                    self.qbf.prefix(),
+                    frame.lit,
+                    self.is_existential(frame.lit.var()),
+                );
             }
             self.backtrack_one();
         }
@@ -1606,6 +1810,9 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
         for &c in candidates.iter().take(drop_count) {
             let lits = self.db.lits(c).to_vec();
             self.brancher.on_forget(&lits);
+            if P::ENABLED {
+                self.proof.on_delete(c.token());
+            }
             self.db.delete(c);
             self.stats.forgotten += 1;
         }
@@ -1631,7 +1838,22 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
     /// assigned variables and pseudo-reasons are locked against deletion,
     /// so their remap always succeeds.
     fn compact_db(&mut self) {
+        // Compaction renames `ConstraintRef`s, which the proof sink uses
+        // as tokens: snapshot the live refs first, then rebuild the sink's
+        // token map from the (old, new) pairs.
+        let live: Vec<ConstraintRef> = if P::ENABLED {
+            self.db.all_refs().filter(|&c| !self.db.is_deleted(c)).collect()
+        } else {
+            Vec::new()
+        };
         let map = self.db.compact();
+        if P::ENABLED {
+            let pairs: Vec<(u64, u64)> = live
+                .iter()
+                .filter_map(|&c| map.remap(c).map(|nc| (c.token(), nc.token())))
+                .collect();
+            self.proof.remap_tokens(&pairs);
+        }
         for v in 0..self.reason.len() {
             if let Reason::Constraint(c) = self.reason[v] {
                 self.reason[v] = match map.remap(c) {
@@ -1670,7 +1892,7 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
 /// [`Solver::shadow_verify`] then cross-checks the two propagators'
 /// conclusions at every propagation fixpoint.
 #[cfg(feature = "debug-counters")]
-impl<O: SearchObserver> Solver<'_, O> {
+impl<O: SearchObserver, P: ProofSink> Solver<'_, O, P> {
     fn shadow_assign(&mut self, lit: Lit) {
         // The satisfaction tracker in `assign` already maintains
         // `true_count` for original clauses; the shadow adds the learned

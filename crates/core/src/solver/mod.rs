@@ -164,6 +164,13 @@ pub struct Stats {
     pub arena_bytes_reclaimed: u64,
     /// Arena compaction passes run by database reduction.
     pub compactions: u64,
+    /// Proof records emitted by the attached proof sink (`r`/`u`/`i`/`l`
+    /// derivation steps; 0 when proof logging is disabled).
+    pub proof_steps: u64,
+    /// Bytes of certificate text emitted by the attached proof sink.
+    pub proof_bytes: u64,
+    /// `d` (constraint forgotten) records emitted by the proof sink.
+    pub proof_dels: u64,
 }
 
 impl Stats {
@@ -177,7 +184,7 @@ impl Stats {
     /// single source of truth for [`Stats`]'s `Display` impl, the
     /// `qbfsolve --stats` output and the bench telemetry records — adding
     /// a field here updates all three.
-    pub fn fields(&self) -> [(&'static str, u64); 18] {
+    pub fn fields(&self) -> [(&'static str, u64); 21] {
         [
             ("decisions", self.decisions),
             ("propagations", self.propagations),
@@ -197,6 +204,9 @@ impl Stats {
             ("arena_bytes_peak", self.arena_bytes_peak),
             ("arena_bytes_reclaimed", self.arena_bytes_reclaimed),
             ("compactions", self.compactions),
+            ("proof_steps", self.proof_steps),
+            ("proof_bytes", self.proof_bytes),
+            ("proof_dels", self.proof_dels),
         ]
     }
 }

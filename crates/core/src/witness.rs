@@ -153,4 +153,29 @@ mod tests {
         let cfg = SolverConfig::partial_order().with_node_limit(0);
         assert!(outer_witness(&samples::paper_example(), &cfg).is_none());
     }
+
+    /// The caller's config must reach the *inner* restriction solves,
+    /// not just the initial one. This instance is decided without a
+    /// single assignment (the initial solve survives a zero node
+    /// budget), but fixing its top variable leaves a restriction that
+    /// needs real search — so a plumbed-through limit makes the
+    /// self-reduction fail while a dropped one would silently succeed.
+    #[test]
+    fn restriction_solves_respect_the_callers_budget() {
+        let q = samples::random_qbf(0xb823c, 8, 14);
+        let cfg = SolverConfig::partial_order().with_node_limit(0);
+        assert_eq!(
+            Solver::new(&q, cfg.clone()).solve().value(),
+            Some(false),
+            "the unrestricted instance must be decidable within the budget"
+        );
+        assert!(
+            outer_witness(&q, &cfg).is_none(),
+            "a restriction solve must inherit and exhaust the budget"
+        );
+        assert!(
+            outer_witness(&q, &SolverConfig::partial_order()).is_some(),
+            "without the limit the witness extraction completes"
+        );
+    }
 }

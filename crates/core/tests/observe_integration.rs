@@ -10,6 +10,7 @@
 //!   search (bit-identical statistics with and without observers).
 
 use qbf_core::observe::{JsonlTrace, MultiObserver, Profiler, Progress, TreeTrace};
+use qbf_core::proof::ProofLog;
 use qbf_core::recursive::{self, RecursiveConfig};
 use qbf_core::samples;
 use qbf_core::solver::{Solver, SolverConfig, Stats};
@@ -167,6 +168,40 @@ fn observers_do_not_perturb_the_search() {
             assert_eq!(
                 plain.stats, observed.stats,
                 "observers must leave the search bit-identical (seed {seed})"
+            );
+        }
+    }
+}
+
+/// The certificate logger's analogue of the zero-overhead guard:
+/// attaching a [`ProofLog`] must not change what the search *does*, only
+/// record it. Proof mode forces pure literals off and learning on, so
+/// the baseline uses the same effective configuration; every non-proof
+/// statistic must then be bit-identical, and the proof counters must be
+/// the only difference.
+#[test]
+fn proof_logging_does_not_perturb_the_search() {
+    for seed in 0..8u64 {
+        let qbf = samples::random_qbf(seed, 10, 26);
+        for base in [SolverConfig::partial_order(), SolverConfig::total_order()] {
+            let config = SolverConfig {
+                pure_literals: false,
+                learning: true,
+                ..base
+            };
+            let plain = Solver::new(&qbf, config.clone()).solve();
+            let mut log = ProofLog::new();
+            let proved = Solver::with_proof(&qbf, config, &mut log).solve();
+            assert_eq!(plain.value(), proved.value());
+            let mut masked = proved.stats;
+            assert!(masked.proof_steps > 0, "proof run recorded steps (seed {seed})");
+            assert!(masked.proof_bytes > 0, "proof run recorded bytes (seed {seed})");
+            masked.proof_steps = 0;
+            masked.proof_bytes = 0;
+            masked.proof_dels = 0;
+            assert_eq!(
+                plain.stats, masked,
+                "proof logging must leave the search bit-identical (seed {seed})"
             );
         }
     }

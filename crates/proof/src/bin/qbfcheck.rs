@@ -1,0 +1,70 @@
+//! `qbfcheck` — standalone verifier for `qrp` certificates.
+//!
+//! ```text
+//! qbfcheck <INSTANCE> <PROOF>
+//!
+//!   INSTANCE   QDIMACS (`p cnf`) or non-prenex qtree (`p qtree`) document
+//!   PROOF      qrp certificate written by `qbfsolve --proof`
+//! ```
+//!
+//! Prints `s VERIFIED 0|1` and exits 0 when the certificate is a valid
+//! Q-resolution/Q-consensus derivation for the instance; prints the
+//! violated rule (`Exx`) to stderr and exits 1 otherwise; exits 2 on
+//! usage or I/O errors.
+
+use std::process::ExitCode;
+
+use qbf_core::{io, Qbf};
+use qbf_proof::check_proof;
+
+fn parse_qbf(text: &str) -> Result<Qbf, String> {
+    let keyword = text
+        .lines()
+        .map(str::trim)
+        .find(|l| l.starts_with("p "))
+        .unwrap_or("");
+    if keyword.starts_with("p qtree") {
+        io::qtree::parse(text).map_err(|e| e.to_string())
+    } else {
+        io::qdimacs::parse(text).map_err(|e| e.to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [instance_path, proof_path] = args.as_slice() else {
+        eprintln!("usage: qbfcheck <INSTANCE> <PROOF>");
+        return ExitCode::from(2);
+    };
+    let instance_text = match std::fs::read_to_string(instance_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {instance_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let proof_text = match std::fs::read_to_string(proof_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {proof_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let qbf = match parse_qbf(&instance_text) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: parse failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match check_proof(&qbf, &proof_text) {
+        Ok(value) => {
+            println!("s VERIFIED {}", u8::from(value));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("s REJECTED {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,731 @@
+//! # qbf-proof
+//!
+//! Independent verifier for the `qrp` certificates emitted by the search
+//! solver's proof logger (`qbf_core::proof`). A certificate is a
+//! Q-resolution refutation (FALSE) or a Q-consensus confirmation (TRUE);
+//! the verifier replays every derivation step against the instance with
+//! its **own** implementations of resolution, ∀/∃-reduction and the
+//! partial-order test `≺` — nothing is shared with the solver beyond the
+//! `qbf-core` types — so a bug in the engine's analysis or in the
+//! logger's lockstep mirroring cannot silently self-certify.
+//!
+//! The `≺` test here walks `block_parent` links (an explicit
+//! ancestor-of check on the quantifier forest) rather than the solver's
+//! DFS-timestamp intervals, which is the point of the exercise: the
+//! paper's parenthesis criterion and the tree-walk criterion must agree
+//! on every reduction a PO run performs.
+//!
+//! See the format grammar in `qbf_core::proof`; the checker's error
+//! vocabulary is [`ErrorCode`]. The `qbfcheck` binary wraps
+//! [`check_proof`] for the command line.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+use qbf_core::{Lit, Prefix, Qbf, Var};
+
+/// Why a certificate was rejected. The stable `Exx` names (see
+/// [`ErrorCode::as_str`]) are the contract of the mutation tests and of
+/// `qbfcheck`'s stderr output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// E01 — malformed record (syntax, bad integer, out-of-range variable).
+    Parse,
+    /// E10 — missing or mismatched `p qrp` header line.
+    BadHeader,
+    /// E11 — prefix/matrix fingerprint does not match the instance.
+    HashMismatch,
+    /// E20 — a record references a proof line that does not exist.
+    UnknownId,
+    /// E21 — a record references a line deleted by an earlier `d`.
+    UseAfterDelete,
+    /// E22 — a derived line's id is not strictly increasing.
+    NonMonotoneId,
+    /// E30 — resolution pivot missing from an antecedent.
+    PivotNotPresent,
+    /// E31 — resolution pivot has the wrong quantifier for the
+    /// constraint kind (clause pivots are existential, cube pivots
+    /// universal).
+    PivotWrongQuantifier,
+    /// E32 — resolvent contains a complementary pair that neither the
+    /// relevant-quantifier rule nor the long-distance side condition
+    /// (`pivot ≺ x`) admits.
+    Tautology,
+    /// E33 — resolution antecedents of different kinds (clause × cube).
+    KindMismatch,
+    /// E40 — a reduction removes a literal the partial order does not
+    /// allow it to remove.
+    IllegalReduction,
+    /// E41 — a reduction removes a literal absent from the antecedent.
+    ReducedLitMissing,
+    /// E50 — an initial cube does not touch every matrix clause.
+    InitCubeNotImplicant,
+    /// E51 — an initial cube contains a complementary pair.
+    InitCubeContradictory,
+    /// E60 — a `l` record's literals differ from its antecedent.
+    LearnMismatch,
+    /// E70 — the conclusion line is not the empty constraint of the
+    /// claimed kind (or a second conclusion appears).
+    BadConclusion,
+    /// E71 — the certificate ends without a conclusion record.
+    MissingConclusion,
+}
+
+impl ErrorCode {
+    /// The stable short name (`"E01"` … `"E71"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "E01",
+            ErrorCode::BadHeader => "E10",
+            ErrorCode::HashMismatch => "E11",
+            ErrorCode::UnknownId => "E20",
+            ErrorCode::UseAfterDelete => "E21",
+            ErrorCode::NonMonotoneId => "E22",
+            ErrorCode::PivotNotPresent => "E30",
+            ErrorCode::PivotWrongQuantifier => "E31",
+            ErrorCode::Tautology => "E32",
+            ErrorCode::KindMismatch => "E33",
+            ErrorCode::IllegalReduction => "E40",
+            ErrorCode::ReducedLitMissing => "E41",
+            ErrorCode::InitCubeNotImplicant => "E50",
+            ErrorCode::InitCubeContradictory => "E51",
+            ErrorCode::LearnMismatch => "E60",
+            ErrorCode::BadConclusion => "E70",
+            ErrorCode::MissingConclusion => "E71",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A rejected certificate: the violated rule, the 1-based line of the
+/// proof text, and a human-readable account.
+#[derive(Debug, Clone)]
+pub struct ProofError {
+    /// The violated rule.
+    pub code: ErrorCode,
+    /// 1-based line number in the proof text (0 for end-of-file errors).
+    pub line: usize,
+    /// Human-readable account of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (line {}): {}", self.code, self.line, self.message)
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// One derived (or original) constraint the checker holds.
+#[derive(Debug)]
+struct Entry {
+    lits: Vec<Lit>,
+    cube: bool,
+    deleted: bool,
+}
+
+/// `a ≺ b`: the block of `a` is a **proper** ancestor of the block of
+/// `b` in the quantifier forest. Deliberately implemented as a parent
+/// walk, not via the solver's DFS-interval test.
+fn precedes(prefix: &Prefix, a: Var, b: Var) -> bool {
+    let (Some(ba), Some(bb)) = (prefix.block_of(a), prefix.block_of(b)) else {
+        return false;
+    };
+    if ba == bb {
+        return false;
+    }
+    let mut cur = bb;
+    while let Some(p) = prefix.block_parent(cur) {
+        if p == ba {
+            return true;
+        }
+        cur = p;
+    }
+    false
+}
+
+/// FNV-1a 64 over the canonical prefix/matrix serialization — an
+/// independent re-implementation of `qbf_core::proof::instance_fingerprints`
+/// (kept separate on purpose: logger and checker must agree byte for
+/// byte without sharing the code).
+fn fingerprints(qbf: &Qbf) -> (u64, u64) {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn eat(acc: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *acc ^= b as u64;
+            *acc = acc.wrapping_mul(PRIME);
+        }
+    }
+    fn walk(prefix: &Prefix, b: qbf_core::BlockId, acc: &mut u64) {
+        eat(acc, b"(");
+        eat(acc, if prefix.block_quant(b).is_exists() { b"e" } else { b"a" });
+        for &v in prefix.block_vars(b) {
+            eat(acc, (v.index() + 1).to_string().as_bytes());
+            eat(acc, b" ");
+        }
+        for &c in prefix.block_children(b) {
+            walk(prefix, c, acc);
+        }
+        eat(acc, b")");
+    }
+    let mut ph = OFFSET;
+    for &b in qbf.prefix().roots() {
+        walk(qbf.prefix(), b, &mut ph);
+    }
+    let mut mh = OFFSET;
+    for c in qbf.matrix().iter() {
+        for &l in c.lits() {
+            eat(&mut mh, l.to_dimacs().to_string().as_bytes());
+            eat(&mut mh, b" ");
+        }
+        eat(&mut mh, b"0\n");
+    }
+    (ph, mh)
+}
+
+struct Checker<'a> {
+    qbf: &'a Qbf,
+    lines: HashMap<u64, Entry>,
+    last_id: u64,
+    conclusion: Option<bool>,
+}
+
+impl<'a> Checker<'a> {
+    fn err(code: ErrorCode, line: usize, message: impl Into<String>) -> ProofError {
+        ProofError {
+            code,
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn get(&self, id: u64, line: usize) -> Result<&Entry, ProofError> {
+        let entry = self
+            .lines
+            .get(&id)
+            .ok_or_else(|| Self::err(ErrorCode::UnknownId, line, format!("no proof line {id}")))?;
+        if entry.deleted {
+            return Err(Self::err(
+                ErrorCode::UseAfterDelete,
+                line,
+                format!("proof line {id} was deleted"),
+            ));
+        }
+        Ok(entry)
+    }
+
+    fn fresh(&mut self, id: u64, line: usize) -> Result<(), ProofError> {
+        if id <= self.last_id {
+            return Err(Self::err(
+                ErrorCode::NonMonotoneId,
+                line,
+                format!("id {id} not above {}", self.last_id),
+            ));
+        }
+        self.last_id = id;
+        Ok(())
+    }
+
+    fn parse_lit(&self, tok: &str, line: usize) -> Result<Lit, ProofError> {
+        let n: i64 = tok
+            .parse()
+            .map_err(|_| Self::err(ErrorCode::Parse, line, format!("bad literal `{tok}`")))?;
+        if n == 0 || n.unsigned_abs() as usize > self.qbf.num_vars() {
+            return Err(Self::err(
+                ErrorCode::Parse,
+                line,
+                format!("literal {n} out of range (1..={} vars)", self.qbf.num_vars()),
+            ));
+        }
+        Ok(Lit::from_dimacs(n))
+    }
+
+    fn parse_id(tok: &str, line: usize) -> Result<u64, ProofError> {
+        tok.parse()
+            .map_err(|_| Self::err(ErrorCode::Parse, line, format!("bad id `{tok}`")))
+    }
+
+    /// Whether `v`'s quantifier is the *relevant* one for the constraint
+    /// kind (existential for clauses, universal for cubes).
+    fn relevant(&self, v: Var, cube: bool) -> bool {
+        self.qbf.prefix().is_existential(v) != cube
+    }
+
+    /// `r <id> <ant1> <ant2> <pivot>`
+    fn rule_resolve(&mut self, toks: &[&str], line: usize) -> Result<(), ProofError> {
+        let [id, a1, a2, piv] = toks else {
+            return Err(Self::err(ErrorCode::Parse, line, "r takes 4 operands"));
+        };
+        let id = Self::parse_id(id, line)?;
+        let a1 = Self::parse_id(a1, line)?;
+        let a2 = Self::parse_id(a2, line)?;
+        let pivot = self.parse_lit(piv, line)?;
+        let ant1 = self.get(a1, line)?;
+        let cube = ant1.cube;
+        let ant1_lits = ant1.lits.clone();
+        let ant2 = self.get(a2, line)?;
+        if ant2.cube != cube {
+            return Err(Self::err(
+                ErrorCode::KindMismatch,
+                line,
+                format!("line {a1} and line {a2} have different kinds"),
+            ));
+        }
+        let ant2_lits = ant2.lits.clone();
+        if !self.relevant(pivot.var(), cube) {
+            // Clause pivots must be existential, cube pivots universal.
+            return Err(Self::err(
+                ErrorCode::PivotWrongQuantifier,
+                line,
+                format!(
+                    "pivot {} is not {} in a {}",
+                    pivot.to_dimacs(),
+                    if cube { "universal" } else { "existential" },
+                    if cube { "cube" } else { "clause" },
+                ),
+            ));
+        }
+        if !ant1_lits.contains(&pivot) {
+            return Err(Self::err(
+                ErrorCode::PivotNotPresent,
+                line,
+                format!("pivot {} not in line {a1}", pivot.to_dimacs()),
+            ));
+        }
+        if !ant2_lits.contains(&!pivot) {
+            return Err(Self::err(
+                ErrorCode::PivotNotPresent,
+                line,
+                format!("negated pivot {} not in line {a2}", (!pivot).to_dimacs()),
+            ));
+        }
+        let mut lits: Vec<Lit> = ant1_lits.iter().copied().filter(|&l| l != pivot).collect();
+        for &x in &ant2_lits {
+            if x != !pivot && !lits.contains(&x) {
+                lits.push(x);
+            }
+        }
+        // Tautology / long-distance admission: a merged complementary
+        // pair of relevant-quantifier literals is never a constraint; an
+        // irrelevant pair {x, ¬x} is admitted only under the
+        // Balabanov–Jiang side condition `pivot ≺ x`, transplanted to the
+        // tree order.
+        for &l in &lits {
+            if !l.is_positive() || !lits.contains(&!l) {
+                continue;
+            }
+            let v = l.var();
+            if self.relevant(v, cube) {
+                return Err(Self::err(
+                    ErrorCode::Tautology,
+                    line,
+                    format!("complementary relevant pair on variable {}", v.index() + 1),
+                ));
+            }
+            if !precedes(self.qbf.prefix(), pivot.var(), v) {
+                return Err(Self::err(
+                    ErrorCode::Tautology,
+                    line,
+                    format!(
+                        "merged pair on variable {} without pivot ≺ it",
+                        v.index() + 1
+                    ),
+                ));
+            }
+        }
+        self.fresh(id, line)?;
+        self.lines.insert(
+            id,
+            Entry {
+                lits,
+                cube,
+                deleted: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// `u <id> <ant> <removed…> 0`
+    fn rule_reduce(&mut self, toks: &[&str], line: usize) -> Result<(), ProofError> {
+        if toks.len() < 4 || *toks.last().expect("len checked") != "0" {
+            return Err(Self::err(ErrorCode::Parse, line, "u record truncated"));
+        }
+        let id = Self::parse_id(toks[0], line)?;
+        let ant_id = Self::parse_id(toks[1], line)?;
+        let removed = &toks[2..toks.len() - 1];
+        let removed: Vec<Lit> = removed
+            .iter()
+            .map(|t| self.parse_lit(t, line))
+            .collect::<Result<_, _>>()?;
+        let entry = self.get(ant_id, line)?;
+        let cube = entry.cube;
+        let ant_lits = entry.lits.clone();
+        for &l in &removed {
+            if !ant_lits.contains(&l) {
+                return Err(Self::err(
+                    ErrorCode::ReducedLitMissing,
+                    line,
+                    format!("{} not in line {ant_id}", l.to_dimacs()),
+                ));
+            }
+            if self.relevant(l.var(), cube) {
+                return Err(Self::err(
+                    ErrorCode::IllegalReduction,
+                    line,
+                    format!(
+                        "{} has the relevant quantifier and cannot reduce",
+                        l.to_dimacs()
+                    ),
+                ));
+            }
+        }
+        let lits: Vec<Lit> = ant_lits
+            .iter()
+            .copied()
+            .filter(|l| !removed.contains(l))
+            .collect();
+        // Lemma 3 (and its dual): a reduced literal must precede no
+        // surviving relevant-quantifier literal. Anchors are never
+        // reducible, so checking against the result equals checking any
+        // removal order.
+        for &l in &removed {
+            if let Some(&a) = lits
+                .iter()
+                .find(|&&a| self.relevant(a.var(), cube) && precedes(self.qbf.prefix(), l.var(), a.var()))
+            {
+                return Err(Self::err(
+                    ErrorCode::IllegalReduction,
+                    line,
+                    format!(
+                        "{} precedes surviving literal {}",
+                        l.to_dimacs(),
+                        a.to_dimacs()
+                    ),
+                ));
+            }
+        }
+        self.fresh(id, line)?;
+        self.lines.insert(
+            id,
+            Entry {
+                lits,
+                cube,
+                deleted: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// `i <id> <lits…> 0`
+    fn rule_init_cube(&mut self, toks: &[&str], line: usize) -> Result<(), ProofError> {
+        if toks.len() < 2 || *toks.last().expect("len checked") != "0" {
+            return Err(Self::err(ErrorCode::Parse, line, "i record truncated"));
+        }
+        let id = Self::parse_id(toks[0], line)?;
+        let lit_toks = &toks[1..toks.len() - 1];
+        let lits: Vec<Lit> = lit_toks
+            .iter()
+            .map(|t| self.parse_lit(t, line))
+            .collect::<Result<_, _>>()?;
+        for &l in &lits {
+            if lits.contains(&!l) {
+                return Err(Self::err(
+                    ErrorCode::InitCubeContradictory,
+                    line,
+                    format!("cube asserts both phases of variable {}", l.var().index() + 1),
+                ));
+            }
+        }
+        // An implicant: assigning every cube literal true satisfies the
+        // matrix, i.e. each clause contains one of the cube's literals.
+        for (ci, c) in self.qbf.matrix().iter().enumerate() {
+            if !c.lits().iter().any(|l| lits.contains(l)) {
+                return Err(Self::err(
+                    ErrorCode::InitCubeNotImplicant,
+                    line,
+                    format!("matrix clause {} untouched by the cube", ci + 1),
+                ));
+            }
+        }
+        self.fresh(id, line)?;
+        self.lines.insert(
+            id,
+            Entry {
+                lits,
+                cube: true,
+                deleted: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// `l <id> <ant> <lits…> 0`
+    fn rule_learn(&mut self, toks: &[&str], line: usize) -> Result<(), ProofError> {
+        if toks.len() < 3 || *toks.last().expect("len checked") != "0" {
+            return Err(Self::err(ErrorCode::Parse, line, "l record truncated"));
+        }
+        let id = Self::parse_id(toks[0], line)?;
+        let ant_id = Self::parse_id(toks[1], line)?;
+        let lit_toks = &toks[2..toks.len() - 1];
+        let lits: Vec<Lit> = lit_toks
+            .iter()
+            .map(|t| self.parse_lit(t, line))
+            .collect::<Result<_, _>>()?;
+        let entry = self.get(ant_id, line)?;
+        let cube = entry.cube;
+        let same_set = entry.lits.len() == lits.len()
+            && lits.iter().all(|l| entry.lits.contains(l))
+            && entry.lits.iter().all(|l| lits.contains(l));
+        if !same_set {
+            return Err(Self::err(
+                ErrorCode::LearnMismatch,
+                line,
+                format!("learned literals are not set-equal to line {ant_id}"),
+            ));
+        }
+        self.fresh(id, line)?;
+        self.lines.insert(
+            id,
+            Entry {
+                lits,
+                cube,
+                deleted: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// `d <id>`
+    fn rule_delete(&mut self, toks: &[&str], line: usize) -> Result<(), ProofError> {
+        let [id] = toks else {
+            return Err(Self::err(ErrorCode::Parse, line, "d takes 1 operand"));
+        };
+        let id = Self::parse_id(id, line)?;
+        self.get(id, line)?;
+        self.lines.get_mut(&id).expect("checked above").deleted = true;
+        Ok(())
+    }
+
+    /// `c 0 <id>` / `c 1 <id>`
+    fn rule_conclude(&mut self, toks: &[&str], line: usize) -> Result<(), ProofError> {
+        if self.conclusion.is_some() {
+            return Err(Self::err(ErrorCode::BadConclusion, line, "second conclusion"));
+        }
+        let [value, id] = toks else {
+            return Err(Self::err(ErrorCode::Parse, line, "c takes 2 operands"));
+        };
+        let value = match *value {
+            "0" => false,
+            "1" => true,
+            other => {
+                return Err(Self::err(
+                    ErrorCode::Parse,
+                    line,
+                    format!("bad conclusion value `{other}`"),
+                ))
+            }
+        };
+        let id = Self::parse_id(id, line)?;
+        let entry = self.get(id, line)?;
+        if entry.cube != value {
+            return Err(Self::err(
+                ErrorCode::BadConclusion,
+                line,
+                format!(
+                    "conclusion {} needs an empty {}, line {id} is a {}",
+                    u8::from(value),
+                    if value { "cube" } else { "clause" },
+                    if entry.cube { "cube" } else { "clause" },
+                ),
+            ));
+        }
+        if !entry.lits.is_empty() {
+            return Err(Self::err(
+                ErrorCode::BadConclusion,
+                line,
+                format!("line {id} is not empty"),
+            ));
+        }
+        self.conclusion = Some(value);
+        Ok(())
+    }
+}
+
+/// Verifies `proof` against `qbf`. Returns the certified truth value
+/// (`false` for a Q-resolution refutation ending in the empty clause,
+/// `true` for a Q-consensus confirmation ending in the empty cube), or
+/// the first rule violation.
+pub fn check_proof(qbf: &Qbf, proof: &str) -> Result<bool, ProofError> {
+    let mut checker = Checker {
+        qbf,
+        lines: HashMap::new(),
+        last_id: 0,
+        conclusion: None,
+    };
+    // The original clauses implicitly occupy ids 1..=m in matrix order.
+    for (i, c) in qbf.matrix().iter().enumerate() {
+        checker.lines.insert(
+            i as u64 + 1,
+            Entry {
+                lits: c.lits().to_vec(),
+                cube: false,
+                deleted: false,
+            },
+        );
+    }
+    checker.last_id = qbf.matrix().len() as u64;
+
+    let mut saw_p = false;
+    let mut saw_h = false;
+    for (idx, raw) in proof.lines().enumerate() {
+        let line = idx + 1;
+        let toks: Vec<&str> = raw.split_ascii_whitespace().collect();
+        let Some((&head, rest)) = toks.split_first() else {
+            continue; // blank line
+        };
+        if !saw_p {
+            let ok = head == "p"
+                && rest.first() == Some(&"qrp")
+                && rest.get(1) == Some(&"1")
+                && rest.get(2).and_then(|t| t.parse::<usize>().ok()) == Some(qbf.num_vars())
+                && rest.get(3).and_then(|t| t.parse::<usize>().ok()) == Some(qbf.matrix().len())
+                && rest.len() == 4;
+            if !ok {
+                return Err(Checker::err(
+                    ErrorCode::BadHeader,
+                    line,
+                    format!(
+                        "expected `p qrp 1 {} {}`, got `{raw}`",
+                        qbf.num_vars(),
+                        qbf.matrix().len()
+                    ),
+                ));
+            }
+            saw_p = true;
+            continue;
+        }
+        if !saw_h {
+            let (ph, mh) = fingerprints(qbf);
+            let want = (format!("{ph:016x}"), format!("{mh:016x}"));
+            if head != "h" || rest.len() != 2 {
+                return Err(Checker::err(
+                    ErrorCode::BadHeader,
+                    line,
+                    format!("expected the `h` fingerprint line, got `{raw}`"),
+                ));
+            }
+            if rest[0] != want.0 || rest[1] != want.1 {
+                return Err(Checker::err(
+                    ErrorCode::HashMismatch,
+                    line,
+                    format!(
+                        "instance fingerprints {} {} do not match the certificate's {} {}",
+                        want.0, want.1, rest[0], rest[1]
+                    ),
+                ));
+            }
+            saw_h = true;
+            continue;
+        }
+        if checker.conclusion.is_some() {
+            return Err(Checker::err(
+                ErrorCode::BadConclusion,
+                line,
+                "record after the conclusion",
+            ));
+        }
+        match head {
+            "r" => checker.rule_resolve(rest, line)?,
+            "u" => checker.rule_reduce(rest, line)?,
+            "i" => checker.rule_init_cube(rest, line)?,
+            "l" => checker.rule_learn(rest, line)?,
+            "d" => checker.rule_delete(rest, line)?,
+            "c" => checker.rule_conclude(rest, line)?,
+            other => {
+                return Err(Checker::err(
+                    ErrorCode::Parse,
+                    line,
+                    format!("unknown record `{other}`"),
+                ))
+            }
+        }
+    }
+    if !saw_p || !saw_h {
+        return Err(Checker::err(ErrorCode::BadHeader, 0, "missing header"));
+    }
+    checker.conclusion.ok_or_else(|| {
+        Checker::err(
+            ErrorCode::MissingConclusion,
+            0,
+            "certificate has no conclusion record",
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbf_core::proof::ProofLog;
+    use qbf_core::samples;
+    use qbf_core::solver::{Solver, SolverConfig};
+
+    fn prove(qbf: &Qbf, config: SolverConfig) -> (Option<bool>, String) {
+        let mut log = ProofLog::new();
+        let out = Solver::with_proof(qbf, config, &mut log).solve();
+        (out.value(), log.as_text().to_string())
+    }
+
+    #[test]
+    fn verifies_sample_proofs_both_configs() {
+        let cases = [
+            (samples::paper_example(), false),
+            (samples::forall_exists_xor(), true),
+            (samples::exists_forall_xor(), false),
+            (samples::two_independent_games(), true),
+            (samples::sat_instance(), true),
+            (samples::unsat_instance(), false),
+        ];
+        for (qbf, expected) in &cases {
+            for config in [SolverConfig::partial_order(), SolverConfig::total_order()] {
+                let (value, proof) = prove(qbf, config);
+                assert_eq!(value, Some(*expected));
+                let verdict = check_proof(qbf, &proof).unwrap_or_else(|e| {
+                    panic!("rejected: {e}\n{proof}");
+                });
+                assert_eq!(verdict, *expected);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_proof_for_wrong_instance() {
+        let (_, proof) = prove(&samples::paper_example(), SolverConfig::partial_order());
+        let err = check_proof(&samples::sat_instance(), &proof).unwrap_err();
+        assert!(matches!(
+            err.code,
+            ErrorCode::HashMismatch | ErrorCode::BadHeader
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_proof() {
+        let (_, proof) = prove(&samples::paper_example(), SolverConfig::partial_order());
+        let truncated: String = proof
+            .lines()
+            .filter(|l| !l.starts_with("c "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = check_proof(&samples::paper_example(), &truncated).unwrap_err();
+        assert_eq!(err.code, ErrorCode::MissingConclusion);
+    }
+}

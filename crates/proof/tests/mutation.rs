@@ -1,0 +1,203 @@
+//! Mutation fuzzing of the certificate checker: take certificates the
+//! solver actually emits, corrupt them in targeted ways, and require the
+//! checker to reject each corruption with the *specific* rule violation —
+//! not merely "some error". A checker that rejects everything would pass
+//! a weaker test; pinning error codes shows each rule fires for the
+//! defect it guards against.
+
+use std::collections::HashMap;
+
+use qbf_core::proof::ProofLog;
+use qbf_core::solver::{Solver, SolverConfig};
+use qbf_core::{Qbf, Var};
+use qbf_gen::rng::Rng;
+use qbf_gen::{rand_qbf, RandParams};
+use qbf_proof::{check_proof, ErrorCode};
+
+/// Derivation lines replayed from the proof text: id → (DIMACS literal
+/// set, is-cube). Mirrors the checker's semantics just enough for the
+/// mutations to know what a line contains.
+fn replay(qbf: &Qbf, proof: &str) -> HashMap<u64, (Vec<i64>, bool)> {
+    let mut map: HashMap<u64, (Vec<i64>, bool)> = HashMap::new();
+    for (i, c) in qbf.matrix().iter().enumerate() {
+        let lits = c.lits().iter().map(|l| l.to_dimacs()).collect();
+        map.insert(i as u64 + 1, (lits, false));
+    }
+    for line in proof.lines() {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let id = |t: &str| t.parse::<u64>().unwrap();
+        let lit = |t: &str| t.parse::<i64>().unwrap();
+        match toks.first() {
+            Some(&"i") => {
+                let lits = toks[2..toks.len() - 1].iter().map(|t| lit(t)).collect();
+                map.insert(id(toks[1]), (lits, true));
+            }
+            Some(&"l") => {
+                let lits = toks[3..toks.len() - 1].iter().map(|t| lit(t)).collect();
+                let cube = map[&id(toks[2])].1;
+                map.insert(id(toks[1]), (lits, cube));
+            }
+            Some(&"u") => {
+                let removed: Vec<i64> = toks[3..toks.len() - 1].iter().map(|t| lit(t)).collect();
+                let (ant, cube) = map[&id(toks[2])].clone();
+                let lits = ant.into_iter().filter(|l| !removed.contains(l)).collect();
+                map.insert(id(toks[1]), (lits, cube));
+            }
+            Some(&"r") => {
+                let p = lit(toks[4]);
+                let (a1, cube) = map[&id(toks[2])].clone();
+                let (a2, _) = map[&id(toks[3])].clone();
+                let mut lits: Vec<i64> = a1.into_iter().filter(|&l| l != p).collect();
+                for l in a2 {
+                    if l != -p && !lits.contains(&l) {
+                        lits.push(l);
+                    }
+                }
+                map.insert(id(toks[1]), (lits, cube));
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+fn expect_code(qbf: &Qbf, mutated: &[String], want: ErrorCode, what: &str) {
+    let text = mutated.join("\n") + "\n";
+    match check_proof(qbf, &text) {
+        Ok(v) => panic!("{what}: mutated certificate still verified ({v})"),
+        Err(e) => assert_eq!(e.code, want, "{what}: wrong rejection: {e}"),
+    }
+}
+
+/// One literal of `qbf` guaranteed absent from `lits` (a derivation line
+/// never contains both phases of a variable, so the opposite phase of
+/// any present literal — or either phase of an absent variable — works).
+fn absent_literal(lits: &[i64]) -> i64 {
+    if lits.contains(&1) {
+        -1
+    } else {
+        1
+    }
+}
+
+#[test]
+fn mutations_are_rejected_with_the_matching_rule() {
+    let mut rng = Rng::seed_from_u64(0x5eed_f00d);
+    // Count how often each mutation kind actually ran: a pool whose
+    // proofs lack, say, `r` records would silently skip the swap case.
+    let (mut swaps, mut flips, mut drops, mut forged_missing, mut forged_relevant) =
+        (0u32, 0u32, 0u32, 0u32, 0u32);
+    // Bench-scale instances: small random formulas conclude on their
+    // first conflict and emit no learn or resolution records at all.
+    let params = RandParams::three_block(12, 9, 12, 110, 5).with_locality(3, 10);
+    for seed in 0..8u64 {
+        let qbf = rand_qbf(&params, seed);
+        let mut log = ProofLog::new();
+        let out = Solver::with_proof(&qbf, SolverConfig::partial_order(), &mut log).solve();
+        out.value().expect("no budget configured");
+        check_proof(&qbf, log.as_text()).expect("pristine certificate must verify");
+        let lines: Vec<String> = log.as_text().lines().map(str::to_string).collect();
+        let entries = replay(&qbf, log.as_text());
+        let pick = |rng: &mut Rng, tag: &str| {
+            let idx: Vec<usize> = lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.starts_with(tag))
+                .map(|(i, _)| i)
+                .collect();
+            (!idx.is_empty()).then(|| idx[rng.gen_range(0..idx.len())])
+        };
+
+        // Swapping the antecedents of a resolution step puts the pivot
+        // on the side that holds its negation.
+        if let Some(i) = pick(&mut rng, "r ") {
+            let mut m = lines.clone();
+            let toks: Vec<&str> = m[i].split_whitespace().collect();
+            m[i] = format!("r {} {} {} {}", toks[1], toks[3], toks[2], toks[4]);
+            expect_code(&qbf, &m, ErrorCode::PivotNotPresent, "swapped antecedents");
+            swaps += 1;
+        }
+
+        // Flipping one literal of a learn record breaks set equality
+        // with the chain it claims to copy.
+        if let Some(i) = pick(&mut rng, "l ") {
+            let toks: Vec<&str> = lines[i].split_whitespace().collect();
+            if toks.len() > 4 {
+                let mut m = lines.clone();
+                let j = rng.gen_range(3..toks.len() - 1);
+                let flipped: Vec<String> = toks
+                    .iter()
+                    .enumerate()
+                    .map(|(k, t)| {
+                        if k == j {
+                            (-t.parse::<i64>().unwrap()).to_string()
+                        } else {
+                            t.to_string()
+                        }
+                    })
+                    .collect();
+                m[i] = flipped.join(" ");
+                expect_code(&qbf, &m, ErrorCode::LearnMismatch, "flipped learned literal");
+                flips += 1;
+            }
+        }
+
+        // Dropping the step that derives the concluded constraint leaves
+        // the conclusion pointing at an unknown id; dropping the
+        // conclusion itself leaves the certificate open.
+        if let Some(ci) = lines.iter().position(|l| l.starts_with("c ")) {
+            let concluded = lines[ci].split_whitespace().nth(2).unwrap();
+            if let Some(di) = lines
+                .iter()
+                .position(|l| l.split_whitespace().nth(1) == Some(concluded))
+            {
+                let mut m = lines.clone();
+                m.remove(di);
+                expect_code(&qbf, &m, ErrorCode::UnknownId, "dropped concluded step");
+                drops += 1;
+            }
+            let mut m = lines.clone();
+            m.remove(ci);
+            expect_code(&qbf, &m, ErrorCode::MissingConclusion, "dropped conclusion");
+        }
+
+        // Forged reductions: claim to remove a literal the antecedent
+        // does not contain, or one whose quantifier is relevant.
+        if let Some(i) = pick(&mut rng, "u ") {
+            let toks: Vec<&str> = lines[i].split_whitespace().collect();
+            let (uid, ant) = (
+                toks[1].parse::<u64>().unwrap(),
+                toks[2].parse::<u64>().unwrap(),
+            );
+            let (ant_lits, cube) = &entries[&ant];
+            let body = toks[1..toks.len() - 1].join(" ");
+
+            let mut m = lines.clone();
+            m[i] = format!("u {body} {} 0", absent_literal(ant_lits));
+            expect_code(&qbf, &m, ErrorCode::ReducedLitMissing, "forged removal");
+            forged_missing += 1;
+
+            // Any literal surviving a maximal reduction with the
+            // relevant quantifier is irreducible by definition.
+            let survivor = entries[&uid].0.iter().copied().find(|&l| {
+                let v = Var::new(l.unsigned_abs() as usize - 1);
+                qbf.prefix().is_existential(v) != *cube
+            });
+            if let Some(s) = survivor {
+                let mut m = lines.clone();
+                m[i] = format!("u {body} {s} 0");
+                expect_code(&qbf, &m, ErrorCode::IllegalReduction, "forged relevant removal");
+                forged_relevant += 1;
+            }
+        }
+    }
+    for (n, what) in [
+        (swaps, "antecedent swaps"),
+        (flips, "literal flips"),
+        (drops, "dropped steps"),
+        (forged_missing, "forged removals"),
+        (forged_relevant, "forged relevant removals"),
+    ] {
+        assert!(n >= 5, "pool exercised only {n} {what}; widen the pool");
+    }
+}

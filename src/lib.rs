@@ -11,7 +11,9 @@
 //!   conversion;
 //! * [`prenex`] ([`qbf_prenex`]) — prenexing strategies and miniscoping;
 //! * [`models`] ([`qbf_models`]) — symbolic models and diameter QBFs;
-//! * [`gen`] ([`qbf_gen`]) — benchmark instance generators.
+//! * [`gen`] ([`qbf_gen`]) — benchmark instance generators;
+//! * [`proof`] ([`qbf_proof`]) — independent verifier for the solver's
+//!   Q-resolution/Q-consensus certificates (`qbfcheck`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -33,3 +35,4 @@ pub use qbf_formula as formula;
 pub use qbf_gen as gen;
 pub use qbf_models as models;
 pub use qbf_prenex as prenex;
+pub use qbf_proof as proof;

@@ -1,0 +1,185 @@
+//! Certificate differential suite: every instance of the differential
+//! pool is solved by QUBE(TO) and QUBE(PO) with proof logging attached,
+//! and each emitted certificate must (a) be accepted by the independent
+//! `qbf-proof` verifier, (b) certify exactly the value the solver
+//! reported, and (c) be byte-identical across two runs.
+//!
+//! This is the machine-checked form of the paper's soundness argument:
+//! TO runs certify with the prenex total order, PO runs with the
+//! quantifier-tree partial order `≺` — the verifier re-implements `≺` as
+//! an ancestor walk, so every ∀/∃-reduction a PO run performs is
+//! re-justified outside the solver.
+
+use qbf_repro::core::proof::ProofLog;
+use qbf_repro::core::solver::{Solver, SolverConfig};
+use qbf_repro::core::{recursive, samples, Qbf};
+use qbf_repro::gen::{fixed, fpv, ncf, rand_qbf, FixedParams, FpvParams, NcfParams, RandParams};
+use qbf_repro::prenex::{miniscope, prenex, Strategy};
+use qbf_repro::proof::check_proof;
+
+fn prove(qbf: &Qbf, config: SolverConfig) -> (Option<bool>, String) {
+    let mut log = ProofLog::new();
+    let out = Solver::with_proof(qbf, config.with_node_limit(2_000_000), &mut log).solve();
+    (out.value(), log.as_text().to_string())
+}
+
+/// Solve + certify + verify one instance under both paper configurations.
+fn check(label: &str, qbf: &Qbf) {
+    let reference = recursive::solve(qbf, &recursive::RecursiveConfig::default())
+        .value
+        .unwrap_or_else(|| panic!("{label}: recursive reference hit its node limit"));
+    for (cname, config) in [
+        ("TO", SolverConfig::total_order()),
+        ("PO", SolverConfig::partial_order()),
+    ] {
+        let (value, proof) = prove(qbf, config.clone());
+        assert_eq!(value, Some(reference), "{label}/{cname}: wrong value");
+        let verdict = check_proof(qbf, &proof).unwrap_or_else(|e| {
+            panic!("{label}/{cname}: certificate rejected: {e}");
+        });
+        assert_eq!(
+            verdict, reference,
+            "{label}/{cname}: certificate proves the wrong value"
+        );
+        let (value2, proof2) = prove(qbf, config);
+        assert_eq!(value, value2, "{label}/{cname}: nondeterministic value");
+        assert_eq!(proof, proof2, "{label}/{cname}: certificate not byte-deterministic");
+    }
+}
+
+/// Forces the database-reduction paths the small pool never reaches:
+/// bench-scale instances with `max_learned` at 2 forget constraints on
+/// every analysis cycle (`d` records) and accumulate enough arena
+/// garbage to trigger compaction (token remapping), with and without
+/// `compact_db`. These are too large for the recursive reference, so
+/// the oracle is TO/PO cross-agreement plus the independent verifier.
+#[test]
+fn proofs_survive_db_reduction_and_compaction() {
+    let (mut total_forgotten, mut total_compactions, mut total_dels) = (0u64, 0u64, 0u64);
+    let pool: Vec<Qbf> = [
+        RandParams::three_block(12, 9, 12, 110, 5).with_locality(3, 10),
+        RandParams::three_block(16, 10, 16, 170, 5).with_locality(4, 10),
+    ]
+    .into_iter()
+    .flat_map(|p| (0..4u64).map(move |seed| rand_qbf(&p, seed)))
+    .collect();
+    for (i, q) in pool.iter().enumerate() {
+        let mut values = Vec::new();
+        for base in [SolverConfig::total_order(), SolverConfig::partial_order()] {
+            for compact in [true, false] {
+                let config = SolverConfig {
+                    max_learned: 2,
+                    compact_db: compact,
+                    ..base.clone()
+                };
+                let mut log = ProofLog::new();
+                let out =
+                    Solver::with_proof(q, config.with_node_limit(2_000_000), &mut log).solve();
+                let value = out.value().unwrap_or_else(|| panic!("instance {i}: budget"));
+                let verdict = check_proof(q, log.as_text()).unwrap_or_else(|e| {
+                    panic!("instance {i} compact={compact}: certificate rejected: {e}");
+                });
+                assert_eq!(verdict, value, "instance {i}: certificate proves wrong value");
+                values.push(value);
+                total_forgotten += out.stats.forgotten;
+                total_compactions += out.stats.compactions;
+                total_dels += out.stats.proof_dels;
+            }
+        }
+        assert!(
+            values.windows(2).all(|w| w[0] == w[1]),
+            "instance {i}: configurations disagree: {values:?}"
+        );
+    }
+    // The whole point of this test: the pool must actually reach the
+    // forget/compact machinery, or the `d`/remap paths go untested.
+    assert!(total_forgotten > 0, "pool never forgot a constraint");
+    assert!(total_compactions > 0, "pool never compacted the arena");
+    assert!(total_dels > 0, "no `d` records were emitted");
+}
+
+#[test]
+fn proofs_samples() {
+    let cases: [(&str, Qbf); 6] = [
+        ("paper_example", samples::paper_example()),
+        ("forall_exists_xor", samples::forall_exists_xor()),
+        ("exists_forall_xor", samples::exists_forall_xor()),
+        ("two_independent_games", samples::two_independent_games()),
+        ("sat_instance", samples::sat_instance()),
+        ("unsat_instance", samples::unsat_instance()),
+    ];
+    for (name, qbf) in cases {
+        check(name, &qbf);
+    }
+}
+
+#[test]
+fn proofs_random_forests() {
+    for seed in 0..150u64 {
+        let q = samples::random_qbf(seed.wrapping_mul(0x9e37_79b9) ^ 0xd1f, 7, 11);
+        check(&format!("forest seed {seed}"), &q);
+    }
+}
+
+#[test]
+fn proofs_prenexed_and_miniscoped() {
+    for seed in 0..50u64 {
+        let q = samples::random_qbf(seed.wrapping_mul(0x61c8_8647) ^ 0xabc, 7, 10);
+        let strategy = Strategy::ALL[seed as usize % Strategy::ALL.len()];
+        let flat = prenex(&q, strategy);
+        check(&format!("prenex({strategy}) seed {seed}"), &flat);
+        if seed < 20 {
+            let mini = miniscope(&flat).expect("prenex input").qbf;
+            check(&format!("miniscope seed {seed}"), &mini);
+        }
+    }
+}
+
+#[test]
+fn proofs_generators() {
+    for seed in 0..4u64 {
+        let q = ncf(
+            &NcfParams {
+                dep: 3,
+                var: 2,
+                cls_ratio: 2,
+                lpc: 3,
+            },
+            seed,
+        );
+        check(&format!("ncf seed {seed}"), &q);
+    }
+    for seed in 0..3u64 {
+        let q = fpv(
+            &FpvParams {
+                config_vars: 3,
+                branches: 2,
+                branch_depth: 2,
+                block_vars: 2,
+                clauses_per_branch: 8,
+                lpc: 3,
+            },
+            seed,
+        );
+        check(&format!("fpv seed {seed}"), &q);
+    }
+    for seed in 0..3u64 {
+        let inst = fixed(
+            &FixedParams {
+                groups: 2,
+                depth: 2,
+                block_vars: 2,
+                clauses_per_group: 6,
+                lpc: 3,
+            },
+            seed,
+        );
+        check(&format!("fixed(prenex) seed {seed}"), &inst.prenex);
+        let mini = miniscope(&inst.prenex).expect("prenex input").qbf;
+        check(&format!("fixed(miniscoped) seed {seed}"), &mini);
+    }
+    for seed in 0..3u64 {
+        let q = rand_qbf(&RandParams::three_block(4, 3, 4, 20, 3), seed);
+        check(&format!("prob seed {seed}"), &q);
+    }
+}
