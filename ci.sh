@@ -44,6 +44,46 @@ for cfg in --to --po; do
     ./target/release/qbfcheck data/paper_example.qtree target/proof-gate/a.qrp
 done
 
+echo "==> qbfserve session replay gate (byte-determinism + per-query certificates)"
+# Pipes a scripted incremental session (push/add/assume/solve/pop plus
+# deliberate protocol errors) through the long-lived qbfserve service
+# twice and asserts the transcripts are byte-identical. Each certified
+# query dumps its qrp certificate and the frame-restricted instance it
+# proves; qbfcheck must accept every pair.
+mkdir -p target/serve-gate
+cat > target/serve-gate/session.jsonl <<'EOF'
+{"cmd":"solve","proof":true}
+{"cmd":"proof","path":"target/serve-gate/q1.qrp","instance":"target/serve-gate/q1.qtree"}
+{"cmd":"push"}
+{"cmd":"add","lits":[3]}
+{"cmd":"assume","lit":-1}
+{"cmd":"solve","proof":true}
+{"cmd":"proof","path":"target/serve-gate/q2.qrp","instance":"target/serve-gate/q2.qtree"}
+{"cmd":"stats"}
+{"cmd":"pop"}
+{"cmd":"pop"}
+{"cmd":"frobnicate"}
+not json at all
+{"cmd":"solve","proof":true}
+{"cmd":"proof","path":"target/serve-gate/q3.qrp","instance":"target/serve-gate/q3.qtree"}
+EOF
+./target/release/qbfserve --po data/paper_example.qtree \
+    < target/serve-gate/session.jsonl > target/serve-gate/transcript-a.txt
+./target/release/qbfserve --po data/paper_example.qtree \
+    < target/serve-gate/session.jsonl > target/serve-gate/transcript-b.txt
+cmp target/serve-gate/transcript-a.txt target/serve-gate/transcript-b.txt
+for q in q1 q2 q3; do
+    ./target/release/qbfcheck target/serve-gate/$q.qtree target/serve-gate/$q.qrp
+done
+
+echo "==> repro bench-incremental (incremental-vs-cold DIA gate)"
+# Solves DIA probe families through one incremental session and cold,
+# twice: verdicts must agree, the incremental totals must not exceed the
+# cold totals, and the aggregate must be byte-deterministic. Writes its
+# own BENCH_qbf_incremental.json artifact; the committed BENCH_qbf.json
+# is never touched (incrementality is opt-in).
+cargo run -q --release -p qbf-bench --bin repro -- --out target/serve-gate bench-incremental
+
 echo "==> cargo clippy (best effort)"
 # clippy may not be installed in minimal offline toolchains; treat its
 # absence as a skip, but deny warnings when it is available.

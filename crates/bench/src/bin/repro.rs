@@ -17,7 +17,12 @@
 //!   ablate-miniscope  single-clause-scope elimination effect
 //!   bench-smoke       micro suite; asserts BENCH_qbf.json is
 //!                     byte-deterministic and parseable (CI gate)
-//!   all               everything above except bench-smoke
+//!   bench-incremental DIA φ1..φk family through one incremental
+//!                     session vs cold re-solves; asserts verdict
+//!                     agreement, incremental ≤ cold, and a
+//!                     byte-deterministic aggregate (CI gate)
+//!   all               everything above except bench-smoke and
+//!                     bench-incremental
 //! ```
 //!
 //! `table1` (and `all`) additionally write, per suite, a
@@ -87,7 +92,7 @@ fn parse_args() -> Args {
                 );
                 println!("commands: fig2 table1 fig3 fig4 fig5 fig6 fig7 instances");
                 println!("          ablate-score ablate-learning ablate-miniscope");
-                println!("          bench-smoke all");
+                println!("          bench-smoke bench-incremental all");
                 println!("env: QBF_REPRO_SEEDS=N overrides instances per setting");
                 std::process::exit(0);
             }
@@ -267,6 +272,9 @@ fn main() {
     if args.command == "bench-smoke" {
         bench_smoke(&args);
     }
+    if args.command == "bench-incremental" {
+        bench_incremental(&args);
+    }
     println!("done (scale {scale:?}).");
 }
 
@@ -362,6 +370,92 @@ fn bench_smoke(args: &Args) {
     println!(
         "bench-smoke: ok ({} instances, {} bytes, byte-deterministic)",
         instances,
+        doc1.len()
+    );
+}
+
+/// `bench-incremental`: solves DIA φ1..φk families through one
+/// long-lived incremental session (union universe, push/add/solve×2/pop
+/// per probe) and cold (a fresh solver per query on the equivalent
+/// formula), twice. Asserts the verdicts agree, the incremental totals
+/// never exceed the cold totals, and the aggregate JSON is
+/// byte-identical across the two passes. The artifact is saved as
+/// `BENCH_qbf_incremental.json` — `BENCH_qbf.json` and the one-shot
+/// suites are untouched (incrementality is strictly opt-in).
+fn bench_incremental(args: &Args) {
+    use qbf_core::solver::{Solver, SolverConfig};
+    use qbf_models::{counter, diameter_sequence, run_diameter_incremental, DiameterForm};
+
+    let max_n: u32 = match args.scale {
+        Scale::Paper => 6,
+        Scale::Small => 4,
+    };
+    let settings = [
+        ("counter2", 2usize, DiameterForm::Tree, SolverConfig::partial_order()),
+        ("counter2", 2, DiameterForm::Prenex, SolverConfig::total_order()),
+        ("counter3", 3, DiameterForm::Tree, SolverConfig::partial_order()),
+    ];
+    let run_once = || {
+        let mut doc = format!("{{\"schema\":\"qbf-bench-incremental/1\",\"max_n\":{max_n},\"suites\":[");
+        for (i, (name, bits, form, config)) in settings.iter().enumerate() {
+            let seq = diameter_sequence(&counter(*bits), *form, max_n);
+            let run = run_diameter_incremental(&seq, config, 2);
+            let mut cold_assignments = 0u64;
+            let mut cold_backtracks = 0u64;
+            let mut verdicts = Vec::new();
+            for r in &run.results {
+                let mut value = None;
+                for _ in 0..2 {
+                    let out = Solver::new(&r.equivalent, config.clone()).solve();
+                    cold_assignments += out.stats.assignments();
+                    cold_backtracks += out.stats.backjumps + out.stats.chrono_backtracks;
+                    value = out.value();
+                }
+                let value = value.expect("no budget configured");
+                for o in &r.outcomes {
+                    assert_eq!(
+                        o.value(),
+                        Some(value),
+                        "bench-incremental: {name} {form:?} n={} verdict diverges",
+                        r.n
+                    );
+                }
+                verdicts.push(if value { "1" } else { "0" });
+            }
+            let inc_assignments = run.total_assignments();
+            let inc_backtracks = run.total_backtracks();
+            assert!(
+                inc_assignments <= cold_assignments && inc_backtracks <= cold_backtracks,
+                "bench-incremental: {name} {form:?}: incremental ({inc_assignments} asg, \
+                 {inc_backtracks} bt) worse than cold ({cold_assignments} asg, {cold_backtracks} bt)"
+            );
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&format!(
+                "{{\"model\":\"{name}\",\"form\":\"{form:?}\",\"probes\":{},\
+                 \"verdicts\":[{}],\
+                 \"incremental\":{{\"assignments\":{inc_assignments},\"backtracks\":{inc_backtracks}}},\
+                 \"cold\":{{\"assignments\":{cold_assignments},\"backtracks\":{cold_backtracks}}}}}",
+                run.results.len(),
+                verdicts.join(",")
+            ));
+        }
+        doc.push_str("]}");
+        doc
+    };
+    println!("bench-incremental: DIA sequences, incremental vs cold, twice…");
+    let doc1 = run_once();
+    let doc2 = run_once();
+    assert_eq!(
+        doc1, doc2,
+        "BENCH_qbf_incremental.json must be byte-identical across runs"
+    );
+    json::parse(&doc1).expect("BENCH_qbf_incremental.json must parse");
+    save(&args.out, "BENCH_qbf_incremental.json", &doc1);
+    println!(
+        "bench-incremental: ok ({} settings, {} bytes, byte-deterministic, incremental ≤ cold)",
+        settings.len(),
         doc1.len()
     );
 }

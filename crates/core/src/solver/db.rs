@@ -68,6 +68,8 @@
 //! every propagation fixpoint, so the two propagators are verified
 //! event-for-event without perturbing the search.
 
+use std::collections::HashMap;
+
 use crate::var::Lit;
 
 /// Whether a constraint is a clause (disjunction, conjoined with the
@@ -309,15 +311,28 @@ impl RefMap {
 /// occurrence index.
 #[derive(Debug, Default)]
 pub(crate) struct Db {
-    /// Arena of all clauses; the `num_original` original clauses form a
-    /// stable, never-deleted prefix in creation order.
+    /// Arena of all clauses. In one-shot solving the `num_original`
+    /// original clauses form a stable, never-deleted prefix in creation
+    /// order; incremental solving may interleave additions with learned
+    /// clauses and remove popped originals, so the authoritative original
+    /// order lives in `original_order`.
     clauses: ConstraintArena,
     /// Arena of all cubes (always learned).
     cubes: ConstraintArena,
+    /// Live original clauses in creation order (the iteration order of
+    /// `original_refs`, which the initial Lemma-4 scan and the implicant
+    /// builder rely on for determinism).
+    original_order: Vec<ConstraintRef>,
     /// Learned constraints (both kinds) in creation order — the tie-break
     /// order of the database-reduction sweep. Deleted entries linger
     /// (filtered by the sweep) until compaction drops them.
     learned_order: Vec<ConstraintRef>,
+    /// Push-frame dependency marks for incremental solving: the highest
+    /// push level a constraint's derivation depends on (its own frame for
+    /// originals, the max over used antecedents for learned clauses).
+    /// Only nonzero marks are stored, so the map stays empty — and costs
+    /// nothing — in one-shot solving. Never iterated (determinism).
+    frame_mark: HashMap<ConstraintRef, u32>,
     /// Words tombstoned but not yet reclaimed, across both arenas.
     dead_words: usize,
     /// High-water mark of total arena bytes, updated on every add.
@@ -350,7 +365,9 @@ impl Db {
         Db {
             clauses: ConstraintArena::default(),
             cubes: ConstraintArena::default(),
+            original_order: Vec::new(),
             learned_order: Vec::new(),
+            frame_mark: HashMap::new(),
             dead_words: 0,
             bytes_peak: 0,
             occ_original: vec![Vec::new(); 2 * num_vars],
@@ -462,14 +479,28 @@ impl Db {
         (self.clauses.len_words() + self.cubes.len_words()) * 4
     }
 
-    /// Header refs of the original clauses, in creation order. Originals
-    /// are added before any learned constraint and never deleted, so they
-    /// are a stable prefix of the clause arena.
+    /// Header refs of the live original clauses, in creation order.
     pub(crate) fn original_refs(&self) -> impl Iterator<Item = ConstraintRef> + '_ {
-        self.clauses
-            .offsets()
-            .take(self.num_original)
-            .map(|o| ConstraintRef::new(Kind::Clause, o))
+        self.original_order.iter().copied()
+    }
+
+    /// The push-frame dependency mark of a constraint (0 when it depends
+    /// only on the bottom frame — the common case, stored implicitly).
+    #[inline]
+    pub(crate) fn frame_mark(&self, c: ConstraintRef) -> u32 {
+        if self.frame_mark.is_empty() {
+            return 0; // one-shot fast path: no hashing
+        }
+        self.frame_mark.get(&c).copied().unwrap_or(0)
+    }
+
+    /// Records a constraint's push-frame dependency mark (only nonzero
+    /// marks are stored).
+    #[inline]
+    pub(crate) fn set_frame_mark(&mut self, c: ConstraintRef, mark: u32) {
+        if mark > 0 {
+            self.frame_mark.insert(c, mark);
+        }
     }
 
     /// Learned constraints (both kinds) in creation order, including
@@ -538,10 +569,6 @@ impl Db {
         }
         if !learned {
             debug_assert!(kind == Kind::Clause, "original constraints are clauses");
-            debug_assert!(
-                self.learned_order.is_empty(),
-                "originals are added before any learned constraint"
-            );
             for &l in &lits {
                 self.occ_original[l.code()].push(cref);
             }
@@ -549,6 +576,7 @@ impl Db {
                 self.unsat_originals += 1;
             }
             self.num_original += 1;
+            self.original_order.push(cref);
         } else {
             match kind {
                 Kind::Clause => self.num_learned_clauses += 1,
@@ -586,6 +614,19 @@ impl Db {
     /// so they need no purge.
     pub(crate) fn delete(&mut self, c: ConstraintRef) {
         debug_assert!(self.is_learned(c), "only learned constraints are deleted");
+        self.tombstone(c);
+        if !self.frame_mark.is_empty() {
+            self.frame_mark.remove(&c);
+        }
+        match c.kind() {
+            Kind::Clause => self.num_learned_clauses -= 1,
+            Kind::Cube => self.num_learned_cubes -= 1,
+        }
+    }
+
+    /// Sets the deleted bit and accounts the dead words (shared by learned
+    /// deletion and original-clause removal).
+    fn tombstone(&mut self, c: ConstraintRef) {
         let o = c.offset();
         let size = {
             let arena = self.arena_mut(c);
@@ -593,10 +634,40 @@ impl Db {
             (arena.words[o] & SIZE_MASK) as usize
         };
         self.dead_words += HEADER_WORDS + size;
-        match c.kind() {
-            Kind::Clause => self.num_learned_clauses -= 1,
-            Kind::Cube => self.num_learned_cubes -= 1,
+    }
+
+    /// Removes every original clause whose push frame is above `level`
+    /// (incremental `pop`). The caller guarantees an empty trail, so every
+    /// original clause has `true_count == 0` and is counted in
+    /// `unsat_originals`. Returns the removed refs (the engine reverses
+    /// its own per-literal accounting from them).
+    pub(crate) fn remove_originals_above(&mut self, level: u32) -> Vec<ConstraintRef> {
+        let mut removed = Vec::new();
+        let mut kept = Vec::with_capacity(self.original_order.len());
+        for &c in &self.original_order {
+            if self.frame_mark.get(&c).copied().unwrap_or(0) > level {
+                removed.push(c);
+            } else {
+                kept.push(c);
+            }
         }
+        self.original_order = kept;
+        for &c in &removed {
+            debug_assert_eq!(
+                self.arena(c).words[c.offset() + 3],
+                0,
+                "original removed while satisfied (trail not empty)"
+            );
+            self.tombstone(c);
+            self.frame_mark.remove(&c);
+            let lits = self.lits(c).to_vec();
+            for l in lits {
+                self.occ_original[l.code()].retain(|&r| r != c);
+            }
+            self.unsat_originals -= 1;
+            self.num_original -= 1;
+        }
+        removed
     }
 
     /// Drops watcher entries of deleted constraints (called after a
@@ -669,6 +740,16 @@ impl Db {
             }
             None => false,
         });
+        for r in self.original_order.iter_mut() {
+            *r = map.remap(*r).expect("live original clauses survive compaction");
+        }
+        if !self.frame_mark.is_empty() {
+            self.frame_mark = self
+                .frame_mark
+                .iter()
+                .filter_map(|(&r, &m)| map.remap(r).map(|nr| (nr, m)))
+                .collect();
+        }
         map
     }
 }

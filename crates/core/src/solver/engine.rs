@@ -195,6 +195,15 @@ pub struct Solver<'a, O: SearchObserver = NoopObserver, P: ProofSink = NoProof> 
     stats: Stats,
     conflicts_since_decay: u64,
 
+    /// Push-frame dependency accumulator for the analysis currently in
+    /// flight: the max frame mark over the start constraint and every
+    /// antecedent actually used by a resolution step. Written into the
+    /// learned constraint's mark by `learn`. Stays 0 throughout one-shot
+    /// solving and for cube analyses (cube antecedents never carry marks:
+    /// an implicant of a matrix is an implicant of every sub-matrix, so
+    /// goods survive `pop` unconditionally).
+    analysis_mark: u32,
+
     /// Scratch membership flags, one per literal code, used by the
     /// resolution loops and the implicant builder to answer
     /// `lits.contains(..)` in O(1). Always all-false between uses.
@@ -300,6 +309,7 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
             pure_candidates: Vec::new(),
             stats,
             conflicts_since_decay: 0,
+            analysis_mark: 0,
             lit_mark: vec![false; 2 * n],
             debug_dump: std::env::var_os("QBF_DEBUG").is_some(),
         };
@@ -343,8 +353,24 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
 
     /// Runs the search to completion or budget exhaustion.
     pub fn solve(mut self) -> Outcome {
-        // Initial scan: Lemma 4 / Lemma 5 on the input matrix (only the
-        // original clauses exist at this point).
+        self.solve_mut()
+    }
+
+    /// In-place variant of [`Solver::solve`] for callers that keep the
+    /// solver alive across queries (incremental solving): the search
+    /// state (trail, learned constraints, heuristic scores) survives the
+    /// call. Re-running requires a [`Solver::reset_search`] in between.
+    pub(crate) fn solve_mut(&mut self) -> Outcome {
+        let value = self.run();
+        self.outcome(value)
+    }
+
+    /// The search loop proper; `None` means the budget ran out.
+    fn run(&mut self) -> Option<bool> {
+        // Initial scan: Lemma 4 / Lemma 5 on the original clauses. In a
+        // cold solve only originals exist at this point; on an incremental
+        // re-solve the learned constraints are examined lazily through
+        // their watchers instead, exactly as after a backtrack to level 0.
         let originals: Vec<ConstraintRef> = self.db.original_refs().collect();
         for c in originals {
             if let Some(Event::Conflict(_)) = self.examine_clause(c) {
@@ -356,7 +382,7 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
                     self.proof.chain_start(c.token(), &lits, false);
                     self.proof_finish(false);
                 }
-                return self.outcome(Some(false));
+                return Some(false);
             }
         }
         if self.config.pure_literals {
@@ -364,7 +390,7 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
         }
         loop {
             if self.budget_exhausted() {
-                return self.outcome(None);
+                return None;
             }
             let event = self.propagate_and_fix();
             match event {
@@ -373,7 +399,7 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
                     self.observer.on_conflict(self.current_level(), self.trail.len());
                     self.tick_decay();
                     if let Some(v) = self.handle_conflict(c) {
-                        return self.outcome(Some(v));
+                        return Some(v);
                     }
                 }
                 Some(Event::CubeSolution(k)) => {
@@ -384,8 +410,9 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
                     if P::ENABLED {
                         self.proof.chain_start(k.token(), &init, true);
                     }
+                    self.analysis_mark = 0;
                     if let Some(v) = self.handle_solution(init) {
-                        return self.outcome(Some(v));
+                        return Some(v);
                     }
                 }
                 None => {
@@ -397,15 +424,16 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
                         if P::ENABLED {
                             self.proof.chain_init_cube(&init);
                         }
+                        self.analysis_mark = 0;
                         if let Some(v) = self.handle_solution(init) {
-                            return self.outcome(Some(v));
+                            return Some(v);
                         }
                     } else if !self.decide() {
                         // No candidate although clauses remain unsatisfied:
                         // cannot happen (a falsified clause would have
                         // conflicted), but fail safe.
                         debug_assert!(false, "no decision candidates but matrix unsatisfied");
-                        return self.outcome(None);
+                        return None;
                     }
                 }
             }
@@ -1075,6 +1103,7 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
         if P::ENABLED {
             self.proof.chain_start(conflict.token(), &lits, false);
         }
+        self.analysis_mark = self.db.frame_mark(conflict);
         self.resolve_existentials(&mut lits);
         self.universal_reduce(&mut lits);
         if P::ENABLED {
@@ -1144,6 +1173,10 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
                     lits.push(x);
                 }
             }
+            // The step actually used `r`: the learned clause inherits its
+            // frame dependencies (skipped steps leave the pivot in place,
+            // so the clause stays derivable without the skipped reason).
+            self.analysis_mark = self.analysis_mark.max(self.db.frame_mark(r));
             if P::ENABLED {
                 let rl = self.db.lits(r).to_vec();
                 self.proof.chain_resolve(self.qbf.prefix(), r.token(), &rl, m);
@@ -1259,6 +1292,9 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
         self.stats.arena_bytes_peak = self.stats.arena_bytes_peak.max(self.db.bytes_peak as u64);
         attach_unblock_sentinels(&mut self.db, self.qbf.prefix(), cref);
         self.db.set_activity(cref, self.stats.conflicts as f64);
+        // Incremental frame dependency of the derivation accumulated by
+        // the current analysis (always 0 for cubes and in one-shot mode).
+        self.db.set_frame_mark(cref, self.analysis_mark);
         if P::ENABLED {
             let ll = self.db.lits(cref).to_vec();
             self.proof.chain_learn(cref.token(), &ll);
@@ -1321,6 +1357,7 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
                     // that refuted the first branch, if resolution is legal.
                     if let Some(pr) = frame.pseudo_reason {
                         if let Some(mut combined) = self.try_resolve_clause(&lits, pr, d) {
+                            self.analysis_mark = self.analysis_mark.max(self.db.frame_mark(pr));
                             if P::ENABLED {
                                 let pl = self.db.lits(pr).to_vec();
                                 self.proof.chain_resolve(self.qbf.prefix(), pr.token(), &pl, !d);
@@ -1877,6 +1914,203 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
         self.stats.compactions += 1;
         self.stats.arena_bytes_reclaimed += map.reclaimed_bytes as u64;
         self.observer.on_compaction(map.reclaimed_bytes);
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental solving support (see `super::incremental`)
+    // ------------------------------------------------------------------
+
+    /// Backtracks every decision level and pops the residual level-0
+    /// trail, returning the solver to the empty assignment. Watcher lists
+    /// are untouched (they are backtrack-invariant); learned constraints,
+    /// activity scores and frame marks survive. Every incremental
+    /// operation starts from this state.
+    pub(crate) fn reset_search(&mut self) {
+        while !self.frames.is_empty() {
+            self.backtrack_one();
+        }
+        while let Some(l) = self.trail.pop() {
+            self.unassign(l);
+        }
+        self.qhead = 0;
+        // Candidates queued by the unassignments above (and any leftovers
+        // from the previous query) are stale; each solve re-seeds.
+        self.pure_candidates.clear();
+    }
+
+    /// Resets the per-query statistics, carrying over the arena
+    /// high-water mark (a property of the database, not of one query).
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats = Stats {
+            arena_bytes_peak: self.db.bytes_peak as u64,
+            ..Stats::default()
+        };
+    }
+
+    /// Adds an original clause tagged with push frame `frame` (0 for the
+    /// bottom frame). Requires the empty assignment ([`Solver::reset_search`]).
+    ///
+    /// Every learned cube is invalidated: a good certifies an implicant of
+    /// the matrix at learn time, and the grown matrix may no longer be
+    /// satisfied by it. Learned clauses are Q-resolution consequences of a
+    /// subset of the (grown) matrix and survive unconditionally.
+    pub(crate) fn add_original_clause(&mut self, lits: Vec<Lit>, frame: u32) {
+        debug_assert!(self.trail.is_empty(), "add_original_clause on a non-empty trail");
+        let prefix = self.qbf.prefix();
+        let mut lits = lits;
+        lits.sort_by_key(|l| !prefix.is_existential(l.var()));
+        let movable = lits
+            .iter()
+            .take(2)
+            .filter(|l| prefix.is_existential(l.var()))
+            .count();
+        self.brancher.on_learn(&lits);
+        let cref = self.db.add(lits, Kind::Clause, false, movable, 0, 0);
+        attach_unblock_sentinels(&mut self.db, prefix, cref);
+        self.db.set_frame_mark(cref, frame);
+        for &l in self.db.lits(cref) {
+            self.active_occ[l.code()] += 1;
+        }
+        self.stats.arena_bytes_peak = self.stats.arena_bytes_peak.max(self.db.bytes_peak as u64);
+        self.invalidate_cubes();
+    }
+
+    /// Deletes every live learned cube (called when the matrix grows).
+    fn invalidate_cubes(&mut self) {
+        let doomed: Vec<ConstraintRef> = self
+            .db
+            .learned_refs()
+            .iter()
+            .copied()
+            .filter(|&c| c.kind() == Kind::Cube && !self.db.is_deleted(c))
+            .collect();
+        for c in doomed {
+            let lits = self.db.lits(c).to_vec();
+            self.brancher.on_forget(&lits);
+            self.db.delete(c);
+        }
+    }
+
+    /// Incremental `pop` to `level`: removes every original clause added
+    /// in a higher frame and every learned clause whose derivation used
+    /// one (frame mark above `level`). Learned cubes, lower-frame learned
+    /// clauses, activity scores and the quantifier-tree caches survive.
+    /// Requires the empty assignment ([`Solver::reset_search`]).
+    pub(crate) fn invalidate_frames_above(&mut self, level: u32) {
+        debug_assert!(self.trail.is_empty(), "pop on a non-empty trail");
+        let doomed: Vec<ConstraintRef> = self
+            .db
+            .learned_refs()
+            .iter()
+            .copied()
+            .filter(|&c| !self.db.is_deleted(c) && self.db.frame_mark(c) > level)
+            .collect();
+        for c in doomed {
+            let lits = self.db.lits(c).to_vec();
+            self.brancher.on_forget(&lits);
+            self.db.delete(c);
+        }
+        for c in self.db.remove_originals_above(level) {
+            let lits = self.db.lits(c).to_vec();
+            for &l in &lits {
+                self.active_occ[l.code()] -= 1;
+            }
+            self.brancher.on_forget(&lits);
+        }
+    }
+
+    /// Reclaims tombstoned constraints between queries when garbage
+    /// dominates. With an empty trail every reason ref is stale, so the
+    /// remap in `compact_db` degrades gracefully to `Decision`.
+    pub(crate) fn maybe_compact_between_queries(&mut self) {
+        debug_assert!(self.trail.is_empty());
+        if self.config.compact_db && self.db.wants_compaction() {
+            self.compact_db();
+        } else {
+            self.db.purge_watchers();
+        }
+    }
+}
+
+/// The owned search state of a [`Solver`], detached from the borrowed
+/// instance. [`Solver::into_session`] / [`Solver::from_session`] move the
+/// state out of and back into a solver, letting an owner (the incremental
+/// front end) keep learned constraints, heuristic scores and statistics
+/// alive across queries without a self-referential struct.
+#[derive(Debug)]
+pub(crate) struct Session {
+    config: SolverConfig,
+    db: Db,
+    brancher: Brancher,
+    value: Vec<Option<bool>>,
+    level: Vec<u32>,
+    reason: Vec<Reason>,
+    trail_pos: Vec<u32>,
+    trail: Vec<Lit>,
+    qhead: usize,
+    frames: Vec<Frame>,
+    block_unassigned: Vec<u32>,
+    active_occ: Vec<u32>,
+    pure_candidates: Vec<Var>,
+    stats: Stats,
+    conflicts_since_decay: u64,
+    analysis_mark: u32,
+    lit_mark: Vec<bool>,
+    debug_dump: bool,
+}
+
+impl<'a> Solver<'a> {
+    /// Detaches the owned search state (ends the borrow of the QBF).
+    pub(crate) fn into_session(self) -> Session {
+        Session {
+            config: self.config,
+            db: self.db,
+            brancher: self.brancher,
+            value: self.value,
+            level: self.level,
+            reason: self.reason,
+            trail_pos: self.trail_pos,
+            trail: self.trail,
+            qhead: self.qhead,
+            frames: self.frames,
+            block_unassigned: self.block_unassigned,
+            active_occ: self.active_occ,
+            pure_candidates: self.pure_candidates,
+            stats: self.stats,
+            conflicts_since_decay: self.conflicts_since_decay,
+            analysis_mark: self.analysis_mark,
+            lit_mark: self.lit_mark,
+            debug_dump: self.debug_dump,
+        }
+    }
+
+    /// Re-attaches a detached session to its QBF. The caller must pass
+    /// the same formula the session was created from (the incremental
+    /// front end owns both, so the pairing is by construction).
+    pub(crate) fn from_session(qbf: &'a Qbf, s: Session) -> Self {
+        Solver {
+            qbf,
+            config: s.config,
+            db: s.db,
+            brancher: s.brancher,
+            observer: NoopObserver,
+            proof: NoProof,
+            value: s.value,
+            level: s.level,
+            reason: s.reason,
+            trail_pos: s.trail_pos,
+            trail: s.trail,
+            qhead: s.qhead,
+            frames: s.frames,
+            block_unassigned: s.block_unassigned,
+            active_occ: s.active_occ,
+            pure_candidates: s.pure_candidates,
+            stats: s.stats,
+            conflicts_since_decay: s.conflicts_since_decay,
+            analysis_mark: s.analysis_mark,
+            lit_mark: s.lit_mark,
+            debug_dump: s.debug_dump,
+        }
     }
 }
 

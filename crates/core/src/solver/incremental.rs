@@ -1,0 +1,457 @@
+//! Incremental solving: push/pop frames and assumption literals on top
+//! of the one-shot QDPLL engine.
+//!
+//! An [`IncrementalSolver`] owns a [`Qbf`] (the *prefix is immutable* for
+//! the lifetime of the session — incrementality is over the matrix) and a
+//! detached engine [`Session`]: the constraint arena, learned
+//! constraints, heuristic scores and quantifier-tree caches all survive
+//! between queries. Clauses added after construction are tagged with the
+//! *push frame* they belong to; `pop` removes the top frame and
+//! invalidates exactly the state whose soundness depended on it.
+//!
+//! # Invalidation rules (soundness argument, see DESIGN.md §2.7)
+//!
+//! * **Learned clauses** are Q-resolution consequences of the original
+//!   clauses their derivation *used* (skipped resolutions leave the pivot
+//!   literal in place, so the resolvent stays derivable without the
+//!   skipped antecedent). The engine stamps each learned clause with the
+//!   maximum push frame over its used antecedents
+//!   (`Solver::analysis_mark`); a consequence of frames `≤ k` stays a
+//!   consequence of any matrix that still contains those frames, so on
+//!   `pop` to level `k` exactly the learned clauses with mark `> k` are
+//!   tombstoned. Adding clauses never invalidates a nogood (a consequence
+//!   of a subset is a consequence of a superset).
+//! * **Learned cubes** are the dual: every cube chain bottoms out in
+//!   implicants of the matrix, and an implicant of a *larger* clause set
+//!   satisfies any subset — so cubes survive `pop` unconditionally, but
+//!   *every* cube dies whenever a clause is added (the new clause need
+//!   not be satisfied by an old implicant). Cube marks are therefore
+//!   always 0.
+//! * **Assumptions** are existential literals injected as unit clauses in
+//!   an internal frame one above the user's top frame, auto-popped after
+//!   the query. A unit over an existential variable propagates by the
+//!   generalized unit rule (Lemma 5) no matter where the variable sits in
+//!   the prefix — no universal can `≺`-block a one-literal clause — so
+//!   `Q.(ψ ∧ x)` decides exactly `Q'.ψ[x:=⊤]` and the assumption
+//!   respects `≺` by construction. Universal assumptions are rejected:
+//!   `∀x` under an assumption would change the quantifier's meaning, not
+//!   restrict the matrix.
+//!
+//! Activity scores, watcher lists and the block caches are
+//! frame-independent and always survive.
+//!
+//! # Determinism
+//!
+//! Every operation is deterministic: the verdict and statistics of a
+//! query are a pure function of the construction arguments and the
+//! operation sequence, and [`IncrementalSolver::equivalent_qbf`] exposes
+//! the one-shot formula each query is equivalent to (the differential
+//! suite in `tests/incremental.rs` cross-checks the verdicts on all pool
+//! instances).
+//!
+//! # Examples
+//!
+//! ```
+//! use qbf_core::solver::{IncrementalSolver, SolverConfig};
+//! use qbf_core::{samples, Lit};
+//!
+//! // ∃x1 x2 x3. (x1 ∨ x2)(¬x1 ∨ x2)(¬x2 ∨ x3) — true.
+//! let mut inc = IncrementalSolver::new(samples::sat_instance(), SolverConfig::partial_order());
+//! assert_eq!(inc.solve().value(), Some(true));
+//! inc.push();
+//! inc.add_clause(&[Lit::from_dimacs(-2)]).unwrap(); // forces the x2 conflict
+//! assert_eq!(inc.solve().value(), Some(false));
+//! inc.pop().unwrap();
+//! assert_eq!(inc.solve().value(), Some(true)); // the pop restored φ
+//!
+//! inc.assume(Lit::from_dimacs(-3)).unwrap(); // ¬x3 for the next query only
+//! assert_eq!(inc.solve().value(), Some(false));
+//! assert_eq!(inc.solve().value(), Some(true));
+//! ```
+
+use std::fmt;
+
+use crate::clause::{Clause, ClauseError};
+use crate::matrix::Matrix;
+use crate::proof::ProofLog;
+use crate::qbf::Qbf;
+use crate::var::{Lit, Quantifier, Var};
+
+use super::engine::{Session, Solver};
+use super::{Outcome, SolverConfig};
+
+/// Errors of the incremental API. Each maps to a structured protocol
+/// error in `qbfserve`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncrementalError {
+    /// `pop` with no frame on the stack.
+    PopBottom,
+    /// An added clause contains both polarities of the variable.
+    Tautology(Var),
+    /// The literal's variable is not bound by the prefix.
+    UnboundVar(Var),
+    /// An added clause mentions variables from disjoint sibling scopes
+    /// (same well-formedness condition as [`Qbf::new`]).
+    IncompatibleScopes,
+    /// The assumption literal is universally quantified.
+    UniversalAssumption(Lit),
+}
+
+impl fmt::Display for IncrementalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncrementalError::PopBottom => write!(f, "pop: no frame to pop"),
+            IncrementalError::Tautology(v) => {
+                write!(f, "clause contains both polarities of variable {v}")
+            }
+            IncrementalError::UnboundVar(v) => {
+                write!(f, "variable {v} is not bound by the prefix")
+            }
+            IncrementalError::IncompatibleScopes => {
+                write!(f, "clause mentions variables from disjoint sibling scopes")
+            }
+            IncrementalError::UniversalAssumption(l) => {
+                write!(f, "assumption {l} is not existential")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IncrementalError {}
+
+/// A long-lived solving session over one prefix: push/pop clause frames,
+/// assumption literals, and repeated queries with hot learned state.
+#[derive(Debug)]
+pub struct IncrementalSolver {
+    qbf: Qbf,
+    config: SolverConfig,
+    /// Detached engine state; `None` only transiently inside
+    /// [`IncrementalSolver::with_view`].
+    session: Option<Session>,
+    /// Number of user frames on the stack (frame 0 is the permanent
+    /// bottom frame; assumptions use the internal frame `level + 1`).
+    level: u32,
+    /// Clauses added since construction with their push frame, in add
+    /// order — the mirror from which [`IncrementalSolver::equivalent_qbf`]
+    /// rebuilds the one-shot formula.
+    added: Vec<(u32, Clause)>,
+    /// Assumptions for the next query, cleared by `solve`.
+    assumptions: Vec<Lit>,
+}
+
+impl IncrementalSolver {
+    /// Builds a session over `qbf` (its matrix becomes the permanent
+    /// bottom frame).
+    pub fn new(qbf: Qbf, config: SolverConfig) -> Self {
+        let session = Solver::new(&qbf, config.clone()).into_session();
+        IncrementalSolver {
+            qbf,
+            config,
+            session: Some(session),
+            level: 0,
+            added: Vec::new(),
+            assumptions: Vec::new(),
+        }
+    }
+
+    /// The base formula the session was constructed from.
+    pub fn qbf(&self) -> &Qbf {
+        &self.qbf
+    }
+
+    /// The solver configuration used by every query.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// The current number of user frames on the stack.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// The assumptions queued for the next query.
+    pub fn assumptions(&self) -> &[Lit] {
+        &self.assumptions
+    }
+
+    /// Number of clauses in the current frame-restricted matrix
+    /// (excluding queued assumptions).
+    pub fn num_clauses(&self) -> usize {
+        self.qbf.matrix().len() + self.added.len()
+    }
+
+    /// Re-attaches the detached session to the owned QBF for the duration
+    /// of `f`.
+    fn with_view<R>(&mut self, f: impl FnOnce(&mut Solver<'_>) -> R) -> R {
+        let session = self
+            .session
+            .take()
+            .expect("the session is always present between calls");
+        let mut solver = Solver::from_session(&self.qbf, session);
+        let result = f(&mut solver);
+        self.session = Some(solver.into_session());
+        result
+    }
+
+    /// Opens a new frame; clauses added from now on are removed by the
+    /// matching [`IncrementalSolver::pop`]. Returns the new level.
+    pub fn push(&mut self) -> u32 {
+        self.level += 1;
+        self.level
+    }
+
+    /// Closes the top frame: removes its clauses and tombstones every
+    /// learned clause whose derivation used them. Returns the new level.
+    ///
+    /// # Errors
+    ///
+    /// [`IncrementalError::PopBottom`] if no frame is open.
+    pub fn pop(&mut self) -> Result<u32, IncrementalError> {
+        if self.level == 0 {
+            return Err(IncrementalError::PopBottom);
+        }
+        self.level -= 1;
+        let level = self.level;
+        self.with_view(|s| {
+            s.reset_search();
+            s.invalidate_frames_above(level);
+            s.maybe_compact_between_queries();
+        });
+        self.added.retain(|&(frame, _)| frame <= level);
+        Ok(self.level)
+    }
+
+    /// Adds a clause to the current top frame (the permanent bottom frame
+    /// when no `push` is active). Invalidate every learned cube — the
+    /// grown matrix voids the implicant property.
+    ///
+    /// # Errors
+    ///
+    /// [`IncrementalError::Tautology`], [`IncrementalError::UnboundVar`]
+    /// or [`IncrementalError::IncompatibleScopes`]: the same
+    /// well-formedness conditions [`Qbf::new`] enforces, checked against
+    /// the session prefix. A rejected clause leaves the session
+    /// untouched.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> Result<(), IncrementalError> {
+        let clause = Clause::new(lits.iter().copied())
+            .map_err(|ClauseError::Tautology(v)| IncrementalError::Tautology(v))?;
+        let prefix = self.qbf.prefix();
+        for &l in clause.lits() {
+            if l.var().index() >= prefix.num_vars() || prefix.quant(l.var()).is_none() {
+                return Err(IncrementalError::UnboundVar(l.var()));
+            }
+        }
+        // The containment-chain check of `qbf::validate_scopes`, for this
+        // one clause: all scopes on a single root path of the forest.
+        let mut intervals: Vec<(u32, u32)> = clause
+            .iter()
+            .filter_map(|l| prefix.block_of(l.var()))
+            .map(|b| prefix.block_interval(b))
+            .collect();
+        intervals.sort_by_key(|&(d, f)| (d, std::cmp::Reverse(f)));
+        intervals.dedup();
+        for w in intervals.windows(2) {
+            let ((d1, f1), (d2, f2)) = (w[0], w[1]);
+            if !(d1 <= d2 && f2 <= f1) {
+                return Err(IncrementalError::IncompatibleScopes);
+            }
+        }
+        let frame = self.level;
+        let clause_lits = clause.lits().to_vec();
+        self.with_view(|s| {
+            s.reset_search();
+            s.add_original_clause(clause_lits, frame);
+        });
+        self.added.push((frame, clause));
+        Ok(())
+    }
+
+    /// Queues an assumption for the next query: the formula is solved
+    /// under the extra unit clause `(lit)`, which is retracted afterwards
+    /// (together with everything learned from it). Assumptions
+    /// accumulate until [`IncrementalSolver::solve`] consumes them.
+    ///
+    /// # Errors
+    ///
+    /// [`IncrementalError::UnboundVar`] for a variable outside the
+    /// prefix, [`IncrementalError::UniversalAssumption`] for a universal
+    /// literal (restricting a universal changes the quantifier's meaning;
+    /// only existential assumptions preserve equivalence under `≺`).
+    pub fn assume(&mut self, lit: Lit) -> Result<(), IncrementalError> {
+        let prefix = self.qbf.prefix();
+        if lit.var().index() >= prefix.num_vars() {
+            return Err(IncrementalError::UnboundVar(lit.var()));
+        }
+        match prefix.quant(lit.var()) {
+            None => Err(IncrementalError::UnboundVar(lit.var())),
+            Some(Quantifier::Forall) => Err(IncrementalError::UniversalAssumption(lit)),
+            Some(Quantifier::Exists) => {
+                self.assumptions.push(lit);
+                Ok(())
+            }
+        }
+    }
+
+    /// The one-shot formula the next `solve` is equivalent to: the base
+    /// matrix, every live added clause in add order, and the queued
+    /// assumptions as unit clauses.
+    pub fn equivalent_qbf(&self) -> Qbf {
+        let mut clauses: Vec<Clause> = self.qbf.matrix().clauses().to_vec();
+        clauses.extend(self.added.iter().map(|(_, c)| c.clone()));
+        clauses.extend(
+            self.assumptions
+                .iter()
+                .map(|&a| Clause::new([a]).expect("a unit clause is never tautological")),
+        );
+        Qbf::new(
+            self.qbf.prefix().clone(),
+            Matrix::from_clauses(self.qbf.num_vars(), clauses),
+        )
+        .expect("added clauses were validated against the same prefix")
+    }
+
+    /// Solves the current frame-restricted formula under the queued
+    /// assumptions (consumed by this call). Statistics are per-query;
+    /// `None` means the configured budget ran out (the session stays
+    /// usable).
+    pub fn solve(&mut self) -> Outcome {
+        let level = self.level;
+        let assumptions = std::mem::take(&mut self.assumptions);
+        self.with_view(|s| {
+            s.reset_search();
+            for &a in &assumptions {
+                // One frame above the user stack: auto-popped below, and
+                // any learned clause that used an assumption inherits a
+                // mark > level, so it is tombstoned with it.
+                s.add_original_clause(vec![a], level + 1);
+            }
+            s.reset_stats();
+            let out = s.solve_mut();
+            s.reset_search();
+            s.invalidate_frames_above(level);
+            s.maybe_compact_between_queries();
+            out
+        })
+    }
+
+    /// Like [`IncrementalSolver::solve`], additionally producing a
+    /// standalone `qrp 1` certificate for the query's frame-restricted
+    /// formula (fingerprinted per query, so `qbfcheck` verifies it
+    /// against [`IncrementalSolver::equivalent_qbf`] dumped at the same
+    /// point). The certificate comes from a cold proof-logging run over
+    /// the equivalent formula — learned constraints reused from earlier
+    /// queries have no derivation inside this query, so the incremental
+    /// search itself cannot emit a self-contained chain. `None` if the
+    /// certificate run exhausted the budget.
+    pub fn solve_with_proof(&mut self) -> (Outcome, Option<String>) {
+        let equivalent = self.equivalent_qbf();
+        let out = self.solve();
+        let mut log = ProofLog::new();
+        let cold = Solver::with_proof(&equivalent, self.config.clone(), &mut log).solve();
+        if let (Some(inc), Some(cert)) = (out.value(), cold.value()) {
+            assert_eq!(
+                inc, cert,
+                "incremental verdict disagrees with the certificate run"
+            );
+        }
+        let proof = (cold.value().is_some() && log.is_concluded())
+            .then(|| log.as_text().to_string());
+        (out, proof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+    use crate::semantics;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn repeated_solves_are_stable() {
+        let qbf = samples::paper_example();
+        let expected = semantics::eval(&qbf);
+        let mut inc = IncrementalSolver::new(qbf, SolverConfig::partial_order());
+        for _ in 0..3 {
+            assert_eq!(inc.solve().value(), Some(expected));
+        }
+    }
+
+    #[test]
+    fn push_add_pop_restores_the_formula() {
+        let qbf = samples::two_independent_games();
+        let expected = semantics::eval(&qbf);
+        let mut inc = IncrementalSolver::new(qbf, SolverConfig::partial_order());
+        assert_eq!(inc.solve().value(), Some(expected));
+        inc.push();
+        // The empty clause makes any frame false.
+        inc.add_clause(&[]).unwrap();
+        assert_eq!(inc.solve().value(), Some(false));
+        inc.pop().unwrap();
+        assert_eq!(inc.solve().value(), Some(expected));
+    }
+
+    #[test]
+    fn assumptions_are_retracted_after_the_query() {
+        let qbf = samples::sat_instance();
+        let mut inc = IncrementalSolver::new(qbf, SolverConfig::total_order());
+        let base = inc.solve().value();
+        // Assume both polarities of an existential: contradictory, so the
+        // query is false — and the next plain query is back to base.
+        inc.assume(lit(1)).unwrap();
+        inc.assume(lit(-1)).unwrap();
+        let equivalent = inc.equivalent_qbf();
+        assert_eq!(inc.solve().value(), Some(false));
+        assert!(!semantics::eval(&equivalent));
+        assert_eq!(inc.solve().value(), base);
+        assert!(inc.assumptions().is_empty());
+    }
+
+    #[test]
+    fn equivalent_qbf_tracks_the_frame_stack() {
+        let qbf = samples::paper_example();
+        let n = qbf.matrix().len();
+        let mut inc = IncrementalSolver::new(qbf, SolverConfig::partial_order());
+        inc.push();
+        inc.add_clause(&[lit(1), lit(2)]).unwrap();
+        assert_eq!(inc.equivalent_qbf().matrix().len(), n + 1);
+        assert_eq!(inc.num_clauses(), n + 1);
+        inc.pop().unwrap();
+        assert_eq!(inc.equivalent_qbf().matrix().len(), n);
+    }
+
+    #[test]
+    fn errors_are_structured() {
+        let qbf = samples::forall_exists_xor(); // ∀x1 ∃x2 …
+        let mut inc = IncrementalSolver::new(qbf, SolverConfig::partial_order());
+        assert_eq!(inc.pop(), Err(IncrementalError::PopBottom));
+        assert_eq!(
+            inc.add_clause(&[lit(1), lit(-1)]),
+            Err(IncrementalError::Tautology(Var::new(0)))
+        );
+        assert_eq!(
+            inc.add_clause(&[lit(99)]),
+            Err(IncrementalError::UnboundVar(Var::new(98)))
+        );
+        assert!(matches!(
+            inc.assume(lit(1)),
+            Err(IncrementalError::UniversalAssumption(_))
+        ));
+        // A rejected operation leaves the session solvable.
+        let expected = semantics::eval(inc.qbf());
+        assert_eq!(inc.solve().value(), Some(expected));
+    }
+
+    #[test]
+    fn proof_query_verdicts_agree() {
+        let qbf = samples::unsat_instance();
+        let mut inc = IncrementalSolver::new(qbf, SolverConfig::total_order());
+        let (out, proof) = inc.solve_with_proof();
+        assert_eq!(out.value(), Some(false));
+        let text = proof.expect("no budget set, so the certificate run concludes");
+        assert!(text.starts_with("p qrp 1 "));
+    }
+}

@@ -33,9 +33,11 @@
 mod db;
 mod engine;
 mod heuristic;
+mod incremental;
 
 pub use engine::Solver;
 pub use heuristic::HeuristicKind;
+pub use incremental::{IncrementalError, IncrementalSolver};
 
 /// Configuration of the [`Solver`].
 #[derive(Debug, Clone)]

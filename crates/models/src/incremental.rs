@@ -1,0 +1,203 @@
+//! Incremental diameter probing: the φ1, φ2, … sequence of §VII-C as one
+//! long-lived [`IncrementalSolver`] session.
+//!
+//! The paper's DIA experiments solve *families* of closely related QBFs —
+//! each probe differs only in the unrolling bound. The incremental
+//! encoding here places every probe's quantifier forest side by side in
+//! one **union universe**: probe φn's variables are shifted by the total
+//! size of the earlier probes and its prefix trees become additional
+//! roots of a shared forest (quantifier structure is preserved exactly —
+//! distinct roots are independent games, so `≺` never relates two
+//! probes). The base matrix is empty; probing φn is a `push`, the
+//! (shifted) clauses of φn, a `solve`, and a `pop`:
+//!
+//! * frame-independent learned state — heuristic activity, the arena,
+//!   the block caches — stays hot across probes;
+//! * repeated queries of the *same* probe (no matrix change in between)
+//!   additionally reuse every clause and cube learned in the frame,
+//!   which the DIA regression test pins as `incremental ≤ cold`.
+
+use qbf_core::solver::{IncrementalSolver, Outcome, SolverConfig};
+use qbf_core::{Clause, Matrix, Prefix, PrefixBuilder, Qbf, Var};
+
+use crate::diameter::{diameter_qbf, DiameterForm};
+use crate::model::SymbolicModel;
+
+/// One probe of a [`DiaSequence`]: the shifted clauses of φn over the
+/// union universe.
+#[derive(Debug, Clone)]
+pub struct DiaProbe {
+    /// The probed bound.
+    pub n: u32,
+    /// φn's clauses, with variables shifted into the union universe.
+    pub clauses: Vec<Clause>,
+}
+
+/// The φ1..φk family over one union universe, ready for an incremental
+/// session.
+#[derive(Debug, Clone)]
+pub struct DiaSequence {
+    /// The shared base formula: the union prefix over an empty matrix.
+    pub qbf: Qbf,
+    /// The probes, in bound order.
+    pub probes: Vec<DiaProbe>,
+}
+
+/// Appends `prefix`'s forest to `builder` with all variables shifted by
+/// `offset`.
+fn graft(builder: &mut PrefixBuilder, prefix: &Prefix, offset: usize) {
+    fn copy(
+        prefix: &Prefix,
+        builder: &mut PrefixBuilder,
+        src: qbf_core::BlockId,
+        parent: qbf_core::BlockId,
+        offset: usize,
+    ) {
+        let vars = prefix
+            .block_vars(src)
+            .iter()
+            .map(|v| Var::new(v.index() + offset));
+        let id = builder
+            .add_child(parent, prefix.block_quant(src), vars)
+            .expect("shifted variables are fresh");
+        for &c in prefix.block_children(src) {
+            copy(prefix, builder, c, id, offset);
+        }
+    }
+    for &r in prefix.roots() {
+        let vars = prefix
+            .block_vars(r)
+            .iter()
+            .map(|v| Var::new(v.index() + offset));
+        let id = builder
+            .add_root(prefix.block_quant(r), vars)
+            .expect("shifted variables are fresh");
+        for &c in prefix.block_children(r) {
+            copy(prefix, builder, c, id, offset);
+        }
+    }
+}
+
+/// Builds the union-universe sequence φ1..φ`max_n` for `model`.
+pub fn diameter_sequence(model: &SymbolicModel, form: DiameterForm, max_n: u32) -> DiaSequence {
+    let instances: Vec<_> = (1..=max_n).map(|n| diameter_qbf(model, n, form)).collect();
+    let total_vars: usize = instances.iter().map(|i| i.qbf.num_vars()).sum();
+    let mut builder = PrefixBuilder::new(total_vars);
+    let mut probes = Vec::new();
+    let mut offset = 0usize;
+    for inst in &instances {
+        graft(&mut builder, inst.qbf.prefix(), offset);
+        let clauses = inst
+            .qbf
+            .matrix()
+            .iter()
+            .map(|c| {
+                Clause::new(
+                    c.iter()
+                        .map(|l| Var::new(l.var().index() + offset).lit(l.is_positive())),
+                )
+                .expect("shifting preserves distinct variables")
+            })
+            .collect();
+        probes.push(DiaProbe {
+            n: inst.n,
+            clauses,
+        });
+        offset += inst.qbf.num_vars();
+    }
+    let prefix = builder.finish().expect("disjoint shifted universes");
+    let qbf = Qbf::new(prefix, Matrix::new(total_vars)).expect("empty matrix binds nothing");
+    DiaSequence { qbf, probes }
+}
+
+/// The incremental session's record of one probe.
+#[derive(Debug, Clone)]
+pub struct DiaProbeResult {
+    /// The probed bound.
+    pub n: u32,
+    /// The frame-restricted one-shot formula this probe is equivalent to
+    /// (for cold cross-checks).
+    pub equivalent: Qbf,
+    /// One outcome per solve of this probe (`solves_per_probe` many).
+    pub outcomes: Vec<Outcome>,
+}
+
+/// An incremental run over a [`DiaSequence`].
+#[derive(Debug, Clone)]
+pub struct DiaIncrementalRun {
+    /// Per-probe results, in bound order.
+    pub results: Vec<DiaProbeResult>,
+}
+
+impl DiaIncrementalRun {
+    /// Total deterministic cost (assignments) across all solves.
+    pub fn total_assignments(&self) -> u64 {
+        self.results
+            .iter()
+            .flat_map(|r| &r.outcomes)
+            .map(|o| o.stats.assignments())
+            .sum()
+    }
+
+    /// Total backtracks (backjumps + chronological) across all solves.
+    pub fn total_backtracks(&self) -> u64 {
+        self.results
+            .iter()
+            .flat_map(|r| &r.outcomes)
+            .map(|o| o.stats.backjumps + o.stats.chrono_backtracks)
+            .sum()
+    }
+}
+
+/// Runs the sequence in one incremental session: per probe, `push`, add
+/// the probe's clauses, solve `solves_per_probe` times, `pop`. Repeat
+/// solves of an unchanged frame reuse the frame's learned clauses *and*
+/// cubes — the measurable benefit the DIA regression pins down.
+pub fn run_diameter_incremental(
+    seq: &DiaSequence,
+    config: &SolverConfig,
+    solves_per_probe: u32,
+) -> DiaIncrementalRun {
+    assert!(solves_per_probe >= 1, "at least one solve per probe");
+    let mut inc = IncrementalSolver::new(seq.qbf.clone(), config.clone());
+    let mut results = Vec::new();
+    for probe in &seq.probes {
+        inc.push();
+        for clause in &probe.clauses {
+            inc.add_clause(clause.lits()).expect("probe clauses are valid");
+        }
+        let equivalent = inc.equivalent_qbf();
+        let outcomes = (0..solves_per_probe).map(|_| inc.solve()).collect();
+        inc.pop().expect("matching push");
+        results.push(DiaProbeResult {
+            n: probe.n,
+            equivalent,
+            outcomes,
+        });
+    }
+    DiaIncrementalRun { results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::explore;
+    use crate::model;
+    use qbf_core::solver::Solver;
+
+    #[test]
+    fn union_universe_preserves_probe_verdicts() {
+        let m = model::counter(2);
+        let d = explore(&m).unwrap().eccentricity; // 3
+        let seq = diameter_sequence(&m, DiameterForm::Tree, 4);
+        let run = run_diameter_incremental(&seq, &SolverConfig::partial_order(), 1);
+        assert_eq!(run.results.len(), 4);
+        for r in &run.results {
+            let expected = r.n < d;
+            assert_eq!(r.outcomes[0].value(), Some(expected), "n={}", r.n);
+            // The captured equivalent agrees when solved cold.
+            let cold = Solver::new(&r.equivalent, SolverConfig::partial_order()).solve();
+            assert_eq!(cold.value(), Some(expected), "cold n={}", r.n);
+        }
+    }
+}

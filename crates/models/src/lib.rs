@@ -31,10 +31,15 @@
 
 mod diameter;
 mod explicit;
+mod incremental;
 mod model;
 
 pub use diameter::{
     compute_diameter, diameter_qbf, DiameterForm, DiameterInstance, DiameterRun, Probe,
+};
+pub use incremental::{
+    diameter_sequence, run_diameter_incremental, DiaIncrementalRun, DiaProbe, DiaProbeResult,
+    DiaSequence,
 };
 pub use explicit::{explore, is_deadlock_free, Exploration};
 pub use model::{counter, dme, gray, ring, semaphore, vector_equiv, SymbolicModel};

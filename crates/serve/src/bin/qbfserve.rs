@@ -1,0 +1,78 @@
+//! `qbfserve` — the long-lived incremental solving service.
+//!
+//! Reads one JSONL request per stdin line, writes one JSON response per
+//! stdout line (see the `qbf_serve` crate docs for the protocol). An
+//! instance can be preloaded from the command line; further `load`
+//! commands replace it. Malformed requests produce structured errors and
+//! the server keeps accepting input until EOF.
+
+use std::io::{BufRead, Write};
+
+use qbf_core::solver::SolverConfig;
+use qbf_serve::Server;
+
+fn usage() -> ! {
+    eprintln!("usage: qbfserve [--to|--po] [--no-pure] [--no-learning] [--budget N] [FILE]");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut config = SolverConfig::partial_order();
+    let mut file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--to" => config = SolverConfig::total_order(),
+            "--po" => config = SolverConfig::partial_order(),
+            "--no-pure" => config.pure_literals = false,
+            "--no-learning" => config.learning = false,
+            "--budget" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.node_limit = Some(n),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            f if !f.starts_with('-') => file = Some(f.to_string()),
+            _ => usage(),
+        }
+    }
+
+    let mut server = Server::new(config);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    if let Some(path) = file {
+        // The preload is line 0 of the session: its response is printed
+        // like any other so transcripts stay replayable.
+        let response = match std::fs::read_to_string(&path) {
+            Ok(text) => match server.load_text(&text) {
+                Ok(r) => r,
+                Err(e) => format!("{{\"ok\":false,\"line\":0,\"error\":\"{}\"}}", esc(&e)),
+            },
+            Err(e) => format!(
+                "{{\"ok\":false,\"line\":0,\"error\":\"cannot read {}: {}\"}}",
+                esc(&path),
+                esc(&e.to_string())
+            ),
+        };
+        writeln!(out, "{response}").expect("stdout");
+    }
+
+    let stdin = std::io::stdin();
+    for (i, line) in stdin.lock().lines().enumerate() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: stdin: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Some(response) = server.handle_line(i + 1, &line) {
+            writeln!(out, "{response}").expect("stdout");
+            out.flush().expect("stdout");
+        }
+    }
+}
+
+fn esc(s: &str) -> String {
+    qbf_bench::json::escape(s)
+}

@@ -1,0 +1,296 @@
+//! The `qbfserve` protocol: a long-lived incremental solving service.
+//!
+//! One JSON object per input line (JSONL), one JSON object per output
+//! line, over stdin/stdout. The server wraps an
+//! [`IncrementalSolver`] — learned constraints, heuristic scores and the
+//! constraint arena stay hot across queries — and exposes the push/pop +
+//! assumption API plus per-query statistics and certificates:
+//!
+//! ```text
+//! {"cmd":"load","path":"data/paper_example.qtree"}
+//! {"cmd":"push"}
+//! {"cmd":"add","lits":[1,-3]}
+//! {"cmd":"assume","lit":2}
+//! {"cmd":"solve","proof":true}
+//! {"cmd":"stats"}
+//! {"cmd":"proof","path":"q1.qrp","instance":"q1.qtree"}
+//! {"cmd":"pop"}
+//! ```
+//!
+//! Every response carries `"ok":true` with command-specific fields, or
+//! `"ok":false` with the 1-based input line number and a message — the
+//! same `line N: message` discipline as the `qbf_core::io` parsers:
+//!
+//! ```text
+//! {"ok":false,"line":4,"error":"unknown command `solev`"}
+//! ```
+//!
+//! Errors never terminate the server; it keeps accepting requests. All
+//! output is byte-deterministic: field order is fixed by the writer and
+//! every value is a pure function of the request sequence (the CI gate
+//! replays a scripted session twice and `cmp`s the transcripts).
+//!
+//! JSON is written by plain string formatting and read with the in-tree
+//! `qbf_bench::json` parser — the workspace stays hermetic.
+
+use qbf_bench::json::{self, Json};
+use qbf_core::io;
+use qbf_core::solver::{IncrementalError, IncrementalSolver, SolverConfig, Stats};
+use qbf_core::{Lit, Qbf};
+
+/// The certificate artifacts of the last `solve` with `"proof":true`:
+/// the `qrp 1` text and the frame-restricted instance it certifies
+/// (qtree format), captured at query time so `qbfcheck` can verify the
+/// pair even after further `push`/`pop`/`add` traffic.
+#[derive(Debug, Clone)]
+struct ProofArtifacts {
+    certificate: String,
+    instance: String,
+}
+
+/// A `qbfserve` session: one optional loaded instance plus the last
+/// query's statistics and certificate.
+#[derive(Debug)]
+pub struct Server {
+    config: SolverConfig,
+    session: Option<IncrementalSolver>,
+    last_stats: Option<Stats>,
+    last_proof: Option<ProofArtifacts>,
+}
+
+fn error_response(line: usize, message: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"line\":{line},\"error\":\"{}\"}}",
+        json::escape(message)
+    )
+}
+
+/// Serializes [`Stats`] as a JSON object, in [`Stats::fields`] order.
+fn stats_json(stats: &Stats) -> String {
+    let mut out = String::from("{");
+    for (i, (name, value)) in stats.fields().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{value}"));
+    }
+    out.push('}');
+    out
+}
+
+/// `qbfsolve`'s verdict encoding: `1` true, `0` false, `-1` budget.
+fn verdict(value: Option<bool>) -> i32 {
+    match value {
+        Some(true) => 1,
+        Some(false) => 0,
+        None => -1,
+    }
+}
+
+/// Parses an instance, dispatching on the `p qtree` / `p cnf` keyword
+/// line like `qbfsolve` does.
+fn parse_qbf(text: &str) -> Result<Qbf, String> {
+    let keyword = text
+        .lines()
+        .map(str::trim)
+        .find(|l| l.starts_with("p "))
+        .unwrap_or("");
+    if keyword.starts_with("p qtree") {
+        io::qtree::parse(text).map_err(|e| e.to_string())
+    } else {
+        io::qdimacs::parse(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Extracts a DIMACS literal from a JSON number.
+fn json_lit(v: &Json) -> Result<Lit, String> {
+    let n = v
+        .as_f64()
+        .filter(|n| n.fract() == 0.0 && n.abs() <= i32::MAX as f64)
+        .ok_or_else(|| "literals must be non-zero DIMACS integers".to_string())?;
+    if n == 0.0 {
+        return Err("literal 0 is reserved (DIMACS terminator)".to_string());
+    }
+    Ok(Lit::from_dimacs(n as i64))
+}
+
+impl Server {
+    /// A fresh server with no loaded instance.
+    pub fn new(config: SolverConfig) -> Self {
+        Server {
+            config,
+            session: None,
+            last_stats: None,
+            last_proof: None,
+        }
+    }
+
+    /// Loads `text` as the session instance (replacing any previous one).
+    /// Returns the success response; `Err` is the parse failure message.
+    pub fn load_text(&mut self, text: &str) -> Result<String, String> {
+        let qbf = parse_qbf(text)?;
+        let vars = qbf.num_vars();
+        let clauses = qbf.matrix().len();
+        self.session = Some(IncrementalSolver::new(qbf, self.config.clone()));
+        self.last_stats = None;
+        self.last_proof = None;
+        Ok(format!(
+            "{{\"ok\":true,\"cmd\":\"load\",\"vars\":{vars},\"clauses\":{clauses}}}"
+        ))
+    }
+
+    /// Handles one input line and returns the response line, or `None`
+    /// for blank input. `line` is the 1-based input line number used in
+    /// error responses. Never panics on malformed input; the session
+    /// survives every error.
+    pub fn handle_line(&mut self, line: usize, input: &str) -> Option<String> {
+        if input.trim().is_empty() {
+            return None;
+        }
+        Some(match self.dispatch(input) {
+            Ok(response) => response,
+            Err(message) => error_response(line, &message),
+        })
+    }
+
+    fn dispatch(&mut self, input: &str) -> Result<String, String> {
+        let request = json::parse(input).map_err(|e| format!("malformed JSON: {e}"))?;
+        let cmd = request
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("request object needs a string `cmd` field")?
+            .to_string();
+        match cmd.as_str() {
+            "load" => self.cmd_load(&request),
+            "push" => {
+                let level = self.session()?.push();
+                Ok(format!("{{\"ok\":true,\"cmd\":\"push\",\"level\":{level}}}"))
+            }
+            "pop" => {
+                let level = self.session()?.pop().map_err(|e| e.to_string())?;
+                Ok(format!("{{\"ok\":true,\"cmd\":\"pop\",\"level\":{level}}}"))
+            }
+            "add" => self.cmd_add(&request),
+            "assume" => self.cmd_assume(&request),
+            "solve" => self.cmd_solve(&request),
+            "stats" => {
+                let stats = self.last_stats.ok_or("no query solved yet")?;
+                Ok(format!(
+                    "{{\"ok\":true,\"cmd\":\"stats\",\"stats\":{}}}",
+                    stats_json(&stats)
+                ))
+            }
+            "proof" => self.cmd_proof(&request),
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+
+    fn session(&mut self) -> Result<&mut IncrementalSolver, String> {
+        self.session
+            .as_mut()
+            .ok_or_else(|| "no instance loaded (use the `load` command)".to_string())
+    }
+
+    fn cmd_load(&mut self, request: &Json) -> Result<String, String> {
+        let text = match (
+            request.get("path").and_then(Json::as_str),
+            request.get("text").and_then(Json::as_str),
+        ) {
+            (Some(path), None) => {
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+            }
+            (None, Some(text)) => text.to_string(),
+            _ => return Err("load needs exactly one of `path` or `text`".to_string()),
+        };
+        self.load_text(&text)
+    }
+
+    fn cmd_add(&mut self, request: &Json) -> Result<String, String> {
+        let lits = request
+            .get("lits")
+            .and_then(Json::as_array)
+            .ok_or("add needs a `lits` array of DIMACS literals")?
+            .iter()
+            .map(json_lit)
+            .collect::<Result<Vec<Lit>, String>>()?;
+        let session = self.session()?;
+        session.add_clause(&lits).map_err(|e: IncrementalError| e.to_string())?;
+        let clauses = session.num_clauses();
+        Ok(format!(
+            "{{\"ok\":true,\"cmd\":\"add\",\"clauses\":{clauses}}}"
+        ))
+    }
+
+    fn cmd_assume(&mut self, request: &Json) -> Result<String, String> {
+        let lit = json_lit(
+            request
+                .get("lit")
+                .ok_or("assume needs a `lit` DIMACS literal")?,
+        )?;
+        let session = self.session()?;
+        session.assume(lit).map_err(|e| e.to_string())?;
+        let pending = session.assumptions().len();
+        Ok(format!(
+            "{{\"ok\":true,\"cmd\":\"assume\",\"assumptions\":{pending}}}"
+        ))
+    }
+
+    fn cmd_solve(&mut self, request: &Json) -> Result<String, String> {
+        let with_proof = request.get("proof").and_then(Json::as_bool).unwrap_or(false);
+        let session = self.session()?;
+        if with_proof {
+            let instance = io::qtree::write(&session.equivalent_qbf());
+            let (outcome, certificate) = session.solve_with_proof();
+            self.last_stats = Some(outcome.stats);
+            let certified = certificate.is_some();
+            self.last_proof = certificate.map(|certificate| ProofArtifacts {
+                certificate,
+                instance,
+            });
+            Ok(format!(
+                "{{\"ok\":true,\"cmd\":\"solve\",\"value\":{},\"certificate\":{certified},\"stats\":{}}}",
+                verdict(outcome.value()),
+                stats_json(&outcome.stats)
+            ))
+        } else {
+            let outcome = session.solve();
+            self.last_stats = Some(outcome.stats);
+            self.last_proof = None;
+            Ok(format!(
+                "{{\"ok\":true,\"cmd\":\"solve\",\"value\":{},\"stats\":{}}}",
+                verdict(outcome.value()),
+                stats_json(&outcome.stats)
+            ))
+        }
+    }
+
+    fn cmd_proof(&mut self, request: &Json) -> Result<String, String> {
+        let artifacts = self
+            .last_proof
+            .as_ref()
+            .ok_or("no certificate for the last solve (use `solve` with \"proof\":true)")?
+            .clone();
+        let bytes = artifacts.certificate.len();
+        let path = request.get("path").and_then(Json::as_str);
+        let instance = request.get("instance").and_then(Json::as_str);
+        if path.is_none() && instance.is_none() {
+            return Ok(format!(
+                "{{\"ok\":true,\"cmd\":\"proof\",\"bytes\":{bytes},\"text\":\"{}\"}}",
+                json::escape(&artifacts.certificate)
+            ));
+        }
+        let mut fields = format!("{{\"ok\":true,\"cmd\":\"proof\",\"bytes\":{bytes}");
+        if let Some(p) = path {
+            std::fs::write(p, &artifacts.certificate)
+                .map_err(|e| format!("cannot write {p}: {e}"))?;
+            fields.push_str(&format!(",\"path\":\"{}\"", json::escape(p)));
+        }
+        if let Some(p) = instance {
+            std::fs::write(p, &artifacts.instance)
+                .map_err(|e| format!("cannot write {p}: {e}"))?;
+            fields.push_str(&format!(",\"instance\":\"{}\"", json::escape(p)));
+        }
+        fields.push('}');
+        Ok(fields)
+    }
+}

@@ -1,0 +1,209 @@
+//! Protocol robustness tests for the `qbfserve` service layer.
+//!
+//! Every malformed request — broken JSON, unknown commands, popping past
+//! the bottom frame, commands before `load` — must produce a structured
+//! `"ok":false` response carrying the 1-based input line number (the same
+//! `line N: message` discipline as the `qbf_core::io` parsers), and the
+//! server must keep accepting requests afterwards. Well-formed sessions
+//! must replay byte-identically.
+
+use qbf_core::solver::SolverConfig;
+use qbf_serve::Server;
+
+/// The §2 running example, inline so the tests need no filesystem.
+const PAPER_EXAMPLE: &str = "p qtree 7 8\n\
+     t (e 1 (a 2 (e 3 4)) (a 5 (e 6 7)))\n\
+     -1 3 4 0\n2 -3 4 0\n3 -4 0\n-1 -3 -4 0\n\
+     1 6 7 0\n5 -6 7 0\n6 -7 0\n1 -6 -7 0\n";
+
+fn server() -> Server {
+    Server::new(SolverConfig::partial_order())
+}
+
+fn loaded_server() -> Server {
+    let mut s = server();
+    s.load_text(PAPER_EXAMPLE).expect("sample parses");
+    s
+}
+
+/// Runs a scripted session and collects the response lines (blank inputs
+/// produce no response and are skipped, matching the binary's loop).
+fn transcript(server: &mut Server, script: &[&str]) -> Vec<String> {
+    script
+        .iter()
+        .enumerate()
+        .filter_map(|(i, line)| server.handle_line(i + 1, line))
+        .collect()
+}
+
+#[test]
+fn blank_lines_are_ignored() {
+    let mut s = loaded_server();
+    assert_eq!(s.handle_line(1, ""), None);
+    assert_eq!(s.handle_line(2, "   \t "), None);
+}
+
+#[test]
+fn malformed_json_reports_the_line_number() {
+    let mut s = loaded_server();
+    let r = s.handle_line(7, "{\"cmd\":\"solve\"").unwrap();
+    assert!(
+        r.starts_with("{\"ok\":false,\"line\":7,\"error\":\"malformed JSON:"),
+        "got: {r}"
+    );
+    // A non-object is equally malformed at the protocol level.
+    let r = s.handle_line(8, "42").unwrap();
+    assert!(r.starts_with("{\"ok\":false,\"line\":8,"), "got: {r}");
+}
+
+#[test]
+fn unknown_commands_are_rejected() {
+    let mut s = loaded_server();
+    let r = s.handle_line(3, "{\"cmd\":\"solev\"}").unwrap();
+    assert_eq!(r, "{\"ok\":false,\"line\":3,\"error\":\"unknown command `solev`\"}");
+    let r = s.handle_line(4, "{\"lits\":[1]}").unwrap();
+    assert_eq!(
+        r,
+        "{\"ok\":false,\"line\":4,\"error\":\"request object needs a string `cmd` field\"}"
+    );
+}
+
+#[test]
+fn pop_past_the_bottom_frame_is_an_error() {
+    let mut s = loaded_server();
+    let r = s.handle_line(1, "{\"cmd\":\"pop\"}").unwrap();
+    assert_eq!(r, "{\"ok\":false,\"line\":1,\"error\":\"pop: no frame to pop\"}");
+    // Balanced push/pop works; the extra pop fails with the right line.
+    assert_eq!(
+        s.handle_line(2, "{\"cmd\":\"push\"}").unwrap(),
+        "{\"ok\":true,\"cmd\":\"push\",\"level\":1}"
+    );
+    assert_eq!(
+        s.handle_line(3, "{\"cmd\":\"pop\"}").unwrap(),
+        "{\"ok\":true,\"cmd\":\"pop\",\"level\":0}"
+    );
+    let r = s.handle_line(4, "{\"cmd\":\"pop\"}").unwrap();
+    assert_eq!(r, "{\"ok\":false,\"line\":4,\"error\":\"pop: no frame to pop\"}");
+}
+
+#[test]
+fn commands_before_load_are_rejected_but_survivable() {
+    let mut s = server();
+    let r = s.handle_line(1, "{\"cmd\":\"solve\"}").unwrap();
+    assert_eq!(
+        r,
+        "{\"ok\":false,\"line\":1,\"error\":\"no instance loaded (use the `load` command)\"}"
+    );
+    // The server is still usable: load inline text, then solve.
+    let r = s
+        .handle_line(2, &format!(
+            "{{\"cmd\":\"load\",\"text\":\"{}\"}}",
+            qbf_bench::json::escape(PAPER_EXAMPLE)
+        ))
+        .unwrap();
+    assert_eq!(r, "{\"ok\":true,\"cmd\":\"load\",\"vars\":7,\"clauses\":8}");
+    let r = s.handle_line(3, "{\"cmd\":\"solve\"}").unwrap();
+    assert!(r.starts_with("{\"ok\":true,\"cmd\":\"solve\",\"value\":0,"), "got: {r}");
+}
+
+#[test]
+fn bad_literals_and_bad_load_arguments_are_structured_errors() {
+    let mut s = loaded_server();
+    for (line, input, want) in [
+        (
+            1,
+            "{\"cmd\":\"add\",\"lits\":[1,0]}",
+            "literal 0 is reserved (DIMACS terminator)",
+        ),
+        (
+            2,
+            "{\"cmd\":\"add\",\"lits\":[1.5]}",
+            "literals must be non-zero DIMACS integers",
+        ),
+        (3, "{\"cmd\":\"add\"}", "add needs a `lits` array of DIMACS literals"),
+        (
+            4,
+            "{\"cmd\":\"add\",\"lits\":[99]}",
+            "variable 99 is not bound by the prefix",
+        ),
+        (
+            5,
+            "{\"cmd\":\"add\",\"lits\":[1,-1]}",
+            "clause contains both polarities of variable 1",
+        ),
+        (6, "{\"cmd\":\"assume\",\"lit\":2}", "assumption 2 is not existential"),
+        (
+            7,
+            "{\"cmd\":\"load\",\"path\":\"a\",\"text\":\"b\"}",
+            "load needs exactly one of `path` or `text`",
+        ),
+        (8, "{\"cmd\":\"stats\"}", "no query solved yet"),
+        (
+            9,
+            "{\"cmd\":\"proof\"}",
+            "no certificate for the last solve (use `solve` with \\\"proof\\\":true)",
+        ),
+    ] {
+        let r = s.handle_line(line, input).unwrap();
+        assert_eq!(
+            r,
+            format!("{{\"ok\":false,\"line\":{line},\"error\":\"{want}\"}}"),
+            "input: {input}"
+        );
+    }
+    // After nine straight errors the session still answers queries.
+    let r = s.handle_line(10, "{\"cmd\":\"solve\"}").unwrap();
+    assert!(r.starts_with("{\"ok\":true,\"cmd\":\"solve\",\"value\":0,"), "got: {r}");
+}
+
+#[test]
+fn sessions_replay_byte_identically() {
+    let script = [
+        "{\"cmd\":\"push\"}",
+        "{\"cmd\":\"add\",\"lits\":[1,-3]}",
+        "{\"cmd\":\"solve\",\"proof\":true}",
+        "{\"cmd\":\"stats\"}",
+        "{\"cmd\":\"proof\"}",
+        "{\"cmd\":\"assume\",\"lit\":-1}",
+        "{\"cmd\":\"solve\"}",
+        "{\"cmd\":\"pop\"}",
+        "not json at all",
+        "{\"cmd\":\"pop\"}",
+        "{\"cmd\":\"frobnicate\"}",
+        "{\"cmd\":\"solve\"}",
+    ];
+    let a = transcript(&mut loaded_server(), &script);
+    let b = transcript(&mut loaded_server(), &script);
+    assert_eq!(a, b, "same script, different transcripts");
+    assert_eq!(a.len(), script.len());
+    // Spot-check the interesting lines: solve-with-proof carries a
+    // certificate flag, errors carry their line numbers, and the final
+    // solve (after all the noise) still answers.
+    assert!(a[2].contains("\"certificate\":true"), "got: {}", a[2]);
+    assert!(a[4].starts_with("{\"ok\":true,\"cmd\":\"proof\",\"bytes\":"), "got: {}", a[4]);
+    assert!(a[8].starts_with("{\"ok\":false,\"line\":9,"), "got: {}", a[8]);
+    assert!(a[9].starts_with("{\"ok\":false,\"line\":10,"), "got: {}", a[9]);
+    assert!(a[10].starts_with("{\"ok\":false,\"line\":11,"), "got: {}", a[10]);
+    assert!(a[11].starts_with("{\"ok\":true,\"cmd\":\"solve\",\"value\":0,"), "got: {}", a[11]);
+}
+
+#[test]
+fn proof_artifacts_certify_the_frame_restricted_query() {
+    let mut s = loaded_server();
+    let responses = transcript(
+        &mut s,
+        &[
+            "{\"cmd\":\"push\"}",
+            "{\"cmd\":\"add\",\"lits\":[3]}",
+            "{\"cmd\":\"solve\",\"proof\":true}",
+            "{\"cmd\":\"proof\"}",
+        ],
+    );
+    assert!(responses[2].contains("\"certificate\":true"), "got: {}", responses[2]);
+    // The embedded text is the JSON-escaped `qrp 1` certificate.
+    let body = &responses[3];
+    let start = body.find("\"text\":\"").expect("embedded text") + 8;
+    let end = body.rfind("\"}").expect("closing quote");
+    let cert = body[start..end].replace("\\n", "\n").replace("\\\"", "\"");
+    assert!(cert.starts_with("p qrp 1 "), "got: {cert}");
+}

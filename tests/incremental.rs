@@ -1,0 +1,380 @@
+//! The incremental differential suite: randomized push/pop/assume
+//! scripts over the full differential instance pool, cross-checked
+//! query-by-query against cold solves of the equivalent one-shot
+//! formula.
+//!
+//! For every pool instance (the same 239-instance mix as
+//! `tests/differential.rs`) and under both QUBE(TO) and QUBE(PO), an
+//! in-tree PRNG (`qbf_gen::rng`) drives a script of `push`, `pop`,
+//! `add`, `assume` and `solve` operations against an
+//! [`IncrementalSolver`]. The test maintains its own mirror of the frame
+//! stack and, at every `solve`, rebuilds the equivalent formula
+//! *independently* of the solver's bookkeeping and solves it cold with
+//! the same configuration — the verdicts must match exactly. Added
+//! clauses are mutations of the instance's own clauses (drop or flip one
+//! literal), so they are always scope-compatible with the prefix.
+//!
+//! Built with `--features qbf-core/debug-counters`, every solver run is
+//! additionally shadow-verified by the eager counter discipline, so the
+//! incremental add/remove paths are cross-checked against the watched
+//! propagator too.
+//!
+//! The file also pins the DIA-sequence reuse benefit (incremental totals
+//! never exceed cold totals on a φ1..φk family) and certificate
+//! soundness under incrementality (per-query `qrp 1` certificates verify
+//! against the frame-restricted instance and are byte-deterministic
+//! across identical sessions).
+
+use qbf_repro::core::solver::{
+    IncrementalError, IncrementalSolver, Solver, SolverConfig,
+};
+use qbf_repro::core::{samples, Clause, Lit, Matrix, Qbf, Var};
+use qbf_repro::gen::rng::Rng;
+use qbf_repro::gen::{fixed, fpv, ncf, rand_qbf, FixedParams, FpvParams, NcfParams, RandParams};
+use qbf_repro::models::{counter, diameter_sequence, run_diameter_incremental, DiameterForm};
+use qbf_repro::prenex::{miniscope, prenex, Strategy};
+use qbf_repro::proof::check_proof;
+
+/// Mirror of the session's frame stack, maintained independently so a
+/// bookkeeping bug in the solver cannot hide itself.
+struct Mirror {
+    /// Clauses added to the permanent bottom frame.
+    bottom: Vec<Clause>,
+    /// One clause list per open `push` frame.
+    stack: Vec<Vec<Clause>>,
+    /// Assumptions queued for the next query.
+    assumed: Vec<Lit>,
+}
+
+impl Mirror {
+    fn new() -> Self {
+        Mirror {
+            bottom: Vec::new(),
+            stack: Vec::new(),
+            assumed: Vec::new(),
+        }
+    }
+
+    /// The one-shot formula the next query must be equivalent to.
+    fn equivalent(&self, base: &Qbf) -> Qbf {
+        let mut clauses = base.matrix().clauses().to_vec();
+        clauses.extend(self.bottom.iter().cloned());
+        for frame in &self.stack {
+            clauses.extend(frame.iter().cloned());
+        }
+        for &a in &self.assumed {
+            clauses.push(Clause::new([a]).expect("unit"));
+        }
+        Qbf::new(
+            base.prefix().clone(),
+            Matrix::from_clauses(base.num_vars(), clauses),
+        )
+        .expect("mutated clauses stay over the instance's own scopes")
+    }
+}
+
+/// A scope-safe random clause: a mutation of one of the instance's own
+/// clauses (variables stay within a single clause's scope chain). Either
+/// drops one literal (strengthening) or flips one polarity.
+fn mutate_clause(base: &[Clause], rng: &mut Rng) -> Option<Clause> {
+    if base.is_empty() {
+        return None;
+    }
+    let c = &base[rng.gen_range(0..base.len())];
+    let mut lits: Vec<Lit> = c.lits().to_vec();
+    if lits.is_empty() {
+        return Some(c.clone());
+    }
+    let i = rng.gen_range(0..lits.len());
+    if lits.len() > 1 && rng.gen_bool(0.5) {
+        lits.remove(i);
+    } else {
+        let l = lits[i];
+        lits[i] = l.var().lit(!l.is_positive());
+    }
+    Some(Clause::new(lits).expect("distinct variables are preserved"))
+}
+
+/// One `solve` step: query the session and a cold solver on the
+/// mirror-built equivalent formula; the verdicts must agree.
+fn check_solve(
+    label: &str,
+    base: &Qbf,
+    config: &SolverConfig,
+    inc: &mut IncrementalSolver,
+    mirror: &mut Mirror,
+) {
+    let equivalent = mirror.equivalent(base);
+    let got = inc.solve().value();
+    let cold = Solver::new(&equivalent, config.clone())
+        .solve()
+        .value()
+        .unwrap_or_else(|| panic!("{label}: cold reference hit the node limit"));
+    assert_eq!(
+        got,
+        Some(cold),
+        "{label}: incremental verdict diverges from the cold solve"
+    );
+    mirror.assumed.clear(); // the session consumed them
+}
+
+/// Drives one randomized script against `qbf` under both TO and PO.
+fn script_check(label: &str, qbf: &Qbf, seed: u64) {
+    let all_vars: Vec<Var> = qbf.prefix().bound_vars().collect();
+    let base_clauses: Vec<Clause> = qbf.matrix().clauses().to_vec();
+    for (ci, config) in [SolverConfig::total_order(), SolverConfig::partial_order()]
+        .into_iter()
+        .enumerate()
+    {
+        let config = config.with_node_limit(2_000_000);
+        let mut rng =
+            Rng::seed_from_u64(seed ^ (ci as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut inc = IncrementalSolver::new(qbf.clone(), config.clone());
+        let mut mirror = Mirror::new();
+        let label = format!("{label} [{}]", if ci == 0 { "TO" } else { "PO" });
+        check_solve(&label, qbf, &config, &mut inc, &mut mirror);
+        for _ in 0..10 {
+            match rng.gen_range(0..6) {
+                0 => {
+                    inc.push();
+                    mirror.stack.push(Vec::new());
+                }
+                1 => {
+                    if mirror.stack.is_empty() {
+                        assert_eq!(inc.pop(), Err(IncrementalError::PopBottom), "{label}");
+                    } else {
+                        inc.pop().unwrap_or_else(|e| panic!("{label}: pop: {e}"));
+                        mirror.stack.pop();
+                    }
+                }
+                2 | 3 => {
+                    if let Some(c) = mutate_clause(&base_clauses, &mut rng) {
+                        inc.add_clause(c.lits())
+                            .unwrap_or_else(|e| panic!("{label}: add: {e}"));
+                        match mirror.stack.last_mut() {
+                            Some(frame) => frame.push(c),
+                            None => mirror.bottom.push(c),
+                        }
+                    }
+                }
+                4 => {
+                    if !all_vars.is_empty() {
+                        let v = all_vars[rng.gen_range(0..all_vars.len())];
+                        let l = v.lit(rng.gen_bool(0.5));
+                        match inc.assume(l) {
+                            Ok(()) => mirror.assumed.push(l),
+                            Err(IncrementalError::UniversalAssumption(_)) => {
+                                assert!(!qbf.prefix().is_existential(v), "{label}")
+                            }
+                            Err(e) => panic!("{label}: assume: {e}"),
+                        }
+                    }
+                }
+                _ => check_solve(&label, qbf, &config, &mut inc, &mut mirror),
+            }
+        }
+        check_solve(&label, qbf, &config, &mut inc, &mut mirror);
+    }
+}
+
+/// The hand-written sample formulas (prenex and non-prenex).
+#[test]
+fn incremental_samples() {
+    let cases: [(&str, Qbf); 6] = [
+        ("paper_example", samples::paper_example()),
+        ("forall_exists_xor", samples::forall_exists_xor()),
+        ("exists_forall_xor", samples::exists_forall_xor()),
+        ("two_independent_games", samples::two_independent_games()),
+        ("sat_instance", samples::sat_instance()),
+        ("unsat_instance", samples::unsat_instance()),
+    ];
+    for (i, (name, qbf)) in cases.into_iter().enumerate() {
+        script_check(name, &qbf, 0x5e55_1011 + i as u64);
+    }
+}
+
+/// 150 random non-prenex quantifier forests (same seeds as
+/// `tests/differential.rs`).
+#[test]
+fn incremental_random_forests() {
+    for seed in 0..150u64 {
+        let q = samples::random_qbf(seed.wrapping_mul(0x9e37_79b9) ^ 0xd1f, 7, 11);
+        script_check(&format!("forest seed {seed}"), &q, 0xf0e5 ^ seed);
+    }
+}
+
+/// 50 prenexed forests (rotating §V strategies) and 20 miniscoped forms.
+#[test]
+fn incremental_prenexed_and_miniscoped() {
+    for seed in 0..50u64 {
+        let q = samples::random_qbf(seed.wrapping_mul(0x61c8_8647) ^ 0xabc, 7, 10);
+        let strategy = Strategy::ALL[seed as usize % Strategy::ALL.len()];
+        let flat = prenex(&q, strategy);
+        script_check(&format!("prenex({strategy}) seed {seed}"), &flat, 0x11ea ^ seed);
+        if seed < 20 {
+            let mini = miniscope(&flat).expect("prenex input").qbf;
+            script_check(&format!("miniscope seed {seed}"), &mini, 0x3111 ^ seed);
+        }
+    }
+}
+
+/// Structured generator instances (NCF, FPV, FIXED, PROB).
+#[test]
+fn incremental_generators() {
+    for seed in 0..4u64 {
+        let q = ncf(
+            &NcfParams {
+                dep: 3,
+                var: 2,
+                cls_ratio: 2,
+                lpc: 3,
+            },
+            seed,
+        );
+        script_check(&format!("ncf seed {seed}"), &q, 0x4cf ^ seed);
+    }
+    for seed in 0..3u64 {
+        let q = fpv(
+            &FpvParams {
+                config_vars: 3,
+                branches: 2,
+                branch_depth: 2,
+                block_vars: 2,
+                clauses_per_branch: 8,
+                lpc: 3,
+            },
+            seed,
+        );
+        script_check(&format!("fpv seed {seed}"), &q, 0xf42 ^ seed);
+    }
+    for seed in 0..3u64 {
+        let inst = fixed(
+            &FixedParams {
+                groups: 2,
+                depth: 2,
+                block_vars: 2,
+                clauses_per_group: 6,
+                lpc: 3,
+            },
+            seed,
+        );
+        script_check(&format!("fixed(prenex) seed {seed}"), &inst.prenex, 0xf1d0 ^ seed);
+        let mini = miniscope(&inst.prenex).expect("prenex input").qbf;
+        script_check(&format!("fixed(miniscoped) seed {seed}"), &mini, 0xf1d1 ^ seed);
+    }
+    for seed in 0..3u64 {
+        let q = rand_qbf(&RandParams::three_block(4, 3, 4, 20, 3), seed);
+        script_check(&format!("prob seed {seed}"), &q, 0x920b ^ seed);
+    }
+}
+
+/// The DIA-sequence regression: solving the φ1..φk family through one
+/// incremental session gives the same verdicts as cold solves of the
+/// per-probe equivalent formulas, and the total deterministic cost of
+/// the session never exceeds the cold totals (each probe is solved
+/// twice; the repeat reuses the frame's learned clauses and cubes).
+#[test]
+fn dia_sequence_incremental_not_worse_than_cold() {
+    let m = counter(2);
+    for (form, config) in [
+        (DiameterForm::Tree, SolverConfig::partial_order()),
+        (DiameterForm::Prenex, SolverConfig::total_order()),
+    ] {
+        let seq = diameter_sequence(&m, form, 4);
+        let run = run_diameter_incremental(&seq, &config, 2);
+        let mut cold_assignments = 0u64;
+        let mut cold_backtracks = 0u64;
+        for r in &run.results {
+            let mut cold_value = None;
+            for _ in 0..2 {
+                let out = Solver::new(&r.equivalent, config.clone()).solve();
+                cold_assignments += out.stats.assignments();
+                cold_backtracks += out.stats.backjumps + out.stats.chrono_backtracks;
+                cold_value = Some(out.value().expect("no budget configured"));
+            }
+            for o in &r.outcomes {
+                assert_eq!(
+                    o.value(),
+                    Some(cold_value.unwrap()),
+                    "{form:?} n={}: incremental verdict diverges",
+                    r.n
+                );
+            }
+        }
+        assert!(
+            run.total_backtracks() <= cold_backtracks,
+            "{form:?}: incremental backtracks {} exceed cold {}",
+            run.total_backtracks(),
+            cold_backtracks
+        );
+        assert!(
+            run.total_assignments() <= cold_assignments,
+            "{form:?}: incremental assignments {} exceed cold {}",
+            run.total_assignments(),
+            cold_assignments
+        );
+    }
+}
+
+/// Certificates under incrementality: every `solve` of a push/pop
+/// session yields a standalone `qrp 1` certificate that the independent
+/// verifier accepts against the query's frame-restricted instance, with
+/// the same verdict — and two identical sessions produce byte-identical
+/// certificates.
+#[test]
+fn proofs_under_incrementality() {
+    let instances = [
+        ("paper_example", samples::paper_example()),
+        ("two_independent_games", samples::two_independent_games()),
+        ("unsat_instance", samples::unsat_instance()),
+    ];
+    for (name, qbf) in instances {
+        for config in [SolverConfig::total_order(), SolverConfig::partial_order()] {
+            let run_session = || {
+                let mut inc = IncrementalSolver::new(qbf.clone(), config.clone());
+                let mut record: Vec<(Option<bool>, Option<String>, Qbf)> = Vec::new();
+                let mut query = |inc: &mut IncrementalSolver| {
+                    let equivalent = inc.equivalent_qbf();
+                    let (out, proof) = inc.solve_with_proof();
+                    record.push((out.value(), proof, equivalent));
+                };
+                query(&mut inc);
+                inc.push();
+                // A strengthened copy of the instance's first clause.
+                let c0 = qbf.matrix().clauses()[0].clone();
+                let added: Vec<Lit> = c0.lits()[..1].to_vec();
+                inc.add_clause(&added).unwrap();
+                query(&mut inc);
+                if let Some(x) = qbf
+                    .prefix()
+                    .bound_vars()
+                    .find(|&v| qbf.prefix().is_existential(v))
+                {
+                    inc.assume(x.lit(false)).unwrap();
+                    query(&mut inc);
+                }
+                inc.pop().unwrap();
+                query(&mut inc);
+                record
+            };
+            let a = run_session();
+            let b = run_session();
+            assert_eq!(a.len(), b.len());
+            for (i, ((va, pa, qa), (vb, pb, _))) in a.iter().zip(&b).enumerate() {
+                assert_eq!(va, vb, "{name}: query {i} verdict not deterministic");
+                assert_eq!(pa, pb, "{name}: query {i} certificate not byte-identical");
+                let text = pa
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{name}: query {i}: no certificate"));
+                assert!(text.starts_with("p qrp 1 "), "{name}: query {i} header");
+                let verdict = check_proof(qa, text)
+                    .unwrap_or_else(|e| panic!("{name}: query {i}: qbfcheck rejects: {e}"));
+                assert_eq!(
+                    Some(verdict),
+                    *va,
+                    "{name}: query {i}: certificate concludes the wrong verdict"
+                );
+            }
+        }
+    }
+}
