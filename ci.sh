@@ -76,6 +76,48 @@ for q in q1 q2 q3; do
     ./target/release/qbfcheck target/serve-gate/$q.qtree target/serve-gate/$q.qrp
 done
 
+echo "==> qbfserve metrics gate (ManualClock byte-determinism + qbfstat round-trip)"
+# Replays a metrics-instrumented session twice under --manual-clock (the
+# deterministic Clock: every read advances a fixed step, so latencies are
+# pure functions of the script) and asserts both the transcript — which
+# includes the {"cmd":"metrics"} Prometheus exposition — and the
+# --metrics-jsonl snapshot stream are byte-identical. qbfstat must then
+# accept the stream it just wrote.
+mkdir -p target/metrics-gate
+cat > target/metrics-gate/session.jsonl <<'EOF'
+{"cmd":"solve"}
+{"cmd":"push"}
+{"cmd":"add","lits":[3]}
+{"cmd":"assume","lit":-1}
+{"cmd":"solve"}
+{"cmd":"pop"}
+{"cmd":"frobnicate"}
+{"cmd":"solve"}
+{"cmd":"stats"}
+{"cmd":"metrics"}
+{"cmd":"metrics","format":"json"}
+EOF
+for run in a b; do
+    ./target/release/qbfserve --po --manual-clock --metrics-every 2 --progress 2 \
+        --metrics-jsonl target/metrics-gate/stream-$run.jsonl data/paper_example.qtree \
+        < target/metrics-gate/session.jsonl > target/metrics-gate/transcript-$run.txt
+done
+cmp target/metrics-gate/transcript-a.txt target/metrics-gate/transcript-b.txt
+cmp target/metrics-gate/stream-a.jsonl target/metrics-gate/stream-b.jsonl
+./target/release/qbfstat snapshots target/metrics-gate/stream-a.jsonl
+
+echo "==> qbfstat round-trip on the committed bench artifacts"
+# The strict readers must accept the committed aggregate and the smoke
+# telemetry written above, and the self-diff must report no drift (exit
+# 0). Finally, re-assert that nothing in this run clobbered the committed
+# BENCH_qbf.json.
+./target/release/qbfstat bench BENCH_qbf.json
+./target/release/qbfstat summary target/repro-smoke/BENCH_qbf_smoke_telemetry.jsonl --top 5
+./target/release/qbfstat diff BENCH_qbf.json BENCH_qbf.json
+git diff --quiet -- BENCH_qbf.json || {
+    echo "ci.sh: committed BENCH_qbf.json was modified"; exit 1;
+}
+
 echo "==> repro bench-incremental (incremental-vs-cold DIA gate)"
 # Solves DIA probe families through one incremental session and cold,
 # twice: verdicts must agree, the incremental totals must not exceed the

@@ -1,0 +1,172 @@
+//! `qbfstat` — offline analysis of the repo's telemetry artifacts.
+//!
+//! ```text
+//! qbfstat summary FILE.jsonl [--top K]   per-(suite, solver) latency
+//!                                        percentiles + the K hottest
+//!                                        instances (default 10) from a
+//!                                        repro telemetry stream
+//! qbfstat snapshots FILE.jsonl           a qbfserve --metrics-jsonl
+//!                                        stream: progress/snapshot line
+//!                                        counts and the final snapshot's
+//!                                        headline numbers
+//! qbfstat bench FILE.json                suite table of a BENCH_qbf*.json
+//!                                        aggregate
+//! qbfstat diff OLD.json NEW.json         structural regression diff of
+//!                                        two BENCH_qbf*.json documents;
+//!                                        exits 1 when they disagree
+//! ```
+//!
+//! Every reader is strict: malformed artifacts produce `line N: …`
+//! errors (exit 2), never panics. `diff` is the CI-facing half — run it
+//! against the committed `BENCH_qbf.json` to catch silent regressions of
+//! the deterministic counters.
+
+use std::process::ExitCode;
+
+use qbf_bench::json::{self, Json};
+use qbf_bench::stat::{self, SnapshotLine};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qbfstat summary FILE.jsonl [--top K]\n\
+        \x20      qbfstat snapshots FILE.jsonl\n\
+        \x20      qbfstat bench FILE.json\n\
+        \x20      qbfstat diff OLD.json NEW.json"
+    );
+    std::process::exit(2);
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn cmd_summary(path: &str, top: usize) -> Result<(), String> {
+    let rows = stat::parse_telemetry(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", stat::render_summaries(&stat::summarize(&rows)));
+    if top > 0 {
+        println!("\nhottest {} of {} runs:", top.min(rows.len()), rows.len());
+        print!("{}", stat::render_hottest(&stat::hottest(&rows, top)));
+    }
+    Ok(())
+}
+
+fn cmd_snapshots(path: &str) -> Result<(), String> {
+    let lines = stat::parse_snapshots(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+    let snapshots: Vec<&Json> = lines
+        .iter()
+        .filter_map(|l| match l {
+            SnapshotLine::Snapshot(s) => Some(s),
+            SnapshotLine::Progress { .. } => None,
+        })
+        .collect();
+    let progress = lines.len() - snapshots.len();
+    println!("{}: {} snapshot(s), {} progress line(s)", path, snapshots.len(), progress);
+    let Some(last) = snapshots.last() else {
+        return Ok(());
+    };
+    if let Some(q) = last.get("queries").and_then(Json::as_u64) {
+        println!("final snapshot: {q} queries");
+    }
+    // The registry sub-object carries counters/gauges as numbers and
+    // histograms as {count,sum,min,max,p50,p90,p99} — print both flat.
+    if let Some(Json::Obj(fields)) = last.get("registry") {
+        for (name, value) in fields {
+            match value {
+                Json::Num(n) => println!("  {name} = {n}"),
+                Json::Obj(_) => {
+                    let pick = |k: &str| {
+                        value.get(k).and_then(Json::as_u64).unwrap_or(0)
+                    };
+                    println!(
+                        "  {name}: count {} sum {} p50 {} p90 {} p99 {}",
+                        pick("count"),
+                        pick("sum"),
+                        pick("p50"),
+                        pick("p90"),
+                        pick("p99")
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bench(path: &str) -> Result<(), String> {
+    let doc = json::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: missing `schema` tag"))?;
+    let suites = doc
+        .get("suites")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: missing `suites` array"))?;
+    println!("{path}: schema {schema}, {} suite(s)", suites.len());
+    println!(
+        "{:8} {:>9} {:>9} {:>9} {:>6} {:>12} {:>12}",
+        "suite", "instances", "to_slower", "to_faster", "ties", "po assign", "to assign"
+    );
+    for s in suites {
+        let name = s.get("name").and_then(Json::as_str).unwrap_or("?");
+        let num = |path: &[&str]| -> u64 {
+            let mut v = s;
+            for k in path {
+                match v.get(k) {
+                    Some(next) => v = next,
+                    None => return 0,
+                }
+            }
+            v.as_u64().unwrap_or(0)
+        };
+        println!(
+            "{:8} {:>9} {:>9} {:>9} {:>6} {:>12} {:>12}",
+            name,
+            num(&["instances"]),
+            num(&["row_by_assignments", "to_slower"]),
+            num(&["row_by_assignments", "to_faster"]),
+            num(&["row_by_assignments", "ties"]),
+            num(&["po", "assignments"]),
+            num(&["to", "assignments"])
+        );
+    }
+    Ok(())
+}
+
+fn cmd_diff(old_path: &str, new_path: &str) -> Result<bool, String> {
+    let diffs = stat::diff_bench(&read(old_path)?, &read(new_path)?)?;
+    if diffs.is_empty() {
+        println!("no drift: {old_path} and {new_path} agree");
+        return Ok(true);
+    }
+    println!("{} difference(s) between {old_path} and {new_path}:", diffs.len());
+    for d in &diffs {
+        println!("  {d}");
+    }
+    Ok(false)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let result = match strs.as_slice() {
+        ["summary", path] => cmd_summary(path, 10).map(|()| true),
+        ["summary", path, "--top", k] => match k.parse() {
+            Ok(k) => cmd_summary(path, k).map(|()| true),
+            Err(_) => usage(),
+        },
+        ["snapshots", path] => cmd_snapshots(path).map(|()| true),
+        ["bench", path] => cmd_bench(path).map(|()| true),
+        ["diff", old, new] => cmd_diff(old, new),
+        _ => usage(),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -41,7 +41,7 @@ use qbf_bench::experiments::{
 };
 use qbf_bench::runner::{ascii_scatter, pairs_to_csv, TableRow};
 use qbf_bench::suites::Scale;
-use qbf_bench::{json, telemetry};
+use qbf_bench::{json, stat, telemetry};
 
 struct Args {
     scale: Scale,
@@ -124,8 +124,18 @@ fn print_table_rows(name: &str, rows: &[(String, TableRow)]) {
     println!();
 }
 
+/// Per-(suite, solver) wall-time percentiles over the suite's telemetry
+/// records. A report, not an artifact: wall clock never enters the
+/// byte-diffed outputs (see DESIGN.md §2.8).
+fn print_latency_percentiles(result: &SuiteResult) {
+    let rows: Vec<stat::TelemetryRow> = result.telemetry.iter().map(Into::into).collect();
+    print!("{}", stat::render_summaries(&stat::summarize(&rows)));
+    println!();
+}
+
 fn suite_outputs(out: &PathBuf, result: &SuiteResult, stem: &str) {
     print_table_rows(&result.name, &result.rows);
+    print_latency_percentiles(result);
     save(out, &format!("{stem}.csv"), &pairs_to_csv(&result.pairs));
     if !result.medians.is_empty() {
         save(out, &format!("{stem}_medians.txt"), &render_medians(result));

@@ -320,6 +320,28 @@ mod tests {
     }
 
     #[test]
+    fn truncated_documents_error_instead_of_panicking() {
+        // Every prefix of a valid document must parse or error cleanly.
+        let doc = r#"{"suite":"NCF","value":null,"stats":{"decisions":5},"t":"a\u0041b"}"#;
+        for cut in 0..doc.len() {
+            let prefix = &doc[..cut];
+            if !prefix.is_char_boundary(cut) {
+                continue;
+            }
+            if cut < doc.len() {
+                assert!(parse(prefix).is_err(), "prefix {cut} accepted: {prefix}");
+            }
+        }
+        assert!(parse("").is_err(), "empty input");
+        assert!(parse("   \n\t ").is_err(), "whitespace-only input");
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("\"bad \\u00").is_err(), "truncated \\u escape");
+        assert!(parse("\"bad \\x\"").is_err(), "unknown escape");
+        assert!(parse("{\"dup\":1,}").is_err(), "trailing comma");
+        assert!(parse("nul").is_err(), "truncated literal");
+    }
+
+    #[test]
     fn escape_round_trips() {
         let original = "line\nwith \"quotes\" and \\slash\\ and \u{1} ctrl";
         let wrapped = format!("\"{}\"", escape(original));

@@ -14,5 +14,6 @@
 pub mod experiments;
 pub mod json;
 pub mod runner;
+pub mod stat;
 pub mod suites;
 pub mod telemetry;

@@ -1,0 +1,595 @@
+//! Post-hoc analysis of the bench and serve telemetry artifacts — the
+//! library behind the `qbfstat` binary.
+//!
+//! Three readers, all strict and all panic-free:
+//!
+//! * [`parse_telemetry`] — the per-run JSONL stream written by
+//!   `repro table1` (`*_telemetry.jsonl`). Every malformed, truncated or
+//!   unknown-field line is a 1-based `line N: …` error, mirroring the
+//!   `qbf_core::io` parser discipline, so a corrupted artifact names the
+//!   offending line instead of panicking downstream.
+//! * [`parse_snapshots`] — the snapshot stream written by
+//!   `qbfserve --metrics-jsonl` (typed `{"type":"snapshot"|"progress"}`
+//!   lines).
+//! * [`diff_bench`] — a structural diff of two `BENCH_qbf*.json`
+//!   documents (the committed aggregate vs a fresh regeneration), the
+//!   regression-detection half of `qbfstat`.
+//!
+//! On top of the parsed rows, [`summarize`] folds per-(suite, solver)
+//! latency into [`LogHistogram`]s for exact-rank p50/p90/p99 reads and
+//! [`hottest`] ranks the most expensive instances. Latency percentiles
+//! are *reports over recorded wall times*; they never feed back into any
+//! byte-diffed artifact (see `DESIGN.md` §2.8).
+
+use crate::json::{self, Json};
+use crate::telemetry::TelemetryRecord;
+use qbf_metrics::LogHistogram;
+
+/// One parsed telemetry record: the provenance fields, the outcome, the
+/// wall time, and the full stats block as ordered `(name, value)` pairs
+/// (the set of counters is open — `Stats` grows without touching the
+/// reader).
+#[derive(Debug, Clone)]
+pub struct TelemetryRow {
+    /// Suite name (`NCF`, `FPV`, …).
+    pub suite: String,
+    /// Instance label.
+    pub label: String,
+    /// Generator parameter group.
+    pub group: String,
+    /// Solver configuration (`po` or `to:<strategy>`).
+    pub solver: String,
+    /// Decided value; `None` on budget exhaustion.
+    pub value: Option<bool>,
+    /// Wall-clock milliseconds.
+    pub time_ms: f64,
+    /// The stats block, in writer order.
+    pub stats: Vec<(String, u64)>,
+}
+
+impl TelemetryRow {
+    /// Looks up a stats counter by name (0 when absent, so summaries
+    /// degrade gracefully on records from older writers).
+    pub fn stat(&self, name: &str) -> u64 {
+        self.stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+}
+
+impl From<&TelemetryRecord> for TelemetryRow {
+    fn from(r: &TelemetryRecord) -> Self {
+        TelemetryRow {
+            suite: r.suite.clone(),
+            label: r.label.clone(),
+            group: r.group.clone(),
+            solver: r.solver.clone(),
+            value: r.value,
+            time_ms: r.time_ms,
+            stats: r
+                .stats
+                .fields()
+                .iter()
+                .map(|&(n, v)| (n.to_string(), v))
+                .collect(),
+        }
+    }
+}
+
+/// The top-level fields a telemetry record may carry; anything else is a
+/// schema error (the writer is in-tree, so drift means a bug).
+const RECORD_FIELDS: [&str; 7] = ["suite", "label", "group", "solver", "value", "time_ms", "stats"];
+
+fn field_str(obj: &Json, name: &str) -> Result<String, String> {
+    obj.get(name)
+        .ok_or_else(|| format!("record missing field `{name}`"))?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field `{name}` must be a string"))
+}
+
+/// Parses one telemetry record object (no line context).
+fn parse_record(v: &Json) -> Result<TelemetryRow, String> {
+    let Json::Obj(fields) = v else {
+        return Err("telemetry record must be a JSON object".to_string());
+    };
+    for (name, _) in fields {
+        if !RECORD_FIELDS.contains(&name.as_str()) {
+            return Err(format!("unknown field `{name}`"));
+        }
+    }
+    let value = match v.get("value").ok_or("record missing field `value`")? {
+        Json::Bool(b) => Some(*b),
+        Json::Null => None,
+        _ => return Err("field `value` must be a boolean or null".to_string()),
+    };
+    let time_ms = v
+        .get("time_ms")
+        .ok_or("record missing field `time_ms`")?
+        .as_f64()
+        .ok_or("field `time_ms` must be a number")?;
+    if !time_ms.is_finite() || time_ms < 0.0 {
+        return Err(format!("field `time_ms` out of range: {time_ms}"));
+    }
+    let stats = match v.get("stats").ok_or("record missing field `stats`")? {
+        Json::Obj(pairs) => pairs
+            .iter()
+            .map(|(n, sv)| {
+                sv.as_u64()
+                    .map(|u| (n.clone(), u))
+                    .ok_or_else(|| format!("stats counter `{n}` must be a non-negative integer"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("field `stats` must be an object".to_string()),
+    };
+    Ok(TelemetryRow {
+        suite: field_str(v, "suite")?,
+        label: field_str(v, "label")?,
+        group: field_str(v, "group")?,
+        solver: field_str(v, "solver")?,
+        value,
+        time_ms,
+        stats,
+    })
+}
+
+/// Parses a telemetry JSONL stream. Blank lines are skipped; every other
+/// defect — malformed or truncated JSON, a non-object line, missing or
+/// unknown fields, a wrongly-typed value, or an entirely empty stream —
+/// is a `line N: …` error with the 1-based input line number.
+pub fn parse_telemetry(text: &str) -> Result<Vec<TelemetryRow>, String> {
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: malformed JSON: {e}", i + 1))?;
+        rows.push(parse_record(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    if rows.is_empty() {
+        return Err("line 1: empty telemetry stream (no records)".to_string());
+    }
+    Ok(rows)
+}
+
+/// One line of a `qbfserve --metrics-jsonl` snapshot stream.
+#[derive(Debug, Clone)]
+pub enum SnapshotLine {
+    /// A full metrics snapshot (`{"type":"snapshot","snapshot":{…}}`).
+    Snapshot(Json),
+    /// A routed progress line (`{"type":"progress","query":N,"text":…}`).
+    Progress {
+        /// 1-based query index the line belongs to.
+        query: u64,
+        /// The `c progress: …` text.
+        text: String,
+    },
+}
+
+/// Parses a `qbfserve` snapshot stream with the same `line N: …` error
+/// discipline as [`parse_telemetry`]. An empty stream is fine here — a
+/// session with no snapshots configured writes only the final summary,
+/// and possibly nothing at all when interrupted.
+pub fn parse_snapshots(text: &str) -> Result<Vec<SnapshotLine>, String> {
+    let mut lines = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: malformed JSON: {e}", i + 1))?;
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: stream line needs a string `type`", i + 1))?;
+        match kind {
+            "snapshot" => {
+                let snap = v
+                    .get("snapshot")
+                    .ok_or_else(|| format!("line {}: snapshot line missing `snapshot`", i + 1))?;
+                lines.push(SnapshotLine::Snapshot(snap.clone()));
+            }
+            "progress" => {
+                let query = v
+                    .get("query")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("line {}: progress line missing `query`", i + 1))?;
+                let text = v
+                    .get("text")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {}: progress line missing `text`", i + 1))?;
+                lines.push(SnapshotLine::Progress {
+                    query,
+                    text: text.to_string(),
+                });
+            }
+            other => return Err(format!("line {}: unknown stream line type `{other}`", i + 1)),
+        }
+    }
+    Ok(lines)
+}
+
+/// Aggregated latency and cost for one (suite, solver) cell.
+#[derive(Debug)]
+pub struct SuiteSummary {
+    /// Suite name.
+    pub suite: String,
+    /// Solver configuration.
+    pub solver: String,
+    /// Measured runs.
+    pub runs: u64,
+    /// Runs that exhausted their budget.
+    pub timeouts: u64,
+    /// Total assignments across the runs.
+    pub assignments: u64,
+    /// Per-run latency in microseconds (log-bucketed, exact-rank reads).
+    pub latency_us: LogHistogram,
+}
+
+impl SuiteSummary {
+    /// A latency quantile in milliseconds.
+    pub fn latency_ms(&self, q: f64) -> f64 {
+        self.latency_us.quantile(q) as f64 / 1e3
+    }
+}
+
+/// Folds rows into per-(suite, solver) summaries, in first-appearance
+/// order. Wall times are histogrammed at microsecond resolution — fine
+/// enough for the millisecond-scale suites, and integral so the
+/// log-bucketed quantiles are exact-rank.
+pub fn summarize(rows: &[TelemetryRow]) -> Vec<SuiteSummary> {
+    let mut out: Vec<SuiteSummary> = Vec::new();
+    for r in rows {
+        let cell = match out
+            .iter_mut()
+            .find(|s| s.suite == r.suite && s.solver == r.solver)
+        {
+            Some(cell) => cell,
+            None => {
+                out.push(SuiteSummary {
+                    suite: r.suite.clone(),
+                    solver: r.solver.clone(),
+                    runs: 0,
+                    timeouts: 0,
+                    assignments: 0,
+                    latency_us: LogHistogram::new(),
+                });
+                out.last_mut().expect("just pushed")
+            }
+        };
+        cell.runs += 1;
+        cell.timeouts += u64::from(r.value.is_none());
+        cell.assignments += r.stat("assignments");
+        cell.latency_us.record((r.time_ms * 1e3) as u64);
+    }
+    out
+}
+
+/// Renders the summaries as an aligned table with p50/p90/p99 latency.
+pub fn render_summaries(summaries: &[SuiteSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:8} {:10} {:>6} {:>9} {:>13} {:>9} {:>9} {:>9}\n",
+        "suite", "solver", "runs", "timeouts", "assignments", "p50 ms", "p90 ms", "p99 ms"
+    ));
+    for s in summaries {
+        out.push_str(&format!(
+            "{:8} {:10} {:>6} {:>9} {:>13} {:>9.3} {:>9.3} {:>9.3}\n",
+            s.suite,
+            s.solver,
+            s.runs,
+            s.timeouts,
+            s.assignments,
+            s.latency_ms(0.5),
+            s.latency_ms(0.9),
+            s.latency_ms(0.99)
+        ));
+    }
+    out
+}
+
+/// The `k` most expensive runs by wall time, ties broken by provenance so
+/// the ranking is deterministic for equal inputs.
+pub fn hottest(rows: &[TelemetryRow], k: usize) -> Vec<&TelemetryRow> {
+    let mut refs: Vec<&TelemetryRow> = rows.iter().collect();
+    refs.sort_by(|a, b| {
+        b.time_ms
+            .partial_cmp(&a.time_ms)
+            .expect("finite times")
+            .then_with(|| (&a.suite, &a.label, &a.solver).cmp(&(&b.suite, &b.label, &b.solver)))
+    });
+    refs.truncate(k);
+    refs
+}
+
+/// Renders the hottest-instance ranking.
+pub fn render_hottest(rows: &[&TelemetryRow]) -> String {
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>3}. {:>10.3} ms  {:8} {:10} {}  ({} assignments{})\n",
+            i + 1,
+            r.time_ms,
+            r.suite,
+            r.solver,
+            r.label,
+            r.stat("assignments"),
+            if r.value.is_none() { ", timeout" } else { "" }
+        ));
+    }
+    out
+}
+
+/// Structural diff of two `BENCH_qbf*.json` documents. Returns the list
+/// of differences as `path: old → new` lines — empty means the artifacts
+/// agree. Suites and per-strategy rows are matched by their `name` /
+/// `strategy` keys so a reordering reads as such, not as a wall of
+/// field-level noise.
+pub fn diff_bench(old: &str, new: &str) -> Result<Vec<String>, String> {
+    let a = json::parse(old).map_err(|e| format!("old document: {e}"))?;
+    let b = json::parse(new).map_err(|e| format!("new document: {e}"))?;
+    let mut out = Vec::new();
+    diff_value("", &a, &b, &mut out);
+    Ok(out)
+}
+
+/// The key that names an object inside a JSON array, for path labels.
+fn element_label(v: &Json, index: usize) -> String {
+    for key in ["name", "strategy", "model"] {
+        if let Some(label) = v.get(key).and_then(Json::as_str) {
+            return format!("[{label}]");
+        }
+    }
+    format!("[{index}]")
+}
+
+fn render_scalar(v: &Json) -> String {
+    match v {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+                format!("{}", *n as i64)
+            } else {
+                n.to_string()
+            }
+        }
+        Json::Str(s) => format!("\"{s}\""),
+        Json::Arr(items) => format!("<array of {}>", items.len()),
+        Json::Obj(fields) => format!("<object of {}>", fields.len()),
+    }
+}
+
+fn diff_value(path: &str, a: &Json, b: &Json, out: &mut Vec<String>) {
+    match (a, b) {
+        (Json::Obj(fa), Json::Obj(fb)) => {
+            for (key, va) in fa {
+                let sub = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                match b.get(key) {
+                    Some(vb) => diff_value(&sub, va, vb, out),
+                    None => out.push(format!("{sub}: removed (was {})", render_scalar(va))),
+                }
+            }
+            for (key, vb) in fb {
+                if a.get(key).is_none() {
+                    let sub = if path.is_empty() {
+                        key.clone()
+                    } else {
+                        format!("{path}.{key}")
+                    };
+                    out.push(format!("{sub}: added ({})", render_scalar(vb)));
+                }
+            }
+        }
+        (Json::Arr(ia), Json::Arr(ib)) => {
+            // Match named elements (suites, per-strategy rows) by label;
+            // positional for everything else.
+            let labels_a: Vec<String> =
+                ia.iter().enumerate().map(|(i, v)| element_label(v, i)).collect();
+            let labels_b: Vec<String> =
+                ib.iter().enumerate().map(|(i, v)| element_label(v, i)).collect();
+            for (la, va) in labels_a.iter().zip(ia) {
+                match labels_b.iter().position(|lb| lb == la) {
+                    Some(j) => diff_value(&format!("{path}{la}"), va, &ib[j], out),
+                    None => out.push(format!("{path}{la}: removed")),
+                }
+            }
+            for (lb, _) in labels_b.iter().zip(ib) {
+                if !labels_a.contains(lb) {
+                    out.push(format!("{path}{lb}: added"));
+                }
+            }
+        }
+        _ if a == b => {}
+        _ => out.push(format!(
+            "{path}: {} \u{2192} {}",
+            render_scalar(a),
+            render_scalar(b)
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::records_to_jsonl;
+    use qbf_core::solver::Stats;
+    use std::time::Duration;
+
+    fn record(suite: &str, label: &str, solver: &str, ms: u64, timeout: bool) -> TelemetryRecord {
+        TelemetryRecord::new(
+            suite,
+            label,
+            "g",
+            solver,
+            &crate::runner::Measurement {
+                value: if timeout { None } else { Some(false) },
+                stats: Stats {
+                    decisions: 5,
+                    propagations: 10,
+                    ..Stats::default()
+                },
+                time: Duration::from_millis(ms),
+            },
+        )
+    }
+
+    #[test]
+    fn round_trips_the_writer_output() {
+        let records = [
+            record("NCF", "a#0", "po", 2, false),
+            record("NCF", "a#0", "to:s", 40, false),
+            record("FPV", "b#1", "po", 7, true),
+        ];
+        let rows = parse_telemetry(&records_to_jsonl(&records)).expect("writer output parses");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].suite, "NCF");
+        assert_eq!(rows[0].solver, "po");
+        assert_eq!(rows[2].value, None);
+        assert_eq!(rows[0].stat("assignments"), 15);
+        assert_eq!(rows[0].stat("no_such_counter"), 0);
+    }
+
+    #[test]
+    fn defects_carry_one_based_line_numbers() {
+        let good = record("S", "i", "po", 1, false).to_json();
+        // Truncated JSON on line 2.
+        let err = parse_telemetry(&format!("{good}\n{{\"suite\":\"S\"")).unwrap_err();
+        assert!(err.starts_with("line 2: malformed JSON:"), "got: {err}");
+        // Unknown top-level field on line 3 (blank line 2 is skipped but
+        // still counts for numbering).
+        let bad = good.replacen("\"suite\"", "\"sutie\"", 1);
+        let err = parse_telemetry(&format!("{good}\n\n{bad}")).unwrap_err();
+        assert_eq!(err, "line 3: unknown field `sutie`");
+        // Wrong value type.
+        let bad = good.replacen("\"value\":false", "\"value\":\"no\"", 1);
+        let err = parse_telemetry(&bad).unwrap_err();
+        assert_eq!(err, "line 1: field `value` must be a boolean or null");
+        // Non-object line.
+        let err = parse_telemetry("[1,2]\n").unwrap_err();
+        assert_eq!(err, "line 1: telemetry record must be a JSON object");
+        // Fractional stats counter.
+        let bad = good.replacen("\"decisions\":5", "\"decisions\":5.5", 1);
+        let err = parse_telemetry(&bad).unwrap_err();
+        assert_eq!(
+            err,
+            "line 1: stats counter `decisions` must be a non-negative integer"
+        );
+        // Empty and blank-only files are errors, not empty successes.
+        assert_eq!(
+            parse_telemetry("").unwrap_err(),
+            "line 1: empty telemetry stream (no records)"
+        );
+        assert!(parse_telemetry("\n  \n").is_err());
+    }
+
+    #[test]
+    fn summaries_fold_latency_percentiles() {
+        let mut records = Vec::new();
+        for i in 1..=100u64 {
+            records.push(record("NCF", &format!("i#{i}"), "po", i, false));
+        }
+        records.push(record("NCF", "t#0", "to:s", 500, true));
+        let rows = parse_telemetry(&records_to_jsonl(&records)).unwrap();
+        let summaries = summarize(&rows);
+        assert_eq!(summaries.len(), 2, "grouped by (suite, solver)");
+        let po = &summaries[0];
+        assert_eq!((po.runs, po.timeouts), (100, 0));
+        // 1..=100 ms at µs resolution: exact-rank p50 falls in the
+        // [32768, 65535] µs bucket → 63.5 ms worst case; just pin the
+        // bracketing behaviour and the rendering.
+        assert!(po.latency_ms(0.5) >= 50.0 && po.latency_ms(0.5) <= 100.0);
+        assert!(po.latency_ms(0.99) >= po.latency_ms(0.5));
+        let to = &summaries[1];
+        assert_eq!((to.runs, to.timeouts), (1, 1));
+        let table = render_summaries(&summaries);
+        assert!(table.contains("p50 ms"), "got:\n{table}");
+        assert!(table.contains("NCF"), "got:\n{table}");
+
+        let top = hottest(&rows, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].label, "t#0", "timeout run is the hottest");
+        assert_eq!(top[1].label, "i#100");
+        let listing = render_hottest(&top);
+        assert!(listing.contains("1."), "got:\n{listing}");
+        assert!(listing.contains("timeout"), "got:\n{listing}");
+    }
+
+    #[test]
+    fn snapshot_stream_parses_and_rejects_garbage() {
+        let stream = "{\"type\":\"progress\",\"query\":1,\"text\":\"c progress: 1 leaves\"}\n\
+                      {\"type\":\"snapshot\",\"snapshot\":{\"queries\":2}}\n";
+        let lines = parse_snapshots(stream).expect("well-formed stream");
+        assert_eq!(lines.len(), 2);
+        match &lines[0] {
+            SnapshotLine::Progress { query, text } => {
+                assert_eq!(*query, 1);
+                assert!(text.starts_with("c progress:"));
+            }
+            other => panic!("expected progress, got {other:?}"),
+        }
+        match &lines[1] {
+            SnapshotLine::Snapshot(snap) => {
+                assert_eq!(snap.get("queries").and_then(Json::as_u64), Some(2));
+            }
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+        assert!(parse_snapshots("").expect("empty stream is fine").is_empty());
+        let err = parse_snapshots("{\"type\":\"wat\"}").unwrap_err();
+        assert_eq!(err, "line 1: unknown stream line type `wat`");
+        let err = parse_snapshots("{\"type\":\"snapshot\"}\nnope").unwrap_err();
+        assert!(err.starts_with("line 1: snapshot line missing"), "got: {err}");
+    }
+
+    #[test]
+    fn bench_diff_names_the_changed_cells() {
+        let old = r#"{"schema":"qbf-bench/1","suites":[
+            {"name":"NCF","instances":4,"row_by_assignments":{"ties":4},"po":{"runs":4}},
+            {"name":"FPV","instances":2,"row_by_assignments":{"ties":2},"po":{"runs":2}}
+        ]}"#;
+        assert_eq!(diff_bench(old, old).unwrap(), Vec::<String>::new(), "self-diff is clean");
+        let new = old
+            .replacen("\"instances\":4", "\"instances\":5", 1)
+            .replacen("{\"ties\":2}", "{\"ties\":1,\"to_faster\":1}", 1);
+        let diffs = diff_bench(old, &new).unwrap();
+        assert!(
+            diffs.iter().any(|d| d == "suites[NCF].instances: 4 \u{2192} 5"),
+            "got: {diffs:?}"
+        );
+        assert!(
+            diffs
+                .iter()
+                .any(|d| d == "suites[FPV].row_by_assignments.ties: 2 \u{2192} 1"),
+            "got: {diffs:?}"
+        );
+        assert!(
+            diffs
+                .iter()
+                .any(|d| d == "suites[FPV].row_by_assignments.to_faster: added (1)"),
+            "got: {diffs:?}"
+        );
+        // A vanished suite reads as one removal, not field noise.
+        let gone = r#"{"schema":"qbf-bench/1","suites":[
+            {"name":"NCF","instances":4,"row_by_assignments":{"ties":4},"po":{"runs":4}}
+        ]}"#;
+        let diffs = diff_bench(old, gone).unwrap();
+        assert_eq!(diffs, vec!["suites[FPV]: removed".to_string()]);
+        assert!(diff_bench("{", old).is_err(), "malformed old document");
+    }
+
+    #[test]
+    fn native_records_convert_to_rows() {
+        let r = record("DIA", "d#3", "po", 12, false);
+        let row = TelemetryRow::from(&r);
+        assert_eq!(row.suite, "DIA");
+        assert_eq!(row.time_ms, 12.0);
+        assert_eq!(row.stat("decisions"), 5);
+        let summaries = summarize(&[row]);
+        assert_eq!(summaries[0].runs, 1);
+    }
+}

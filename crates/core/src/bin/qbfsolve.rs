@@ -24,6 +24,10 @@
 //!                      (stderr, or FILE when given)
 //!   --profile          per-level/size/chain-length search profile on stderr
 //!   --progress N       one-line status on stderr every N conflicts+solutions
+//!   --metrics          engine phase timings (propagate / conflict analysis /
+//!                      solution analysis / reduce_db / compaction) and
+//!                      resource gauges on stderr, plus a one-line JSON
+//!                      snapshot (`c metrics: {...}`)
 //! ```
 //!
 //! Prints `s cnf 1` / `s cnf 0` (true/false) like QBF evaluation solvers and
@@ -32,8 +36,9 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use qbf_core::observe::{JsonlTrace, MultiObserver, Profiler, Progress, TreeTrace};
-use qbf_core::proof::ProofLog;
+use qbf_core::metrics::{EngineGauge, EngineMetrics, Phase, WallClock};
+use qbf_core::observe::{JsonlTrace, MultiObserver, NoopObserver, Profiler, Progress, TreeTrace};
+use qbf_core::proof::{NoProof, ProofLog};
 use qbf_core::recursive::{self, RecursiveConfig};
 use qbf_core::solver::{Solver, SolverConfig};
 use qbf_core::{io, Qbf};
@@ -52,13 +57,15 @@ struct Options {
     trace_json: Sink,
     profile: bool,
     progress: u64,
+    metrics: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: qbfsolve [--to|--po|--basic|--recursive] [--preprocess] \
          [--no-pure] [--no-learning] [--budget N] [--stats] [--proof[=FILE]] \
-         [--trace[=FILE]] [--trace-json[=FILE]] [--profile] [--progress N] [FILE]"
+         [--trace[=FILE]] [--trace-json[=FILE]] [--profile] [--progress N] \
+         [--metrics] [FILE]"
     );
     std::process::exit(1);
 }
@@ -75,6 +82,7 @@ fn parse_args() -> Options {
         trace_json: None,
         profile: false,
         progress: 0,
+        metrics: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -98,6 +106,7 @@ fn parse_args() -> Options {
             "--trace" => opts.trace = Some(None),
             "--trace-json" => opts.trace_json = Some(None),
             "--profile" => opts.profile = true,
+            "--metrics" => opts.metrics = true,
             "--progress" => {
                 let n = args.next().and_then(|v| v.parse().ok());
                 match n {
@@ -173,6 +182,7 @@ fn run(
     opts: &Options,
     multi: MultiObserver<'_>,
     proof: Option<&mut ProofLog>,
+    metrics: Option<&mut EngineMetrics<WallClock>>,
 ) -> Option<bool> {
     let observed = !multi.is_empty();
     if opts.use_recursive {
@@ -192,11 +202,21 @@ fn run(
         out.value
     } else {
         let config = opts.config.clone();
-        let out = match (observed, proof) {
-            (true, Some(log)) => Solver::with_parts(qbf, config, multi, log).solve(),
-            (false, Some(log)) => Solver::with_proof(qbf, config, log).solve(),
-            (true, None) => Solver::with_observer(qbf, config, multi).solve(),
-            (false, None) => Solver::new(qbf, config).solve(),
+        let out = match (observed, proof, metrics) {
+            (true, Some(log), Some(m)) => {
+                Solver::with_instruments(qbf, config, multi, log, m).solve()
+            }
+            (false, Some(log), Some(m)) => {
+                Solver::with_instruments(qbf, config, NoopObserver, log, m).solve()
+            }
+            (true, None, Some(m)) => {
+                Solver::with_instruments(qbf, config, multi, NoProof, m).solve()
+            }
+            (false, None, Some(m)) => Solver::with_metrics(qbf, config, m).solve(),
+            (true, Some(log), None) => Solver::with_parts(qbf, config, multi, log).solve(),
+            (false, Some(log), None) => Solver::with_proof(qbf, config, log).solve(),
+            (true, None, None) => Solver::with_observer(qbf, config, multi).solve(),
+            (false, None, None) => Solver::new(qbf, config).solve(),
         };
         if opts.stats {
             for line in out.stats.to_string().lines() {
@@ -272,6 +292,12 @@ fn main() -> ExitCode {
         }
     }
 
+    if opts.metrics && opts.use_recursive {
+        eprintln!("error: --metrics requires the QDPLL solver (drop --recursive)");
+        return ExitCode::from(1);
+    }
+    let mut engine_metrics = EngineMetrics::new(WallClock::new());
+
     // `run` consumes the fan-out, so the borrows of the individual
     // observers end at this call and the traces can be emitted below.
     let value = run(
@@ -279,6 +305,7 @@ fn main() -> ExitCode {
         &opts,
         multi,
         opts.proof.is_some().then_some(&mut log),
+        opts.metrics.then_some(&mut engine_metrics),
     );
 
     if opts.proof.is_some() {
@@ -294,6 +321,29 @@ fn main() -> ExitCode {
         for line in profiler.report().lines() {
             eprintln!("c {line}");
         }
+    }
+    if opts.metrics {
+        for p in Phase::ALL {
+            let h = engine_metrics.phase_hist(p);
+            eprintln!(
+                "c phase {:<18} calls {:>8}  total {:>12} ns  p50 {:>10}  p90 {:>10}  p99 {:>10}",
+                p.name(),
+                h.count(),
+                h.sum(),
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99)
+            );
+        }
+        for g in EngineGauge::ALL {
+            eprintln!(
+                "c gauge {:<18} last {:>12}  peak {:>12}",
+                g.name(),
+                engine_metrics.gauge_last(g),
+                engine_metrics.gauge_peak(g)
+            );
+        }
+        eprintln!("c metrics: {}", engine_metrics.snapshot_json());
     }
 
     match value {

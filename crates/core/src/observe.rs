@@ -930,11 +930,23 @@ impl SearchObserver for Profiler {
 // Progress
 // ----------------------------------------------------------------------
 
-/// Prints a one-line status report to stderr every `interval` leaves
-/// (conflicts + solutions), QUBE/MiniSat style.
+/// Where [`Progress`] sends its status lines.
+#[derive(Debug)]
+pub enum ProgressSink {
+    /// Print each line to stderr as it happens (the CLI default).
+    Stderr,
+    /// Collect the lines in memory for the caller to drain — how
+    /// `qbfserve` routes progress into its metrics/snapshot stream
+    /// instead of polluting the service's stderr.
+    Buffer(Vec<String>),
+}
+
+/// Emits a one-line status report every `interval` leaves (conflicts +
+/// solutions), QUBE/MiniSat style, to a configurable [`ProgressSink`].
 #[derive(Debug)]
 pub struct Progress {
     interval: u64,
+    sink: ProgressSink,
     leaves: u64,
     decisions: u64,
     propagations: u64,
@@ -944,11 +956,23 @@ pub struct Progress {
 }
 
 impl Progress {
-    /// Reports every `interval` conflicts+solutions (`interval == 0`
-    /// reports nothing).
+    /// Reports every `interval` conflicts+solutions to stderr
+    /// (`interval == 0` reports nothing).
     pub fn new(interval: u64) -> Self {
+        Progress::with_sink(interval, ProgressSink::Stderr)
+    }
+
+    /// Buffering variant of [`Progress::new`]: lines accumulate in
+    /// memory until [`Progress::take_lines`] drains them.
+    pub fn buffered(interval: u64) -> Self {
+        Progress::with_sink(interval, ProgressSink::Buffer(Vec::new()))
+    }
+
+    /// Reports every `interval` conflicts+solutions into `sink`.
+    pub fn with_sink(interval: u64, sink: ProgressSink) -> Self {
         Progress {
             interval,
+            sink,
             leaves: 0,
             decisions: 0,
             propagations: 0,
@@ -958,15 +982,28 @@ impl Progress {
         }
     }
 
+    /// Drains the buffered status lines (empty for a stderr sink, whose
+    /// lines were already printed).
+    pub fn take_lines(&mut self) -> Vec<String> {
+        match &mut self.sink {
+            ProgressSink::Stderr => Vec::new(),
+            ProgressSink::Buffer(lines) => std::mem::take(lines),
+        }
+    }
+
     fn leaf(&mut self, level: u32, trail: usize) {
         self.leaves += 1;
         self.level = level;
         self.trail = trail;
         if self.interval > 0 && self.leaves.is_multiple_of(self.interval) {
-            eprintln!(
+            let line = format!(
                 "c progress: {} leaves | {} decisions | {} propagations | {} learned | level {} | trail {}",
                 self.leaves, self.decisions, self.propagations, self.learned, self.level, self.trail
             );
+            match &mut self.sink {
+                ProgressSink::Stderr => eprintln!("{line}"),
+                ProgressSink::Buffer(lines) => lines.push(line),
+            }
         }
     }
 }
@@ -1078,5 +1115,20 @@ mod tests {
         let out = Solver::with_observer(&qbf, SolverConfig::partial_order(), &mut progress).solve();
         assert_eq!(progress.leaves, out.stats.conflicts + out.stats.solutions);
         assert_eq!(progress.decisions, out.stats.decisions);
+    }
+
+    #[test]
+    fn progress_buffer_sink_collects_lines() {
+        let qbf = samples::paper_example();
+        let mut progress = Progress::buffered(1); // one line per leaf
+        let out = Solver::with_observer(&qbf, SolverConfig::partial_order(), &mut progress).solve();
+        let lines = progress.take_lines();
+        assert_eq!(
+            lines.len() as u64,
+            out.stats.conflicts + out.stats.solutions,
+            "one buffered line per leaf at interval 1"
+        );
+        assert!(lines[0].starts_with("c progress: 1 leaves"));
+        assert!(progress.take_lines().is_empty(), "take_lines drains");
     }
 }

@@ -80,6 +80,7 @@
 //! must match a from-scratch recount, no clause may be conflicting and no
 //! cube validated, and no original constraint may be unit.
 
+use crate::metrics::{EngineGauge, MetricsSink, NoopMetrics, Phase};
 use crate::observe::{LearnedKind, NoopObserver, PropagationKind, SearchObserver};
 use crate::prefix::{BlockId, Prefix};
 use crate::proof::{NoProof, ProofSink};
@@ -167,13 +168,19 @@ fn attach_unblock_sentinels(db: &mut Db, prefix: &Prefix, cref: ConstraintRef) {
 /// hot path (see `tests/observe_integration.rs` for the determinism
 /// guard).
 #[derive(Debug)]
-pub struct Solver<'a, O: SearchObserver = NoopObserver, P: ProofSink = NoProof> {
+pub struct Solver<
+    'a,
+    O: SearchObserver = NoopObserver,
+    P: ProofSink = NoProof,
+    M: MetricsSink = NoopMetrics,
+> {
     qbf: &'a Qbf,
     config: SolverConfig,
     db: Db,
     brancher: Brancher,
     observer: O,
     proof: P,
+    metrics: M,
 
     value: Vec<Option<bool>>,
     level: Vec<u32>,
@@ -247,9 +254,31 @@ impl<'a, P: ProofSink> Solver<'a, NoopObserver, P> {
     }
 }
 
+impl<'a, M: MetricsSink> Solver<'a, NoopObserver, NoProof, M> {
+    /// Prepares a solver that reports phase timings and resource gauges
+    /// to `metrics` (see [`crate::metrics`]). Pass `&mut sink` to keep
+    /// ownership of the sink across [`Solver::solve`].
+    pub fn with_metrics(qbf: &'a Qbf, config: SolverConfig, metrics: M) -> Self {
+        Solver::with_instruments(qbf, config, NoopObserver, NoProof, metrics)
+    }
+}
+
 impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
-    /// Fully general constructor: observer and proof sink together.
-    pub fn with_parts(qbf: &'a Qbf, mut config: SolverConfig, observer: O, proof: P) -> Self {
+    /// Observer and proof sink together (metrics stay disabled).
+    pub fn with_parts(qbf: &'a Qbf, config: SolverConfig, observer: O, proof: P) -> Self {
+        Solver::with_instruments(qbf, config, observer, proof, NoopMetrics)
+    }
+}
+
+impl<'a, O: SearchObserver, P: ProofSink, M: MetricsSink> Solver<'a, O, P, M> {
+    /// Fully general constructor: observer, proof sink and metrics sink.
+    pub fn with_instruments(
+        qbf: &'a Qbf,
+        mut config: SolverConfig,
+        observer: O,
+        proof: P,
+        metrics: M,
+    ) -> Self {
         if P::ENABLED {
             // See `with_proof`: certificates require constraint
             // antecedents for every non-decision assignment.
@@ -297,6 +326,7 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
             brancher,
             observer,
             proof,
+            metrics,
             value: vec![None; n],
             level: vec![0; n],
             reason: vec![Reason::Decision; n],
@@ -398,7 +428,14 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
                     self.stats.conflicts += 1;
                     self.observer.on_conflict(self.current_level(), self.trail.len());
                     self.tick_decay();
-                    if let Some(v) = self.handle_conflict(c) {
+                    if M::ENABLED {
+                        self.metrics.phase_start(Phase::ConflictAnalysis);
+                    }
+                    let done = self.handle_conflict(c);
+                    if M::ENABLED {
+                        self.metrics.phase_end(Phase::ConflictAnalysis);
+                    }
+                    if let Some(v) = done {
                         return Some(v);
                     }
                 }
@@ -411,7 +448,14 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
                         self.proof.chain_start(k.token(), &init, true);
                     }
                     self.analysis_mark = 0;
-                    if let Some(v) = self.handle_solution(init) {
+                    if M::ENABLED {
+                        self.metrics.phase_start(Phase::SolutionAnalysis);
+                    }
+                    let done = self.handle_solution(init);
+                    if M::ENABLED {
+                        self.metrics.phase_end(Phase::SolutionAnalysis);
+                    }
+                    if let Some(v) = done {
                         return Some(v);
                     }
                 }
@@ -425,7 +469,14 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
                             self.proof.chain_init_cube(&init);
                         }
                         self.analysis_mark = 0;
-                        if let Some(v) = self.handle_solution(init) {
+                        if M::ENABLED {
+                            self.metrics.phase_start(Phase::SolutionAnalysis);
+                        }
+                        let done = self.handle_solution(init);
+                        if M::ENABLED {
+                            self.metrics.phase_end(Phase::SolutionAnalysis);
+                        }
+                        if let Some(v) = done {
                             return Some(v);
                         }
                     } else if !self.decide() {
@@ -643,6 +694,17 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
 
     /// Propagates to fixpoint, interleaving monotone-literal fixing.
     fn propagate_and_fix(&mut self) -> Option<Event> {
+        if M::ENABLED {
+            self.metrics.phase_start(Phase::Propagate);
+        }
+        let ev = self.propagate_and_fix_inner();
+        if M::ENABLED {
+            self.metrics.phase_end(Phase::Propagate);
+        }
+        ev
+    }
+
+    fn propagate_and_fix_inner(&mut self) -> Option<Event> {
         loop {
             if let Some(ev) = self.propagate() {
                 return Some(ev);
@@ -1084,6 +1146,17 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
         match lit {
             None => false,
             Some(lit) => {
+                if M::ENABLED {
+                    // Resource gauges are sampled at decision boundaries:
+                    // frequent enough for a time-series, far off the
+                    // propagation hot path.
+                    self.metrics.sample(EngineGauge::ArenaBytes, self.db.arena_bytes() as u64);
+                    self.metrics.sample(
+                        EngineGauge::LearnedConstraints,
+                        (self.db.num_learned_clauses + self.db.num_learned_cubes) as u64,
+                    );
+                    self.metrics.sample(EngineGauge::TrailDepth, self.trail.len() as u64);
+                }
                 self.push_decision(lit, false, None);
                 true
             }
@@ -1815,6 +1888,16 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
         if learned <= self.config.max_learned {
             return;
         }
+        if M::ENABLED {
+            self.metrics.phase_start(Phase::ReduceDb);
+        }
+        self.reduce_db();
+        if M::ENABLED {
+            self.metrics.phase_end(Phase::ReduceDb);
+        }
+    }
+
+    fn reduce_db(&mut self) {
         // Locked constraints: trail reasons and frame pseudo-reasons.
         let mut locked: std::collections::HashSet<ConstraintRef> = std::collections::HashSet::new();
         for &l in &self.trail {
@@ -1875,6 +1958,9 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
     /// assigned variables and pseudo-reasons are locked against deletion,
     /// so their remap always succeeds.
     fn compact_db(&mut self) {
+        if M::ENABLED {
+            self.metrics.phase_start(Phase::Compaction);
+        }
         // Compaction renames `ConstraintRef`s, which the proof sink uses
         // as tokens: snapshot the live refs first, then rebuild the sink's
         // token map from the (old, new) pairs.
@@ -1914,6 +2000,9 @@ impl<'a, O: SearchObserver, P: ProofSink> Solver<'a, O, P> {
         self.stats.compactions += 1;
         self.stats.arena_bytes_reclaimed += map.reclaimed_bytes as u64;
         self.observer.on_compaction(map.reclaimed_bytes);
+        if M::ENABLED {
+            self.metrics.phase_end(Phase::Compaction);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -2059,8 +2148,9 @@ pub(crate) struct Session {
     debug_dump: bool,
 }
 
-impl<'a> Solver<'a> {
-    /// Detaches the owned search state (ends the borrow of the QBF).
+impl<'a, O: SearchObserver, P: ProofSink, M: MetricsSink> Solver<'a, O, P, M> {
+    /// Detaches the owned search state (ends the borrow of the QBF and
+    /// drops the instruments — sessions persist search state only).
     pub(crate) fn into_session(self) -> Session {
         Session {
             config: self.config,
@@ -2083,18 +2173,31 @@ impl<'a> Solver<'a> {
             debug_dump: self.debug_dump,
         }
     }
+}
 
+impl<'a> Solver<'a> {
     /// Re-attaches a detached session to its QBF. The caller must pass
     /// the same formula the session was created from (the incremental
     /// front end owns both, so the pairing is by construction).
     pub(crate) fn from_session(qbf: &'a Qbf, s: Session) -> Self {
+        Solver::from_session_observed(qbf, s, NoopObserver)
+    }
+}
+
+impl<'a, O: SearchObserver> Solver<'a, O> {
+    /// [`Solver::from_session`] with a live observer attached for the
+    /// duration of the borrow — how the incremental front end routes
+    /// per-query progress/trace events without giving up the statically
+    /// no-op default path (see `IncrementalSolver::solve_observed`).
+    pub(crate) fn from_session_observed(qbf: &'a Qbf, s: Session, observer: O) -> Self {
         Solver {
             qbf,
             config: s.config,
             db: s.db,
             brancher: s.brancher,
-            observer: NoopObserver,
+            observer,
             proof: NoProof,
+            metrics: NoopMetrics,
             value: s.value,
             level: s.level,
             reason: s.reason,
@@ -2126,7 +2229,7 @@ impl<'a> Solver<'a> {
 /// [`Solver::shadow_verify`] then cross-checks the two propagators'
 /// conclusions at every propagation fixpoint.
 #[cfg(feature = "debug-counters")]
-impl<O: SearchObserver, P: ProofSink> Solver<'_, O, P> {
+impl<O: SearchObserver, P: ProofSink, M: MetricsSink> Solver<'_, O, P, M> {
     fn shadow_assign(&mut self, lit: Lit) {
         // The satisfaction tracker in `assign` already maintains
         // `true_count` for original clauses; the shadow adds the learned

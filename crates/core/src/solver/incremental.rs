@@ -73,6 +73,7 @@ use std::fmt;
 
 use crate::clause::{Clause, ClauseError};
 use crate::matrix::Matrix;
+use crate::observe::SearchObserver;
 use crate::proof::ProofLog;
 use crate::qbf::Qbf;
 use crate::var::{Lit, Quantifier, Var};
@@ -317,21 +318,47 @@ impl IncrementalSolver {
     pub fn solve(&mut self) -> Outcome {
         let level = self.level;
         let assumptions = std::mem::take(&mut self.assumptions);
-        self.with_view(|s| {
-            s.reset_search();
-            for &a in &assumptions {
-                // One frame above the user stack: auto-popped below, and
-                // any learned clause that used an assumption inherits a
-                // mark > level, so it is tombstoned with it.
-                s.add_original_clause(vec![a], level + 1);
-            }
-            s.reset_stats();
-            let out = s.solve_mut();
-            s.reset_search();
-            s.invalidate_frames_above(level);
-            s.maybe_compact_between_queries();
-            out
-        })
+        self.with_view(|s| Self::run_query(s, level, &assumptions))
+    }
+
+    /// Like [`IncrementalSolver::solve`] with a live [`SearchObserver`]
+    /// attached for this query only. The observer rides on the engine's
+    /// generic observer slot (dynamically dispatched through the `&mut
+    /// dyn` forwarding impl), so `solve()` keeps its statically no-op —
+    /// and therefore zero-cost — default path.
+    pub fn solve_observed(&mut self, observer: &mut dyn SearchObserver) -> Outcome {
+        let level = self.level;
+        let assumptions = std::mem::take(&mut self.assumptions);
+        let session = self
+            .session
+            .take()
+            .expect("the session is always present between calls");
+        let mut solver = Solver::from_session_observed(&self.qbf, session, observer);
+        let out = Self::run_query(&mut solver, level, &assumptions);
+        self.session = Some(solver.into_session());
+        out
+    }
+
+    /// One query against a re-attached view: inject the assumptions,
+    /// solve, then retract them and everything learned from them.
+    fn run_query<O: SearchObserver>(
+        s: &mut Solver<'_, O>,
+        level: u32,
+        assumptions: &[Lit],
+    ) -> Outcome {
+        s.reset_search();
+        for &a in assumptions {
+            // One frame above the user stack: auto-popped below, and
+            // any learned clause that used an assumption inherits a
+            // mark > level, so it is tombstoned with it.
+            s.add_original_clause(vec![a], level + 1);
+        }
+        s.reset_stats();
+        let out = s.solve_mut();
+        s.reset_search();
+        s.invalidate_frames_above(level);
+        s.maybe_compact_between_queries();
+        out
     }
 
     /// Like [`IncrementalSolver::solve`], additionally producing a

@@ -211,6 +211,33 @@ impl Stats {
             ("proof_dels", self.proof_dels),
         ]
     }
+
+    /// Accumulates another run's counters into `self` (how `qbfserve`
+    /// maintains cumulative session totals across queries). Every counter
+    /// adds except `arena_bytes_peak`, which is a high-water mark and
+    /// takes the max.
+    pub fn merge(&mut self, other: &Stats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.pures += other.pures;
+        self.conflicts += other.conflicts;
+        self.solutions += other.solutions;
+        self.learned_clauses += other.learned_clauses;
+        self.learned_cubes += other.learned_cubes;
+        self.backjumps += other.backjumps;
+        self.chrono_backtracks += other.chrono_backtracks;
+        self.forgotten += other.forgotten;
+        self.solution_depth_sum += other.solution_depth_sum;
+        self.cube_size_sum += other.cube_size_sum;
+        self.watcher_visits += other.watcher_visits;
+        self.blocker_hits += other.blocker_hits;
+        self.arena_bytes_peak = self.arena_bytes_peak.max(other.arena_bytes_peak);
+        self.arena_bytes_reclaimed += other.arena_bytes_reclaimed;
+        self.compactions += other.compactions;
+        self.proof_steps += other.proof_steps;
+        self.proof_bytes += other.proof_bytes;
+        self.proof_dels += other.proof_dels;
+    }
 }
 
 impl std::fmt::Display for Stats {

@@ -1,0 +1,120 @@
+//! The time source behind every duration metric.
+//!
+//! Metrics that touch wall-clock time are inherently non-deterministic,
+//! which conflicts with the repo-wide byte-determinism contract (committed
+//! artifacts, CI `cmp` gates, replayable `qbfserve` transcripts). The
+//! [`Clock`] trait keeps the conflict contained: production code runs on
+//! [`WallClock`]; every test and every CI determinism gate runs on
+//! [`ManualClock`], whose reads are a pure function of the call sequence.
+//! Wall-clock values therefore never enter a deterministic artifact — the
+//! artifact is either produced under `ManualClock` or keeps timing fields
+//! out of the committed bytes (the same discipline `BENCH_qbf.json`
+//! already follows for `time_ms`).
+
+use std::time::Instant;
+
+/// A monotonic nanosecond time source.
+///
+/// `now_ns` takes `&mut self` so deterministic clocks can advance
+/// internal state per read without interior mutability.
+pub trait Clock: std::fmt::Debug {
+    /// Nanoseconds since an arbitrary (per-clock) origin. Monotone
+    /// non-decreasing across calls.
+    fn now_ns(&mut self) -> u64;
+}
+
+impl<C: Clock + ?Sized> Clock for Box<C> {
+    fn now_ns(&mut self) -> u64 {
+        (**self).now_ns()
+    }
+}
+
+/// Production clock: [`Instant`] elapsed time since construction.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&mut self) -> u64 {
+        // Saturates after ~584 years of process uptime; fine.
+        self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// Deterministic clock for tests and CI gates: every read returns the
+/// current value and then advances it by a fixed step, so the observed
+/// timeline is a pure function of how many reads happened — which, for a
+/// deterministic engine, is itself a pure function of the input. Two
+/// identical runs therefore produce **byte-identical** duration metrics.
+#[derive(Debug, Clone)]
+pub struct ManualClock {
+    now: u64,
+    step: u64,
+}
+
+impl ManualClock {
+    /// Starts at 0, advancing `step` nanoseconds per read.
+    pub fn new(step: u64) -> Self {
+        ManualClock { now: 0, step }
+    }
+
+    /// Explicitly advances the clock by `ns` (on top of the per-read step).
+    pub fn advance(&mut self, ns: u64) {
+        self.now = self.now.saturating_add(ns);
+    }
+
+    /// The current value without advancing.
+    pub fn peek(&self) -> u64 {
+        self.now
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&mut self) -> u64 {
+        let t = self.now;
+        self.now = self.now.saturating_add(self.step);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let mut c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_a_pure_function_of_the_read_count() {
+        let mut c = ManualClock::new(7);
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 7);
+        c.advance(100);
+        assert_eq!(c.peek(), 114);
+        assert_eq!(c.now_ns(), 114);
+        // A fresh clock replays the same timeline.
+        let mut d = ManualClock::new(7);
+        assert_eq!((d.now_ns(), d.now_ns()), (0, 7));
+    }
+}

@@ -1,0 +1,246 @@
+//! A log-bucketed histogram of `u64` samples with exact-rank percentile
+//! reads.
+//!
+//! Bucketing is by bit width: sample `v` lands in bucket
+//! `64 - v.leading_zeros()` (bucket 0 holds exactly the value 0), so
+//! bucket `i > 0` covers `[2^(i-1), 2^i - 1]` — 65 fixed buckets spanning
+//! the full `u64` range with relative error bounded by 2×. Recording is
+//! O(1) and allocation-free; the whole histogram is 65 counters plus
+//! count/sum/min/max, cheap enough to keep per phase and per query
+//! stream.
+//!
+//! Percentile reads are **exact rank selections** over the recorded
+//! multiset at bucket resolution: [`LogHistogram::quantile`] walks the
+//! cumulative counts to the bucket holding the ⌈q·n⌉-th smallest sample
+//! and returns that bucket's upper bound (clamped to the observed
+//! maximum, so `quantile(1.0) == max()` exactly). No sampling, decay or
+//! approximation beyond the bucket width is involved, which keeps reads
+//! deterministic: the same sample multiset always renders the same
+//! percentiles — the property the `qbfserve` snapshot `cmp` gate pins.
+
+/// Number of buckets: one for 0, one per bit width 1..=64.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A fixed-shape log-bucketed histogram. See the module docs.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// Bucket index of a sample.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (0 for bucket 0).
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (0 for bucket 0).
+#[inline]
+fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// holding the ⌈q·count⌉-th smallest sample, clamped to the observed
+    /// min/max (so `quantile(0.0) == min()` and `quantile(1.0) == max()`
+    /// exactly). 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterates the non-empty buckets as `(lower, upper, count)` triples
+    /// in increasing value order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower(i), bucket_upper(i), c))
+    }
+
+    /// Cumulative counts per bucket upper bound, Prometheus style:
+    /// `(le, cumulative_count)` for every non-empty bucket, in increasing
+    /// order. The caller appends the implicit `+Inf` bucket (`count()`).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                out.push((bucket_upper(i), cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..NUM_BUCKETS {
+            assert_eq!(bucket_of(bucket_lower(i)), i, "lower bound of {i}");
+            assert_eq!(bucket_of(bucket_upper(i)), i, "upper bound of {i}");
+        }
+    }
+
+    #[test]
+    fn counts_sums_and_extremes() {
+        let mut h = LogHistogram::new();
+        assert_eq!((h.count(), h.min(), h.max(), h.quantile(0.5)), (0, 0, 0, 0));
+        for v in [0, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1011);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 202.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_exact_rank_selections_at_bucket_resolution() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // rank 50 → value 50 → bucket [32,63] → upper bound 63
+        assert_eq!(h.quantile(0.5), 63);
+        // rank 90 → value 90 → bucket [64,127] → clamped to max 100
+        assert_eq!(h.quantile(0.9), 100);
+        assert_eq!(h.quantile(0.0), 1, "q0 is the min");
+        assert_eq!(h.quantile(1.0), 100, "q1 is the max");
+        // The selected bound always brackets the true rank value within 2x.
+        for (q, truth) in [(0.25, 25u64), (0.75, 75u64)] {
+            let got = h.quantile(q);
+            assert!(got >= truth && got <= truth * 2, "q{q}: {got} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_count() {
+        let mut h = LogHistogram::new();
+        for v in [3, 3, 900, 70_000] {
+            h.record(v);
+        }
+        let cum = h.cumulative_buckets();
+        assert_eq!(cum.last().map(|&(_, c)| c), Some(h.count()));
+        assert!(cum.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(h.nonzero_buckets().count(), cum.len());
+    }
+
+    #[test]
+    fn same_samples_same_reads() {
+        let feed = |h: &mut LogHistogram| {
+            for v in [9u64, 81, 729, 6561, 59049] {
+                h.record(v);
+            }
+        };
+        let (mut a, mut b) = (LogHistogram::new(), LogHistogram::new());
+        feed(&mut a);
+        feed(&mut b);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), b.quantile(q));
+        }
+        assert_eq!(a.cumulative_buckets(), b.cumulative_buckets());
+    }
+}

@@ -1,0 +1,255 @@
+//! An insertion-ordered registry of named counters, gauges and
+//! histograms with two deterministic render targets.
+//!
+//! The registry is deliberately dumb: typed handles (`CounterId`,
+//! `GaugeId`, `HistId`) are indices into flat `Vec`s, registration order
+//! is render order, and there is no interior mutability, sharding or
+//! locking — the solver is single-threaded per query and `qbfserve`
+//! owns its registry outright. What the registry *does* guarantee is
+//! that rendering is a pure function of the recorded values:
+//!
+//! * [`Registry::render_prometheus`] emits the Prometheus text
+//!   exposition format (`# HELP` / `# TYPE` plus cumulative
+//!   `_bucket{le="…"}`, `_sum`, `_count` series for histograms), and
+//! * [`Registry::snapshot_json`] emits a single-line JSON object that
+//!   `qbf_bench::json::parse` round-trips.
+//!
+//! Both outputs are byte-deterministic for equal registry contents,
+//! which is what lets CI replay a `ManualClock` serve session twice and
+//! `cmp` the snapshots.
+
+use crate::hist::LogHistogram;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
+#[derive(Debug)]
+struct Named<T> {
+    name: &'static str,
+    help: &'static str,
+    value: T,
+}
+
+/// See the module docs.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Vec<Named<u64>>,
+    gauges: Vec<Named<u64>>,
+    hists: Vec<Named<LogHistogram>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers a monotonically increasing counter.
+    pub fn counter(&mut self, name: &'static str, help: &'static str) -> CounterId {
+        self.counters.push(Named { name, help, value: 0 });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a gauge (a settable level).
+    pub fn gauge(&mut self, name: &'static str, help: &'static str) -> GaugeId {
+        self.gauges.push(Named { name, help, value: 0 });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers a log-bucketed histogram.
+    pub fn histogram(&mut self, name: &'static str, help: &'static str) -> HistId {
+        self.hists.push(Named {
+            name,
+            help,
+            value: LogHistogram::new(),
+        });
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Adds `by` to a counter.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].value += by;
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, v: u64) {
+        self.gauges[id.0].value = v;
+    }
+
+    /// Raises a gauge to `v` if `v` is larger (peak tracking).
+    #[inline]
+    pub fn set_max(&mut self, id: GaugeId, v: u64) {
+        let g = &mut self.gauges[id.0].value;
+        *g = (*g).max(v);
+    }
+
+    /// Records a histogram sample.
+    #[inline]
+    pub fn observe(&mut self, id: HistId, v: u64) {
+        self.hists[id.0].value.record(v);
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].value
+    }
+
+    /// Current gauge value.
+    pub fn gauge_value(&self, id: GaugeId) -> u64 {
+        self.gauges[id.0].value
+    }
+
+    /// Read access to a histogram.
+    pub fn hist(&self, id: HistId) -> &LogHistogram {
+        &self.hists[id.0].value
+    }
+
+    /// Renders the Prometheus text exposition format. Ends with a
+    /// newline; byte-deterministic for equal contents.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            out.push_str(&format!(
+                "# HELP {n} {h}\n# TYPE {n} counter\n{n} {v}\n",
+                n = c.name,
+                h = c.help,
+                v = c.value
+            ));
+        }
+        for g in &self.gauges {
+            out.push_str(&format!(
+                "# HELP {n} {h}\n# TYPE {n} gauge\n{n} {v}\n",
+                n = g.name,
+                h = g.help,
+                v = g.value
+            ));
+        }
+        for h in &self.hists {
+            out.push_str(&format!(
+                "# HELP {n} {h}\n# TYPE {n} histogram\n",
+                n = h.name,
+                h = h.help
+            ));
+            for (le, cum) in h.value.cumulative_buckets() {
+                out.push_str(&format!(
+                    "{n}_bucket{{le=\"{le}\"}} {cum}\n",
+                    n = h.name
+                ));
+            }
+            out.push_str(&format!(
+                "{n}_bucket{{le=\"+Inf\"}} {c}\n{n}_sum {s}\n{n}_count {c}\n",
+                n = h.name,
+                s = h.value.sum(),
+                c = h.value.count()
+            ));
+        }
+        out
+    }
+
+    /// Renders a one-line JSON snapshot: counters and gauges as numbers,
+    /// each histogram as `{"count","sum","min","max","p50","p90","p99"}`.
+    /// Parsable by `qbf_bench::json::parse`; byte-deterministic for equal
+    /// contents. No trailing newline.
+    pub fn snapshot_json(&self) -> String {
+        let mut parts = Vec::new();
+        for c in &self.counters {
+            parts.push(format!("\"{}\":{}", c.name, c.value));
+        }
+        for g in &self.gauges {
+            parts.push(format!("\"{}\":{}", g.name, g.value));
+        }
+        for h in &self.hists {
+            let v = &h.value;
+            parts.push(format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.name,
+                v.count(),
+                v.sum(),
+                v.min(),
+                v.max(),
+                v.quantile(0.5),
+                v.quantile(0.9),
+                v.quantile(0.99)
+            ));
+        }
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        let c = r.counter("qbf_queries_total", "Queries served");
+        let g = r.gauge("qbf_arena_bytes", "Arena footprint");
+        let h = r.histogram("qbf_latency_ns", "Per-query latency");
+        r.inc(c, 3);
+        r.set(g, 4096);
+        r.set_max(g, 1024); // lower: no-op
+        for v in [10, 100, 1000] {
+            r.observe(h, v);
+        }
+        r
+    }
+
+    #[test]
+    fn handles_read_back() {
+        let mut r = Registry::new();
+        let c = r.counter("c", "a counter");
+        let g = r.gauge("g", "a gauge");
+        let h = r.histogram("h", "a histogram");
+        r.inc(c, 2);
+        r.inc(c, 2);
+        r.set(g, 7);
+        r.set_max(g, 9);
+        r.observe(h, 42);
+        assert_eq!(r.counter_value(c), 4);
+        assert_eq!(r.gauge_value(g), 9);
+        assert_eq!(r.hist(h).count(), 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = sample_registry().render_prometheus();
+        assert!(text.contains("# TYPE qbf_queries_total counter\nqbf_queries_total 3\n"));
+        assert!(text.contains("# TYPE qbf_arena_bytes gauge\nqbf_arena_bytes 4096\n"));
+        assert!(text.contains("# TYPE qbf_latency_ns histogram\n"));
+        assert!(text.contains("qbf_latency_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("qbf_latency_ns_sum 1110\n"));
+        assert!(text.contains("qbf_latency_ns_count 3\n"));
+        // Cumulative buckets are non-decreasing and end at count.
+        let cums: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("qbf_latency_ns_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(cums.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(cums.last(), Some(&3));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn snapshot_is_one_deterministic_json_line() {
+        let a = sample_registry().snapshot_json();
+        let b = sample_registry().snapshot_json();
+        assert_eq!(a, b, "equal contents must render identical bytes");
+        assert!(!a.contains('\n'));
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"qbf_queries_total\":3"));
+        assert!(a.contains("\"count\":3"));
+        assert!(a.contains("\"p50\":"));
+    }
+}

@@ -1,0 +1,313 @@
+//! The zero-cost engine hook: [`MetricsSink`].
+//!
+//! Mirrors the `SearchObserver` / `ProofSink` pattern from `qbf-core`:
+//! the solver takes a `M: MetricsSink` type parameter defaulting to
+//! [`NoopMetrics`], guards every hook site with `if M::ENABLED`, and the
+//! hooks themselves are empty-bodied `#[inline]` defaults — so with the
+//! default sink monomorphization deletes the instrumentation entirely
+//! and the hot path compiles to the same code as before this module
+//! existed (pinned by a `Stats`-bit-identity test in `qbf-core`).
+//!
+//! The engine never reads a clock: it only announces *what* is happening
+//! ([`Phase`] boundaries) and *how big* things are ([`EngineGauge`]
+//! samples). [`EngineMetrics`] is the live implementation that turns
+//! phase boundaries into durations by reading its own [`Clock`] — which
+//! is how `ManualClock` determinism reaches engine timing without the
+//! engine knowing about time at all.
+
+use crate::clock::Clock;
+use crate::hist::LogHistogram;
+
+/// A timed region of the search. Phases never nest in the engine, and
+/// start/end always pair up within one search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Boolean/quantifier constraint propagation to fixpoint.
+    Propagate,
+    /// Clause learning from a conflicting clause.
+    ConflictAnalysis,
+    /// Cube learning from a solution / satisfied state.
+    SolutionAnalysis,
+    /// Learned-constraint database reduction.
+    ReduceDb,
+    /// Arena compaction.
+    Compaction,
+}
+
+impl Phase {
+    /// All phases, in render order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Propagate,
+        Phase::ConflictAnalysis,
+        Phase::SolutionAnalysis,
+        Phase::ReduceDb,
+        Phase::Compaction,
+    ];
+
+    /// Stable snake_case name used in metric series.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Propagate => "propagate",
+            Phase::ConflictAnalysis => "conflict_analysis",
+            Phase::SolutionAnalysis => "solution_analysis",
+            Phase::ReduceDb => "reduce_db",
+            Phase::Compaction => "compaction",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            Phase::Propagate => 0,
+            Phase::ConflictAnalysis => 1,
+            Phase::SolutionAnalysis => 2,
+            Phase::ReduceDb => 3,
+            Phase::Compaction => 4,
+        }
+    }
+}
+
+/// A resource level the engine samples at decision boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineGauge {
+    /// Bytes held by the constraint arena.
+    ArenaBytes,
+    /// Learned constraints (clauses + cubes) currently in the database.
+    LearnedConstraints,
+    /// Assignment-trail depth.
+    TrailDepth,
+}
+
+impl EngineGauge {
+    /// All gauges, in render order.
+    pub const ALL: [EngineGauge; 3] = [
+        EngineGauge::ArenaBytes,
+        EngineGauge::LearnedConstraints,
+        EngineGauge::TrailDepth,
+    ];
+
+    /// Stable snake_case name used in metric series.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineGauge::ArenaBytes => "arena_bytes",
+            EngineGauge::LearnedConstraints => "learned_constraints",
+            EngineGauge::TrailDepth => "trail_depth",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            EngineGauge::ArenaBytes => 0,
+            EngineGauge::LearnedConstraints => 1,
+            EngineGauge::TrailDepth => 2,
+        }
+    }
+}
+
+/// Receiver for engine instrumentation events. All methods default to
+/// empty inline bodies; `ENABLED` lets the engine skip even the argument
+/// computation for gauge samples when the sink is a no-op.
+pub trait MetricsSink {
+    /// `false` compiles every hook site out of the engine.
+    const ENABLED: bool;
+
+    /// The engine enters `phase`.
+    #[inline]
+    fn phase_start(&mut self, _phase: Phase) {}
+
+    /// The engine leaves `phase` (always pairs with the last start).
+    #[inline]
+    fn phase_end(&mut self, _phase: Phase) {}
+
+    /// A resource gauge observed at a decision boundary.
+    #[inline]
+    fn sample(&mut self, _gauge: EngineGauge, _value: u64) {}
+}
+
+/// The default sink: compiles to nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopMetrics;
+
+impl MetricsSink for NoopMetrics {
+    const ENABLED: bool = false;
+}
+
+impl<M: MetricsSink> MetricsSink for &mut M {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn phase_start(&mut self, phase: Phase) {
+        (**self).phase_start(phase)
+    }
+
+    #[inline]
+    fn phase_end(&mut self, phase: Phase) {
+        (**self).phase_end(phase)
+    }
+
+    #[inline]
+    fn sample(&mut self, gauge: EngineGauge, value: u64) {
+        (**self).sample(gauge, value)
+    }
+}
+
+/// The live sink: per-phase duration histograms (nanoseconds, from its
+/// own [`Clock`]) and last/peak tracking per gauge.
+#[derive(Debug)]
+pub struct EngineMetrics<C: Clock> {
+    clock: C,
+    open: [u64; 5],
+    durations: [LogHistogram; 5],
+    last: [u64; 3],
+    peak: [u64; 3],
+}
+
+impl<C: Clock> EngineMetrics<C> {
+    /// A sink timing against `clock`.
+    pub fn new(clock: C) -> Self {
+        EngineMetrics {
+            clock,
+            open: [0; 5],
+            durations: Default::default(),
+            last: [0; 3],
+            peak: [0; 3],
+        }
+    }
+
+    /// Duration histogram (ns) for `phase`.
+    pub fn phase_hist(&self, phase: Phase) -> &LogHistogram {
+        &self.durations[phase.index()]
+    }
+
+    /// Most recent sample of `gauge`.
+    pub fn gauge_last(&self, gauge: EngineGauge) -> u64 {
+        self.last[gauge.index()]
+    }
+
+    /// Largest sample of `gauge` seen so far.
+    pub fn gauge_peak(&self, gauge: EngineGauge) -> u64 {
+        self.peak[gauge.index()]
+    }
+
+    /// One-line deterministic JSON snapshot of every phase and gauge,
+    /// matching the registry snapshot dialect. Deterministic whenever
+    /// the clock is (i.e. under `ManualClock`).
+    pub fn snapshot_json(&self) -> String {
+        let mut parts = Vec::new();
+        for p in Phase::ALL {
+            let h = self.phase_hist(p);
+            parts.push(format!(
+                "\"phase_{}_ns\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                p.name(),
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99)
+            ));
+        }
+        for g in EngineGauge::ALL {
+            parts.push(format!(
+                "\"gauge_{n}\":{},\"gauge_{n}_peak\":{}",
+                self.gauge_last(g),
+                self.gauge_peak(g),
+                n = g.name()
+            ));
+        }
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl<C: Clock> MetricsSink for EngineMetrics<C> {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn phase_start(&mut self, phase: Phase) {
+        self.open[phase.index()] = self.clock.now_ns();
+    }
+
+    #[inline]
+    fn phase_end(&mut self, phase: Phase) {
+        let now = self.clock.now_ns();
+        let dur = now.saturating_sub(self.open[phase.index()]);
+        self.durations[phase.index()].record(dur);
+    }
+
+    #[inline]
+    fn sample(&mut self, gauge: EngineGauge, value: u64) {
+        let i = gauge.index();
+        self.last[i] = value;
+        self.peak[i] = self.peak[i].max(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn noop_is_disabled_and_forwarding_is_enabled() {
+        // Compile-time contract, pinned in const blocks so a flipped
+        // ENABLED fails the build, not just the test.
+        const { assert!(!NoopMetrics::ENABLED) };
+        const { assert!(<&mut NoopMetrics as MetricsSink>::ENABLED) };
+        const { assert!(<EngineMetrics<ManualClock> as MetricsSink>::ENABLED) };
+    }
+
+    #[test]
+    fn phase_spans_record_clock_deltas() {
+        let mut m = EngineMetrics::new(ManualClock::new(10));
+        m.phase_start(Phase::Propagate); // read 0
+        m.phase_end(Phase::Propagate); // read 10 → dur 10
+        m.phase_start(Phase::Propagate); // read 20
+        m.phase_end(Phase::Propagate); // read 30 → dur 10
+        m.phase_start(Phase::ReduceDb); // read 40
+        m.phase_end(Phase::ReduceDb); // read 50 → dur 10
+        assert_eq!(m.phase_hist(Phase::Propagate).count(), 2);
+        assert_eq!(m.phase_hist(Phase::Propagate).sum(), 20);
+        assert_eq!(m.phase_hist(Phase::ReduceDb).count(), 1);
+        assert_eq!(m.phase_hist(Phase::ConflictAnalysis).count(), 0);
+    }
+
+    #[test]
+    fn gauges_track_last_and_peak() {
+        let mut m = EngineMetrics::new(ManualClock::new(1));
+        m.sample(EngineGauge::TrailDepth, 5);
+        m.sample(EngineGauge::TrailDepth, 9);
+        m.sample(EngineGauge::TrailDepth, 2);
+        assert_eq!(m.gauge_last(EngineGauge::TrailDepth), 2);
+        assert_eq!(m.gauge_peak(EngineGauge::TrailDepth), 9);
+        assert_eq!(m.gauge_peak(EngineGauge::ArenaBytes), 0);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_under_manual_clock() {
+        let run = || {
+            let mut m = EngineMetrics::new(ManualClock::new(3));
+            for _ in 0..4 {
+                m.phase_start(Phase::Propagate);
+                m.phase_end(Phase::Propagate);
+            }
+            m.sample(EngineGauge::ArenaBytes, 1 << 20);
+            m.snapshot_json()
+        };
+        assert_eq!(run(), run());
+        assert!(run().contains("\"phase_propagate_ns\":{\"count\":4"));
+        assert!(run().contains("\"gauge_arena_bytes\":1048576"));
+    }
+
+    #[test]
+    fn forwarding_impl_reaches_the_underlying_sink() {
+        fn drive<M: MetricsSink>(mut sink: M) {
+            sink.phase_start(Phase::Compaction);
+            sink.phase_end(Phase::Compaction);
+        }
+        let mut m = EngineMetrics::new(ManualClock::new(1));
+        drive(&mut m);
+        assert_eq!(m.phase_hist(Phase::Compaction).count(), 1);
+    }
+}

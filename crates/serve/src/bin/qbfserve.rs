@@ -5,29 +5,90 @@
 //! instance can be preloaded from the command line; further `load`
 //! commands replace it. Malformed requests produce structured errors and
 //! the server keeps accepting input until EOF.
+//!
+//! Observability flags:
+//!
+//! * `--manual-clock [STEP]` — time queries against a deterministic
+//!   `ManualClock` advancing `STEP` ns per read (default 1000) instead of
+//!   wall time, making every metrics artifact byte-deterministic (the CI
+//!   replay gate runs under this flag and `cmp`s two sessions).
+//! * `--metrics-jsonl FILE` — append the snapshot stream (periodic
+//!   snapshots and routed progress lines, one JSON object per line) to
+//!   FILE.
+//! * `--metrics-every N` — queue a full metrics snapshot into the stream
+//!   after every N-th query.
+//! * `--progress N` — route engine progress lines (every N leaves) into
+//!   the snapshot stream instead of stderr.
 
 use std::io::{BufRead, Write};
 
+use qbf_core::metrics::ManualClock;
 use qbf_core::solver::SolverConfig;
 use qbf_serve::Server;
 
 fn usage() -> ! {
-    eprintln!("usage: qbfserve [--to|--po] [--no-pure] [--no-learning] [--budget N] [FILE]");
+    eprintln!(
+        "usage: qbfserve [--to|--po] [--no-pure] [--no-learning] [--budget N] \
+         [--manual-clock [STEP]] [--metrics-jsonl FILE] [--metrics-every N] \
+         [--progress N] [FILE]"
+    );
     std::process::exit(1);
 }
 
 fn main() {
     let mut config = SolverConfig::partial_order();
     let mut file: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
+    let mut manual_clock: Option<u64> = None;
+    let mut metrics_jsonl: Option<String> = None;
+    let mut metrics_every: u64 = 0;
+    let mut progress: u64 = 0;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        i += 1;
+        match a {
             "--to" => config = SolverConfig::total_order(),
             "--po" => config = SolverConfig::partial_order(),
             "--no-pure" => config.pure_literals = false,
             "--no-learning" => config.learning = false,
-            "--budget" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => config.node_limit = Some(n),
+            "--budget" => match args.get(i).and_then(|v| v.parse().ok()) {
+                Some(n) => {
+                    config.node_limit = Some(n);
+                    i += 1;
+                }
+                None => usage(),
+            },
+            "--manual-clock" => {
+                // The step operand is optional: consume the next argument
+                // only if it parses as a number.
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(step) => {
+                        manual_clock = Some(step);
+                        i += 1;
+                    }
+                    None => manual_clock = Some(1000),
+                }
+            }
+            "--metrics-jsonl" => match args.get(i) {
+                Some(path) => {
+                    metrics_jsonl = Some(path.clone());
+                    i += 1;
+                }
+                None => usage(),
+            },
+            "--metrics-every" => match args.get(i).and_then(|v| v.parse().ok()) {
+                Some(n) => {
+                    metrics_every = n;
+                    i += 1;
+                }
+                None => usage(),
+            },
+            "--progress" => match args.get(i).and_then(|v| v.parse().ok()) {
+                Some(n) => {
+                    progress = n;
+                    i += 1;
+                }
                 None => usage(),
             },
             "--help" | "-h" => usage(),
@@ -36,7 +97,16 @@ fn main() {
         }
     }
 
-    let mut server = Server::new(config);
+    let mut server = match manual_clock {
+        Some(step) => Server::with_clock(config, Box::new(ManualClock::new(step))),
+        None => Server::new(config),
+    };
+    server.set_snapshot_every(metrics_every);
+    server.set_progress_interval(progress);
+    let mut sink_file = metrics_jsonl.map(|path| {
+        std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create metrics sink {path}: {e}"))
+    });
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
 
@@ -70,6 +140,17 @@ fn main() {
             writeln!(out, "{response}").expect("stdout");
             out.flush().expect("stdout");
         }
+        if let Some(f) = sink_file.as_mut() {
+            for sink_line in server.drain_sink_lines() {
+                writeln!(f, "{sink_line}").expect("metrics sink");
+            }
+        }
+    }
+    // A final snapshot closes the stream so even sessions without
+    // `--metrics-every` leave a summary artifact behind.
+    if let Some(f) = sink_file.as_mut() {
+        writeln!(f, "{{\"type\":\"snapshot\",\"snapshot\":{}}}", server.metrics_snapshot())
+            .expect("metrics sink");
     }
 }
 

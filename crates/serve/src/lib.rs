@@ -13,9 +13,25 @@
 //! {"cmd":"assume","lit":2}
 //! {"cmd":"solve","proof":true}
 //! {"cmd":"stats"}
+//! {"cmd":"metrics"}
+//! {"cmd":"metrics","format":"json"}
 //! {"cmd":"proof","path":"q1.qrp","instance":"q1.qtree"}
 //! {"cmd":"pop"}
 //! ```
+//!
+//! # Metrics
+//!
+//! The server keeps a [`Registry`](qbf_core::metrics::Registry) of
+//! service metrics: query/error counters, cumulative per-`Stats`-counter
+//! totals, and log-bucketed per-query latency and assignment histograms.
+//! `{"cmd":"metrics"}` renders it in the Prometheus text exposition
+//! format (escaped into the one-line JSON reply); with
+//! `"format":"json"` the reply embeds a structured snapshot instead.
+//! Latencies come from the server's [`Clock`](qbf_core::metrics::Clock):
+//! wall time in production, and a `ManualClock` under the binary's
+//! `--manual-clock` flag — under which every metrics artifact is
+//! byte-deterministic and CI replays a scripted session twice and `cmp`s
+//! the snapshot streams.
 //!
 //! Every response carries `"ok":true` with command-specific fields, or
 //! `"ok":false` with the 1-based input line number and a message — the
@@ -35,7 +51,9 @@
 
 use qbf_bench::json::{self, Json};
 use qbf_core::io;
-use qbf_core::solver::{IncrementalError, IncrementalSolver, SolverConfig, Stats};
+use qbf_core::metrics::{Clock, CounterId, GaugeId, HistId, Registry, WallClock};
+use qbf_core::observe::Progress;
+use qbf_core::solver::{IncrementalError, IncrementalSolver, Outcome, SolverConfig, Stats};
 use qbf_core::{Lit, Qbf};
 
 /// The certificate artifacts of the last `solve` with `"proof":true`:
@@ -48,14 +66,52 @@ struct ProofArtifacts {
     instance: String,
 }
 
-/// A `qbfserve` session: one optional loaded instance plus the last
-/// query's statistics and certificate.
+/// Registry handles for the service metrics (see [`Server::registry`]
+/// setup in [`Server::with_clock`]).
+#[derive(Debug)]
+struct MetricIds {
+    queries: CounterId,
+    errors: CounterId,
+    latency: HistId,
+    assignments: HistId,
+    arena_peak: GaugeId,
+    /// Cumulative session counters mirroring the additive [`Stats`]
+    /// fields, in `SESSION_COUNTERS` order.
+    session: Vec<CounterId>,
+}
+
+/// The `Stats` counters mirrored into Prometheus session counters:
+/// `(field name, metric name, help)`. Additive fields only —
+/// `arena_bytes_peak` is a high-water mark and lives in a gauge.
+const SESSION_COUNTERS: [(&str, &str, &str); 9] = [
+    ("decisions", "qbf_session_decisions_total", "Branching decisions across all queries"),
+    ("propagations", "qbf_session_propagations_total", "Unit propagations across all queries"),
+    ("conflicts", "qbf_session_conflicts_total", "Conflicts across all queries"),
+    ("solutions", "qbf_session_solutions_total", "Solutions across all queries"),
+    ("learned_clauses", "qbf_session_learned_clauses_total", "Learned clauses across all queries"),
+    ("learned_cubes", "qbf_session_learned_cubes_total", "Learned cubes across all queries"),
+    ("backjumps", "qbf_session_backjumps_total", "Non-chronological backtracks across all queries"),
+    ("chrono_backtracks", "qbf_session_chrono_backtracks_total", "Chronological backtracks across all queries"),
+    ("forgotten", "qbf_session_forgotten_total", "Learned constraints dropped across all queries"),
+];
+
+/// A `qbfserve` session: one optional loaded instance, the last query's
+/// statistics and certificate, and the service metrics layer (cumulative
+/// totals, per-query histograms, optional snapshot stream).
 #[derive(Debug)]
 pub struct Server {
     config: SolverConfig,
     session: Option<IncrementalSolver>,
     last_stats: Option<Stats>,
     last_proof: Option<ProofArtifacts>,
+    clock: Box<dyn Clock>,
+    queries: u64,
+    totals: Stats,
+    registry: Registry,
+    ids: MetricIds,
+    progress_interval: u64,
+    snapshot_every: u64,
+    sink_lines: Vec<String>,
 }
 
 fn error_response(line: usize, message: &str) -> String {
@@ -115,13 +171,104 @@ fn json_lit(v: &Json) -> Result<Lit, String> {
 }
 
 impl Server {
-    /// A fresh server with no loaded instance.
+    /// A fresh server with no loaded instance, timing queries against
+    /// wall time.
     pub fn new(config: SolverConfig) -> Self {
+        Server::with_clock(config, Box::new(WallClock::new()))
+    }
+
+    /// A fresh server timing queries against `clock` — pass a
+    /// `ManualClock` for byte-deterministic metrics artifacts (the
+    /// binary's `--manual-clock` flag, used by the CI replay gate).
+    pub fn with_clock(config: SolverConfig, clock: Box<dyn Clock>) -> Self {
+        let mut registry = Registry::new();
+        let ids = MetricIds {
+            queries: registry.counter("qbf_queries_total", "Queries served by this session"),
+            errors: registry.counter("qbf_errors_total", "Requests answered with ok:false"),
+            latency: registry.histogram("qbf_query_latency_ns", "Per-query solve latency"),
+            assignments: registry
+                .histogram("qbf_query_assignments", "Per-query assignments (decisions+propagations+pures)"),
+            arena_peak: registry
+                .gauge("qbf_arena_bytes_peak", "High-water mark of constraint-arena bytes"),
+            session: SESSION_COUNTERS
+                .iter()
+                .map(|&(_, name, help)| registry.counter(name, help))
+                .collect(),
+        };
         Server {
             config,
             session: None,
             last_stats: None,
             last_proof: None,
+            clock,
+            queries: 0,
+            totals: Stats::default(),
+            registry,
+            ids,
+            progress_interval: 0,
+            snapshot_every: 0,
+            sink_lines: Vec::new(),
+        }
+    }
+
+    /// Routes engine progress lines (every `interval` leaves; 0 disables)
+    /// into the snapshot stream instead of stderr — drained by
+    /// [`Server::drain_sink_lines`].
+    pub fn set_progress_interval(&mut self, interval: u64) {
+        self.progress_interval = interval;
+    }
+
+    /// Queues a full metrics snapshot into the snapshot stream after
+    /// every `every`-th query (0 disables).
+    pub fn set_snapshot_every(&mut self, every: u64) {
+        self.snapshot_every = every;
+    }
+
+    /// Drains the pending snapshot-stream lines (periodic snapshots and
+    /// routed progress lines, in emission order). The binary appends them
+    /// to the `--metrics-jsonl` file after each request.
+    pub fn drain_sink_lines(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.sink_lines)
+    }
+
+    /// The service metrics in Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// One-line JSON snapshot of the service metrics: the registry
+    /// (counters, gauges, histogram summaries) plus the cumulative
+    /// session [`Stats`]. Byte-deterministic whenever the clock is.
+    pub fn metrics_snapshot(&self) -> String {
+        format!(
+            "{{\"queries\":{},\"registry\":{},\"session\":{}}}",
+            self.queries,
+            self.registry.snapshot_json(),
+            stats_json(&self.totals)
+        )
+    }
+
+    /// Folds one finished query into the cumulative metrics.
+    fn record_solve(&mut self, stats: &Stats, elapsed_ns: u64) {
+        self.queries += 1;
+        self.totals.merge(stats);
+        self.last_stats = Some(*stats);
+        self.registry.inc(self.ids.queries, 1);
+        self.registry.observe(self.ids.latency, elapsed_ns);
+        self.registry.observe(self.ids.assignments, stats.assignments());
+        self.registry.set_max(self.ids.arena_peak, stats.arena_bytes_peak);
+        let fields = stats.fields();
+        for (i, &(field, _, _)) in SESSION_COUNTERS.iter().enumerate() {
+            let value = fields
+                .iter()
+                .find(|(name, _)| *name == field)
+                .map(|&(_, v)| v)
+                .expect("SESSION_COUNTERS names are Stats fields");
+            self.registry.inc(self.ids.session[i], value);
+        }
+        if self.snapshot_every > 0 && self.queries.is_multiple_of(self.snapshot_every) {
+            let snap = format!("{{\"type\":\"snapshot\",\"snapshot\":{}}}", self.metrics_snapshot());
+            self.sink_lines.push(snap);
         }
     }
 
@@ -149,7 +296,10 @@ impl Server {
         }
         Some(match self.dispatch(input) {
             Ok(response) => response,
-            Err(message) => error_response(line, &message),
+            Err(message) => {
+                self.registry.inc(self.ids.errors, 1);
+                error_response(line, &message)
+            }
         })
     }
 
@@ -176,9 +326,30 @@ impl Server {
             "stats" => {
                 let stats = self.last_stats.ok_or("no query solved yet")?;
                 Ok(format!(
-                    "{{\"ok\":true,\"cmd\":\"stats\",\"stats\":{}}}",
-                    stats_json(&stats)
+                    "{{\"ok\":true,\"cmd\":\"stats\",\"queries\":{},\"stats\":{},\"session\":{}}}",
+                    self.queries,
+                    stats_json(&stats),
+                    stats_json(&self.totals)
                 ))
+            }
+            "metrics" => {
+                let format = request
+                    .get("format")
+                    .and_then(Json::as_str)
+                    .unwrap_or("prometheus");
+                match format {
+                    "prometheus" => Ok(format!(
+                        "{{\"ok\":true,\"cmd\":\"metrics\",\"format\":\"prometheus\",\"body\":\"{}\"}}",
+                        json::escape(&self.metrics_prometheus())
+                    )),
+                    "json" => Ok(format!(
+                        "{{\"ok\":true,\"cmd\":\"metrics\",\"format\":\"json\",\"snapshot\":{}}}",
+                        self.metrics_snapshot()
+                    )),
+                    other => Err(format!(
+                        "unknown metrics format `{other}` (use `prometheus` or `json`)"
+                    )),
+                }
             }
             "proof" => self.cmd_proof(&request),
             other => Err(format!("unknown command `{other}`")),
@@ -235,13 +406,46 @@ impl Server {
         ))
     }
 
+    /// Runs one query, timing it against the server clock and routing
+    /// progress lines into the snapshot stream when configured.
+    fn timed_solve(&mut self) -> (Outcome, u64) {
+        let start = self.clock.now_ns();
+        let interval = self.progress_interval;
+        let session = self.session.as_mut().expect("caller checked the session");
+        let (outcome, progress_lines) = if interval > 0 {
+            let mut progress = Progress::buffered(interval);
+            let outcome = session.solve_observed(&mut progress);
+            (outcome, progress.take_lines())
+        } else {
+            (session.solve(), Vec::new())
+        };
+        let elapsed = self.clock.now_ns().saturating_sub(start);
+        for text in progress_lines {
+            self.sink_lines.push(format!(
+                "{{\"type\":\"progress\",\"query\":{},\"text\":\"{}\"}}",
+                self.queries + 1,
+                json::escape(&text)
+            ));
+        }
+        (outcome, elapsed)
+    }
+
     fn cmd_solve(&mut self, request: &Json) -> Result<String, String> {
         let with_proof = request.get("proof").and_then(Json::as_bool).unwrap_or(false);
-        let session = self.session()?;
+        self.session()?;
         if with_proof {
-            let instance = io::qtree::write(&session.equivalent_qbf());
-            let (outcome, certificate) = session.solve_with_proof();
-            self.last_stats = Some(outcome.stats);
+            let instance = {
+                let session = self.session.as_mut().expect("checked above");
+                io::qtree::write(&session.equivalent_qbf())
+            };
+            let start = self.clock.now_ns();
+            let (outcome, certificate) = self
+                .session
+                .as_mut()
+                .expect("checked above")
+                .solve_with_proof();
+            let elapsed = self.clock.now_ns().saturating_sub(start);
+            self.record_solve(&outcome.stats, elapsed);
             let certified = certificate.is_some();
             self.last_proof = certificate.map(|certificate| ProofArtifacts {
                 certificate,
@@ -253,8 +457,8 @@ impl Server {
                 stats_json(&outcome.stats)
             ))
         } else {
-            let outcome = session.solve();
-            self.last_stats = Some(outcome.stats);
+            let (outcome, elapsed) = self.timed_solve();
+            self.record_solve(&outcome.stats, elapsed);
             self.last_proof = None;
             Ok(format!(
                 "{{\"ok\":true,\"cmd\":\"solve\",\"value\":{},\"stats\":{}}}",

@@ -187,6 +187,174 @@ fn sessions_replay_byte_identically() {
     assert!(a[11].starts_with("{\"ok\":true,\"cmd\":\"solve\",\"value\":0,"), "got: {}", a[11]);
 }
 
+/// A loaded server timed by a `ManualClock` (1000 ns per read, i.e. every
+/// query "lasts" exactly one step), as the `--manual-clock` flag builds.
+fn manual_server() -> Server {
+    use qbf_core::metrics::ManualClock;
+    let mut s = Server::with_clock(
+        SolverConfig::partial_order(),
+        Box::new(ManualClock::new(1000)),
+    );
+    s.load_text(PAPER_EXAMPLE).expect("sample parses");
+    s
+}
+
+#[test]
+fn stats_reports_cumulative_session_totals() {
+    use qbf_bench::json::{self, Json};
+    let mut s = loaded_server();
+    transcript(
+        &mut s,
+        &[
+            "{\"cmd\":\"solve\"}",
+            "{\"cmd\":\"assume\",\"lit\":-1}",
+            "{\"cmd\":\"solve\"}",
+        ],
+    );
+    let r = s.handle_line(4, "{\"cmd\":\"stats\"}").unwrap();
+    let v = json::parse(&r).expect("stats response is valid JSON");
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(v.get("queries").and_then(Json::as_u64), Some(2));
+    let field = |obj: &Json, name: &str| {
+        obj.get(name)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("missing u64 field {name} in {r}"))
+    };
+    let last = v.get("stats").expect("per-query stats");
+    let totals = v.get("session").expect("cumulative session totals");
+    // The totals fold *both* queries, so every additive counter is at
+    // least the last query's and the decision total is strictly larger
+    // (the first, unrestricted query certainly branched).
+    for name in ["decisions", "propagations", "conflicts", "solutions"] {
+        assert!(
+            field(totals, name) >= field(last, name),
+            "session {name} below last query's: {r}"
+        );
+    }
+    assert!(field(totals, "decisions") > field(last, "decisions"), "got: {r}");
+}
+
+#[test]
+fn metrics_command_renders_prometheus_and_json() {
+    use qbf_bench::json::{self, Json};
+    let mut s = loaded_server();
+    transcript(&mut s, &["{\"cmd\":\"solve\"}", "{\"cmd\":\"solve\"}"]);
+
+    // Default format: Prometheus text exposition, JSON-escaped into the
+    // response body.
+    let r = s.handle_line(3, "{\"cmd\":\"metrics\"}").unwrap();
+    assert!(
+        r.starts_with("{\"ok\":true,\"cmd\":\"metrics\",\"format\":\"prometheus\",\"body\":\""),
+        "got: {r}"
+    );
+    let v = json::parse(&r).expect("metrics response is valid JSON");
+    let body = v.get("body").and_then(Json::as_str).expect("embedded body");
+    assert!(body.contains("# TYPE qbf_queries_total counter"), "got:\n{body}");
+    assert!(body.contains("qbf_queries_total 2"), "got:\n{body}");
+    assert!(body.contains("# TYPE qbf_query_latency_ns histogram"), "got:\n{body}");
+    assert!(body.contains("qbf_query_latency_ns_bucket{le=\"+Inf\"} 2"), "got:\n{body}");
+    assert!(body.contains("qbf_query_latency_ns_count 2"), "got:\n{body}");
+    assert!(body.contains("qbf_session_decisions_total"), "got:\n{body}");
+    assert!(body.ends_with('\n'), "exposition ends with a newline");
+
+    // JSON format: the snapshot is inlined, not escaped.
+    let r = s.handle_line(4, "{\"cmd\":\"metrics\",\"format\":\"json\"}").unwrap();
+    let v = json::parse(&r).expect("json snapshot response parses");
+    assert_eq!(v.get("format").and_then(Json::as_str), Some("json"));
+    let snap = v.get("snapshot").expect("inlined snapshot");
+    assert_eq!(snap.get("queries").and_then(Json::as_u64), Some(2));
+    assert!(snap.get("registry").is_some(), "got: {r}");
+    let totals = snap.get("session").expect("session totals in snapshot");
+    assert!(totals.get("decisions").and_then(Json::as_u64).unwrap() > 0);
+
+    // Unknown formats are structured errors, not panics.
+    let r = s.handle_line(5, "{\"cmd\":\"metrics\",\"format\":\"xml\"}").unwrap();
+    assert_eq!(
+        r,
+        "{\"ok\":false,\"line\":5,\"error\":\"unknown metrics format `xml` (use `prometheus` or `json`)\"}"
+    );
+}
+
+#[test]
+fn metrics_before_any_query_is_well_formed() {
+    use qbf_bench::json::{self, Json};
+    let mut s = server();
+    let r = s.handle_line(1, "{\"cmd\":\"metrics\"}").unwrap();
+    let v = json::parse(&r).expect("empty-session metrics parse");
+    let body = v.get("body").and_then(Json::as_str).expect("body");
+    assert!(body.contains("qbf_queries_total 0"), "got:\n{body}");
+    // Empty histograms render no buckets but still expose sum/count.
+    assert!(body.contains("qbf_query_latency_ns_count 0"), "got:\n{body}");
+}
+
+#[test]
+fn manual_clock_metrics_are_byte_deterministic() {
+    let script = [
+        "{\"cmd\":\"push\"}",
+        "{\"cmd\":\"add\",\"lits\":[1,-3]}",
+        "{\"cmd\":\"solve\"}",
+        "{\"cmd\":\"assume\",\"lit\":-1}",
+        "{\"cmd\":\"solve\"}",
+        "{\"cmd\":\"pop\"}",
+        "{\"cmd\":\"solve\"}",
+        "{\"cmd\":\"metrics\"}",
+        "{\"cmd\":\"metrics\",\"format\":\"json\"}",
+    ];
+    let mut a = manual_server();
+    let mut b = manual_server();
+    let ta = transcript(&mut a, &script);
+    let tb = transcript(&mut b, &script);
+    assert_eq!(ta, tb, "manual-clock transcripts must be byte-identical");
+    assert_eq!(a.metrics_snapshot(), b.metrics_snapshot());
+    assert_eq!(a.metrics_prometheus(), b.metrics_prometheus());
+    // Each query reads the clock twice, so with a 1000 ns step every
+    // latency sample is exactly 1000 ns: the 1024-bucket is the only
+    // occupied one and the sum is queries x 1000.
+    assert!(
+        a.metrics_prometheus()
+            .contains("qbf_query_latency_ns_bucket{le=\"1023\"} 3"),
+        "got:\n{}",
+        a.metrics_prometheus()
+    );
+    assert!(a.metrics_prometheus().contains("qbf_query_latency_ns_sum 3000"));
+}
+
+#[test]
+fn snapshot_stream_carries_periodic_snapshots_and_progress() {
+    use qbf_bench::json::{self, Json};
+    let mut s = manual_server();
+    s.set_snapshot_every(2);
+    s.set_progress_interval(1);
+    transcript(
+        &mut s,
+        &["{\"cmd\":\"solve\"}", "{\"cmd\":\"solve\"}", "{\"cmd\":\"solve\"}"],
+    );
+    let lines = s.drain_sink_lines();
+    assert!(!lines.is_empty(), "stream has progress and snapshot lines");
+    assert!(s.drain_sink_lines().is_empty(), "drain empties the queue");
+    let mut snapshots = 0;
+    let mut progress = 0;
+    for line in &lines {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad stream line {line}: {e}"));
+        match v.get("type").and_then(Json::as_str) {
+            Some("snapshot") => {
+                snapshots += 1;
+                let snap = v.get("snapshot").expect("snapshot payload");
+                assert_eq!(snap.get("queries").and_then(Json::as_u64), Some(2));
+            }
+            Some("progress") => {
+                progress += 1;
+                assert!(v.get("query").and_then(Json::as_u64).is_some());
+                let text = v.get("text").and_then(Json::as_str).expect("text");
+                assert!(text.starts_with("c progress:"), "got: {text}");
+            }
+            other => panic!("unknown stream line type {other:?}: {line}"),
+        }
+    }
+    assert_eq!(snapshots, 1, "snapshot after every 2nd of 3 queries");
+    assert!(progress > 0, "progress lines routed into the stream");
+}
+
 #[test]
 fn proof_artifacts_certify_the_frame_restricted_query() {
     let mut s = loaded_server();
