@@ -126,6 +126,33 @@ echo "==> repro bench-incremental (incremental-vs-cold DIA gate)"
 # is never touched (incrementality is opt-in).
 cargo run -q --release -p qbf-bench --bin repro -- --out target/serve-gate bench-incremental
 
+echo "==> portfolio gate (deterministic transcripts + bench round-trip)"
+# Deterministic portfolio runs must produce byte-identical transcripts
+# regardless of thread count and across repeated invocations: the fixed
+# 8-variant roster races in lockstep epochs, so the transcript is a pure
+# function of the instance. paper_example is false (exit 20).
+mkdir -p target/portfolio-gate
+./target/release/qbfsolve --po --deterministic --portfolio 1 \
+    --portfolio-out target/portfolio-gate/t1.txt data/paper_example.qtree || [ $? -eq 20 ]
+./target/release/qbfsolve --po --deterministic --portfolio 4 \
+    --portfolio-out target/portfolio-gate/t4a.txt data/paper_example.qtree || [ $? -eq 20 ]
+./target/release/qbfsolve --po --deterministic --portfolio 4 \
+    --portfolio-out target/portfolio-gate/t4b.txt data/paper_example.qtree || [ $? -eq 20 ]
+cmp target/portfolio-gate/t4a.txt target/portfolio-gate/t4b.txt
+cmp target/portfolio-gate/t1.txt target/portfolio-gate/t4a.txt
+# A portfolio winner's self-contained certificate must verify against the
+# base instance (sharing is auto-disabled under --proof).
+./target/release/qbfsolve --po --deterministic --portfolio 4 \
+    --proof=target/portfolio-gate/w.qrp data/paper_example.qtree || [ $? -eq 20 ]
+./target/release/qbfcheck data/paper_example.qtree target/portfolio-gate/w.qrp
+# bench-portfolio internally runs its deterministic sample twice and
+# asserts byte-identity; the wall-clock speedup gate engages when >= 4
+# cores are available (override with QBF_PORTFOLIO_MIN_SPEEDUP). The
+# artifact must round-trip through the strict qbfstat diff reader.
+cargo run -q --release -p qbf-bench --bin repro -- --out target/portfolio-gate bench-portfolio
+./target/release/qbfstat diff target/portfolio-gate/BENCH_qbf_portfolio.json \
+    target/portfolio-gate/BENCH_qbf_portfolio.json
+
 echo "==> cargo clippy (best effort)"
 # clippy may not be installed in minimal offline toolchains; treat its
 # absence as a skip, but deny warnings when it is available.

@@ -1,0 +1,239 @@
+//! Strict command-line parsing for the `repro` binary.
+//!
+//! Historically `repro` downgraded a bad `--jobs` value to 1 with a
+//! stderr note and kept running — which silently serialised CI runs
+//! that asked for parallelism. This module makes every malformed flag a
+//! hard error: [`parse`] returns `Err` with a one-line reason and the
+//! binary exits 2 after printing [`USAGE`]. Unknown flags and unknown
+//! subcommands are errors too, so typos fail fast instead of running
+//! `all` or nothing.
+
+use std::path::PathBuf;
+
+use crate::suites::Scale;
+
+/// One-screen usage text printed on `--help` and on every parse error.
+pub const USAGE: &str = "\
+repro [--scale small|paper] [--out DIR] [--bench-out FILE] [--jobs N] [--portfolio N] <command>
+
+commands:
+  fig2 table1 fig3 fig4 fig5 fig6 fig7 instances
+  ablate-score ablate-learning ablate-miniscope
+  bench-smoke bench-incremental bench-portfolio all
+
+flags:
+  --scale small|paper  experiment scale (default small)
+  --out DIR            output directory (default target/repro)
+  --bench-out FILE     write BENCH_qbf.json here instead of into --out
+  --jobs N             measurement-phase worker threads, N >= 1 (default 1)
+  --portfolio N        portfolio thread count for bench-portfolio, N >= 1 (default 4)
+
+env: QBF_REPRO_SEEDS=N overrides instances per setting
+     QBF_PORTFOLIO_MIN_SPEEDUP=X overrides the bench-portfolio wall gate (0 disables)";
+
+/// Subcommands `repro` accepts; anything else is a parse error.
+const COMMANDS: &[&str] = &[
+    "fig2",
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "instances",
+    "ablate-score",
+    "ablate-learning",
+    "ablate-miniscope",
+    "bench-smoke",
+    "bench-incremental",
+    "bench-portfolio",
+    "all",
+];
+
+/// Parsed `repro` invocation.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Experiment scale (`--scale`).
+    pub scale: Scale,
+    /// Output directory (`--out`).
+    pub out: PathBuf,
+    /// Override path for `BENCH_qbf.json` (`--bench-out`).
+    pub bench_out: Option<PathBuf>,
+    /// Measurement-phase worker threads (`--jobs`), always ≥ 1.
+    pub jobs: usize,
+    /// Portfolio thread count for `bench-portfolio` (`--portfolio`), ≥ 1.
+    pub portfolio: usize,
+    /// The subcommand, `"all"` when none was given, `"help"` for
+    /// `--help`/`-h` (the binary prints [`USAGE`] and exits 0).
+    pub command: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: Scale::Small,
+            out: PathBuf::from("target/repro"),
+            bench_out: None,
+            jobs: 1,
+            portfolio: 4,
+            command: "all".to_string(),
+        }
+    }
+}
+
+/// Parses a positive integer flag value; `flag` only flavours the error.
+fn positive(flag: &str, value: Option<String>) -> Result<usize, String> {
+    let v = value.ok_or_else(|| format!("{flag} requires a value"))?;
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        Ok(_) => Err(format!("{flag} must be >= 1, got `{v}`")),
+        Err(_) => Err(format!("bad {flag} `{v}`: expected a positive integer")),
+    }
+}
+
+/// Parses the argument list (without the program name). Every malformed
+/// flag, unknown flag, or unknown subcommand is an error; the caller is
+/// expected to print the message plus [`USAGE`] and exit 2.
+pub fn parse<I>(argv: I) -> Result<Args, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = Args::default();
+    let mut command: Option<String> = None;
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => args.jobs = positive("--jobs", it.next())?,
+            "--portfolio" => args.portfolio = positive("--portfolio", it.next())?,
+            "--scale" => {
+                let v = it.next().ok_or("--scale requires a value")?;
+                args.scale = match v.as_str() {
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale `{other}` (small|paper)")),
+                };
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().ok_or("--out requires a value")?);
+            }
+            "--bench-out" => {
+                args.bench_out =
+                    Some(PathBuf::from(it.next().ok_or("--bench-out requires a value")?));
+            }
+            "--help" | "-h" => {
+                args.command = "help".to_string();
+                return Ok(args);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            cmd => {
+                if let Some(first) = &command {
+                    return Err(format!("unexpected extra command `{cmd}` (already have `{first}`)"));
+                }
+                if !COMMANDS.contains(&cmd) {
+                    return Err(format!("unknown command `{cmd}`"));
+                }
+                command = Some(cmd.to_string());
+            }
+        }
+    }
+    if let Some(cmd) = command {
+        args.command = cmd;
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Args, String> {
+        parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = p(&[]).unwrap();
+        assert_eq!(a.command, "all");
+        assert_eq!(a.jobs, 1);
+        assert_eq!(a.portfolio, 4);
+        assert_eq!(a.scale, Scale::Small);
+        assert_eq!(a.out, PathBuf::from("target/repro"));
+        assert!(a.bench_out.is_none());
+    }
+
+    #[test]
+    fn full_invocation() {
+        let a = p(&[
+            "--scale",
+            "paper",
+            "--out",
+            "o",
+            "--bench-out",
+            "b.json",
+            "--jobs",
+            "4",
+            "--portfolio",
+            "8",
+            "bench-portfolio",
+        ])
+        .unwrap();
+        assert_eq!(a.scale, Scale::Paper);
+        assert_eq!(a.out, PathBuf::from("o"));
+        assert_eq!(a.bench_out.as_deref(), Some(std::path::Path::new("b.json")));
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.portfolio, 8);
+        assert_eq!(a.command, "bench-portfolio");
+    }
+
+    #[test]
+    fn bad_jobs_is_an_error_not_a_downgrade() {
+        // The original bug: `--jobs x` printed a note and ran with 1.
+        let err = p(&["--jobs", "x", "bench-smoke"]).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        assert!(err.contains("`x`"), "{err}");
+    }
+
+    #[test]
+    fn jobs_error_paths() {
+        assert!(p(&["--jobs"]).unwrap_err().contains("requires a value"));
+        assert!(p(&["--jobs", "0"]).unwrap_err().contains(">= 1"));
+        assert!(p(&["--jobs", "-3"]).unwrap_err().contains("positive integer"));
+        assert!(p(&["--jobs", "1.5"]).unwrap_err().contains("positive integer"));
+    }
+
+    #[test]
+    fn portfolio_error_paths() {
+        assert!(p(&["--portfolio"]).unwrap_err().contains("requires a value"));
+        assert!(p(&["--portfolio", "0"]).unwrap_err().contains(">= 1"));
+        assert!(p(&["--portfolio", "many"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(p(&["--portfolio", "4", "--portfolio", "0"]).is_err());
+        assert_eq!(p(&["--portfolio", "2"]).unwrap().portfolio, 2);
+    }
+
+    #[test]
+    fn unknown_flag_and_command_are_errors() {
+        assert!(p(&["--bogus"]).unwrap_err().contains("unknown flag"));
+        assert!(p(&["bench-smok"]).unwrap_err().contains("unknown command"));
+        assert!(p(&["table1", "fig3"])
+            .unwrap_err()
+            .contains("unexpected extra command"));
+    }
+
+    #[test]
+    fn scale_error_paths() {
+        assert!(p(&["--scale"]).unwrap_err().contains("requires a value"));
+        assert!(p(&["--scale", "huge"]).unwrap_err().contains("unknown scale"));
+        assert_eq!(p(&["--scale", "paper"]).unwrap().scale, Scale::Paper);
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(p(&["--help"]).unwrap().command, "help");
+        assert_eq!(p(&["-h", "--jobs"]).unwrap().command, "help");
+        assert!(USAGE.contains("--portfolio"));
+    }
+}

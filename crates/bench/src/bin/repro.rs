@@ -1,7 +1,8 @@
 //! `repro` — regenerates the tables and figures of the paper.
 //!
 //! ```text
-//! repro [--scale small|paper] [--out DIR] [--bench-out FILE] <command>
+//! repro [--scale small|paper] [--out DIR] [--bench-out FILE]
+//!       [--jobs N] [--portfolio N] <command>
 //!
 //! commands:
 //!   fig2              search tree of Q-DLL on the running example (Fig. 2)
@@ -21,9 +22,16 @@
 //!                     session vs cold re-solves; asserts verdict
 //!                     agreement, incremental ≤ cold, and a
 //!                     byte-deterministic aggregate (CI gate)
-//!   all               everything above except bench-smoke and
-//!                     bench-incremental
+//!   bench-portfolio   table1-style sample through the deterministic
+//!                     portfolio twice (byte-identical
+//!                     BENCH_qbf_portfolio.json) plus a free-running
+//!                     wall-clock speedup gate at 4 workers (CI gate)
+//!   all               everything above except the bench-* gates
 //! ```
+//!
+//! Flag parsing is strict ([`qbf_bench::args`]): malformed or unknown
+//! flags and commands exit 2 with a usage message instead of being
+//! silently papered over.
 //!
 //! `table1` (and `all`) additionally write, per suite, a
 //! `<stem>_telemetry.jsonl` stream (one record per measured run, full
@@ -35,6 +43,7 @@
 use std::fs;
 use std::path::PathBuf;
 
+use qbf_bench::args::{self, Args};
 use qbf_bench::experiments::{
     self, dia_suite_result_jobs, fig2, fixed_result_jobs, fpv_result_jobs, ncf_result_jobs,
     prob_result_jobs, render_curves, render_learned, render_medians, SuiteResult,
@@ -43,68 +52,14 @@ use qbf_bench::runner::{ascii_scatter, pairs_to_csv, TableRow};
 use qbf_bench::suites::Scale;
 use qbf_bench::{json, stat, telemetry};
 
-struct Args {
-    scale: Scale,
-    out: PathBuf,
-    bench_out: Option<PathBuf>,
-    jobs: usize,
-    command: String,
-}
-
 fn parse_args() -> Args {
-    let mut scale = Scale::Small;
-    let mut out = PathBuf::from("target/repro");
-    let mut bench_out = None;
-    let mut jobs = 1usize;
-    let mut command = String::from("all");
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--jobs" => {
-                let v = args.next().unwrap_or_default();
-                jobs = v.parse().unwrap_or_else(|_| {
-                    eprintln!("bad --jobs `{v}`, using 1");
-                    1
-                });
-            }
-            "--scale" => {
-                let v = args.next().unwrap_or_default();
-                scale = match v.as_str() {
-                    "paper" => Scale::Paper,
-                    "small" => Scale::Small,
-                    other => {
-                        eprintln!("unknown scale `{other}`, using small");
-                        Scale::Small
-                    }
-                };
-            }
-            "--out" => {
-                out = PathBuf::from(args.next().unwrap_or_else(|| "target/repro".into()));
-            }
-            "--bench-out" => {
-                bench_out = Some(PathBuf::from(
-                    args.next().unwrap_or_else(|| "BENCH_qbf.json".into()),
-                ));
-            }
-            "--help" | "-h" => {
-                println!(
-                    "repro [--scale small|paper] [--out DIR] [--bench-out FILE] [--jobs N] <command>"
-                );
-                println!("commands: fig2 table1 fig3 fig4 fig5 fig6 fig7 instances");
-                println!("          ablate-score ablate-learning ablate-miniscope");
-                println!("          bench-smoke bench-incremental all");
-                println!("env: QBF_REPRO_SEEDS=N overrides instances per setting");
-                std::process::exit(0);
-            }
-            cmd => command = cmd.to_string(),
+    match args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("repro: error: {e}");
+            eprintln!("{}", args::USAGE);
+            std::process::exit(2);
         }
-    }
-    Args {
-        scale,
-        out,
-        bench_out,
-        jobs,
-        command,
     }
 }
 
@@ -150,6 +105,10 @@ fn suite_outputs(out: &PathBuf, result: &SuiteResult, stem: &str) {
 
 fn main() {
     let args = parse_args();
+    if args.command == "help" {
+        println!("{}", args::USAGE);
+        return;
+    }
     let scale = args.scale;
     let out = &args.out;
     let run_all = args.command == "all";
@@ -284,6 +243,9 @@ fn main() {
     }
     if args.command == "bench-incremental" {
         bench_incremental(&args);
+    }
+    if args.command == "bench-portfolio" {
+        bench_portfolio(&args);
     }
     println!("done (scale {scale:?}).");
 }
@@ -468,4 +430,223 @@ fn bench_incremental(args: &Args) {
         settings.len(),
         doc1.len()
     );
+}
+
+/// `bench-portfolio`: a table1-style sample (NCF + FPV + PROB + FIXED)
+/// through the in-instance portfolio, twice.
+///
+/// Deterministic half (always runs): every instance goes through the
+/// fixed 8-variant deterministic roster; the aggregate
+/// `BENCH_qbf_portfolio.json` (verdict counts, wins per roster slot,
+/// winner/PO-baseline assignment counts, sharing totals — no wall
+/// times) must be byte-identical across the two passes, for any
+/// `--portfolio` thread count.
+///
+/// Free-running half (the wall-clock gate): with ≥ 4 hardware threads,
+/// races the 4-variant free roster per instance and compares against
+/// solving the same four variants sequentially — the cost of a
+/// portfolio when the winning variant is unknown a priori. The summed
+/// speedup must reach `QBF_PORTFOLIO_MIN_SPEEDUP` (default 1.5; 0
+/// disables). On smaller machines the gate is skipped with a warning,
+/// since a race without parallelism measures scheduler noise.
+fn bench_portfolio(args: &Args) {
+    use qbf_bench::suites;
+    use qbf_core::portfolio::{self, PortfolioOptions};
+    use qbf_core::solver::Solver;
+    use qbf_core::Qbf;
+    use qbf_prenex::portfolio::{roster, DETERMINISTIC_ROSTER};
+    use std::time::{Duration, Instant};
+
+    let scale = args.scale;
+    let base = suites::po_config(scale.budget());
+    let mut sample: Vec<(&'static str, String, Qbf)> = Vec::new();
+    for inst in suites::ncf_suite(scale).into_iter().take(6) {
+        sample.push(("NCF", inst.label, inst.po));
+    }
+    for inst in suites::fpv_suite(scale).into_iter().take(4) {
+        sample.push(("FPV", inst.label, inst.po));
+    }
+    for inst in suites::prob_suite(scale).into_iter().take(4) {
+        sample.push(("PROB", inst.label, inst.po));
+    }
+    for inst in suites::fixed_suite(scale).into_iter().take(2) {
+        sample.push(("FIXED", inst.label, inst.po));
+    }
+    println!(
+        "bench-portfolio: deterministic roster on {} instances, twice (threads {})…",
+        sample.len(),
+        args.portfolio
+    );
+
+    // One deterministic pass over the sample, producing the aggregate
+    // document.
+    let det_pass = || -> String {
+        let labels: Vec<String> = roster(&sample[0].2, args.portfolio, true, &base)
+            .iter()
+            .map(|v| v.label.clone())
+            .collect();
+        let mut wins = vec![0u64; labels.len()];
+        let (mut sat, mut unsat, mut unknown) = (0u64, 0u64, 0u64);
+        let (mut exported, mut imported, mut discarded) = (0u64, 0u64, 0u64);
+        let mut runs = String::new();
+        for (i, (suite, label, po)) in sample.iter().enumerate() {
+            let vars = roster(po, args.portfolio, true, &base);
+            let opts = PortfolioOptions {
+                threads: args.portfolio,
+                deterministic: true,
+                ..PortfolioOptions::default()
+            };
+            let out = portfolio::solve(&vars, &opts);
+            match out.value {
+                Some(true) => sat += 1,
+                Some(false) => unsat += 1,
+                None => unknown += 1,
+            }
+            if let Some(w) = out.winner {
+                wins[w] += 1;
+            }
+            for w in &out.workers {
+                exported += w.exported;
+                imported += w.imported;
+                discarded += w.discarded;
+            }
+            // The PO-alone baseline every portfolio row is compared to.
+            let po_out = Solver::new(po, base.clone()).solve();
+            if i > 0 {
+                runs.push(',');
+            }
+            runs.push_str(&format!(
+                "\n    {{\"suite\":\"{suite}\",\"label\":\"{}\",\"value\":{},\"winner\":{},\"winner_assignments\":{},\"po_assignments\":{}}}",
+                json::escape(label),
+                match out.value {
+                    Some(true) => "true".to_string(),
+                    Some(false) => "false".to_string(),
+                    None => "null".to_string(),
+                },
+                match out.winner {
+                    Some(w) => format!("\"{}\"", json::escape(&out.workers[w].label)),
+                    None => "null".to_string(),
+                },
+                match out.winner {
+                    Some(w) => out.workers[w].stats.assignments().to_string(),
+                    None => "null".to_string(),
+                },
+                po_out.stats.assignments()
+            ));
+        }
+        let wins_json = labels
+            .iter()
+            .zip(&wins)
+            .map(|(l, w)| format!("{{\"label\":\"{}\",\"wins\":{w}}}", json::escape(l)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let doc = format!(
+            "{{\n  \"schema\": \"qbf-bench-portfolio/1\",\n  \"roster\": {DETERMINISTIC_ROSTER},\n  \"share_len\": 4,\n  \"epoch\": 2048,\n  \"instances\": {},\n  \"verdicts\": {{\"sat\":{sat},\"unsat\":{unsat},\"unknown\":{unknown}}},\n  \"sharing\": {{\"exported\":{exported},\"imported\":{imported},\"discarded\":{discarded}}},\n  \"wins_by_worker\": [{wins_json}],\n  \"runs\": [{runs}\n  ]\n}}\n",
+            sample.len()
+        );
+        doc
+    };
+    let doc1 = det_pass();
+    let doc2 = det_pass();
+    assert_eq!(
+        doc1, doc2,
+        "BENCH_qbf_portfolio.json must be byte-identical across runs"
+    );
+    let parsed = json::parse(&doc1).expect("BENCH_qbf_portfolio.json must parse");
+    assert_eq!(
+        parsed.get("schema").and_then(qbf_bench::json::Json::as_str),
+        Some("qbf-bench-portfolio/1"),
+        "schema tag"
+    );
+    save(&args.out, "BENCH_qbf_portfolio.json", &doc1);
+    println!(
+        "bench-portfolio: deterministic half ok ({} instances, {} bytes, byte-deterministic)",
+        sample.len(),
+        doc1.len()
+    );
+
+    // Free-running wall-clock gate.
+    let min_speedup: f64 = std::env::var("QBF_PORTFOLIO_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if min_speedup <= 0.0 {
+        println!("bench-portfolio: wall-clock gate disabled (QBF_PORTFOLIO_MIN_SPEEDUP=0)");
+        return;
+    }
+    if cores < 4 {
+        println!(
+            "bench-portfolio: WARNING: {cores} hardware thread(s) < 4, skipping the \
+             free-running wall-clock gate (a race without parallelism measures scheduler noise)"
+        );
+        return;
+    }
+    // Race on the *hardest* table1 instances: a probe run with a small
+    // node budget keeps only NCF instances whose PO search exceeds it,
+    // so per-variant times dwarf thread-spawn overhead and the measured
+    // ratio reflects parallelism, not scheduler noise.
+    let probe_limit = scale.budget() / 10;
+    let mut candidates: Vec<(u64, String, Qbf)> = suites::ncf_suite(scale)
+        .into_iter()
+        .map(|inst| {
+            let probe = base.clone().with_node_limit(probe_limit);
+            let out = Solver::new(&inst.po, probe).solve();
+            (out.stats.assignments(), inst.label, inst.po)
+        })
+        .collect();
+    candidates.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    candidates.truncate(4);
+    println!(
+        "bench-portfolio: free-running race vs sequential portfolio at 4 workers \
+         ({} hardest NCF instances)…",
+        candidates.len()
+    );
+    let mut sequential = Duration::ZERO;
+    let mut po_alone = Duration::ZERO;
+    let mut race = Duration::ZERO;
+    for (_, label, po) in &candidates {
+        let vars = roster(po, 4, false, &base);
+        // Sequential baseline: each variant to completion on its own;
+        // the variant verdicts double as a cross-check oracle.
+        let mut oracle: Option<bool> = None;
+        for v in &vars {
+            let t = Instant::now();
+            let out = Solver::new(&v.qbf, v.config.clone()).solve();
+            let dt = t.elapsed();
+            sequential += dt;
+            if v.label == "po" {
+                po_alone += dt;
+            }
+            if let Some(value) = out.value() {
+                if let Some(prev) = oracle {
+                    assert_eq!(prev, value, "bench-portfolio: variant verdicts diverge on {label}");
+                }
+                oracle = Some(value);
+            }
+        }
+        let opts = PortfolioOptions {
+            threads: 4,
+            ..PortfolioOptions::default()
+        };
+        let t = Instant::now();
+        let out = portfolio::solve(&vars, &opts);
+        race += t.elapsed();
+        if let (Some(free), Some(seq)) = (out.value, oracle) {
+            assert_eq!(free, seq, "bench-portfolio: free verdict diverges on {label}");
+        }
+    }
+    let speedup = sequential.as_secs_f64() / race.as_secs_f64().max(1e-9);
+    let vs_po = po_alone.as_secs_f64() / race.as_secs_f64().max(1e-9);
+    println!(
+        "bench-portfolio: race {:.0} ms vs sequential {:.0} ms → speedup {speedup:.2}x \
+         (vs PO alone {vs_po:.2}x, informational)",
+        race.as_secs_f64() * 1e3,
+        sequential.as_secs_f64() * 1e3
+    );
+    assert!(
+        speedup >= min_speedup,
+        "bench-portfolio: free-running speedup {speedup:.2}x below the {min_speedup:.2}x gate"
+    );
+    println!("bench-portfolio: ok (wall-clock gate {min_speedup:.2}x passed)");
 }

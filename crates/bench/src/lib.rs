@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod args;
 pub mod experiments;
 pub mod json;
 pub mod runner;

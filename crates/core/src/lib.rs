@@ -46,6 +46,7 @@ pub mod metrics {
     pub use qbf_metrics::*;
 }
 pub mod observe;
+pub mod portfolio;
 pub mod preprocess;
 pub mod proof;
 pub mod recursive;

@@ -1,0 +1,711 @@
+//! In-instance parallel portfolio with clause/cube sharing.
+//!
+//! The paper's central finding — prenexing strategy and quantifier
+//! structure dramatically change search behaviour — makes the PO solver,
+//! the four TO prenexings and seeded heuristic variants a natural
+//! portfolio: run the variants concurrently over *one* instance and take
+//! the first finisher. This module implements that portfolio over
+//! [`std::thread`] workers with first-finisher-wins cancellation (a
+//! shared [`AtomicBool`] polled at decision boundaries) and an
+//! epoch-batched exchange of short learned clauses/cubes.
+//!
+//! # Sharing soundness
+//!
+//! Every learned constraint is a genuine Q-resolution (clause) or
+//! Q-consensus (cube) consequence of the matrix — pure-literal and
+//! decision pivots simply *stay* in the learned constraint (see the
+//! engine's soundness notes), so a derivation never depends on the
+//! deriving worker's heuristic state. All roster variants share one
+//! matrix and one variable numbering ([`qbf_prenex::prenex`] only
+//! reshapes the prefix), so a constraint derived by worker A is a
+//! well-formed constraint for worker B; it is a *sound* constraint for B
+//! whenever every reduction step legal under A's order is legal under
+//! B's, i.e. whenever `≺_B ⊆ ≺_A`. Since each total-order prenexing
+//! extends the partial order, that yields the import rule implemented by
+//! [`compatible`]: same prefix imports from same prefix, and the partial
+//! order imports from everybody; distinct total orders never exchange.
+//!
+//! # Determinism model
+//!
+//! `deterministic: true` runs the *fixed* canonical roster in lockstep
+//! epochs: every live worker advances to the same shared
+//! `Stats.assignments` bound, the drivers barrier, outboxes are
+//! exchanged in worker-index order, and the winner is the lowest-index
+//! finisher of the earliest finishing epoch. Thread count then only
+//! controls how epochs are executed, never what is computed, so verdict,
+//! winner and every per-worker [`Stats`] are byte-reproducible for any
+//! `--portfolio N` ([`PortfolioOutcome::transcript`]). Free-running mode
+//! races one thread per variant wall-clock style and is only
+//! verdict-stable.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+
+use crate::metrics::{EngineMetrics, MetricsSink, NoopMetrics, WallClock};
+use crate::observe::NoopObserver;
+use crate::proof::{NoProof, ProofLog, ProofSink};
+use crate::qbf::Qbf;
+use crate::solver::{Solver, SolverConfig, Stats};
+use crate::var::Lit;
+
+// ----------------------------------------------------------------------
+// Public configuration types
+// ----------------------------------------------------------------------
+
+/// The quantifier-order class of a portfolio variant, deciding which
+/// peers' constraints it may soundly import (see the module docs).
+///
+/// The classes assume all variants of one portfolio were derived from a
+/// single base instance: `Partial` is the base's (partial) order and
+/// every `Total(i)` is a linear extension of it. Rosters built by
+/// `qbf_prenex::portfolio::roster` guarantee this by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShareClass {
+    /// The instance's original partially ordered prefix.
+    Partial,
+    /// A total-order prenexing; the tag distinguishes the strategies so
+    /// that differently-shaped linear extensions never exchange.
+    Total(u8),
+}
+
+/// Whether a constraint derived under `exporter`'s order is sound for
+/// `importer` (`≺_importer ⊆ ≺_exporter`): identical classes always
+/// exchange, and the partial order imports from every linear extension
+/// of itself.
+pub fn compatible(exporter: ShareClass, importer: ShareClass) -> bool {
+    exporter == importer || importer == ShareClass::Partial
+}
+
+/// One portfolio worker blueprint: an instance view (the base QBF or a
+/// prenexing of it), a solver configuration and the sharing class of its
+/// prefix.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Stable human-readable tag (`po`, `to-eu-au`, `po-rand`, …) used
+    /// in transcripts, reports and metrics.
+    pub label: String,
+    /// The instance this worker solves. Must share matrix and variable
+    /// numbering with every other variant of the portfolio.
+    pub qbf: Qbf,
+    /// The worker's solver configuration (heuristic, limits, …).
+    pub config: SolverConfig,
+    /// The prefix-order class used by the sharing filter.
+    pub class: ShareClass,
+}
+
+/// Portfolio execution options.
+#[derive(Debug, Clone)]
+pub struct PortfolioOptions {
+    /// Worker threads. In deterministic mode this only parallelises the
+    /// lockstep epochs (the result is identical for any value); in
+    /// free-running mode each variant gets its own thread regardless.
+    pub threads: usize,
+    /// Share learned clauses/cubes up to this many literals between
+    /// workers; `0` disables sharing entirely.
+    pub share_len: usize,
+    /// Lockstep epochs with byte-reproducible transcripts instead of a
+    /// wall-clock race (see the module docs).
+    pub deterministic: bool,
+    /// Deterministic epoch length in `Stats.assignments` between
+    /// exchange barriers.
+    pub epoch: u64,
+    /// Test hook: make this worker index panic on its first step, to
+    /// exercise panic containment.
+    #[doc(hidden)]
+    pub debug_panic_worker: Option<usize>,
+}
+
+impl Default for PortfolioOptions {
+    fn default() -> Self {
+        PortfolioOptions {
+            threads: 4,
+            share_len: 4,
+            deterministic: false,
+            epoch: 2048,
+            debug_panic_worker: None,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Results
+// ----------------------------------------------------------------------
+
+/// Per-worker result of a portfolio run.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// The variant's label.
+    pub label: String,
+    /// The worker's own verdict, if it reached one.
+    pub value: Option<bool>,
+    /// Whether the worker finished its search (as opposed to being
+    /// cancelled, running out of budget, or panicking).
+    pub finished: bool,
+    /// Whether the worker panicked (contained; never propagates into
+    /// the portfolio verdict).
+    pub panicked: bool,
+    /// The worker's engine statistics at the end of the run.
+    pub stats: Stats,
+    /// Constraints this worker published to the share pool.
+    pub exported: u64,
+    /// Peer constraints this worker attached to its database.
+    pub imported: u64,
+    /// Peer constraints dropped by the class-compatibility filter.
+    pub discarded: u64,
+    /// Per-worker metrics snapshot (only from
+    /// [`solve_with_metrics`]).
+    pub metrics_json: Option<String>,
+}
+
+/// The outcome of a portfolio run.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// The portfolio verdict: the winning worker's value, or `None`
+    /// when every worker ran out of budget (or panicked).
+    pub value: Option<bool>,
+    /// Index of the winning worker into `workers`, if any.
+    pub winner: Option<usize>,
+    /// Whether the run used the deterministic lockstep driver.
+    pub deterministic: bool,
+    /// The deterministic epoch length the run used.
+    pub epoch: u64,
+    /// The effective sharing length (0 when sharing was disabled, e.g.
+    /// under proof logging).
+    pub share_len: usize,
+    /// Per-worker reports, in roster order.
+    pub workers: Vec<WorkerReport>,
+    /// The winning worker's concluded `qrp 1` certificate (only from
+    /// [`solve_with_proof`]).
+    pub certificate: Option<String>,
+}
+
+fn verdict_code(v: Option<bool>) -> i32 {
+    match v {
+        Some(true) => 1,
+        Some(false) => 0,
+        None => -1,
+    }
+}
+
+impl PortfolioOutcome {
+    /// Renders the byte-stable run transcript: verdict, winner, mode and
+    /// the full per-worker [`Stats`] plus sharing counters. In
+    /// deterministic mode this text is identical for any thread count
+    /// and across repeated runs; it deliberately excludes the thread
+    /// count and every wall-clock quantity.
+    pub fn transcript(&self) -> String {
+        let mut out = format!(
+            "p portfolio verdict={} winner={} mode={} roster={} share-len={} epoch={}\n",
+            verdict_code(self.value),
+            match self.winner {
+                Some(w) => w.to_string(),
+                None => "-".to_string(),
+            },
+            if self.deterministic { "det" } else { "free" },
+            self.workers.len(),
+            self.share_len,
+            self.epoch,
+        );
+        for (i, w) in self.workers.iter().enumerate() {
+            out.push_str(&format!(
+                "w {i} {} value={} finished={} panicked={}",
+                w.label,
+                verdict_code(w.value),
+                u8::from(w.finished),
+                u8::from(w.panicked),
+            ));
+            for (name, v) in w.stats.fields() {
+                out.push_str(&format!(" {name}={v}"));
+            }
+            out.push_str(&format!(
+                " exported={} imported={} discarded={}\n",
+                w.exported, w.imported, w.discarded
+            ));
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// The share pool (free-running mode) and per-worker connections
+// ----------------------------------------------------------------------
+
+/// One published constraint.
+#[derive(Debug, Clone)]
+pub(crate) struct ShareEntry {
+    from: usize,
+    class: ShareClass,
+    cube: bool,
+    lits: Vec<Lit>,
+}
+
+/// Free-running mode's lock-protected generation buffer: an append-only
+/// log of published constraints plus an atomic generation counter so
+/// importers can skip the lock when nothing new arrived.
+#[derive(Debug, Default)]
+pub(crate) struct SharePool {
+    generation: AtomicUsize,
+    entries: Mutex<Vec<ShareEntry>>,
+}
+
+impl SharePool {
+    fn publish(&self, entry: ShareEntry) {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        entries.push(entry);
+        // Publish the new length *while holding the lock* so a reader
+        // that observes generation `g` always finds `g` entries.
+        self.generation.store(entries.len(), Ordering::Release);
+    }
+}
+
+/// A worker's private endpoint of the sharing layer, owned by its
+/// [`Solver`]. Exports flow through `offer` (learn-time), imports are
+/// staged into `staged` — by `poll` (free-running, reading the pool) or
+/// by the deterministic driver's exchange barrier — and drained by the
+/// engine at decision boundaries via `take_staged`.
+#[derive(Debug)]
+pub(crate) struct ShareConn {
+    pool: Arc<SharePool>,
+    worker: usize,
+    class: ShareClass,
+    max_len: usize,
+    deterministic: bool,
+    /// Index of the next unseen pool entry (free-running mode).
+    cursor: usize,
+    /// Deterministic mode: exports buffered until the epoch barrier.
+    outbox: Vec<(Vec<Lit>, bool)>,
+    /// Imports staged for the next decision-boundary drain.
+    staged: VecDeque<(Vec<Lit>, bool)>,
+    pub(crate) exported: u64,
+    pub(crate) imported: u64,
+    pub(crate) discarded: u64,
+}
+
+impl ShareConn {
+    fn new(
+        pool: Arc<SharePool>,
+        worker: usize,
+        class: ShareClass,
+        max_len: usize,
+        deterministic: bool,
+    ) -> Self {
+        ShareConn {
+            pool,
+            worker,
+            class,
+            max_len,
+            deterministic,
+            cursor: 0,
+            outbox: Vec::new(),
+            staged: VecDeque::new(),
+            exported: 0,
+            imported: 0,
+            discarded: 0,
+        }
+    }
+
+    /// Learn-time export hook: publishes a constraint of length ≤
+    /// `max_len` (deterministic mode buffers it for the next barrier).
+    pub(crate) fn offer(&mut self, lits: &[Lit], cube: bool) {
+        if lits.is_empty() || lits.len() > self.max_len {
+            return;
+        }
+        self.exported += 1;
+        if self.deterministic {
+            self.outbox.push((lits.to_vec(), cube));
+        } else {
+            self.pool.publish(ShareEntry {
+                from: self.worker,
+                class: self.class,
+                cube,
+                lits: lits.to_vec(),
+            });
+        }
+    }
+
+    /// Free-running import: pulls every unseen pool entry through the
+    /// compatibility filter into the staging queue. No-op in
+    /// deterministic mode (the barrier stages batches instead).
+    pub(crate) fn poll(&mut self) {
+        if self.deterministic {
+            return;
+        }
+        if self.pool.generation.load(Ordering::Acquire) == self.cursor {
+            return;
+        }
+        let entries = self.pool.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        while self.cursor < entries.len() {
+            let e = &entries[self.cursor];
+            self.cursor += 1;
+            if e.from == self.worker {
+                continue;
+            }
+            if compatible(e.class, self.class) {
+                self.staged.push_back((e.lits.clone(), e.cube));
+            } else {
+                self.discarded += 1;
+            }
+        }
+    }
+
+    /// Pops the next staged import (engine decision-boundary drain).
+    pub(crate) fn take_staged(&mut self) -> Option<(Vec<Lit>, bool)> {
+        let next = self.staged.pop_front();
+        if next.is_some() {
+            self.imported += 1;
+        }
+        next
+    }
+
+    /// Deterministic barrier: drains this worker's epoch outbox.
+    fn take_outbox(&mut self) -> Vec<(Vec<Lit>, bool)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Deterministic barrier: stages a full epoch batch (in publication
+    /// order) through the compatibility filter.
+    fn stage_batch(&mut self, batch: &[ShareEntry]) {
+        for e in batch {
+            if e.from == self.worker {
+                continue;
+            }
+            if compatible(e.class, self.class) {
+                self.staged.push_back((e.lits.clone(), e.cube));
+            } else {
+                self.discarded += 1;
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The drivers
+// ----------------------------------------------------------------------
+
+struct Worker<'v, P: ProofSink, M: MetricsSink> {
+    index: usize,
+    class: ShareClass,
+    node_limit: Option<u64>,
+    conflict_limit: Option<u64>,
+    solver: Solver<'v, NoopObserver, P, M>,
+    value: Option<bool>,
+    finished: bool,
+    timed_out: bool,
+    panicked: bool,
+    steps: u64,
+}
+
+impl<P: ProofSink, M: MetricsSink> Worker<'_, P, M> {
+    fn live(&self) -> bool {
+        !self.finished && !self.timed_out && !self.panicked
+    }
+
+    /// Whether the worker's *hard* budget (its config limits, as opposed
+    /// to the driver's epoch pause point) is spent — mirrors the
+    /// engine's `budget_exhausted` comparisons.
+    fn hard_budget_exhausted(&self) -> bool {
+        let stats = self.solver.current_stats();
+        if let Some(limit) = self.node_limit {
+            if stats.assignments() > limit {
+                return true;
+            }
+        }
+        if let Some(limit) = self.conflict_limit {
+            if stats.conflicts + stats.solutions > limit {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Advances the search to the shared epoch bound, recording a
+    /// verdict or budget exhaustion.
+    fn step_to(&mut self, epoch_end: u64) {
+        self.solver.set_epoch_limit(Some(epoch_end));
+        let out = self.solver.solve_mut();
+        if let Some(v) = out.value() {
+            self.value = Some(v);
+            self.finished = true;
+        } else if self.hard_budget_exhausted() {
+            self.timed_out = true;
+        }
+    }
+}
+
+/// Distributes `jobs` over up to `threads` scoped worker threads via an
+/// atomic work index (the `repro --jobs` idiom). `f` must not panic —
+/// the callers wrap each step in `catch_unwind`.
+fn run_parallel<W: Send, F: Fn(&mut W) + Sync>(jobs: Vec<&mut W>, threads: usize, f: F) {
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads <= 1 {
+        for w in jobs {
+            f(w);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<&mut W>>> =
+        jobs.into_iter().map(|w| Mutex::new(Some(w))).collect();
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let taken = slots[i].lock().unwrap_or_else(PoisonError::into_inner).take();
+                if let Some(w) = taken {
+                    f(w);
+                }
+            });
+        }
+    });
+}
+
+/// Deterministic lockstep driver; returns the winner index.
+fn run_deterministic<P, M>(workers: &mut [Worker<'_, P, M>], opts: &PortfolioOptions) -> Option<usize>
+where
+    P: ProofSink + Send,
+    M: MetricsSink + Send,
+{
+    let epoch = opts.epoch.max(1);
+    let inject = opts.debug_panic_worker;
+    let mut epoch_end = epoch;
+    loop {
+        let live: Vec<&mut Worker<'_, P, M>> =
+            workers.iter_mut().filter(|w| w.live()).collect();
+        if live.is_empty() {
+            return None;
+        }
+        run_parallel(live, opts.threads, |w| {
+            let first_step = w.steps == 0;
+            w.steps += 1;
+            let stepped = catch_unwind(AssertUnwindSafe(|| {
+                if first_step && inject == Some(w.index) {
+                    panic!("injected portfolio panic (worker {})", w.index);
+                }
+                w.step_to(epoch_end);
+            }));
+            if stepped.is_err() {
+                w.panicked = true;
+            }
+        });
+        if workers.iter().any(|w| w.finished) {
+            // Fixed tie-break: the lowest-index finisher of the earliest
+            // finishing epoch wins (all finishers of one epoch are known
+            // here, thanks to the barrier).
+            return workers.iter().position(|w| w.finished);
+        }
+        exchange(workers);
+        epoch_end += epoch;
+    }
+}
+
+/// Deterministic epoch barrier: collects every worker's outbox in
+/// worker-index order into one batch and stages it into each live
+/// worker's connection.
+fn exchange<P: ProofSink, M: MetricsSink>(workers: &mut [Worker<'_, P, M>]) {
+    let mut batch: Vec<ShareEntry> = Vec::new();
+    for w in workers.iter_mut() {
+        let (from, class) = (w.index, w.class);
+        if let Some(conn) = w.solver.share_conn_mut() {
+            for (lits, cube) in conn.take_outbox() {
+                batch.push(ShareEntry { from, class, cube, lits });
+            }
+        }
+    }
+    if batch.is_empty() {
+        return;
+    }
+    for w in workers.iter_mut() {
+        if !w.live() {
+            continue;
+        }
+        if let Some(conn) = w.solver.share_conn_mut() {
+            conn.stage_batch(&batch);
+        }
+    }
+}
+
+/// Free-running driver: one thread per worker, first finisher raises the
+/// stop flag; returns the winner index.
+fn run_free<P, M>(workers: &mut [Worker<'_, P, M>], opts: &PortfolioOptions) -> Option<usize>
+where
+    P: ProofSink + Send,
+    M: MetricsSink + Send,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    for w in workers.iter_mut() {
+        w.solver.set_stop_flag(Arc::clone(&stop));
+    }
+    let first = Mutex::new(None::<usize>);
+    let inject = opts.debug_panic_worker;
+    thread::scope(|scope| {
+        for w in workers.iter_mut() {
+            let (stop, first) = (&stop, &first);
+            scope.spawn(move || {
+                let index = w.index;
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if inject == Some(index) {
+                        panic!("injected portfolio panic (worker {index})");
+                    }
+                    w.solver.solve_mut()
+                }));
+                match result {
+                    Ok(out) => {
+                        if let Some(v) = out.value() {
+                            w.value = Some(v);
+                            w.finished = true;
+                            let mut g =
+                                first.lock().unwrap_or_else(PoisonError::into_inner);
+                            if g.is_none() {
+                                *g = Some(index);
+                            }
+                            drop(g);
+                            stop.store(true, Ordering::SeqCst);
+                        } else if w.hard_budget_exhausted() {
+                            w.timed_out = true;
+                        }
+                        // Otherwise: cancelled by the winner's stop flag.
+                    }
+                    Err(_) => w.panicked = true,
+                }
+            });
+        }
+    });
+    first.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ----------------------------------------------------------------------
+// Entry points
+// ----------------------------------------------------------------------
+
+fn run_portfolio<P, M>(
+    variants: &[Variant],
+    instruments: Vec<(P, M)>,
+    opts: &PortfolioOptions,
+) -> PortfolioOutcome
+where
+    P: ProofSink + Send,
+    M: MetricsSink + Send,
+{
+    assert!(!variants.is_empty(), "portfolio needs at least one variant");
+    assert_eq!(variants.len(), instruments.len());
+    let mut workers: Vec<Worker<'_, P, M>> = variants
+        .iter()
+        .zip(instruments)
+        .enumerate()
+        .map(|(index, (v, (proof, metrics)))| Worker {
+            index,
+            class: v.class,
+            node_limit: v.config.node_limit,
+            conflict_limit: v.config.conflict_limit,
+            solver: Solver::with_instruments(&v.qbf, v.config.clone(), NoopObserver, proof, metrics),
+            value: None,
+            finished: false,
+            timed_out: false,
+            panicked: false,
+            steps: 0,
+        })
+        .collect();
+
+    // Sharing is disabled under proof logging (an imported constraint
+    // has no local derivation to certify) and pointless solo.
+    let sharing = opts.share_len > 0 && !P::ENABLED && workers.len() > 1;
+    if sharing {
+        let pool = Arc::new(SharePool::default());
+        for w in workers.iter_mut() {
+            w.solver.attach_share(Box::new(ShareConn::new(
+                Arc::clone(&pool),
+                w.index,
+                w.class,
+                opts.share_len,
+                opts.deterministic,
+            )));
+        }
+    }
+
+    let winner = if opts.deterministic {
+        run_deterministic(&mut workers, opts)
+    } else {
+        run_free(&mut workers, opts)
+    };
+
+    let reports: Vec<WorkerReport> = workers
+        .iter_mut()
+        .map(|w| {
+            let (exported, imported, discarded) = w
+                .solver
+                .share_conn_mut()
+                .map_or((0, 0, 0), |c| (c.exported, c.imported, c.discarded));
+            WorkerReport {
+                label: variants[w.index].label.clone(),
+                value: w.value,
+                finished: w.finished,
+                panicked: w.panicked,
+                stats: w.solver.current_stats(),
+                exported,
+                imported,
+                discarded,
+                metrics_json: None,
+            }
+        })
+        .collect();
+
+    PortfolioOutcome {
+        value: winner.and_then(|i| reports[i].value),
+        winner,
+        deterministic: opts.deterministic,
+        epoch: opts.epoch,
+        share_len: if sharing { opts.share_len } else { 0 },
+        workers: reports,
+        certificate: None,
+    }
+}
+
+/// Runs the portfolio without instrumentation. `variants` is the roster
+/// (see `qbf_prenex::portfolio::roster`); every variant must share
+/// matrix and variable numbering with the others.
+pub fn solve(variants: &[Variant], opts: &PortfolioOptions) -> PortfolioOutcome {
+    let instruments = variants.iter().map(|_| (NoProof, NoopMetrics)).collect();
+    run_portfolio(variants, instruments, opts)
+}
+
+/// Runs the portfolio with every worker logging its own Q-resolution /
+/// Q-consensus certificate; sharing is disabled (see the module docs).
+/// The winning worker's concluded proof lands in
+/// [`PortfolioOutcome::certificate`] — it verifies against the *base*
+/// instance, because each variant's reductions are legal under every
+/// order the variant's prefix extends.
+pub fn solve_with_proof(variants: &[Variant], opts: &PortfolioOptions) -> PortfolioOutcome {
+    let mut logs: Vec<ProofLog> = variants.iter().map(|_| ProofLog::new()).collect();
+    let instruments: Vec<(&mut ProofLog, NoopMetrics)> =
+        logs.iter_mut().map(|l| (l, NoopMetrics)).collect();
+    let mut outcome = run_portfolio(variants, instruments, opts);
+    if let Some(w) = outcome.winner {
+        if logs[w].is_concluded() {
+            outcome.certificate = Some(logs[w].as_text().to_string());
+        }
+    }
+    outcome
+}
+
+/// Runs the portfolio with a per-worker [`EngineMetrics`] wall-clock
+/// instrument; each report's [`WorkerReport::metrics_json`] carries the
+/// worker's phase-span/gauge snapshot.
+pub fn solve_with_metrics(variants: &[Variant], opts: &PortfolioOptions) -> PortfolioOutcome {
+    let mut sinks: Vec<EngineMetrics<WallClock>> = variants
+        .iter()
+        .map(|_| EngineMetrics::new(WallClock::new()))
+        .collect();
+    let instruments: Vec<(NoProof, &mut EngineMetrics<WallClock>)> =
+        sinks.iter_mut().map(|m| (NoProof, m)).collect();
+    let mut outcome = run_portfolio(variants, instruments, opts);
+    for (report, sink) in outcome.workers.iter_mut().zip(sinks.iter()) {
+        report.metrics_json = Some(sink.snapshot_json());
+    }
+    outcome
+}

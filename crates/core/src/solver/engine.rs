@@ -80,8 +80,12 @@
 //! must match a from-scratch recount, no clause may be conflicting and no
 //! cube validated, and no original constraint may be unit.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use crate::metrics::{EngineGauge, MetricsSink, NoopMetrics, Phase};
 use crate::observe::{LearnedKind, NoopObserver, PropagationKind, SearchObserver};
+use crate::portfolio::ShareConn;
 use crate::prefix::{BlockId, Prefix};
 use crate::proof::{NoProof, ProofSink};
 use crate::qbf::Qbf;
@@ -218,6 +222,30 @@ pub struct Solver<
     /// Whether `QBF_DEBUG` was set at construction (checking the
     /// environment on every solution is measurable on cube-heavy runs).
     debug_dump: bool,
+
+    /// Whether `run` already performed the initial Lemma 4/5 scan and
+    /// pure seeding. Lets a portfolio driver call `solve_mut` repeatedly
+    /// to *resume* the same search (epoch stepping) without rescanning;
+    /// cleared by `reset_search`, so incremental re-solves still scan.
+    search_started: bool,
+    /// Resume budget for portfolio epoch stepping: `run` yields `None`
+    /// once `Stats.assignments` reaches this bound. Unlike
+    /// `config.node_limit` (strict `>`, a hard budget), this is an
+    /// inclusive pause point that the driver moves forward every epoch.
+    epoch_limit: Option<u64>,
+    /// Cooperative cancellation flag shared across portfolio workers:
+    /// polled at every decision boundary (the top of the search loop).
+    stop: Option<Arc<AtomicBool>>,
+    /// Portfolio sharing connection: learned constraints are offered on
+    /// the way out, peers' constraints are drained at decision
+    /// boundaries. Boxed to keep the solver struct lean for the common
+    /// single-threaded case.
+    share: Option<Box<ShareConn>>,
+    /// A conflict/solution event produced by *attaching* an imported
+    /// constraint, parked until the next loop iteration so the import
+    /// drain can stop immediately and `maybe_reduce_db` is skipped while
+    /// the event's constraint reference is in flight.
+    pending_event: Option<Event>,
 }
 
 impl<'a> Solver<'a> {
@@ -342,6 +370,11 @@ impl<'a, O: SearchObserver, P: ProofSink, M: MetricsSink> Solver<'a, O, P, M> {
             analysis_mark: 0,
             lit_mark: vec![false; 2 * n],
             debug_dump: std::env::var_os("QBF_DEBUG").is_some(),
+            search_started: false,
+            epoch_limit: None,
+            stop: None,
+            share: None,
+            pending_event: None,
         };
         if P::ENABLED {
             solver.proof.begin(qbf);
@@ -397,32 +430,38 @@ impl<'a, O: SearchObserver, P: ProofSink, M: MetricsSink> Solver<'a, O, P, M> {
 
     /// The search loop proper; `None` means the budget ran out.
     fn run(&mut self) -> Option<bool> {
-        // Initial scan: Lemma 4 / Lemma 5 on the original clauses. In a
-        // cold solve only originals exist at this point; on an incremental
-        // re-solve the learned constraints are examined lazily through
-        // their watchers instead, exactly as after a backtrack to level 0.
-        let originals: Vec<ConstraintRef> = self.db.original_refs().collect();
-        for c in originals {
-            if let Some(Event::Conflict(_)) = self.examine_clause(c) {
-                // The clause has no existential literals: it ∀-reduces to
-                // the empty clause (after resolving out any literals the
-                // scan's earlier unit propagations falsified).
-                if P::ENABLED {
-                    let lits = self.db.lits(c).to_vec();
-                    self.proof.chain_start(c.token(), &lits, false);
-                    self.proof_finish(false);
+        if !self.search_started {
+            self.search_started = true;
+            // Initial scan: Lemma 4 / Lemma 5 on the original clauses. In a
+            // cold solve only originals exist at this point; on an incremental
+            // re-solve the learned constraints are examined lazily through
+            // their watchers instead, exactly as after a backtrack to level 0.
+            let originals: Vec<ConstraintRef> = self.db.original_refs().collect();
+            for c in originals {
+                if let Some(Event::Conflict(_)) = self.examine_clause(c) {
+                    // The clause has no existential literals: it ∀-reduces to
+                    // the empty clause (after resolving out any literals the
+                    // scan's earlier unit propagations falsified).
+                    if P::ENABLED {
+                        let lits = self.db.lits(c).to_vec();
+                        self.proof.chain_start(c.token(), &lits, false);
+                        self.proof_finish(false);
+                    }
+                    return Some(false);
                 }
-                return Some(false);
             }
-        }
-        if self.config.pure_literals {
-            self.seed_pure_candidates();
+            if self.config.pure_literals {
+                self.seed_pure_candidates();
+            }
         }
         loop {
             if self.budget_exhausted() {
                 return None;
             }
-            let event = self.propagate_and_fix();
+            let event = match self.pending_event.take() {
+                Some(parked) => Some(parked),
+                None => self.propagate_and_fix(),
+            };
             match event {
                 Some(Event::Conflict(c)) => {
                     self.stats.conflicts += 1;
@@ -460,6 +499,14 @@ impl<'a, O: SearchObserver, P: ProofSink, M: MetricsSink> Solver<'a, O, P, M> {
                     }
                 }
                 None => {
+                    if self.drain_imports() {
+                        // Imported constraints (and any parked event from
+                        // attaching one) must flow through propagation
+                        // before the solution trigger or a fresh decision.
+                        // Skipping `maybe_reduce_db` here keeps a parked
+                        // event's constraint reference stable.
+                        continue;
+                    }
                     if self.db.unsat_originals == 0 {
                         self.stats.solutions += 1;
                         self.observer.on_solution(self.current_level(), self.trail.len());
@@ -545,6 +592,19 @@ impl<'a, O: SearchObserver, P: ProofSink, M: MetricsSink> Solver<'a, O, P, M> {
     }
 
     fn budget_exhausted(&self) -> bool {
+        if let Some(stop) = &self.stop {
+            // Relaxed is enough: the flag is a monotonic one-shot latch
+            // and the losing workers only need to notice it eventually
+            // (the next decision boundary).
+            if stop.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(limit) = self.epoch_limit {
+            if self.stats.assignments() >= limit {
+                return true;
+            }
+        }
         if let Some(limit) = self.config.node_limit {
             if self.stats.assignments() > limit {
                 return true;
@@ -1372,6 +1432,143 @@ impl<'a, O: SearchObserver, P: ProofSink, M: MetricsSink> Solver<'a, O, P, M> {
             let ll = self.db.lits(cref).to_vec();
             self.proof.chain_learn(cref.token(), &ll);
         }
+        if self.share.is_some() {
+            // Offer the (possibly strengthened) stored form to the
+            // portfolio pool; the connection applies the length filter
+            // and, in deterministic mode, defers publication to the
+            // epoch barrier. Only own derivations reach this point —
+            // imports attach via `import_constraint`, so nothing is ever
+            // re-exported.
+            let ll = self.db.lits(cref).to_vec();
+            let cube = kind == Kind::Cube;
+            if let Some(conn) = self.share.as_deref_mut() {
+                conn.offer(&ll, cube);
+            }
+        }
+        cref
+    }
+
+    // ------------------------------------------------------------------
+    // Portfolio hooks: cancellation, epoch stepping and constraint import
+    // ------------------------------------------------------------------
+
+    /// Installs a cooperative cancellation flag. Once any thread stores
+    /// `true`, the next decision boundary (top of the search loop) makes
+    /// the solver return a budget outcome (`Outcome::value() == None`),
+    /// so a worker observes cancellation within one
+    /// conflict/solution/decision step.
+    pub fn set_stop_flag(&mut self, stop: Arc<AtomicBool>) {
+        self.stop = Some(stop);
+    }
+
+    /// Attaches a portfolio sharing connection. Sharing is incompatible
+    /// with proof logging (imported constraints have no local
+    /// derivation), which the portfolio driver enforces; debug-assert it
+    /// here too.
+    pub(crate) fn attach_share(&mut self, conn: Box<ShareConn>) {
+        debug_assert!(!P::ENABLED, "constraint sharing under proof logging");
+        self.share = Some(conn);
+    }
+
+    /// The sharing connection, if any (the portfolio driver reads its
+    /// outbox and counters between epochs).
+    pub(crate) fn share_conn_mut(&mut self) -> Option<&mut ShareConn> {
+        self.share.as_deref_mut()
+    }
+
+    /// Sets the inclusive assignment-count pause point for deterministic
+    /// epoch stepping (see the `epoch_limit` field).
+    pub(crate) fn set_epoch_limit(&mut self, limit: Option<u64>) {
+        self.epoch_limit = limit;
+    }
+
+    /// The statistics accumulated so far (the portfolio driver reports
+    /// per-worker stats even for workers that never finish a `solve_mut`
+    /// call normally).
+    pub(crate) fn current_stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Decision-boundary import point: attaches every constraint staged
+    /// by the sharing layer and returns whether anything was attached
+    /// (the caller then re-enters propagation before deciding). Stops
+    /// early when an attached constraint immediately conflicts or
+    /// validates, parking the event in `pending_event`; the remaining
+    /// staged imports survive until the next boundary.
+    fn drain_imports(&mut self) -> bool {
+        if self.share.is_none() {
+            return false;
+        }
+        if let Some(conn) = self.share.as_deref_mut() {
+            conn.poll();
+        }
+        let mut attached = false;
+        loop {
+            let next = self.share.as_deref_mut().and_then(ShareConn::take_staged);
+            let Some((lits, cube)) = next else {
+                break;
+            };
+            let kind = if cube { Kind::Cube } else { Kind::Clause };
+            let cref = self.import_constraint(lits, kind);
+            attached = true;
+            let event = match kind {
+                Kind::Clause => self.examine_clause(cref),
+                Kind::Cube => self.examine_cube(cref),
+            };
+            if let Some(ev) = event {
+                self.pending_event = Some(ev);
+                break;
+            }
+        }
+        attached
+    }
+
+    /// Adds one imported (peer-learned) constraint to the database with
+    /// exactly the watch ordering, sentinels and metadata `learn` would
+    /// give a local derivation — but without touching the learned-count
+    /// statistics or the proof log: imports are the *exporter's*
+    /// derivations, accounted by the sharing connection instead. Any
+    /// unit propagation it triggers is assigned at the current decision
+    /// level, so a later unwind retracts it like any other propagation.
+    fn import_constraint(&mut self, mut lits: Vec<Lit>, kind: Kind) -> ConstraintRef {
+        lits.sort_by_key(|l| {
+            let wrong_type = match kind {
+                Kind::Clause => !self.is_existential(l.var()),
+                Kind::Cube => self.is_existential(l.var()),
+            };
+            let pos_key = match self.value[l.var().index()] {
+                None => i64::MIN,
+                Some(_) => -(self.trail_pos[l.var().index()] as i64),
+            };
+            (wrong_type, pos_key)
+        });
+        let movable = lits
+            .iter()
+            .take(2)
+            .filter(|l| match kind {
+                Kind::Clause => self.is_existential(l.var()),
+                Kind::Cube => !self.is_existential(l.var()),
+            })
+            .count();
+        // Shadow counters (debug-counters) demand exact truth counts
+        // under the *current* assignment, like `learn` computes them.
+        let mut t = 0;
+        let mut f = 0;
+        for &l in &lits {
+            match self.lit_value(l) {
+                Some(true) => t += 1,
+                Some(false) => f += 1,
+                None => {}
+            }
+        }
+        self.brancher.on_learn(&lits);
+        let cref = self.db.add(lits, kind, true, movable, t, f);
+        self.stats.arena_bytes_peak = self.stats.arena_bytes_peak.max(self.db.bytes_peak as u64);
+        attach_unblock_sentinels(&mut self.db, self.qbf.prefix(), cref);
+        self.db.set_activity(cref, self.stats.conflicts as f64);
+        // Imports are consequences of the shared bottom-frame matrix
+        // only (the portfolio never runs under push frames).
+        self.db.set_frame_mark(cref, 0);
         cref
     }
 
@@ -2025,6 +2222,11 @@ impl<'a, O: SearchObserver, P: ProofSink, M: MetricsSink> Solver<'a, O, P, M> {
         // Candidates queued by the unassignments above (and any leftovers
         // from the previous query) are stale; each solve re-seeds.
         self.pure_candidates.clear();
+        // The next solve is a fresh query: redo the initial scan, and
+        // drop any event parked by a portfolio import (its constraint is
+        // no longer falsified/validated under the empty assignment).
+        self.search_started = false;
+        self.pending_event = None;
     }
 
     /// Resets the per-query statistics, carrying over the arena
@@ -2213,6 +2415,13 @@ impl<'a, O: SearchObserver> Solver<'a, O> {
             analysis_mark: s.analysis_mark,
             lit_mark: s.lit_mark,
             debug_dump: s.debug_dump,
+            // Portfolio hooks never persist across a session detach: a
+            // re-attached view is a fresh query.
+            search_started: false,
+            epoch_limit: None,
+            stop: None,
+            share: None,
+            pending_event: None,
         }
     }
 }

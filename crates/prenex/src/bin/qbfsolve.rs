@@ -28,6 +28,17 @@
 //!                      solution analysis / reduce_db / compaction) and
 //!                      resource gauges on stderr, plus a one-line JSON
 //!                      snapshot (`c metrics: {...}`)
+//!   --portfolio N      solve with an N-thread in-instance portfolio (PO,
+//!                      the four TO prenexings and seeded variants; see
+//!                      `qbf_core::portfolio`); first finisher wins
+//!   --share-len K      share learned clauses/cubes up to K literals
+//!                      between portfolio workers (default 4, 0 disables)
+//!   --deterministic    lockstep portfolio: fixed 8-variant roster,
+//!                      epoch-batched exchange, byte-reproducible
+//!                      verdict/winner/per-worker stats for any N
+//!   --epoch N          deterministic exchange epoch in assignments
+//!                      (default 2048)
+//!   --portfolio-out F  write the byte-stable portfolio transcript to F
 //! ```
 //!
 //! Prints `s cnf 1` / `s cnf 0` (true/false) like QBF evaluation solvers and
@@ -38,10 +49,12 @@ use std::process::ExitCode;
 
 use qbf_core::metrics::{EngineGauge, EngineMetrics, Phase, WallClock};
 use qbf_core::observe::{JsonlTrace, MultiObserver, NoopObserver, Profiler, Progress, TreeTrace};
+use qbf_core::portfolio::{self, PortfolioOptions};
 use qbf_core::proof::{NoProof, ProofLog};
 use qbf_core::recursive::{self, RecursiveConfig};
 use qbf_core::solver::{Solver, SolverConfig};
 use qbf_core::{io, Qbf};
+use qbf_prenex::portfolio::roster;
 
 /// `None` = disabled, `Some(None)` = stderr, `Some(Some(path))` = file.
 type Sink = Option<Option<String>>;
@@ -58,6 +71,11 @@ struct Options {
     profile: bool,
     progress: u64,
     metrics: bool,
+    portfolio: usize,
+    share_len: usize,
+    deterministic: bool,
+    epoch: u64,
+    portfolio_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -65,7 +83,8 @@ fn usage() -> ! {
         "usage: qbfsolve [--to|--po|--basic|--recursive] [--preprocess] \
          [--no-pure] [--no-learning] [--budget N] [--stats] [--proof[=FILE]] \
          [--trace[=FILE]] [--trace-json[=FILE]] [--profile] [--progress N] \
-         [--metrics] [FILE]"
+         [--metrics] [--portfolio N] [--share-len K] [--deterministic] \
+         [--epoch N] [--portfolio-out FILE] [FILE]"
     );
     std::process::exit(1);
 }
@@ -83,6 +102,11 @@ fn parse_args() -> Options {
         profile: false,
         progress: 0,
         metrics: false,
+        portfolio: 0,
+        share_len: 4,
+        deterministic: false,
+        epoch: 2048,
+        portfolio_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -114,6 +138,25 @@ fn parse_args() -> Options {
                     None => usage(),
                 }
             }
+            "--portfolio" => {
+                match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => opts.portfolio = n,
+                    _ => usage(),
+                }
+            }
+            "--share-len" => {
+                match args.next().and_then(|v| v.parse().ok()) {
+                    Some(k) => opts.share_len = k,
+                    None => usage(),
+                }
+            }
+            "--deterministic" => opts.deterministic = true,
+            "--epoch" => {
+                match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => opts.epoch = n,
+                    _ => usage(),
+                }
+            }
             "--help" | "-h" => usage(),
             "-" => opts.file = None,
             _ if a.starts_with("--proof=") => {
@@ -125,6 +168,13 @@ fn parse_args() -> Options {
             _ if a.starts_with("--trace-json=") => {
                 opts.trace_json = Some(Some(a["--trace-json=".len()..].to_string()));
             }
+            _ if a.starts_with("--portfolio-out=") => {
+                opts.portfolio_out = Some(a["--portfolio-out=".len()..].to_string());
+            }
+            "--portfolio-out" => match args.next() {
+                Some(path) => opts.portfolio_out = Some(path),
+                None => usage(),
+            },
             f if !f.starts_with('-') => opts.file = Some(f.to_string()),
             _ => usage(),
         }
@@ -227,6 +277,87 @@ fn run(
     }
 }
 
+/// Exit-code / `s cnf` mapping shared by the single-threaded and the
+/// portfolio paths.
+fn report_verdict(value: Option<bool>) -> ExitCode {
+    match value {
+        Some(true) => {
+            println!("s cnf 1");
+            ExitCode::from(10)
+        }
+        Some(false) => {
+            println!("s cnf 0");
+            ExitCode::from(20)
+        }
+        None => {
+            println!("s cnf -1");
+            eprintln!("c budget exhausted");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// The `--portfolio N` path: builds the roster over the parsed instance
+/// and runs the in-instance portfolio (see `qbf_core::portfolio`).
+fn run_portfolio(qbf: &Qbf, opts: &Options) -> ExitCode {
+    if opts.use_recursive {
+        eprintln!("error: --portfolio requires the QDPLL solver (drop --recursive)");
+        return ExitCode::from(1);
+    }
+    if opts.trace.is_some() || opts.trace_json.is_some() || opts.profile || opts.progress > 0 {
+        eprintln!("error: --portfolio does not support per-search observers (--trace/--trace-json/--profile/--progress)");
+        return ExitCode::from(1);
+    }
+    let variants = roster(qbf, opts.portfolio, opts.deterministic, &opts.config);
+    let popts = PortfolioOptions {
+        threads: opts.portfolio,
+        share_len: opts.share_len,
+        deterministic: opts.deterministic,
+        epoch: opts.epoch,
+        ..PortfolioOptions::default()
+    };
+    let out = if opts.proof.is_some() {
+        if opts.share_len > 0 {
+            eprintln!("c portfolio: constraint sharing disabled under --proof");
+        }
+        portfolio::solve_with_proof(&variants, &popts)
+    } else if opts.metrics {
+        portfolio::solve_with_metrics(&variants, &popts)
+    } else {
+        portfolio::solve(&variants, &popts)
+    };
+
+    match out.winner {
+        Some(w) => eprintln!("c portfolio: winner {} ({})", w, out.workers[w].label),
+        None => eprintln!("c portfolio: no worker finished"),
+    }
+    if opts.stats {
+        for line in out.transcript().lines() {
+            eprintln!("c {line}");
+        }
+    }
+    if opts.metrics {
+        for (i, w) in out.workers.iter().enumerate() {
+            if let Some(json) = &w.metrics_json {
+                eprintln!("c worker {i} {} metrics: {json}", w.label);
+            }
+        }
+    }
+    if let Some(path) = &opts.portfolio_out {
+        if let Err(e) = std::fs::write(path, out.transcript()) {
+            eprintln!("error: cannot write portfolio transcript to {path}: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    if opts.proof.is_some() {
+        match &out.certificate {
+            Some(cert) => emit(&opts.proof, "proof", cert),
+            None => eprintln!("c proof: search was cut off before a conclusion; no certificate"),
+        }
+    }
+    report_verdict(out.value)
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     let text = match read_input(&opts.file) {
@@ -260,6 +391,10 @@ fn main() -> ExitCode {
     }
     for line in qbf_core::stats::InstanceStats::of(&qbf).to_string().lines() {
         eprintln!("c {line}");
+    }
+
+    if opts.portfolio > 0 {
+        return run_portfolio(&qbf, &opts);
     }
 
     // Observability: build the fan-out requested on the command line. An
@@ -346,19 +481,5 @@ fn main() -> ExitCode {
         eprintln!("c metrics: {}", engine_metrics.snapshot_json());
     }
 
-    match value {
-        Some(true) => {
-            println!("s cnf 1");
-            ExitCode::from(10)
-        }
-        Some(false) => {
-            println!("s cnf 0");
-            ExitCode::from(20)
-        }
-        None => {
-            println!("s cnf -1");
-            eprintln!("c budget exhausted");
-            ExitCode::from(1)
-        }
-    }
+    report_verdict(value)
 }

@@ -31,6 +31,7 @@
 #![warn(missing_debug_implementations)]
 
 mod miniscope;
+pub mod portfolio;
 mod strategy;
 
 pub use miniscope::{miniscope, po_to_ratio, Miniscoped};

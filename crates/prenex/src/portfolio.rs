@@ -1,0 +1,113 @@
+//! Canonical portfolio rosters: the PO solver, the four TO prenexings
+//! and seeded heuristic variants over one instance.
+//!
+//! This is the prenex-aware half of [`qbf_core::portfolio`]: it knows
+//! how to derive sound variant rosters ([`roster`]) whose sharing
+//! classes satisfy the module's compatibility contract — every
+//! `Total(i)` prefix produced by [`prenex`] is a linear extension of the
+//! base instance's partial order, and all variants keep the base's
+//! matrix and variable numbering.
+
+use qbf_core::portfolio::{ShareClass, Variant};
+use qbf_core::solver::{HeuristicKind, SolverConfig};
+use qbf_core::Qbf;
+
+use crate::{prenex, Strategy};
+
+/// Size of the fixed deterministic roster: PO, the four TO prenexings,
+/// two decay variants and one seeded random-heuristic variant.
+pub const DETERMINISTIC_ROSTER: usize = 8;
+
+/// Short ASCII tag of a prenexing strategy (the unicode `Display` form
+/// is unfriendly to transcripts and file names).
+fn code(s: Strategy) -> &'static str {
+    match s {
+        Strategy::ExistsUpForallUp => "eu-au",
+        Strategy::ExistsDownForallDown => "ed-ad",
+        Strategy::ExistsDownForallUp => "ed-au",
+        Strategy::ExistsUpForallDown => "eu-ad",
+    }
+}
+
+/// Index of a strategy in [`Strategy::ALL`], which tags its
+/// [`ShareClass::Total`] class: identically-prenexed workers may
+/// exchange constraints, differently-prenexed ones may not.
+fn class_of(s: Strategy) -> ShareClass {
+    let i = Strategy::ALL
+        .iter()
+        .position(|&t| t == s)
+        .expect("Strategy::ALL is exhaustive");
+    ShareClass::Total(i as u8)
+}
+
+fn po_variant(qbf: &Qbf, label: &str, config: SolverConfig) -> Variant {
+    Variant {
+        label: label.to_string(),
+        qbf: qbf.clone(),
+        config,
+        class: ShareClass::Partial,
+    }
+}
+
+fn slot(qbf: &Qbf, base: &SolverConfig, i: usize) -> Variant {
+    // Derive each worker config from the caller's base (budget limits,
+    // learning/pure axes, …), overriding only heuristic and decay.
+    let po = SolverConfig {
+        heuristic: SolverConfig::partial_order().heuristic,
+        ..base.clone()
+    };
+    let to = SolverConfig {
+        heuristic: SolverConfig::total_order().heuristic,
+        ..base.clone()
+    };
+    match i {
+        0 => po_variant(qbf, "po", po),
+        1..=4 => {
+            let s = Strategy::ALL[i - 1];
+            Variant {
+                label: format!("to-{}", code(s)),
+                qbf: prenex(qbf, s),
+                config: to,
+                class: class_of(s),
+            }
+        }
+        5 => po_variant(qbf, "po-decay64", SolverConfig { decay_interval: 64, ..po }),
+        6 => {
+            let s = Strategy::ALL[0];
+            Variant {
+                label: format!("to-{}-decay64", code(s)),
+                qbf: prenex(qbf, s),
+                config: SolverConfig { decay_interval: 64, ..to },
+                class: class_of(s),
+            }
+        }
+        _ => {
+            // Seeded heuristic variants fill the remaining slots; the
+            // seed is a pure function of the slot so rosters stay
+            // reproducible.
+            let seed = 0x9e37_79b9_7f4a_7c15u64 ^ (i as u64).wrapping_mul(0x61c8_8647);
+            po_variant(
+                qbf,
+                &format!("po-rand{}", i - 7),
+                SolverConfig { heuristic: HeuristicKind::Random(seed), ..po },
+            )
+        }
+    }
+}
+
+/// Builds the portfolio roster for `qbf`.
+///
+/// In deterministic mode the roster is *always* the fixed
+/// [`DETERMINISTIC_ROSTER`] canonical sequence — the `workers` argument
+/// then only sizes the thread pool, never the computation, which is
+/// what makes the transcript byte-identical for any worker count. In
+/// free-running mode the roster is the first `workers` entries of the
+/// same sequence (extended with further seeded variants past 8).
+///
+/// `base` supplies the budget and feature axes every variant inherits
+/// (node/conflict limits, learning, pure literals, …); the roster
+/// overrides heuristic, decay interval and — for TO slots — the prefix.
+pub fn roster(qbf: &Qbf, workers: usize, deterministic: bool, base: &SolverConfig) -> Vec<Variant> {
+    let n = if deterministic { DETERMINISTIC_ROSTER } else { workers.max(1) };
+    (0..n).map(|i| slot(qbf, base, i)).collect()
+}

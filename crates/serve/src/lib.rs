@@ -53,8 +53,10 @@ use qbf_bench::json::{self, Json};
 use qbf_core::io;
 use qbf_core::metrics::{Clock, CounterId, GaugeId, HistId, Registry, WallClock};
 use qbf_core::observe::Progress;
+use qbf_core::portfolio::{self, PortfolioOptions};
 use qbf_core::solver::{IncrementalError, IncrementalSolver, Outcome, SolverConfig, Stats};
 use qbf_core::{Lit, Qbf};
+use qbf_prenex::portfolio::roster;
 
 /// The certificate artifacts of the last `solve` with `"proof":true`:
 /// the `qrp 1` text and the frame-restricted instance it certifies
@@ -75,6 +77,16 @@ struct MetricIds {
     latency: HistId,
     assignments: HistId,
     arena_peak: GaugeId,
+    /// Constraints exported to the share pool across portfolio solves.
+    portfolio_shared: CounterId,
+    /// Peer constraints attached across portfolio solves.
+    portfolio_imported: CounterId,
+    /// Peer constraints dropped by the class filter across portfolio
+    /// solves.
+    portfolio_discarded: CounterId,
+    /// 1-based index of the last portfolio solve's winning worker
+    /// (0 = no portfolio solve yet, or no worker finished).
+    portfolio_winner: GaugeId,
     /// Cumulative session counters mirroring the additive [`Stats`]
     /// fields, in `SESSION_COUNTERS` order.
     session: Vec<CounterId>,
@@ -190,6 +202,22 @@ impl Server {
                 .histogram("qbf_query_assignments", "Per-query assignments (decisions+propagations+pures)"),
             arena_peak: registry
                 .gauge("qbf_arena_bytes_peak", "High-water mark of constraint-arena bytes"),
+            portfolio_shared: registry.counter(
+                "qbf_portfolio_shared_total",
+                "Constraints exported to the portfolio share pool",
+            ),
+            portfolio_imported: registry.counter(
+                "qbf_portfolio_imported_total",
+                "Peer constraints attached by portfolio workers",
+            ),
+            portfolio_discarded: registry.counter(
+                "qbf_portfolio_discarded_total",
+                "Peer constraints dropped by the portfolio class filter",
+            ),
+            portfolio_winner: registry.gauge(
+                "qbf_portfolio_winner",
+                "1-based winning worker index of the last portfolio solve (0 = none)",
+            ),
             session: SESSION_COUNTERS
                 .iter()
                 .map(|&(_, name, help)| registry.counter(name, help))
@@ -430,8 +458,95 @@ impl Server {
         (outcome, elapsed)
     }
 
+    /// A `solve` with a `"portfolio":N` field: one-shot in-instance
+    /// portfolio over the session's equivalent one-shot QBF (current
+    /// matrix including pushed frames; see
+    /// `IncrementalSolver::equivalent_qbf`). The incremental session
+    /// itself is untouched — learned constraints do not flow back.
+    fn cmd_solve_portfolio(&mut self, request: &Json, workers: usize) -> Result<String, String> {
+        if workers == 0 {
+            return Err("`portfolio` must be at least 1".to_string());
+        }
+        let share_len = request
+            .get("share_len")
+            .and_then(Json::as_u64)
+            .unwrap_or(4) as usize;
+        let deterministic = request
+            .get("deterministic")
+            .and_then(Json::as_bool)
+            .unwrap_or(true);
+        let epoch = request.get("epoch").and_then(Json::as_u64).unwrap_or(2048);
+        if epoch == 0 {
+            return Err("`epoch` must be at least 1".to_string());
+        }
+        let session = self.session()?;
+        if !session.assumptions().is_empty() {
+            // `equivalent_qbf` would bake the assumptions in, but a
+            // portfolio solve does not consume them — the ambiguity is
+            // worse than the restriction.
+            return Err("portfolio solve does not support pending assumptions".to_string());
+        }
+        let qbf = session.equivalent_qbf();
+        let variants = roster(&qbf, workers, deterministic, &self.config);
+        let opts = PortfolioOptions {
+            threads: workers,
+            share_len,
+            deterministic,
+            epoch,
+            ..PortfolioOptions::default()
+        };
+        let start = self.clock.now_ns();
+        let out = portfolio::solve(&variants, &opts);
+        let elapsed = self.clock.now_ns().saturating_sub(start);
+        let stats = match out.winner {
+            Some(w) => out.workers[w].stats,
+            None => Stats::default(),
+        };
+        self.record_solve(&stats, elapsed);
+        self.last_proof = None;
+        let (shared, imported, discarded) = out
+            .workers
+            .iter()
+            .fold((0u64, 0u64, 0u64), |(s, i, d), w| {
+                (s + w.exported, i + w.imported, d + w.discarded)
+            });
+        self.registry.inc(self.ids.portfolio_shared, shared);
+        self.registry.inc(self.ids.portfolio_imported, imported);
+        self.registry.inc(self.ids.portfolio_discarded, discarded);
+        self.registry.set(
+            self.ids.portfolio_winner,
+            out.winner.map_or(0, |w| w as u64 + 1),
+        );
+        let winner_label = out
+            .winner
+            .map_or(String::new(), |w| out.workers[w].label.clone());
+        Ok(format!(
+            "{{\"ok\":true,\"cmd\":\"solve\",\"value\":{},\"portfolio\":{{\"workers\":{},\"winner\":{},\"winner_label\":\"{}\",\"deterministic\":{},\"share_len\":{},\"epoch\":{},\"shared\":{shared},\"imported\":{imported},\"discarded\":{discarded}}},\"stats\":{}}}",
+            verdict(out.value),
+            out.workers.len(),
+            out.winner.map_or(-1, |w| w as i64),
+            json::escape(&winner_label),
+            deterministic,
+            out.share_len,
+            epoch,
+            stats_json(&stats)
+        ))
+    }
+
     fn cmd_solve(&mut self, request: &Json) -> Result<String, String> {
         let with_proof = request.get("proof").and_then(Json::as_bool).unwrap_or(false);
+        if let Some(workers) = request.get("portfolio") {
+            let workers = workers
+                .as_u64()
+                .ok_or("`portfolio` must be a worker count")?;
+            if with_proof {
+                return Err(
+                    "portfolio solve does not support \"proof\":true (use `qbfsolve --portfolio --proof`)"
+                        .to_string(),
+                );
+            }
+            return self.cmd_solve_portfolio(request, workers as usize);
+        }
         self.session()?;
         if with_proof {
             let instance = {

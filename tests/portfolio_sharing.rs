@@ -1,0 +1,197 @@
+//! Clause/cube-sharing soundness stress for the in-instance portfolio.
+//!
+//! Aggressive sharing — `share_len 8`, tiny exchange epochs (16
+//! assignments), six-variant free rosters and the full deterministic
+//! roster — on the NCF/FPV/PROB generators, cross-checked against the
+//! single-threaded verdict. Built with
+//! `--features qbf-core/debug-counters` (as CI does), every worker run
+//! is shadow-verified by the eager counter discipline, so an unsound
+//! import that perturbs propagation panics instead of mis-deciding.
+//!
+//! The proof gate: on a 50-instance sample, the *winning worker's*
+//! self-contained `qrp 1` certificate (sharing auto-disabled under
+//! proof logging) must verify against the **base** instance via the
+//! independent `qbfcheck` checker — the in-process
+//! `qbf_proof::check_proof` is the same code path as the CLI verifier.
+
+use qbf_repro::core::portfolio::{self, PortfolioOptions};
+use qbf_repro::core::solver::{Solver, SolverConfig};
+use qbf_repro::core::{samples, Qbf};
+use qbf_repro::gen::{fpv, ncf, rand_qbf, FpvParams, NcfParams, RandParams};
+use qbf_repro::prenex::portfolio::roster;
+use qbf_repro::proof::check_proof;
+
+fn base_config() -> SolverConfig {
+    SolverConfig::partial_order().with_node_limit(2_000_000)
+}
+
+fn reference(label: &str, qbf: &Qbf) -> bool {
+    Solver::new(qbf, base_config())
+        .solve()
+        .value()
+        .unwrap_or_else(|| panic!("{label}: single-threaded reference hit its node limit"))
+}
+
+/// Aggressive-sharing options: every short constraint crosses threads,
+/// and the deterministic exchange fires every 16 assignments.
+fn aggressive(deterministic: bool, threads: usize) -> PortfolioOptions {
+    PortfolioOptions {
+        threads,
+        share_len: 8,
+        deterministic,
+        epoch: 16,
+        ..PortfolioOptions::default()
+    }
+}
+
+/// Runs one instance under aggressive sharing in both modes and returns
+/// the total number of constraints imported across all workers (for the
+/// sharing-liveness assertion below).
+fn stress(label: &str, qbf: &Qbf) -> u64 {
+    let expected = reference(label, qbf);
+    let base = base_config();
+    let mut imported = 0;
+    for det in [true, false] {
+        let vars = roster(qbf, 6, det, &base);
+        let out = portfolio::solve(&vars, &aggressive(det, 6));
+        assert_eq!(
+            out.value,
+            Some(expected),
+            "{label}: aggressive-sharing portfolio verdict (deterministic {det})"
+        );
+        assert!(out.share_len == 8, "{label}: sharing unexpectedly disabled");
+        imported += out.workers.iter().map(|w| w.imported).sum::<u64>();
+    }
+    imported
+}
+
+/// NCF under aggressive sharing. These are the structured tree
+/// instances the paper's PO heuristic is built for; the deterministic
+/// pass exchanges every 16 assignments for many epochs.
+#[test]
+fn sharing_stress_ncf() {
+    let params = NcfParams {
+        dep: 4,
+        var: 3,
+        cls_ratio: 3,
+        lpc: 4,
+    };
+    let mut imported = 0;
+    for seed in 0..8u64 {
+        imported += stress(&format!("ncf stress seed {seed}"), &ncf(&params, seed));
+    }
+    // Liveness: with 8-literal sharing on conflict-rich NCF instances,
+    // the exchange machinery must actually move constraints — a silent
+    // no-op here would turn the whole suite vacuous.
+    assert!(imported > 0, "no constraint crossed threads over 8 NCF instances");
+}
+
+/// FPV under aggressive sharing (false-prefix variables stress the
+/// pure-literal machinery the import path must coexist with).
+#[test]
+fn sharing_stress_fpv() {
+    let params = FpvParams {
+        config_vars: 3,
+        branches: 3,
+        branch_depth: 2,
+        block_vars: 3,
+        clauses_per_branch: 12,
+        lpc: 4,
+    };
+    for seed in 0..6u64 {
+        stress(&format!("fpv stress seed {seed}"), &fpv(&params, seed));
+    }
+}
+
+/// PROB (random prenex three-block) under aggressive sharing: prenex
+/// inputs make every TO variant share the PO's linear order, so *all*
+/// pairs are exchange-compatible — the densest sharing graph.
+#[test]
+fn sharing_stress_prob() {
+    let params = RandParams::three_block(6, 5, 6, 40, 4);
+    for seed in 0..6u64 {
+        stress(&format!("prob stress seed {seed}"), &rand_qbf(&params, seed));
+    }
+}
+
+/// Random quantifier forests under aggressive sharing, free-running
+/// mode repeated to shake out schedule-dependent import orders.
+#[test]
+fn sharing_stress_forests_repeated() {
+    let base = base_config();
+    for seed in 0..20u64 {
+        let q = samples::random_qbf(seed.wrapping_mul(0x9e37_79b9) ^ 0x5ee, 7, 11);
+        let label = format!("forest stress seed {seed}");
+        let expected = reference(&label, &q);
+        let vars = roster(&q, 6, false, &base);
+        for round in 0..3 {
+            let out = portfolio::solve(&vars, &aggressive(false, 6));
+            assert_eq!(
+                out.value,
+                Some(expected),
+                "{label}: free aggressive-sharing verdict (round {round})"
+            );
+        }
+    }
+}
+
+/// The proof gate: 50 instances through `solve_with_proof`; the winning
+/// worker's certificate must be present, verify against the *base*
+/// (partially ordered) instance, and conclude the portfolio's verdict.
+#[test]
+fn proof_gate_50_instances() {
+    let base = base_config();
+    let mut checked = 0usize;
+    let mut run = |label: String, qbf: &Qbf| {
+        let expected = reference(&label, qbf);
+        let vars = roster(qbf, 6, true, &base);
+        let opts = PortfolioOptions {
+            threads: 4,
+            deterministic: true,
+            epoch: 64,
+            ..PortfolioOptions::default()
+        };
+        let out = portfolio::solve_with_proof(&vars, &opts);
+        assert_eq!(out.value, Some(expected), "{label}: proof-mode portfolio verdict");
+        assert_eq!(out.share_len, 0, "{label}: sharing must be disabled under proof logging");
+        let cert = out
+            .certificate
+            .as_deref()
+            .unwrap_or_else(|| panic!("{label}: winner produced no concluded certificate"));
+        let verified = check_proof(qbf, cert)
+            .unwrap_or_else(|e| panic!("{label}: certificate rejected: {e:?}"));
+        assert_eq!(verified, expected, "{label}: certificate concludes the wrong value");
+        checked += 1;
+    };
+    // 30 random forests + the paper example + 19 structured instances.
+    for seed in 0..30u64 {
+        let q = samples::random_qbf(seed.wrapping_mul(0x61c8_8647) ^ 0x9f0f, 7, 10);
+        run(format!("proof forest seed {seed}"), &q);
+    }
+    run("proof paper_example".to_string(), &samples::paper_example());
+    let ncf_params = NcfParams {
+        dep: 4,
+        var: 2,
+        cls_ratio: 3,
+        lpc: 4,
+    };
+    for seed in 0..7u64 {
+        run(format!("proof ncf seed {seed}"), &ncf(&ncf_params, seed));
+    }
+    let fpv_params = FpvParams {
+        config_vars: 3,
+        branches: 2,
+        branch_depth: 2,
+        block_vars: 2,
+        clauses_per_branch: 8,
+        lpc: 3,
+    };
+    for seed in 0..6u64 {
+        run(format!("proof fpv seed {seed}"), &fpv(&fpv_params, seed));
+    }
+    let prob_params = RandParams::three_block(5, 4, 5, 30, 3);
+    for seed in 0..6u64 {
+        run(format!("proof prob seed {seed}"), &rand_qbf(&prob_params, seed));
+    }
+    assert_eq!(checked, 50, "the proof gate must cover exactly 50 instances");
+}
