@@ -153,6 +153,41 @@ cargo run -q --release -p qbf-bench --bin repro -- --out target/portfolio-gate b
 ./target/release/qbfstat diff target/portfolio-gate/BENCH_qbf_portfolio.json \
     target/portfolio-gate/BENCH_qbf_portfolio.json
 
+echo "==> expansion engine gate (second-paradigm agreement + determinism)"
+# The release differential suite runs the expansion engine (both
+# dependency schemes) as the third oracle over the whole instance pool;
+# here the binaries are exercised end-to-end. paper_example is false:
+# qbfsolve --engine expand must exit 20 under both schemes, and an
+# unknown engine must be the strict-parser exit 2.
+mkdir -p target/expand-gate
+cargo test -q --release --test differential
+./target/release/qbfsolve --engine expand data/paper_example.qtree || [ $? -eq 20 ]
+./target/release/qbfsolve --engine expand --to data/paper_example.qtree || [ $? -eq 20 ]
+./target/release/qbfsolve --engine bogus data/paper_example.qtree 2>/dev/null && {
+    echo "ci.sh: unknown --engine must fail"; exit 1;
+} || [ $? -eq 2 ]
+# bench-engines runs search and expansion head to head twice in-process
+# and asserts byte-identity itself; a second invocation must reproduce
+# the artifact byte-for-byte across processes too, and it must
+# round-trip through the strict qbfstat diff reader.
+cargo run -q --release -p qbf-bench --bin repro -- --out target/expand-gate bench-engines
+cargo run -q --release -p qbf-bench --bin repro -- --out target/expand-gate-b bench-engines
+cmp target/expand-gate/BENCH_qbf_engines.json target/expand-gate-b/BENCH_qbf_engines.json
+./target/release/qbfstat diff target/expand-gate/BENCH_qbf_engines.json \
+    target/expand-gate-b/BENCH_qbf_engines.json
+# Cross-paradigm portfolio: search and expansion race in-process with
+# first-finisher cancellation; in deterministic mode the transcript
+# (search stats + expansion engine counters) must replay byte-identically
+# for any thread count.
+./target/release/qbfsolve --po --deterministic --portfolio 1 --portfolio-expand \
+    --portfolio-out target/expand-gate/x1.txt data/paper_example.qtree || [ $? -eq 20 ]
+./target/release/qbfsolve --po --deterministic --portfolio 4 --portfolio-expand \
+    --portfolio-out target/expand-gate/x4.txt data/paper_example.qtree || [ $? -eq 20 ]
+cmp target/expand-gate/x1.txt target/expand-gate/x4.txt
+grep -q "expand-po" target/expand-gate/x4.txt || {
+    echo "ci.sh: expansion workers missing from the mixed transcript"; exit 1;
+}
+
 echo "==> cargo clippy (best effort)"
 # clippy may not be installed in minimal offline toolchains; treat its
 # absence as a skip, but deny warnings when it is available.

@@ -14,12 +14,12 @@ use crate::suites::Scale;
 
 /// One-screen usage text printed on `--help` and on every parse error.
 pub const USAGE: &str = "\
-repro [--scale small|paper] [--out DIR] [--bench-out FILE] [--jobs N] [--portfolio N] <command>
+repro [--scale small|paper] [--out DIR] [--bench-out FILE] [--jobs N] [--portfolio N] [--engine E] <command>
 
 commands:
   fig2 table1 fig3 fig4 fig5 fig6 fig7 instances
   ablate-score ablate-learning ablate-miniscope
-  bench-smoke bench-incremental bench-portfolio all
+  bench-smoke bench-incremental bench-portfolio bench-engines all
 
 flags:
   --scale small|paper  experiment scale (default small)
@@ -27,6 +27,8 @@ flags:
   --bench-out FILE     write BENCH_qbf.json here instead of into --out
   --jobs N             measurement-phase worker threads, N >= 1 (default 1)
   --portfolio N        portfolio thread count for bench-portfolio, N >= 1 (default 4)
+  --engine search|expand|both
+                       engines bench-engines measures (default both)
 
 env: QBF_REPRO_SEEDS=N overrides instances per setting
      QBF_PORTFOLIO_MIN_SPEEDUP=X overrides the bench-portfolio wall gate (0 disables)";
@@ -47,8 +49,20 @@ const COMMANDS: &[&str] = &[
     "bench-smoke",
     "bench-incremental",
     "bench-portfolio",
+    "bench-engines",
     "all",
 ];
+
+/// Which engines `bench-engines` measures (`--engine`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Only the search (QDPLL) side.
+    Search,
+    /// Only the expansion (`qbf-expand`) side.
+    Expand,
+    /// Both, head to head (the default).
+    Both,
+}
 
 /// Parsed `repro` invocation.
 #[derive(Debug, Clone)]
@@ -63,6 +77,8 @@ pub struct Args {
     pub jobs: usize,
     /// Portfolio thread count for `bench-portfolio` (`--portfolio`), ≥ 1.
     pub portfolio: usize,
+    /// Engine selection for `bench-engines` (`--engine`).
+    pub engine: EngineChoice,
     /// The subcommand, `"all"` when none was given, `"help"` for
     /// `--help`/`-h` (the binary prints [`USAGE`] and exits 0).
     pub command: String,
@@ -76,6 +92,7 @@ impl Default for Args {
             bench_out: None,
             jobs: 1,
             portfolio: 4,
+            engine: EngineChoice::Both,
             command: "all".to_string(),
         }
     }
@@ -111,6 +128,17 @@ where
                     "small" => Scale::Small,
                     "paper" => Scale::Paper,
                     other => return Err(format!("unknown scale `{other}` (small|paper)")),
+                };
+            }
+            "--engine" => {
+                let v = it.next().ok_or("--engine requires a value")?;
+                args.engine = match v.as_str() {
+                    "search" => EngineChoice::Search,
+                    "expand" => EngineChoice::Expand,
+                    "both" => EngineChoice::Both,
+                    other => {
+                        return Err(format!("unknown engine `{other}` (search|expand|both)"))
+                    }
                 };
             }
             "--out" => {
@@ -221,6 +249,20 @@ mod tests {
         assert!(p(&["table1", "fig3"])
             .unwrap_err()
             .contains("unexpected extra command"));
+    }
+
+    #[test]
+    fn engine_error_paths() {
+        assert!(p(&["--engine"]).unwrap_err().contains("requires a value"));
+        assert!(p(&["--engine", "expnd"]).unwrap_err().contains("unknown engine"));
+        assert_eq!(p(&[]).unwrap().engine, EngineChoice::Both);
+        assert_eq!(p(&["--engine", "search"]).unwrap().engine, EngineChoice::Search);
+        assert_eq!(p(&["--engine", "expand"]).unwrap().engine, EngineChoice::Expand);
+        assert_eq!(p(&["--engine", "both"]).unwrap().engine, EngineChoice::Both);
+        assert_eq!(
+            p(&["--engine", "expand", "bench-engines"]).unwrap().command,
+            "bench-engines"
+        );
     }
 
     #[test]

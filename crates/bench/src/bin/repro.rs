@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale small|paper] [--out DIR] [--bench-out FILE]
-//!       [--jobs N] [--portfolio N] <command>
+//!       [--jobs N] [--portfolio N] [--engine E] <command>
 //!
 //! commands:
 //!   fig2              search tree of Q-DLL on the running example (Fig. 2)
@@ -26,6 +26,11 @@
 //!                     portfolio twice (byte-identical
 //!                     BENCH_qbf_portfolio.json) plus a free-running
 //!                     wall-clock speedup gate at 4 workers (CI gate)
+//!   bench-engines     search (PO + first TO prenexing) vs expansion
+//!                     (tree + ordered dependency schemes) head to head,
+//!                     twice; asserts verdict agreement and a
+//!                     byte-deterministic BENCH_qbf_engines.json
+//!                     (CI gate); `--engine` restricts the side
 //!   all               everything above except the bench-* gates
 //! ```
 //!
@@ -247,6 +252,9 @@ fn main() {
     if args.command == "bench-portfolio" {
         bench_portfolio(&args);
     }
+    if args.command == "bench-engines" {
+        bench_engines(&args);
+    }
     println!("done (scale {scale:?}).");
 }
 
@@ -428,6 +436,156 @@ fn bench_incremental(args: &Args) {
     println!(
         "bench-incremental: ok ({} settings, {} bytes, byte-deterministic, incremental ≤ cold)",
         settings.len(),
+        doc1.len()
+    );
+}
+
+/// `bench-engines`: the search engine (QDPLL on PO, plus the first TO
+/// prenexing) and the expansion engine (dual abstraction refinement
+/// under the tree and ordered dependency schemes) head to head over a
+/// table1-style sample, twice.
+///
+/// Verdicts must agree wherever two engines both conclude, and the
+/// aggregate `BENCH_qbf_engines.json` must be byte-identical across the
+/// two in-process passes — both sides count work in deterministic units
+/// (assignments for search, SAT decisions+propagations for expansion),
+/// never wall time. `--engine search|expand` restricts the measured
+/// side; the default `both` is the only mode with a cross-engine
+/// agreement oracle.
+fn bench_engines(args: &Args) {
+    use qbf_bench::args::EngineChoice;
+    use qbf_bench::json::Json;
+    use qbf_bench::suites;
+    use qbf_core::solver::Solver;
+    use qbf_core::Qbf;
+    use qbf_expand::{DepScheme, ExpandConfig};
+    use qbf_prenex::Strategy;
+
+    let scale = args.scale;
+    let budget = scale.budget();
+    let choice = args.engine;
+    let run_search = choice != EngineChoice::Expand;
+    let run_expand = choice != EngineChoice::Search;
+
+    let mut sample: Vec<(&'static str, String, Qbf)> = Vec::new();
+    for inst in suites::ncf_suite(scale).into_iter().take(5) {
+        sample.push(("NCF", inst.label, inst.po));
+    }
+    for inst in suites::fpv_suite(scale).into_iter().take(3) {
+        sample.push(("FPV", inst.label, inst.po));
+    }
+    for inst in suites::prob_suite(scale).into_iter().take(3) {
+        sample.push(("PROB", inst.label, inst.po));
+    }
+    for inst in suites::fixed_suite(scale).into_iter().take(2) {
+        sample.push(("FIXED", inst.label, inst.po));
+    }
+    println!(
+        "bench-engines: {:?} on {} instances, twice…",
+        choice,
+        sample.len()
+    );
+
+    let verdict_json = |v: Option<bool>| match v {
+        Some(true) => "true".to_string(),
+        Some(false) => "false".to_string(),
+        None => "null".to_string(),
+    };
+    let pass = || -> String {
+        let mut runs = String::new();
+        let (mut agreements, mut concluded) = (0u64, 0u64);
+        for (i, (suite, label, po)) in sample.iter().enumerate() {
+            let mut verdicts: Vec<Option<bool>> = Vec::new();
+            let mut fields = String::new();
+            if run_search {
+                let po_out = Solver::new(po, suites::po_config(budget)).solve();
+                let to_qbf = qbf_prenex::prenex(po, Strategy::ALL[0]);
+                let to_out = Solver::new(&to_qbf, suites::to_config(budget)).solve();
+                fields.push_str(&format!(
+                    "\"search_po\":{{\"value\":{},\"assignments\":{}}},\
+                     \"search_to\":{{\"value\":{},\"assignments\":{}}}",
+                    verdict_json(po_out.value()),
+                    po_out.stats.assignments(),
+                    verdict_json(to_out.value()),
+                    to_out.stats.assignments()
+                ));
+                verdicts.push(po_out.value());
+                verdicts.push(to_out.value());
+            }
+            if run_expand {
+                for (key, scheme) in
+                    [("expand_tree", DepScheme::Tree), ("expand_ordered", DepScheme::Ordered)]
+                {
+                    let mut config = match scheme {
+                        DepScheme::Tree => ExpandConfig::tree(),
+                        DepScheme::Ordered => ExpandConfig::ordered(),
+                    };
+                    config.step_limit = Some(budget);
+                    let out = qbf_expand::solve(po, config);
+                    let cost = out.stats.sat_decisions + out.stats.sat_propagations;
+                    if !fields.is_empty() {
+                        fields.push(',');
+                    }
+                    fields.push_str(&format!(
+                        "\"{key}\":{{\"value\":{},\"cost\":{cost},\"rounds\":{}}}",
+                        verdict_json(out.value),
+                        out.stats.rounds
+                    ));
+                    verdicts.push(out.value);
+                }
+            }
+            // Cross-engine oracle: every pair of concluded verdicts on
+            // the same instance must agree.
+            let settled: Vec<bool> = verdicts.iter().filter_map(|&v| v).collect();
+            assert!(
+                settled.windows(2).all(|w| w[0] == w[1]),
+                "bench-engines: engines disagree on {suite} {label}: {verdicts:?}"
+            );
+            if !settled.is_empty() {
+                concluded += 1;
+                if settled.len() == verdicts.len() {
+                    agreements += 1;
+                }
+            }
+            if i > 0 {
+                runs.push(',');
+            }
+            runs.push_str(&format!(
+                "\n    {{\"suite\":\"{suite}\",\"label\":\"{}\",{fields}}}",
+                json::escape(label)
+            ));
+        }
+        format!(
+            "{{\n  \"schema\": \"qbf-bench-engines/1\",\n  \"engine\": \"{}\",\n  \"budget\": {budget},\n  \"instances\": {},\n  \"concluded\": {concluded},\n  \"fully_concluded\": {agreements},\n  \"runs\": [{runs}\n  ]\n}}\n",
+            match choice {
+                EngineChoice::Search => "search",
+                EngineChoice::Expand => "expand",
+                EngineChoice::Both => "both",
+            },
+            sample.len()
+        )
+    };
+    let doc1 = pass();
+    let doc2 = pass();
+    assert_eq!(
+        doc1, doc2,
+        "BENCH_qbf_engines.json must be byte-identical across runs"
+    );
+    let parsed = json::parse(&doc1).expect("BENCH_qbf_engines.json must parse");
+    assert_eq!(
+        parsed.get("schema").and_then(Json::as_str),
+        Some("qbf-bench-engines/1"),
+        "schema tag"
+    );
+    assert_eq!(
+        parsed.get("runs").and_then(Json::as_array).map(<[Json]>::len),
+        Some(sample.len()),
+        "one run record per instance"
+    );
+    save(&args.out, "BENCH_qbf_engines.json", &doc1);
+    println!(
+        "bench-engines: ok ({} instances, {} bytes, byte-deterministic)",
+        sample.len(),
         doc1.len()
     );
 }

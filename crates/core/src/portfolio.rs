@@ -158,6 +158,10 @@ pub struct WorkerReport {
     /// Per-worker metrics snapshot (only from
     /// [`solve_with_metrics`]).
     pub metrics_json: Option<String>,
+    /// For external (non-search) workers: their own deterministic stat
+    /// fields, printed in the transcript in place of the search
+    /// [`Stats`] line.
+    pub engine_fields: Option<Vec<(&'static str, u64)>>,
 }
 
 /// The outcome of a portfolio run.
@@ -217,8 +221,17 @@ impl PortfolioOutcome {
                 u8::from(w.finished),
                 u8::from(w.panicked),
             ));
-            for (name, v) in w.stats.fields() {
-                out.push_str(&format!(" {name}={v}"));
+            match &w.engine_fields {
+                Some(fields) => {
+                    for &(name, v) in fields {
+                        out.push_str(&format!(" {name}={v}"));
+                    }
+                }
+                None => {
+                    for (name, v) in w.stats.fields() {
+                        out.push_str(&format!(" {name}={v}"));
+                    }
+                }
             }
             out.push_str(&format!(
                 " exported={} imported={} discarded={}\n",
@@ -382,6 +395,69 @@ impl ShareConn {
 }
 
 // ----------------------------------------------------------------------
+// External (cross-paradigm) workers
+// ----------------------------------------------------------------------
+
+/// A non-search decision procedure raced inside the portfolio — e.g.
+/// the expansion engine of `qbf-expand`. Externals participate in both
+/// drivers (deterministic lockstep and the free-running race) but never
+/// in constraint sharing: the sharing soundness argument is a statement
+/// about Q-resolution/Q-consensus derivations and does not cross
+/// paradigms, so external workers neither export nor import.
+///
+/// The lockstep contract mirrors the search workers': [`step_to`]
+/// advances the engine to an *absolute* bound in the engine's own
+/// deterministic cost metric (for the expansion engine, SAT decisions
+/// plus propagations; for search, `Stats.assignments`), so repeated
+/// runs with the same epoch length replay byte-identically even though
+/// the metrics differ across paradigms.
+///
+/// [`step_to`]: ExternalWorker::step_to
+pub trait ExternalWorker: Send {
+    /// Stable label for transcripts and reports.
+    fn label(&self) -> &str;
+
+    /// Deterministic mode: advance until the engine's cost metric
+    /// reaches `bound`, the engine decides, or its own configured
+    /// budget runs out.
+    fn step_to(&mut self, bound: u64);
+
+    /// Free-running mode: run until decided, budget-exhausted, or
+    /// `stop` is raised (checked at the engine's decision boundaries).
+    fn run(&mut self, stop: &AtomicBool);
+
+    /// The verdict, if the engine reached one.
+    fn value(&self) -> Option<bool>;
+
+    /// Whether the engine decided the instance.
+    fn finished(&self) -> bool {
+        self.value().is_some()
+    }
+
+    /// Whether the engine exhausted its *own* configured budget (as
+    /// opposed to pausing at a driver epoch bound).
+    fn timed_out(&self) -> bool;
+
+    /// Deterministic `(name, value)` counters for the transcript line
+    /// (the external analogue of `Stats::fields`).
+    fn stat_fields(&self) -> Vec<(&'static str, u64)>;
+}
+
+/// Driver-side state wrapped around one boxed external worker.
+struct ExternalSlot<'e> {
+    index: usize,
+    worker: Box<dyn ExternalWorker + 'e>,
+    panicked: bool,
+    steps: u64,
+}
+
+impl ExternalSlot<'_> {
+    fn live(&self) -> bool {
+        !self.panicked && !self.worker.finished() && !self.worker.timed_out()
+    }
+}
+
+// ----------------------------------------------------------------------
 // The drivers
 // ----------------------------------------------------------------------
 
@@ -438,7 +514,7 @@ impl<P: ProofSink, M: MetricsSink> Worker<'_, P, M> {
 /// Distributes `jobs` over up to `threads` scoped worker threads via an
 /// atomic work index (the `repro --jobs` idiom). `f` must not panic —
 /// the callers wrap each step in `catch_unwind`.
-fn run_parallel<W: Send, F: Fn(&mut W) + Sync>(jobs: Vec<&mut W>, threads: usize, f: F) {
+fn run_parallel<J: Send, F: Fn(J) + Sync>(jobs: Vec<J>, threads: usize, f: F) {
     let threads = threads.max(1).min(jobs.len().max(1));
     if threads <= 1 {
         for w in jobs {
@@ -447,7 +523,7 @@ fn run_parallel<W: Send, F: Fn(&mut W) + Sync>(jobs: Vec<&mut W>, threads: usize
         return;
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<&mut W>>> =
+    let slots: Vec<Mutex<Option<J>>> =
         jobs.into_iter().map(|w| Mutex::new(Some(w))).collect();
     thread::scope(|scope| {
         for _ in 0..threads {
@@ -465,8 +541,22 @@ fn run_parallel<W: Send, F: Fn(&mut W) + Sync>(jobs: Vec<&mut W>, threads: usize
     });
 }
 
-/// Deterministic lockstep driver; returns the winner index.
-fn run_deterministic<P, M>(workers: &mut [Worker<'_, P, M>], opts: &PortfolioOptions) -> Option<usize>
+/// One schedulable unit of the deterministic driver: a search worker or
+/// an external engine.
+enum Job<'w, 'v, 'e, P: ProofSink, M: MetricsSink> {
+    Search(&'w mut Worker<'v, P, M>),
+    External(&'w mut ExternalSlot<'e>),
+}
+
+/// Deterministic lockstep driver; returns the winner index (global:
+/// search workers first, externals after). Each worker interprets the
+/// shared epoch bound in its own cost metric, so the lockstep stays
+/// byte-reproducible across thread counts and repeated runs.
+fn run_deterministic<P, M>(
+    workers: &mut [Worker<'_, P, M>],
+    externals: &mut [ExternalSlot<'_>],
+    opts: &PortfolioOptions,
+) -> Option<usize>
 where
     P: ProofSink + Send,
     M: MetricsSink + Send,
@@ -475,29 +565,60 @@ where
     let inject = opts.debug_panic_worker;
     let mut epoch_end = epoch;
     loop {
-        let live: Vec<&mut Worker<'_, P, M>> =
-            workers.iter_mut().filter(|w| w.live()).collect();
+        let live: Vec<Job<'_, '_, '_, P, M>> = workers
+            .iter_mut()
+            .filter(|w| w.live())
+            .map(Job::Search)
+            .chain(externals.iter_mut().filter(|e| e.live()).map(Job::External))
+            .collect();
         if live.is_empty() {
             return None;
         }
-        run_parallel(live, opts.threads, |w| {
-            let first_step = w.steps == 0;
-            w.steps += 1;
-            let stepped = catch_unwind(AssertUnwindSafe(|| {
-                if first_step && inject == Some(w.index) {
-                    panic!("injected portfolio panic (worker {})", w.index);
+        run_parallel(live, opts.threads, |job| match job {
+            Job::Search(w) => {
+                let first_step = w.steps == 0;
+                w.steps += 1;
+                let stepped = catch_unwind(AssertUnwindSafe(|| {
+                    if first_step && inject == Some(w.index) {
+                        panic!("injected portfolio panic (worker {})", w.index);
+                    }
+                    w.step_to(epoch_end);
+                }));
+                if stepped.is_err() {
+                    w.panicked = true;
                 }
-                w.step_to(epoch_end);
-            }));
-            if stepped.is_err() {
-                w.panicked = true;
+            }
+            Job::External(e) => {
+                let first_step = e.steps == 0;
+                e.steps += 1;
+                let index = e.index;
+                let stepped = catch_unwind(AssertUnwindSafe(|| {
+                    if first_step && inject == Some(index) {
+                        panic!("injected portfolio panic (worker {index})");
+                    }
+                    e.worker.step_to(epoch_end);
+                }));
+                if stepped.is_err() {
+                    e.panicked = true;
+                }
             }
         });
-        if workers.iter().any(|w| w.finished) {
+        if workers.iter().any(|w| w.finished)
+            || externals.iter().any(|e| !e.panicked && e.worker.finished())
+        {
             // Fixed tie-break: the lowest-index finisher of the earliest
             // finishing epoch wins (all finishers of one epoch are known
-            // here, thanks to the barrier).
-            return workers.iter().position(|w| w.finished);
+            // here, thanks to the barrier). Externals sit after the
+            // search roster in the global index order.
+            return workers
+                .iter()
+                .position(|w| w.finished)
+                .or_else(|| {
+                    externals
+                        .iter()
+                        .position(|e| !e.panicked && e.worker.finished())
+                        .map(|i| workers.len() + i)
+                });
         }
         exchange(workers);
         epoch_end += epoch;
@@ -530,9 +651,13 @@ fn exchange<P: ProofSink, M: MetricsSink>(workers: &mut [Worker<'_, P, M>]) {
     }
 }
 
-/// Free-running driver: one thread per worker, first finisher raises the
-/// stop flag; returns the winner index.
-fn run_free<P, M>(workers: &mut [Worker<'_, P, M>], opts: &PortfolioOptions) -> Option<usize>
+/// Free-running driver: one thread per worker (search and external),
+/// first finisher raises the stop flag; returns the winner index.
+fn run_free<P, M>(
+    workers: &mut [Worker<'_, P, M>],
+    externals: &mut [ExternalSlot<'_>],
+    opts: &PortfolioOptions,
+) -> Option<usize>
 where
     P: ProofSink + Send,
     M: MetricsSink + Send,
@@ -575,6 +700,34 @@ where
                 }
             });
         }
+        for e in externals.iter_mut() {
+            let (stop, first) = (&stop, &first);
+            scope.spawn(move || {
+                let index = e.index;
+                let worker = &mut e.worker;
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if inject == Some(index) {
+                        panic!("injected portfolio panic (worker {index})");
+                    }
+                    worker.run(stop);
+                }));
+                match result {
+                    Ok(()) => {
+                        if e.worker.finished() {
+                            let mut g =
+                                first.lock().unwrap_or_else(PoisonError::into_inner);
+                            if g.is_none() {
+                                *g = Some(index);
+                            }
+                            drop(g);
+                            stop.store(true, Ordering::SeqCst);
+                        }
+                        // Else: own budget exhausted, or cancelled.
+                    }
+                    Err(_) => e.panicked = true,
+                }
+            });
+        }
     });
     first.into_inner().unwrap_or_else(PoisonError::into_inner)
 }
@@ -583,17 +736,31 @@ where
 // Entry points
 // ----------------------------------------------------------------------
 
-fn run_portfolio<P, M>(
+fn run_portfolio<'e, P, M>(
     variants: &[Variant],
     instruments: Vec<(P, M)>,
+    external_workers: Vec<Box<dyn ExternalWorker + 'e>>,
     opts: &PortfolioOptions,
 ) -> PortfolioOutcome
 where
     P: ProofSink + Send,
     M: MetricsSink + Send,
 {
-    assert!(!variants.is_empty(), "portfolio needs at least one variant");
+    assert!(
+        !variants.is_empty() || !external_workers.is_empty(),
+        "portfolio needs at least one worker"
+    );
     assert_eq!(variants.len(), instruments.len());
+    let mut externals: Vec<ExternalSlot<'e>> = external_workers
+        .into_iter()
+        .enumerate()
+        .map(|(i, worker)| ExternalSlot {
+            index: variants.len() + i,
+            worker,
+            panicked: false,
+            steps: 0,
+        })
+        .collect();
     let mut workers: Vec<Worker<'_, P, M>> = variants
         .iter()
         .zip(instruments)
@@ -629,12 +796,12 @@ where
     }
 
     let winner = if opts.deterministic {
-        run_deterministic(&mut workers, opts)
+        run_deterministic(&mut workers, &mut externals, opts)
     } else {
-        run_free(&mut workers, opts)
+        run_free(&mut workers, &mut externals, opts)
     };
 
-    let reports: Vec<WorkerReport> = workers
+    let mut reports: Vec<WorkerReport> = workers
         .iter_mut()
         .map(|w| {
             let (exported, imported, discarded) = w
@@ -651,9 +818,22 @@ where
                 imported,
                 discarded,
                 metrics_json: None,
+                engine_fields: None,
             }
         })
         .collect();
+    reports.extend(externals.iter().map(|e| WorkerReport {
+        label: e.worker.label().to_string(),
+        value: e.worker.value(),
+        finished: !e.panicked && e.worker.finished(),
+        panicked: e.panicked,
+        stats: Stats::default(),
+        exported: 0,
+        imported: 0,
+        discarded: 0,
+        metrics_json: None,
+        engine_fields: Some(e.worker.stat_fields()),
+    }));
 
     PortfolioOutcome {
         value: winner.and_then(|i| reports[i].value),
@@ -671,7 +851,23 @@ where
 /// matrix and variable numbering with the others.
 pub fn solve(variants: &[Variant], opts: &PortfolioOptions) -> PortfolioOutcome {
     let instruments = variants.iter().map(|_| (NoProof, NoopMetrics)).collect();
-    run_portfolio(variants, instruments, opts)
+    run_portfolio(variants, instruments, Vec::new(), opts)
+}
+
+/// Runs a **mixed** (cross-paradigm) portfolio: the search `variants`
+/// race the boxed `externals` (e.g. expansion engines) in-process with
+/// first-finisher cancellation. Constraint sharing stays search-only —
+/// externals neither export nor import — and the deterministic lockstep
+/// extends across paradigms, each worker interpreting the epoch bound
+/// in its own cost metric. External workers sit after the search roster
+/// in the report/winner index order.
+pub fn solve_mixed<'e>(
+    variants: &[Variant],
+    externals: Vec<Box<dyn ExternalWorker + 'e>>,
+    opts: &PortfolioOptions,
+) -> PortfolioOutcome {
+    let instruments = variants.iter().map(|_| (NoProof, NoopMetrics)).collect();
+    run_portfolio(variants, instruments, externals, opts)
 }
 
 /// Runs the portfolio with every worker logging its own Q-resolution /
@@ -684,7 +880,7 @@ pub fn solve_with_proof(variants: &[Variant], opts: &PortfolioOptions) -> Portfo
     let mut logs: Vec<ProofLog> = variants.iter().map(|_| ProofLog::new()).collect();
     let instruments: Vec<(&mut ProofLog, NoopMetrics)> =
         logs.iter_mut().map(|l| (l, NoopMetrics)).collect();
-    let mut outcome = run_portfolio(variants, instruments, opts);
+    let mut outcome = run_portfolio(variants, instruments, Vec::new(), opts);
     if let Some(w) = outcome.winner {
         if logs[w].is_concluded() {
             outcome.certificate = Some(logs[w].as_text().to_string());
@@ -703,7 +899,7 @@ pub fn solve_with_metrics(variants: &[Variant], opts: &PortfolioOptions) -> Port
         .collect();
     let instruments: Vec<(NoProof, &mut EngineMetrics<WallClock>)> =
         sinks.iter_mut().map(|m| (NoProof, m)).collect();
-    let mut outcome = run_portfolio(variants, instruments, opts);
+    let mut outcome = run_portfolio(variants, instruments, Vec::new(), opts);
     for (report, sink) in outcome.workers.iter_mut().zip(sinks.iter()) {
         report.metrics_json = Some(sink.snapshot_json());
     }

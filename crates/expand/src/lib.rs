@@ -1,0 +1,39 @@
+//! # qbf-expand
+//!
+//! The expansion-based **second engine** of the reproduction: a
+//! structurally independent decision procedure that complements the
+//! search-based QDPLL of `qbf-core` and gives the differential suite a
+//! third oracle.
+//!
+//! Two layers, both hermetic (no dependencies beyond `qbf-core`'s
+//! primitives):
+//!
+//! * [`sat`] — a self-contained CDCL SAT solver (two watched literals
+//!   over the workspace's arena idiom, VSIDS, first-UIP learning, Luby
+//!   restarts, incremental solving under assumptions with unsat-core
+//!   extraction, pausable under an exact cost budget);
+//! * [`engine`] — non-recursive dual abstraction refinement: one
+//!   propositional abstraction per quantifier side, each refined with
+//!   candidate/counterexample assignments extracted from the other's
+//!   SAT models, with expansion copies shared through dependency
+//!   patterns derived from the prefix tree ([`engine::DepScheme::Tree`],
+//!   the PO view) or its preorder linearisation
+//!   ([`engine::DepScheme::Ordered`], the TO view).
+//!
+//! Everything is deterministic by construction — insertion-ordered
+//! refinement sets, `BTreeMap` copy tables, index-tie-broken VSIDS, no
+//! clocks — so [`engine::ExpandStats`] replays byte-identically, the
+//! property the bench artifacts and the deterministic portfolio mode
+//! pin.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod portfolio;
+pub mod sat;
+
+pub use engine::{
+    solve, DepScheme, ExpandConfig, ExpandOutcome, ExpandSolver, ExpandStats,
+};
+pub use portfolio::ExpandWorker;
+pub use sat::{SatSolver, SatStats, SolveResult};

@@ -1,0 +1,68 @@
+//! The expansion engine as a portfolio [`ExternalWorker`].
+//!
+//! Wraps an [`ExpandSolver`] so `qbf_core::portfolio::solve_mixed` can
+//! race expansion against the search roster in-process: deterministic
+//! lockstep interprets the shared epoch bound in the engine's own cost
+//! metric (SAT decisions + propagations), free-running mode polls the
+//! portfolio stop flag at SAT decision boundaries, and the transcript
+//! line prints [`ExpandStats`] fields. No constraint sharing crosses
+//! the paradigm boundary (see the trait docs).
+
+use std::sync::atomic::AtomicBool;
+
+use qbf_core::portfolio::ExternalWorker;
+use qbf_core::Qbf;
+
+use crate::engine::{ExpandConfig, ExpandSolver, ExpandStats};
+
+/// An expansion engine boxed into the portfolio.
+pub struct ExpandWorker<'a> {
+    label: String,
+    solver: ExpandSolver<'a>,
+}
+
+impl<'a> ExpandWorker<'a> {
+    /// A portfolio worker solving `qbf` with `config` under `label`.
+    pub fn new(label: impl Into<String>, qbf: &'a Qbf, config: ExpandConfig) -> Self {
+        ExpandWorker {
+            label: label.into(),
+            solver: ExpandSolver::new(qbf, config),
+        }
+    }
+
+    /// The wrapped engine's deterministic counters.
+    pub fn stats(&self) -> ExpandStats {
+        self.solver.stats()
+    }
+}
+
+impl ExternalWorker for ExpandWorker<'_> {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn step_to(&mut self, bound: u64) {
+        // The engine's own step limit caps the shared epoch bound.
+        let bound = match self.solver.config().step_limit {
+            Some(limit) => bound.min(limit),
+            None => bound,
+        };
+        self.solver.step_to(bound);
+    }
+
+    fn run(&mut self, stop: &AtomicBool) {
+        self.solver.run(stop);
+    }
+
+    fn value(&self) -> Option<bool> {
+        self.solver.value()
+    }
+
+    fn timed_out(&self) -> bool {
+        self.solver.budget_exhausted()
+    }
+
+    fn stat_fields(&self) -> Vec<(&'static str, u64)> {
+        self.solver.stats().fields()
+    }
+}

@@ -1,0 +1,866 @@
+//! A self-contained CDCL SAT solver used as the oracle of the expansion
+//! engine.
+//!
+//! The design follows MiniSat's skeleton specialised for this workspace:
+//!
+//! * literals and variables are `qbf_core`'s packed [`Lit`]/[`Var`]
+//!   primitives (`code()` doubles as the watch-list index);
+//! * clauses live in a single `Vec<u32>` arena (`[len, lit codes…]`,
+//!   clause references are `u32` word offsets) — the same layout idiom
+//!   as `qbf_core`'s constraint arena;
+//! * two watched literals with blocker literals, VSIDS over an indexed
+//!   binary heap, first-UIP conflict learning, phase saving, and Luby
+//!   restarts;
+//! * incremental solving under assumptions in the MiniSat style: each
+//!   assumption occupies one decision level and is re-established by the
+//!   decide loop after backjumps and restarts, and an assumption found
+//!   false at decide time yields an unsat core (a subset of the
+//!   assumptions) via `analyze_final`.
+//!
+//! Two properties matter beyond plain correctness:
+//!
+//! 1. **Determinism.** Every tie (equal VSIDS activity) breaks on the
+//!    smaller variable index, watch lists mutate by a fixed rule, and no
+//!    clock or pointer value is ever read — the same clause stream under
+//!    the same budgets replays bit-identically, which the expansion
+//!    engine's byte-reproducible `Stats` contract relies on.
+//! 2. **Pausability.** [`SatSolver::solve_limited`] accepts an absolute
+//!    cost budget (`decisions + propagations`) and a cancellation flag,
+//!    checked only at decision boundaries. On `Paused` the trail is kept
+//!    intact, and the next `solve_limited` call with the *same*
+//!    assumptions resumes mid-search — this is what lets the portfolio
+//!    driver run expansion in deterministic lockstep with the search
+//!    workers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use qbf_core::{Lit, Var};
+
+/// Clause reference: word offset of the clause header in the arena.
+pub type CRef = u32;
+
+/// Result of a (possibly budgeted) solver call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable under the given assumptions; a model is available.
+    Sat,
+    /// Unsatisfiable under the given assumptions; an unsat core (a
+    /// subset of the assumptions) is available. An empty core means the
+    /// clause set itself is unsatisfiable.
+    Unsat,
+    /// The cost budget ran out at a decision boundary. State is kept;
+    /// calling again with the same assumptions resumes the search.
+    Paused,
+    /// The stop flag was raised. State is reset to the root level.
+    Cancelled,
+}
+
+/// Cumulative solver counters. All fields are exact operation counts —
+/// no timing — so they replay byte-identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Branching decisions (including assumption establishments).
+    pub decisions: u64,
+    /// Literals assigned by unit propagation.
+    pub propagations: u64,
+    /// Conflicts analysed.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Clauses learned (including units).
+    pub learned: u64,
+}
+
+/// VSIDS activity decay factor (activities are divided by this after
+/// each conflict by growing the increment).
+const VAR_DECAY: f64 = 0.95;
+/// Rescale threshold for activities.
+const RESCALE_LIMIT: f64 = 1e100;
+/// Luby restart unit, in conflicts.
+const RESTART_BASE: u64 = 100;
+
+/// The `i`-th term (1-based) of the Luby sequence: 1 1 2 1 1 2 4 …
+fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing i, walk down.
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    while (1u64 << k) - 1 != i {
+        i -= (1u64 << (k - 1)) - 1;
+        k = 1;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+    }
+    1u64 << (k - 1)
+}
+
+/// A watch-list entry: the watching clause plus a blocker literal whose
+/// truth lets propagation skip the clause without touching the arena.
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    cref: CRef,
+    blocker: Lit,
+}
+
+/// Indexed binary max-heap ordering variables by VSIDS activity, ties
+/// broken toward the smaller variable index (determinism).
+#[derive(Debug, Default)]
+struct VarOrder {
+    heap: Vec<u32>,
+    /// `pos[v] == u32::MAX` means "not in the heap".
+    pos: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl VarOrder {
+    fn grow_to(&mut self, n: usize) {
+        self.pos.resize(n, ABSENT);
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != ABSENT
+    }
+
+    fn before(act: &[f64], a: u32, b: u32) -> bool {
+        let (aa, ab) = (act[a as usize], act[b as usize]);
+        aa > ab || (aa == ab && a < b)
+    }
+
+    fn sift_up(&mut self, act: &[f64], mut i: usize) {
+        let v = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::before(act, v, self.heap[parent]) {
+                self.heap[i] = self.heap[parent];
+                self.pos[self.heap[i] as usize] = i as u32;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, act: &[f64], mut i: usize) {
+        let v = self.heap[i];
+        loop {
+            let left = 2 * i + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < self.heap.len()
+                && Self::before(act, self.heap[right], self.heap[left])
+            {
+                right
+            } else {
+                left
+            };
+            if Self::before(act, self.heap[child], v) {
+                self.heap[i] = self.heap[child];
+                self.pos[self.heap[i] as usize] = i as u32;
+                i = child;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as u32;
+    }
+
+    fn insert(&mut self, act: &[f64], v: u32) {
+        if self.contains(v) {
+            return;
+        }
+        self.heap.push(v);
+        self.pos[v as usize] = (self.heap.len() - 1) as u32;
+        self.sift_up(act, self.heap.len() - 1);
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        self.pos[top as usize] = ABSENT;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(act, 0);
+        }
+        Some(top)
+    }
+
+    /// Re-establish the heap property after `v`'s activity increased.
+    fn bumped(&mut self, act: &[f64], v: u32) {
+        if self.contains(v) {
+            let i = self.pos[v as usize] as usize;
+            self.sift_up(act, i);
+        }
+    }
+}
+
+/// The CDCL solver. See the module docs for the design contract.
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    /// Clause arena: `[len, lit codes…]*`.
+    arena: Vec<u32>,
+    /// Original (non-learned) clause references, for debugging aids.
+    n_clauses: usize,
+    watches: Vec<Vec<Watch>>,
+    /// Current assignment per variable index (`None` = unassigned).
+    assign: Vec<Option<bool>>,
+    /// Decision level of each assigned variable.
+    level: Vec<u32>,
+    /// Reason clause of each propagated variable.
+    reason: Vec<Option<CRef>>,
+    /// Saved phase per variable (initially `false`).
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarOrder,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// Scratch marker array for conflict analysis.
+    seen: Vec<bool>,
+    /// `false` once an unconditional contradiction is derived.
+    ok: bool,
+    /// Assumptions of the solve in progress (kept across `Paused`).
+    assumptions: Vec<Lit>,
+    /// Whether a budgeted solve is paused mid-search.
+    paused: bool,
+    /// Model from the most recent `Sat` answer (by variable index).
+    model: Vec<Option<bool>>,
+    /// Unsat core (subset of the assumptions) from the most recent
+    /// `Unsat` answer.
+    core: Vec<Lit>,
+    conflicts_until_restart: u64,
+    restart_seq: u64,
+    /// Cumulative counters.
+    pub stats: SatStats,
+}
+
+impl SatSolver {
+    /// An empty solver (no variables, no clauses).
+    pub fn new() -> Self {
+        SatSolver {
+            var_inc: 1.0,
+            ok: true,
+            conflicts_until_restart: RESTART_BASE,
+            restart_seq: 1,
+            ..SatSolver::default()
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of problem (non-learned) clauses added so far.
+    pub fn num_clauses(&self) -> usize {
+        self.n_clauses
+    }
+
+    /// Create the next variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assign.len();
+        self.assign.push(None);
+        self.level.push(0);
+        self.reason.push(None);
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow_to(v + 1);
+        self.order.insert(&self.activity, v as u32);
+        Var::new(v)
+    }
+
+    /// Ensure variables `0..n` exist.
+    pub fn ensure_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    #[inline]
+    fn value_lit(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var().index()].map(|b| b == l.is_positive())
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Total search cost so far: decisions plus propagations. This is
+    /// the metric budgets and portfolio epochs are expressed in.
+    pub fn cost(&self) -> u64 {
+        self.stats.decisions + self.stats.propagations
+    }
+
+    /// Model value of `v` after a `Sat` answer; unassigned variables
+    /// (eliminated or never touched) default to `false` so downstream
+    /// extraction is deterministic.
+    pub fn model_value(&self, v: Var) -> bool {
+        self.model.get(v.index()).copied().flatten().unwrap_or(false)
+    }
+
+    /// The unsat core of the most recent `Unsat` answer: a subset of
+    /// the assumptions that is already unsatisfiable with the clauses.
+    /// Empty when the clause set is unsatisfiable on its own.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.core
+    }
+
+    /// Add a clause. Must not be called while a solve is paused.
+    /// Returns `false` iff the solver is now in an unconditionally
+    /// unsatisfiable state (the clause — after root-level
+    /// simplification — was empty or produced a root conflict).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert!(
+            !self.paused,
+            "add_clause while a budgeted solve is paused"
+        );
+        assert_eq!(self.decision_level(), 0, "add_clause above root level");
+        if !self.ok {
+            return false;
+        }
+        // Normalise: sort by code (groups the two literals of one
+        // variable adjacently), drop duplicates, detect tautologies and
+        // root-satisfied clauses, drop root-falsified literals.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            assert!(l.var().index() < self.num_vars(), "literal out of range");
+            c.push(l);
+        }
+        c.sort_by_key(|l| l.code());
+        c.dedup();
+        let mut out: Vec<Lit> = Vec::with_capacity(c.len());
+        let mut i = 0;
+        while i < c.len() {
+            let l = c[i];
+            if i + 1 < c.len() && c[i + 1].var() == l.var() {
+                return true; // tautology: x ∨ ¬x
+            }
+            match self.value_lit(l) {
+                Some(true) => return true, // satisfied at root
+                Some(false) => {}          // drop falsified literal
+                None => out.push(l),
+            }
+            i += 1;
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(out[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(&out);
+                self.n_clauses += 1;
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: &[Lit]) -> CRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.arena.len() as CRef;
+        self.arena.push(lits.len() as u32);
+        for &l in lits {
+            self.arena.push(l.code() as u32);
+        }
+        self.watches[lits[0].code()].push(Watch { cref, blocker: lits[1] });
+        self.watches[lits[1].code()].push(Watch { cref, blocker: lits[0] });
+        cref
+    }
+
+    #[inline]
+    fn clause(&self, cref: CRef) -> (usize, usize) {
+        let start = cref as usize;
+        (start + 1, self.arena[start] as usize)
+    }
+
+    #[inline]
+    fn enqueue(&mut self, l: Lit, reason: Option<CRef>) {
+        debug_assert!(self.value_lit(l).is_none());
+        let v = l.var().index();
+        self.assign[v] = Some(l.is_positive());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+        if reason.is_some() {
+            self.stats.propagations += 1;
+        }
+    }
+
+    /// Unit propagation to fixpoint; returns the conflicting clause, if
+    /// any.
+    fn propagate(&mut self) -> Option<CRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            let key = false_lit.code();
+            let mut ws = std::mem::take(&mut self.watches[key]);
+            let mut i = 0;
+            'watches: while i < ws.len() {
+                let w = ws[i];
+                if self.value_lit(w.blocker) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                let (start, len) = self.clause(w.cref);
+                // Normalise so the falsified watch sits at slot 1.
+                if Lit::from_code(self.arena[start] as usize) == false_lit {
+                    self.arena.swap(start, start + 1);
+                }
+                let first = Lit::from_code(self.arena[start] as usize);
+                if first != w.blocker && self.value_lit(first) == Some(true) {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Hunt for a replacement watch.
+                for k in 2..len {
+                    let lk = Lit::from_code(self.arena[start + k] as usize);
+                    if self.value_lit(lk) != Some(false) {
+                        self.arena[start + 1] = lk.code() as u32;
+                        self.arena[start + k] = false_lit.code() as u32;
+                        self.watches[lk.code()]
+                            .push(Watch { cref: w.cref, blocker: first });
+                        ws.swap_remove(i);
+                        continue 'watches;
+                    }
+                }
+                // Clause is unit or conflicting under `first`.
+                match self.value_lit(first) {
+                    Some(false) => {
+                        self.watches[key] = ws;
+                        self.qhead = self.trail.len();
+                        return Some(w.cref);
+                    }
+                    _ => {
+                        self.enqueue(first, Some(w.cref));
+                        i += 1;
+                    }
+                }
+            }
+            self.watches[key] = ws;
+        }
+        None
+    }
+
+    fn bump(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+        }
+        self.order.bumped(&self.activity, v as u32);
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: CRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot 0: UIP
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        loop {
+            let (start, len) = self.clause(confl);
+            let skip = usize::from(p.is_some());
+            for k in skip..len {
+                let q = Lit::from_code(self.arena[start + k] as usize);
+                let qv = q.var().index();
+                if !self.seen[qv] && self.level[qv] > 0 {
+                    self.seen[qv] = true;
+                    self.bump(qv);
+                    if self.level[qv] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail back to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            confl = self.reason[pl.var().index()]
+                .expect("marked non-decision literal has a reason");
+            p = Some(pl);
+        }
+        for l in learnt.iter().skip(1) {
+            self.seen[l.var().index()] = false;
+        }
+        // Backjump level: highest level among the non-UIP literals; move
+        // that literal into the second watch slot.
+        let mut bt = 0u32;
+        if learnt.len() > 1 {
+            let mut max_i = 1;
+            for (k, l) in learnt.iter().enumerate().skip(1) {
+                if self.level[l.var().index()] > self.level[learnt[max_i].var().index()]
+                {
+                    max_i = k;
+                }
+            }
+            learnt.swap(1, max_i);
+            bt = self.level[learnt[1].var().index()];
+        }
+        (learnt, bt)
+    }
+
+    /// Derive the unsat core when assumption `p` is found false at
+    /// decide time: every assumption-level decision reachable from `p`
+    /// in the implication graph, plus `p` itself.
+    fn analyze_final(&mut self, p: Lit) {
+        self.core.clear();
+        self.core.push(p);
+        if self.trail_lim.is_empty() {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = self.trail[i];
+            let xv = x.var().index();
+            if !self.seen[xv] {
+                continue;
+            }
+            match self.reason[xv] {
+                None => self.core.push(x),
+                Some(cref) => {
+                    let (start, len) = self.clause(cref);
+                    for k in 1..len {
+                        let q = Lit::from_code(self.arena[start + k] as usize);
+                        if self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[xv] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            self.polarity[v] = l.is_positive();
+            self.assign[v] = None;
+            self.order.insert(&self.activity, v as u32);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = bound;
+    }
+
+    /// Record a learnt clause, backjump, and assert its UIP literal.
+    fn learn(&mut self, learnt: Vec<Lit>, bt: u32) {
+        self.stats.learned += 1;
+        self.cancel_until(bt);
+        if learnt.len() == 1 {
+            debug_assert_eq!(self.decision_level(), 0);
+            self.enqueue(learnt[0], None);
+        } else {
+            let cref = self.attach_clause(&learnt);
+            self.enqueue(learnt[0], Some(cref));
+        }
+        self.var_inc *= 1.0 / VAR_DECAY;
+    }
+
+    /// Solve under `assumptions` with an optional absolute cost budget
+    /// and cancellation flag. The budget is compared against [`cost`]
+    /// (`decisions + propagations`, cumulative over the solver's
+    /// lifetime); when it runs out at a decision boundary the search
+    /// pauses, keeping the trail, and a later call with the *same*
+    /// assumptions resumes where it left off.
+    ///
+    /// [`cost`]: SatSolver::cost
+    pub fn solve_limited(
+        &mut self,
+        assumptions: &[Lit],
+        budget: Option<u64>,
+        stop: Option<&AtomicBool>,
+    ) -> SolveResult {
+        if !self.ok {
+            self.core.clear();
+            return SolveResult::Unsat;
+        }
+        if self.paused {
+            debug_assert_eq!(
+                self.assumptions, assumptions,
+                "resume must repeat the paused assumptions"
+            );
+        } else {
+            self.assumptions = assumptions.to_vec();
+        }
+        self.paused = false;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                self.conflicts_until_restart =
+                    self.conflicts_until_restart.saturating_sub(1);
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    self.core.clear();
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.learn(learnt, bt);
+                continue;
+            }
+            // Decision boundary: cancellation, budget, restart, decide.
+            if let Some(flag) = stop {
+                if flag.load(Ordering::Relaxed) {
+                    self.cancel_until(0);
+                    return SolveResult::Cancelled;
+                }
+            }
+            if let Some(b) = budget {
+                if self.cost() >= b {
+                    self.paused = true;
+                    return SolveResult::Paused;
+                }
+            }
+            if self.conflicts_until_restart == 0 {
+                self.stats.restarts += 1;
+                self.restart_seq += 1;
+                self.conflicts_until_restart =
+                    luby(self.restart_seq) * RESTART_BASE;
+                self.cancel_until(0);
+                continue;
+            }
+            // Re-establish assumptions, one decision level each.
+            let dl = self.decision_level() as usize;
+            if dl < self.assumptions.len() {
+                let p = self.assumptions[dl];
+                match self.value_lit(p) {
+                    Some(true) => {
+                        // Dummy level so level k ↔ assumption k holds.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    Some(false) => {
+                        self.analyze_final(p);
+                        self.cancel_until(0);
+                        return SolveResult::Unsat;
+                    }
+                    None => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(p, None);
+                    }
+                }
+                continue;
+            }
+            // Pick a branching variable.
+            let mut picked = None;
+            while let Some(v) = self.order.pop(&self.activity) {
+                if self.assign[v as usize].is_none() {
+                    picked = Some(v as usize);
+                    break;
+                }
+            }
+            match picked {
+                Some(v) => {
+                    self.stats.decisions += 1;
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(Var::new(v).lit(self.polarity[v]), None);
+                }
+                None => {
+                    self.model = self.assign.clone();
+                    self.cancel_until(0);
+                    return SolveResult::Sat;
+                }
+            }
+        }
+    }
+
+    /// Unbudgeted convenience wrapper: `Sat` or `Unsat`, never pauses.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, None, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: usize, positive: bool) -> Lit {
+        Var::new(v).lit(positive)
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(got, [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = SatSolver::new();
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_conflict_is_unsat_with_empty_core() {
+        let mut s = SatSolver::new();
+        s.ensure_vars(1);
+        assert!(s.add_clause(&[lit(0, true)]));
+        assert!(!s.add_clause(&[lit(0, false)]));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(s.unsat_core().is_empty());
+    }
+
+    #[test]
+    fn simple_sat_model() {
+        let mut s = SatSolver::new();
+        s.ensure_vars(3);
+        s.add_clause(&[lit(0, true), lit(1, true)]);
+        s.add_clause(&[lit(0, false), lit(2, true)]);
+        s.add_clause(&[lit(1, false), lit(2, false)]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        let m = |v| s.model_value(Var::new(v));
+        assert!(m(0) || m(1));
+        assert!(!m(0) || m(2));
+        assert!(!m(1) || !m(2));
+    }
+
+    #[test]
+    fn assumption_core_is_subset_of_assumptions() {
+        // x0 ∧ x1 contradictory via clauses; x2 free.
+        let mut s = SatSolver::new();
+        s.ensure_vars(3);
+        s.add_clause(&[lit(0, false), lit(1, false)]);
+        let asm = [lit(2, true), lit(0, true), lit(1, true)];
+        assert_eq!(s.solve(&asm), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(!core.is_empty());
+        for l in &core {
+            assert!(asm.contains(l), "core literal {l:?} not an assumption");
+        }
+        // x2 is irrelevant to the contradiction.
+        assert!(!core.contains(&lit(2, true)));
+        // The core itself must still be unsat, and dropping it is sat.
+        assert_eq!(s.solve(&core), SolveResult::Unsat);
+        assert_eq!(s.solve(&[lit(2, true)]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn contradictory_assumption_pair() {
+        let mut s = SatSolver::new();
+        s.ensure_vars(2);
+        s.add_clause(&[lit(0, true), lit(1, true)]);
+        assert_eq!(
+            s.solve(&[lit(0, true), lit(0, false)]),
+            SolveResult::Unsat
+        );
+        let core = s.unsat_core();
+        assert!(core.contains(&lit(0, true)) && core.contains(&lit(0, false)));
+    }
+
+    #[test]
+    fn incremental_solving_between_calls() {
+        let mut s = SatSolver::new();
+        s.ensure_vars(2);
+        s.add_clause(&[lit(0, true), lit(1, true)]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.add_clause(&[lit(0, false)]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(s.model_value(Var::new(1)));
+        s.add_clause(&[lit(1, false)]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn budget_pauses_and_resumes_to_same_answer() {
+        // A moderately hard pigeonhole-ish instance solved twice: once
+        // in one shot, once in 1-cost steps; answers and stats agree.
+        let build = || {
+            let mut s = SatSolver::new();
+            s.ensure_vars(12);
+            // 4 pigeons, 3 holes: pigeon p in some hole; no two share.
+            let slot = |p: usize, h: usize| lit(3 * p + h, true);
+            for p in 0..4 {
+                s.add_clause(&[slot(p, 0), slot(p, 1), slot(p, 2)]);
+            }
+            for h in 0..3 {
+                for p1 in 0..4 {
+                    for p2 in (p1 + 1)..4 {
+                        s.add_clause(&[!slot(p1, h), !slot(p2, h)]);
+                    }
+                }
+            }
+            s
+        };
+        let mut one = build();
+        assert_eq!(one.solve(&[]), SolveResult::Unsat);
+        let mut stepped = build();
+        let mut bound = 0;
+        let answer = loop {
+            bound += 1;
+            match stepped.solve_limited(&[], Some(bound), None) {
+                SolveResult::Paused => continue,
+                other => break other,
+            }
+        };
+        assert_eq!(answer, SolveResult::Unsat);
+        assert_eq!(one.stats, stepped.stats);
+    }
+
+    #[test]
+    fn cancellation_returns_cancelled() {
+        let mut s = SatSolver::new();
+        s.ensure_vars(2);
+        s.add_clause(&[lit(0, true), lit(1, true)]);
+        let flag = AtomicBool::new(true);
+        assert_eq!(
+            s.solve_limited(&[], None, Some(&flag)),
+            SolveResult::Cancelled
+        );
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn tautologies_and_duplicates_are_normalised() {
+        let mut s = SatSolver::new();
+        s.ensure_vars(2);
+        assert!(s.add_clause(&[lit(0, true), lit(0, false)]));
+        assert_eq!(s.num_clauses(), 0);
+        assert!(s.add_clause(&[lit(0, true), lit(0, true), lit(1, true)]));
+        assert_eq!(s.num_clauses(), 1);
+        assert_eq!(s.solve(&[lit(0, false)]), SolveResult::Sat);
+        assert!(s.model_value(Var::new(1)));
+    }
+}

@@ -1,0 +1,168 @@
+//! SAT-core isolation suite: the CDCL solver is differentially tested
+//! against an exhaustive reference on randomized CNF built with the
+//! workspace PRNG (`qbf_gen::rng::Rng`, whose stream is a pinned
+//! stability contract), plus unsat-core sanity and minimality smoke
+//! checks.
+
+use qbf_core::{Lit, Var};
+use qbf_expand::sat::{SatSolver, SolveResult};
+use qbf_gen::rng::Rng;
+
+/// Exhaustive reference: is there an assignment over `num_vars`
+/// satisfying every clause and every assumption literal?
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>], assumptions: &[Lit]) -> bool {
+    assert!(num_vars <= 16, "reference is exhaustive");
+    'models: for bits in 0u32..(1u32 << num_vars) {
+        let value = |l: Lit| (bits >> l.var().index()) & 1 == u32::from(l.is_positive());
+        if !assumptions.iter().all(|&l| value(l)) {
+            continue;
+        }
+        for clause in clauses {
+            if !clause.iter().any(|&l| value(l)) {
+                continue 'models;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn random_cnf(rng: &mut Rng, num_vars: usize, num_clauses: usize) -> Vec<Vec<Lit>> {
+    (0..num_clauses)
+        .map(|_| {
+            let width = 1 + rng.gen_range(0..3);
+            (0..width)
+                .map(|_| Var::new(rng.gen_range(0..num_vars)).lit(rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect()
+}
+
+fn load(clauses: &[Vec<Lit>], num_vars: usize) -> SatSolver {
+    let mut solver = SatSolver::new();
+    solver.ensure_vars(num_vars);
+    for clause in clauses {
+        if !solver.add_clause(clause) {
+            break; // root-level contradiction; solve() still answers Unsat
+        }
+    }
+    solver
+}
+
+#[test]
+fn random_cnf_differential_vs_exhaustive_reference() {
+    let mut rng = Rng::seed_from_u64(0xC0FFEE);
+    for round in 0..300 {
+        let num_vars = 3 + rng.gen_range(0..8);
+        let num_clauses = 1 + rng.gen_range(0..4 * num_vars);
+        let clauses = random_cnf(&mut rng, num_vars, num_clauses);
+        let expected = brute_force_sat(num_vars, &clauses, &[]);
+        let mut solver = load(&clauses, num_vars);
+        let got = solver.solve(&[]) == SolveResult::Sat;
+        assert_eq!(got, expected, "round {round}: {clauses:?}");
+        if got {
+            // The produced model must actually satisfy the formula.
+            for clause in &clauses {
+                assert!(
+                    clause.iter().any(|&l| solver.model_value(l.var()) == l.is_positive()),
+                    "round {round}: model violates {clause:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn random_assumption_differential_and_core_sanity() {
+    let mut rng = Rng::seed_from_u64(0xBEEF);
+    for round in 0..300 {
+        let num_vars = 3 + rng.gen_range(0..7);
+        let num_clauses = 1 + rng.gen_range(0..3 * num_vars);
+        let clauses = random_cnf(&mut rng, num_vars, num_clauses);
+        // A random consistent assumption set over distinct variables.
+        let mut assumptions = Vec::new();
+        for v in 0..num_vars {
+            if rng.gen_bool(0.4) {
+                assumptions.push(Var::new(v).lit(rng.gen_bool(0.5)));
+            }
+        }
+        let expected = brute_force_sat(num_vars, &clauses, &assumptions);
+        let mut solver = load(&clauses, num_vars);
+        let got = solver.solve(&assumptions) == SolveResult::Sat;
+        assert_eq!(got, expected, "round {round}: {clauses:?} / {assumptions:?}");
+        if !got {
+            let core = solver.unsat_core().to_vec();
+            for l in &core {
+                assert!(assumptions.contains(l), "round {round}: core lit {l:?} not assumed");
+            }
+            // The core alone must still be unsatisfiable — checked both
+            // by the solver (incremental re-solve) and the reference.
+            assert_eq!(solver.solve(&core), SolveResult::Unsat, "round {round}");
+            assert!(!brute_force_sat(num_vars, &clauses, &core), "round {round}");
+        }
+    }
+}
+
+#[test]
+fn unsat_core_minimality_smoke() {
+    // (¬a0 ∨ ¬a1) with irrelevant assumptions around: the core must
+    // shrink to exactly {a0, a1}, and dropping either literal is sat.
+    let mut solver = SatSolver::new();
+    solver.ensure_vars(4);
+    solver.add_clause(&[Var::new(0).negative(), Var::new(1).negative()]);
+    let assumptions: Vec<Lit> =
+        (0..4).map(|v| Var::new(v).positive()).collect();
+    assert_eq!(solver.solve(&assumptions), SolveResult::Unsat);
+    let core = solver.unsat_core().to_vec();
+    let mut sorted: Vec<Lit> = core.clone();
+    sorted.sort_by_key(|l| l.code());
+    assert_eq!(sorted, vec![Var::new(0).positive(), Var::new(1).positive()]);
+    for drop in 0..core.len() {
+        let reduced: Vec<Lit> = core
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != drop)
+            .map(|(_, &l)| l)
+            .collect();
+        assert_eq!(
+            solver.solve(&reduced),
+            SolveResult::Sat,
+            "core is not minimal: still unsat without {:?}",
+            core[drop]
+        );
+    }
+}
+
+#[test]
+fn chained_implications_produce_unsat_core_endpoints() {
+    // x0 → x1 → … → x5 and a final ¬x5: assuming x0 is contradictory,
+    // and the core must mention x0 (the only assumption).
+    let mut solver = SatSolver::new();
+    solver.ensure_vars(6);
+    for v in 0..5 {
+        solver.add_clause(&[Var::new(v).negative(), Var::new(v + 1).positive()]);
+    }
+    solver.add_clause(&[Var::new(5).negative()]);
+    assert_eq!(solver.solve(&[Var::new(0).positive()]), SolveResult::Unsat);
+    assert_eq!(solver.unsat_core(), &[Var::new(0).positive()]);
+    // Without the assumption the chain is satisfiable (all false).
+    assert_eq!(solver.solve(&[]), SolveResult::Sat);
+}
+
+#[test]
+fn solver_replays_byte_identically() {
+    let run = || {
+        let mut rng = Rng::seed_from_u64(42);
+        let mut transcript = String::new();
+        for _ in 0..40 {
+            let num_vars = 4 + rng.gen_range(0..6);
+            let num_clauses = 2 + rng.gen_range(0..3 * num_vars);
+            let clauses = random_cnf(&mut rng, num_vars, num_clauses);
+            let mut solver = load(&clauses, num_vars);
+            let result = solver.solve(&[]);
+            transcript.push_str(&format!("{result:?} {:?}\n", solver.stats));
+        }
+        transcript
+    };
+    assert_eq!(run(), run());
+}

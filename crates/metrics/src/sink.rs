@@ -20,6 +20,11 @@ use crate::hist::LogHistogram;
 
 /// A timed region of the search. Phases never nest in the engine, and
 /// start/end always pair up within one search.
+///
+/// The first five phases belong to the search engine (`qbf-core`); the
+/// last two are emitted by the expansion engine (`qbf-expand`) — one
+/// engine never emits the other's phases, so the shared histogram space
+/// stays disjoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// Boolean/quantifier constraint propagation to fixpoint.
@@ -32,16 +37,23 @@ pub enum Phase {
     ReduceDb,
     /// Arena compaction.
     Compaction,
+    /// One (possibly partial) SAT-oracle call of the expansion engine.
+    SatSolve,
+    /// One abstraction-refinement round of the expansion engine
+    /// (candidate/counterexample extraction plus instantiation).
+    Refine,
 }
 
 impl Phase {
     /// All phases, in render order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Propagate,
         Phase::ConflictAnalysis,
         Phase::SolutionAnalysis,
         Phase::ReduceDb,
         Phase::Compaction,
+        Phase::SatSolve,
+        Phase::Refine,
     ];
 
     /// Stable snake_case name used in metric series.
@@ -52,6 +64,8 @@ impl Phase {
             Phase::SolutionAnalysis => "solution_analysis",
             Phase::ReduceDb => "reduce_db",
             Phase::Compaction => "compaction",
+            Phase::SatSolve => "sat_solve",
+            Phase::Refine => "refine",
         }
     }
 
@@ -63,6 +77,8 @@ impl Phase {
             Phase::SolutionAnalysis => 2,
             Phase::ReduceDb => 3,
             Phase::Compaction => 4,
+            Phase::SatSolve => 5,
+            Phase::Refine => 6,
         }
     }
 }
@@ -76,14 +92,18 @@ pub enum EngineGauge {
     LearnedConstraints,
     /// Assignment-trail depth.
     TrailDepth,
+    /// Expansion-engine abstraction size: conjuncts across both dual
+    /// abstractions (|A| + |B|), sampled once per refinement round.
+    AbstractionConjuncts,
 }
 
 impl EngineGauge {
     /// All gauges, in render order.
-    pub const ALL: [EngineGauge; 3] = [
+    pub const ALL: [EngineGauge; 4] = [
         EngineGauge::ArenaBytes,
         EngineGauge::LearnedConstraints,
         EngineGauge::TrailDepth,
+        EngineGauge::AbstractionConjuncts,
     ];
 
     /// Stable snake_case name used in metric series.
@@ -92,6 +112,7 @@ impl EngineGauge {
             EngineGauge::ArenaBytes => "arena_bytes",
             EngineGauge::LearnedConstraints => "learned_constraints",
             EngineGauge::TrailDepth => "trail_depth",
+            EngineGauge::AbstractionConjuncts => "abstraction_conjuncts",
         }
     }
 
@@ -101,6 +122,7 @@ impl EngineGauge {
             EngineGauge::ArenaBytes => 0,
             EngineGauge::LearnedConstraints => 1,
             EngineGauge::TrailDepth => 2,
+            EngineGauge::AbstractionConjuncts => 3,
         }
     }
 }
@@ -157,10 +179,10 @@ impl<M: MetricsSink> MetricsSink for &mut M {
 #[derive(Debug)]
 pub struct EngineMetrics<C: Clock> {
     clock: C,
-    open: [u64; 5],
-    durations: [LogHistogram; 5],
-    last: [u64; 3],
-    peak: [u64; 3],
+    open: [u64; Phase::ALL.len()],
+    durations: [LogHistogram; Phase::ALL.len()],
+    last: [u64; EngineGauge::ALL.len()],
+    peak: [u64; EngineGauge::ALL.len()],
 }
 
 impl<C: Clock> EngineMetrics<C> {
@@ -168,10 +190,10 @@ impl<C: Clock> EngineMetrics<C> {
     pub fn new(clock: C) -> Self {
         EngineMetrics {
             clock,
-            open: [0; 5],
+            open: [0; Phase::ALL.len()],
             durations: Default::default(),
-            last: [0; 3],
-            peak: [0; 3],
+            last: [0; EngineGauge::ALL.len()],
+            peak: [0; EngineGauge::ALL.len()],
         }
     }
 

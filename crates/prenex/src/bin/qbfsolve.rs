@@ -5,6 +5,12 @@
 //!
 //!   FILE               QDIMACS (`p cnf`) or non-prenex qtree (`p qtree`)
 //!                      document; stdin when omitted or `-`.
+//!   --engine E         decision procedure: `search` (the QDPLL; default)
+//!                      or `expand` (the expansion/CEGAR engine of
+//!                      `qbf-expand`). Unknown values exit 2 with usage.
+//!                      Under `expand`, `--po`/`--to` select the tree vs
+//!                      ordered dependency scheme and `--budget N` bounds
+//!                      SAT decisions+propagations instead of assignments.
 //!   --to               QUBE(TO) configuration (prefix-level heuristic)
 //!   --po               QUBE(PO) configuration (tree heuristic; default)
 //!   --basic            plain backtracking, no learning
@@ -38,6 +44,10 @@
 //!                      verdict/winner/per-worker stats for any N
 //!   --epoch N          deterministic exchange epoch in assignments
 //!                      (default 2048)
+//!   --portfolio-expand add the two expansion engines (`expand-po`,
+//!                      `expand-to`) to the portfolio roster: search and
+//!                      expansion race in-process with first-finisher
+//!                      cancellation, sharing stays search-only
 //!   --portfolio-out F  write the byte-stable portfolio transcript to F
 //! ```
 //!
@@ -54,13 +64,24 @@ use qbf_core::proof::{NoProof, ProofLog};
 use qbf_core::recursive::{self, RecursiveConfig};
 use qbf_core::solver::{Solver, SolverConfig};
 use qbf_core::{io, Qbf};
-use qbf_prenex::portfolio::roster;
+use qbf_expand::{DepScheme, ExpandConfig, ExpandSolver};
+use qbf_prenex::portfolio::{expand_workers, roster};
 
 /// `None` = disabled, `Some(None)` = stderr, `Some(Some(path))` = file.
 type Sink = Option<Option<String>>;
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    Search,
+    Expand,
+}
+
 struct Options {
     file: Option<String>,
+    engine: Engine,
+    /// Whether `--to` was the last order flag (drives the expansion
+    /// engine's dependency scheme).
+    to_selected: bool,
     config: SolverConfig,
     use_recursive: bool,
     preprocess: bool,
@@ -76,22 +97,49 @@ struct Options {
     deterministic: bool,
     epoch: u64,
     portfolio_out: Option<String>,
+    portfolio_expand: bool,
 }
 
-fn usage() -> ! {
+fn print_usage() {
     eprintln!(
-        "usage: qbfsolve [--to|--po|--basic|--recursive] [--preprocess] \
+        "usage: qbfsolve [--engine search|expand] [--to|--po|--basic|--recursive] \
+         [--preprocess] \
          [--no-pure] [--no-learning] [--budget N] [--stats] [--proof[=FILE]] \
          [--trace[=FILE]] [--trace-json[=FILE]] [--profile] [--progress N] \
          [--metrics] [--portfolio N] [--share-len K] [--deterministic] \
-         [--epoch N] [--portfolio-out FILE] [FILE]"
+         [--epoch N] [--portfolio-expand] [--portfolio-out FILE] [FILE]"
     );
+}
+
+fn usage() -> ! {
+    print_usage();
     std::process::exit(1);
+}
+
+/// Strict `--engine` parsing: any unknown or missing value is a usage
+/// error with exit code 2.
+fn parse_engine(value: Option<String>) -> Engine {
+    match value.as_deref() {
+        Some("search") => Engine::Search,
+        Some("expand") => Engine::Expand,
+        Some(other) => {
+            eprintln!("error: unknown engine '{other}' (expected 'search' or 'expand')");
+            print_usage();
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("error: --engine requires a value ('search' or 'expand')");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
 }
 
 fn parse_args() -> Options {
     let mut opts = Options {
         file: None,
+        engine: Engine::Search,
+        to_selected: false,
         config: SolverConfig::partial_order(),
         use_recursive: false,
         preprocess: false,
@@ -107,13 +155,24 @@ fn parse_args() -> Options {
         deterministic: false,
         epoch: 2048,
         portfolio_out: None,
+        portfolio_expand: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--to" => opts.config = SolverConfig::total_order(),
-            "--po" => opts.config = SolverConfig::partial_order(),
-            "--basic" => opts.config = SolverConfig::basic(),
+            "--engine" => opts.engine = parse_engine(args.next()),
+            "--to" => {
+                opts.config = SolverConfig::total_order();
+                opts.to_selected = true;
+            }
+            "--po" => {
+                opts.config = SolverConfig::partial_order();
+                opts.to_selected = false;
+            }
+            "--basic" => {
+                opts.config = SolverConfig::basic();
+                opts.to_selected = false;
+            }
             "--recursive" => opts.use_recursive = true,
             "--no-pure" => opts.config.pure_literals = false,
             "--no-learning" => opts.config.learning = false,
@@ -151,6 +210,7 @@ fn parse_args() -> Options {
                 }
             }
             "--deterministic" => opts.deterministic = true,
+            "--portfolio-expand" => opts.portfolio_expand = true,
             "--epoch" => {
                 match args.next().and_then(|v| v.parse().ok()) {
                     Some(n) if n >= 1 => opts.epoch = n,
@@ -159,6 +219,9 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => usage(),
             "-" => opts.file = None,
+            _ if a.starts_with("--engine=") => {
+                opts.engine = parse_engine(Some(a["--engine=".len()..].to_string()));
+            }
             _ if a.starts_with("--proof=") => {
                 opts.proof = Some(Some(a["--proof=".len()..].to_string()));
             }
@@ -297,6 +360,75 @@ fn report_verdict(value: Option<bool>) -> ExitCode {
     }
 }
 
+/// Renders the `--metrics` phase histograms, gauges and one-line JSON
+/// snapshot to stderr; shared by the search and expansion paths.
+fn render_metrics(engine_metrics: &EngineMetrics<WallClock>) {
+    for p in Phase::ALL {
+        let h = engine_metrics.phase_hist(p);
+        eprintln!(
+            "c phase {:<18} calls {:>8}  total {:>12} ns  p50 {:>10}  p90 {:>10}  p99 {:>10}",
+            p.name(),
+            h.count(),
+            h.sum(),
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99)
+        );
+    }
+    for g in EngineGauge::ALL {
+        eprintln!(
+            "c gauge {:<18} last {:>12}  peak {:>12}",
+            g.name(),
+            engine_metrics.gauge_last(g),
+            engine_metrics.gauge_peak(g)
+        );
+    }
+    eprintln!("c metrics: {}", engine_metrics.snapshot_json());
+}
+
+/// The `--engine expand` path: dual abstraction refinement from
+/// `qbf-expand` instead of search. `--po`/`--to` select the dependency
+/// scheme and `--budget` bounds SAT decisions+propagations.
+fn run_expand(qbf: &Qbf, opts: &Options) -> ExitCode {
+    if opts.use_recursive {
+        eprintln!("error: --engine expand is incompatible with --recursive");
+        return ExitCode::from(1);
+    }
+    if opts.proof.is_some() {
+        eprintln!("error: --engine expand does not produce qrp certificates (drop --proof)");
+        return ExitCode::from(1);
+    }
+    if opts.trace.is_some() || opts.trace_json.is_some() || opts.profile || opts.progress > 0 {
+        eprintln!(
+            "error: --engine expand does not support search observers \
+             (--trace/--trace-json/--profile/--progress)"
+        );
+        return ExitCode::from(1);
+    }
+    let mut config =
+        if opts.to_selected { ExpandConfig::ordered() } else { ExpandConfig::tree() };
+    config.step_limit = opts.config.node_limit;
+    let scheme = match config.dep_scheme {
+        DepScheme::Tree => "tree (po)",
+        DepScheme::Ordered => "ordered (to)",
+    };
+    eprintln!("c engine expand, dependency scheme {scheme}");
+    let out = if opts.metrics {
+        let mut engine_metrics = EngineMetrics::new(WallClock::new());
+        let out = ExpandSolver::with_metrics(qbf, config, &mut engine_metrics).solve();
+        render_metrics(&engine_metrics);
+        out
+    } else {
+        qbf_expand::solve(qbf, config)
+    };
+    if opts.stats {
+        for line in out.stats.to_string().lines() {
+            eprintln!("c {line}");
+        }
+    }
+    report_verdict(out.value)
+}
+
 /// The `--portfolio N` path: builds the roster over the parsed instance
 /// and runs the in-instance portfolio (see `qbf_core::portfolio`).
 fn run_portfolio(qbf: &Qbf, opts: &Options) -> ExitCode {
@@ -316,7 +448,16 @@ fn run_portfolio(qbf: &Qbf, opts: &Options) -> ExitCode {
         epoch: opts.epoch,
         ..PortfolioOptions::default()
     };
-    let out = if opts.proof.is_some() {
+    let out = if opts.portfolio_expand {
+        if opts.proof.is_some() || opts.metrics {
+            eprintln!(
+                "error: --portfolio-expand does not support --proof or --metrics \
+                 (expansion workers have no certificate or phase clock hookup)"
+            );
+            return ExitCode::from(1);
+        }
+        portfolio::solve_mixed(&variants, expand_workers(qbf, opts.config.node_limit), &popts)
+    } else if opts.proof.is_some() {
         if opts.share_len > 0 {
             eprintln!("c portfolio: constraint sharing disabled under --proof");
         }
@@ -393,6 +534,21 @@ fn main() -> ExitCode {
         eprintln!("c {line}");
     }
 
+    if opts.engine == Engine::Expand {
+        if opts.portfolio > 0 || opts.portfolio_expand {
+            eprintln!(
+                "error: --engine expand cannot drive the portfolio directly; use \
+                 --portfolio N --portfolio-expand to race search and expansion"
+            );
+            return ExitCode::from(1);
+        }
+        return run_expand(&qbf, &opts);
+    }
+    if opts.portfolio_expand && opts.portfolio == 0 {
+        eprintln!("error: --portfolio-expand requires --portfolio N");
+        return ExitCode::from(1);
+    }
+
     if opts.portfolio > 0 {
         return run_portfolio(&qbf, &opts);
     }
@@ -458,27 +614,7 @@ fn main() -> ExitCode {
         }
     }
     if opts.metrics {
-        for p in Phase::ALL {
-            let h = engine_metrics.phase_hist(p);
-            eprintln!(
-                "c phase {:<18} calls {:>8}  total {:>12} ns  p50 {:>10}  p90 {:>10}  p99 {:>10}",
-                p.name(),
-                h.count(),
-                h.sum(),
-                h.quantile(0.5),
-                h.quantile(0.9),
-                h.quantile(0.99)
-            );
-        }
-        for g in EngineGauge::ALL {
-            eprintln!(
-                "c gauge {:<18} last {:>12}  peak {:>12}",
-                g.name(),
-                engine_metrics.gauge_last(g),
-                engine_metrics.gauge_peak(g)
-            );
-        }
-        eprintln!("c metrics: {}", engine_metrics.snapshot_json());
+        render_metrics(&engine_metrics);
     }
 
     report_verdict(value)

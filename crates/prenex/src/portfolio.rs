@@ -8,9 +8,10 @@
 //! base instance's partial order, and all variants keep the base's
 //! matrix and variable numbering.
 
-use qbf_core::portfolio::{ShareClass, Variant};
+use qbf_core::portfolio::{ExternalWorker, ShareClass, Variant};
 use qbf_core::solver::{HeuristicKind, SolverConfig};
 use qbf_core::Qbf;
+use qbf_expand::{ExpandConfig, ExpandWorker};
 
 use crate::{prenex, Strategy};
 
@@ -110,4 +111,33 @@ fn slot(qbf: &Qbf, base: &SolverConfig, i: usize) -> Variant {
 pub fn roster(qbf: &Qbf, workers: usize, deterministic: bool, base: &SolverConfig) -> Vec<Variant> {
     let n = if deterministic { DETERMINISTIC_ROSTER } else { workers.max(1) };
     (0..n).map(|i| slot(qbf, base, i)).collect()
+}
+
+/// Number of expansion entries [`expand_workers`] contributes to a
+/// cross-paradigm roster.
+pub const EXPAND_ROSTER: usize = 2;
+
+/// Builds the expansion side of a cross-paradigm portfolio: two
+/// [`qbf_expand`] engines over the *base* (unprenexed) instance, one
+/// per dependency scheme — `expand-po` (tree dependencies, the PO view)
+/// and `expand-to` (preorder dependencies, the TO view). The returned
+/// boxes plug into [`qbf_core::portfolio::solve_mixed`] after the
+/// search roster; `step_limit` bounds each engine's own cost (SAT
+/// decisions + propagations), mirroring the search side's node limit.
+pub fn expand_workers(
+    qbf: &Qbf,
+    step_limit: Option<u64>,
+) -> Vec<Box<dyn ExternalWorker + '_>> {
+    let configs = [
+        ("expand-po", ExpandConfig::tree()),
+        ("expand-to", ExpandConfig::ordered()),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, mut config)| {
+            config.step_limit = step_limit;
+            Box::new(ExpandWorker::new(label, qbf, config))
+                as Box<dyn ExternalWorker + '_>
+        })
+        .collect()
 }

@@ -12,6 +12,7 @@
 //! {"cmd":"add","lits":[1,-3]}
 //! {"cmd":"assume","lit":2}
 //! {"cmd":"solve","proof":true}
+//! {"cmd":"solve","engine":"expand","scheme":"ordered"}
 //! {"cmd":"stats"}
 //! {"cmd":"metrics"}
 //! {"cmd":"metrics","format":"json"}
@@ -56,6 +57,7 @@ use qbf_core::observe::Progress;
 use qbf_core::portfolio::{self, PortfolioOptions};
 use qbf_core::solver::{IncrementalError, IncrementalSolver, Outcome, SolverConfig, Stats};
 use qbf_core::{Lit, Qbf};
+use qbf_expand::{DepScheme, ExpandConfig};
 use qbf_prenex::portfolio::roster;
 
 /// The certificate artifacts of the last `solve` with `"proof":true`:
@@ -533,7 +535,75 @@ impl Server {
         ))
     }
 
+    /// A `solve` with `"engine":"expand"`: a one-shot run of the dual
+    /// abstraction refinement engine (`qbf_expand`) over the session's
+    /// equivalent one-shot QBF. The incremental session itself is
+    /// untouched — no constraints flow back into the search state. An
+    /// optional `"scheme"` field selects `tree` (default) or `ordered`
+    /// dependencies; the server's `--budget` bounds SAT
+    /// decisions+propagations.
+    fn cmd_solve_expand(&mut self, request: &Json) -> Result<String, String> {
+        if request.get("proof").and_then(Json::as_bool).unwrap_or(false) {
+            return Err(
+                "expansion solve does not produce certificates (drop \"proof\":true)".to_string(),
+            );
+        }
+        if request.get("portfolio").is_some() {
+            return Err(
+                "`engine`:\"expand\" and `portfolio` are mutually exclusive".to_string(),
+            );
+        }
+        let scheme = match request.get("scheme") {
+            None => DepScheme::Tree,
+            Some(s) => match s.as_str() {
+                Some("tree") => DepScheme::Tree,
+                Some("ordered") => DepScheme::Ordered,
+                _ => return Err("`scheme` must be `tree` or `ordered`".to_string()),
+            },
+        };
+        let session = self.session()?;
+        if !session.assumptions().is_empty() {
+            return Err("expansion solve does not support pending assumptions".to_string());
+        }
+        let qbf = session.equivalent_qbf();
+        let mut config = match scheme {
+            DepScheme::Tree => ExpandConfig::tree(),
+            DepScheme::Ordered => ExpandConfig::ordered(),
+        };
+        config.step_limit = self.config.node_limit;
+        let start = self.clock.now_ns();
+        let out = qbf_expand::solve(&qbf, config);
+        let elapsed = self.clock.now_ns().saturating_sub(start);
+        // Query count and latency are engine-independent; the search
+        // counters stay untouched (zeros), like a winnerless portfolio.
+        self.record_solve(&Stats::default(), elapsed);
+        self.last_proof = None;
+        let fields = out
+            .stats
+            .fields()
+            .iter()
+            .map(|(name, value)| format!("\"{name}\":{value}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        Ok(format!(
+            "{{\"ok\":true,\"cmd\":\"solve\",\"engine\":\"expand\",\"value\":{},\"expand\":{{{fields}}}}}",
+            verdict(out.value)
+        ))
+    }
+
     fn cmd_solve(&mut self, request: &Json) -> Result<String, String> {
+        if let Some(engine) = request.get("engine") {
+            match engine.as_str() {
+                Some("search") => {}
+                Some("expand") => return self.cmd_solve_expand(request),
+                Some(other) => {
+                    return Err(format!(
+                        "unknown engine `{other}` (expected `search` or `expand`)"
+                    ));
+                }
+                None => return Err("`engine` must be a string (`search` or `expand`)".to_string()),
+            }
+        }
         let with_proof = request.get("proof").and_then(Json::as_bool).unwrap_or(false);
         if let Some(workers) = request.get("portfolio") {
             let workers = workers

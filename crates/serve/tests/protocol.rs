@@ -157,6 +157,72 @@ fn bad_literals_and_bad_load_arguments_are_structured_errors() {
 }
 
 #[test]
+fn expand_engine_solves_and_bad_engine_fields_are_structured_errors() {
+    let mut s = loaded_server();
+    // Both dependency schemes agree with search on the paper example
+    // (false) and report the engine's own counters.
+    let r = s.handle_line(1, "{\"cmd\":\"solve\",\"engine\":\"expand\"}").unwrap();
+    assert!(
+        r.starts_with("{\"ok\":true,\"cmd\":\"solve\",\"engine\":\"expand\",\"value\":0,\"expand\":{"),
+        "got: {r}"
+    );
+    assert!(r.contains("\"sat-calls\":"), "got: {r}");
+    let r = s
+        .handle_line(2, "{\"cmd\":\"solve\",\"engine\":\"expand\",\"scheme\":\"ordered\"}")
+        .unwrap();
+    assert!(r.contains("\"value\":0"), "got: {r}");
+    // Strict engine field: unknown values and non-strings are structured
+    // errors, and the session survives them.
+    let r = s.handle_line(3, "{\"cmd\":\"solve\",\"engine\":\"expnd\"}").unwrap();
+    assert_eq!(
+        r,
+        "{\"ok\":false,\"line\":3,\"error\":\"unknown engine `expnd` (expected `search` or `expand`)\"}"
+    );
+    let r = s.handle_line(4, "{\"cmd\":\"solve\",\"engine\":7}").unwrap();
+    assert_eq!(
+        r,
+        "{\"ok\":false,\"line\":4,\"error\":\"`engine` must be a string (`search` or `expand`)\"}"
+    );
+    let r = s
+        .handle_line(5, "{\"cmd\":\"solve\",\"engine\":\"expand\",\"scheme\":\"topo\"}")
+        .unwrap();
+    assert!(r.contains("`scheme` must be `tree` or `ordered`"), "got: {r}");
+    // Unsupported combinations are rejected without touching the session.
+    let r = s
+        .handle_line(6, "{\"cmd\":\"solve\",\"engine\":\"expand\",\"proof\":true}")
+        .unwrap();
+    assert!(r.starts_with("{\"ok\":false,\"line\":6,"), "got: {r}");
+    let r = s
+        .handle_line(7, "{\"cmd\":\"solve\",\"engine\":\"expand\",\"portfolio\":2}")
+        .unwrap();
+    assert!(r.starts_with("{\"ok\":false,\"line\":7,"), "got: {r}");
+    // The search path still works and `\"engine\":\"search\"` is the
+    // explicit spelling of the default.
+    let r = s.handle_line(8, "{\"cmd\":\"solve\",\"engine\":\"search\"}").unwrap();
+    assert!(r.starts_with("{\"ok\":true,\"cmd\":\"solve\",\"value\":0,"), "got: {r}");
+}
+
+#[test]
+fn expand_solves_replay_byte_identically() {
+    let script = [
+        "{\"cmd\":\"solve\",\"engine\":\"expand\"}",
+        "{\"cmd\":\"solve\",\"engine\":\"expand\",\"scheme\":\"ordered\"}",
+        "{\"cmd\":\"push\"}",
+        "{\"cmd\":\"add\",\"lits\":[1]}",
+        "{\"cmd\":\"solve\",\"engine\":\"expand\"}",
+        "{\"cmd\":\"pop\"}",
+        "{\"cmd\":\"solve\",\"engine\":\"expand\"}",
+    ];
+    let a = transcript(&mut loaded_server(), &script);
+    let b = transcript(&mut loaded_server(), &script);
+    assert_eq!(a, b, "same script, different transcripts");
+    // The pushed unit clause 1 keeps the instance false; popping it
+    // restores the baseline answer byte-for-byte.
+    assert!(a[4].contains("\"value\":0"), "got: {}", a[4]);
+    assert_eq!(a[0], a[6], "pop must restore the baseline expand answer");
+}
+
+#[test]
 fn sessions_replay_byte_identically() {
     let script = [
         "{\"cmd\":\"push\"}",

@@ -13,7 +13,9 @@
 //! * [`models`] ([`qbf_models`]) — symbolic models and diameter QBFs;
 //! * [`gen`] ([`qbf_gen`]) — benchmark instance generators;
 //! * [`proof`] ([`qbf_proof`]) — independent verifier for the solver's
-//!   Q-resolution/Q-consensus certificates (`qbfcheck`).
+//!   Q-resolution/Q-consensus certificates (`qbfcheck`);
+//! * [`expand`] ([`qbf_expand`]) — the expansion-based second engine: an
+//!   in-tree CDCL SAT core driving dual abstraction refinement.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub use qbf_core as core;
+pub use qbf_expand as expand;
 pub use qbf_formula as formula;
 pub use qbf_gen as gen;
 pub use qbf_models as models;
